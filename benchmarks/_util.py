@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one thesis table or figure, prints it (run
+pytest with ``-s`` to see it) and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can cite stable outputs.
+``publish_rows`` additionally writes a machine-readable CSV twin.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a reproduced artifact and archive it to results/<name>.txt."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def publish_rows(
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str,
+    precision: int = 2,
+) -> None:
+    """Publish a table as both aligned text and CSV."""
+    from repro.analysis.tables import render_csv, render_table
+
+    publish(name, render_table(headers, rows, title=title, precision=precision))
+    (RESULTS_DIR / f"{name}.csv").write_text(render_csv(headers, rows))

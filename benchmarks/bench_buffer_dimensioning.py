@@ -1,0 +1,67 @@
+"""Experiment A4 — window/buffer interplay (thesis §2.3).
+
+§2.3 argues windows and nodal storage must be co-dimensioned: windows
+beyond the storage capacity render end-to-end control ineffective, yet
+storage beyond what the windows can fill is wasted.  This benchmark uses
+the exact marginal queue-length distributions to compute, for each window
+setting of the 2-class network, the per-trunk buffer size needed to keep
+overflow probability under 1e-3 — quantifying the provisioning cost of
+oversized windows.
+"""
+
+import pytest
+
+from repro.analysis.buffers import recommend_buffers
+from repro.analysis.tables import render_table
+from repro.core.power import network_power
+from repro.exact.mva_exact import solve_mva_exact
+from repro.netmodel.examples import canadian_two_class
+
+from _util import publish
+
+WINDOWS = [(1, 1), (2, 2), (3, 3), (4, 4), (6, 6), (8, 8)]
+RATES = (25.0, 25.0)
+TARGET = 1e-3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    table = []
+    for windows in WINDOWS:
+        net = canadian_two_class(*RATES, windows=windows)
+        recs = recommend_buffers(net, TARGET, stations=("ch1", "ch2", "ch3"))
+        trunk_buffer = max(rec.buffer_size for rec in recs.values())
+        power = network_power(solve_mva_exact(net))
+        table.append(
+            (
+                " ".join(str(w) for w in windows),
+                power,
+                trunk_buffer,
+                2 * windows[0],  # hard bound at a shared trunk
+            )
+        )
+    return table
+
+
+def test_window_buffer_tradeoff(rows):
+    text = render_table(
+        ["windows", "power", "trunk buffer for P(ovfl)<1e-3", "hard bound"],
+        rows,
+        title=(
+            "A4 — buffer provisioning vs window size "
+            f"(2-class net, S={RATES})"
+        ),
+        precision=1,
+    )
+    publish("buffer_dimensioning", text)
+    # Bigger windows monotonically demand more trunk buffering.
+    buffers = [row[2] for row in rows]
+    assert all(a <= b for a, b in zip(buffers, buffers[1:]))
+    # And the required buffer never exceeds the hard window bound.
+    for row in rows:
+        assert row[2] <= row[3]
+
+
+def test_buffer_recommendation_speed(benchmark):
+    net = canadian_two_class(*RATES, windows=(4, 4))
+    benchmark(lambda: recommend_buffers(net, TARGET, stations=("ch2",)))

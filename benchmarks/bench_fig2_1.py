@@ -1,0 +1,88 @@
+"""Experiment F2.1 — Fig. 2.1: throughput vs offered load, the congestion
+curve that motivates flow control.
+
+Not a numerical table in the thesis (it is the schematic congestion
+figure), reproduced here by *simulation* of the 2-class network with
+Poisson sources and small node buffers:
+
+* with no flow control, throughput rises with offered load, peaks, then
+  *degrades* as store-and-forward blocking sets in (the region of negative
+  slope that defines congestion);
+* with end-to-end windows, throughput rises to a plateau and stays there —
+  flow control moves the congestion to the admission point.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.netmodel.examples import canadian_topology, two_class_traffic
+from repro.sim.engine import simulate
+from repro.sim.flowcontrol import FlowControlConfig
+
+from _util import publish
+
+OFFERED = [2.5, 5.0, 10.0, 15.0, 20.0, 25.0, 35.0, 45.0]
+BUFFERS = 20
+DURATION = 400.0
+WARMUP = 40.0
+
+
+def _run(offered: float, windowed: bool) -> float:
+    config = FlowControlConfig(
+        windows=(3, 3) if windowed else None,
+        node_buffer_limits=BUFFERS,
+    )
+    result = simulate(
+        canadian_topology(),
+        list(two_class_traffic(offered, offered)),
+        config,
+        duration=DURATION,
+        warmup=WARMUP,
+        source_model="poisson",
+        seed=31,
+    )
+    return result.network_throughput
+
+
+@pytest.fixture(scope="module")
+def curves():
+    uncontrolled = [_run(s, windowed=False) for s in OFFERED]
+    windowed = [_run(s, windowed=True) for s in OFFERED]
+    return uncontrolled, windowed
+
+
+def test_regenerate_fig2_1(curves):
+    uncontrolled, windowed = curves
+    rows = [
+        (2 * s, u, w)
+        for s, u, w in zip(OFFERED, uncontrolled, windowed)
+    ]
+    text = render_table(
+        ["offered (msg/s)", "throughput, no control", "throughput, windows (3,3)"],
+        rows,
+        title=(
+            "Fig. 2.1 — simulated throughput vs offered load "
+            f"(node buffers = {BUFFERS})"
+        ),
+        precision=2,
+    )
+    publish("fig2_1", text)
+
+    # Uncontrolled: throughput first tracks the offered load...
+    peak = max(range(len(uncontrolled)), key=uncontrolled.__getitem__)
+    assert uncontrolled[peak] > 0.9 * (2 * OFFERED[peak])
+    # ...then collapses beyond the knee (in this store-and-forward model
+    # the collapse is a blocking deadlock — thesis §2.1: "eventually a
+    # deadlock results in which communication becomes impossible").
+    assert uncontrolled[-1] < 0.5 * uncontrolled[peak]
+
+    # Windowed: no collapse — the final point stays near the plateau.
+    w_peak = max(windowed)
+    assert windowed[-1] > 0.9 * w_peak
+
+    # Under overload, flow control wins outright.
+    assert windowed[-1] > uncontrolled[-1]
+
+
+def test_simulation_speed_congested_point(benchmark):
+    benchmark(lambda: _run(35.0, windowed=True))

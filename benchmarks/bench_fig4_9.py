@@ -1,0 +1,66 @@
+"""Experiment F4.9 — Fig. 4.9: network power vs arrival rate for fixed
+window settings (2-class net, S1 = S2).
+
+Paper shape: for windows >= (5,5) the power rises steeply to a peak, then
+degrades to a load-independent plateau; for small windows the power climbs
+monotonically to its plateau; oversized windows are dominated by (5,5)-ish
+settings at almost any load.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import power_curve
+from repro.netmodel.examples import canadian_two_class
+
+from _util import publish_rows
+
+RATES = [2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 65.0, 80.0]
+WINDOW_SETTINGS = [(1, 1), (2, 2), (3, 3), (4, 4), (5, 5), (7, 7), (10, 10)]
+
+
+@pytest.fixture(scope="module")
+def curves():
+    rate_vectors = [(s, s) for s in RATES]
+    return {
+        windows: power_curve(canadian_two_class, rate_vectors, windows)
+        for windows in WINDOW_SETTINGS
+    }
+
+
+def test_regenerate_fig4_9(curves):
+    headers = ["S1=S2"] + [f"E={w[0]},{w[1]}" for w in WINDOW_SETTINGS]
+    rows = []
+    for i, rate in enumerate(RATES):
+        row = [rate]
+        for windows in WINDOW_SETTINGS:
+            row.append(curves[windows][i][1])
+        rows.append(row)
+    publish_rows(
+        "fig4_9",
+        headers,
+        rows,
+        title="Fig. 4.9 — network power vs class arrival rate (rows) "
+        "for fixed windows (columns)",
+        precision=1,
+    )
+
+    # Shape 1: large windows peak in the interior then degrade.
+    for windows in [(7, 7), (10, 10)]:
+        series = [p for _r, p in curves[windows]]
+        peak = max(range(len(series)), key=series.__getitem__)
+        assert 0 < peak < len(series) - 1
+        assert series[-1] < series[peak]
+
+    # Shape 2: the smallest window is monotone nondecreasing.
+    small = [p for _r, p in curves[(1, 1)]]
+    assert all(b >= a - 1e-6 for a, b in zip(small, small[1:]))
+
+    # Shape 3: oversized windows lose to moderate ones at heavy load.
+    heavy = len(RATES) - 1
+    assert curves[(10, 10)][heavy][1] < curves[(3, 3)][heavy][1]
+
+
+def test_power_curve_speed(benchmark):
+    """Time one full 13-point power curve (one Fig. 4.9 line)."""
+    rate_vectors = [(s, s) for s in RATES]
+    benchmark(lambda: power_curve(canadian_two_class, rate_vectors, (5, 5)))

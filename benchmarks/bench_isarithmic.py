@@ -1,0 +1,74 @@
+"""Experiment A5 — isarithmic dimensioning (thesis Chapter 5 future work).
+
+Dimensions the global permit pool of the 2-class network by simulation
+(:func:`repro.analysis.isarithmic.dimension_isarithmic`) and reports the
+power across permit counts — the isarithmic analogue of Fig. 4.9.  The
+thesis's qualitative law transfers: too few permits starve throughput,
+too many allow congestion delay, and the optimum sits at a small multiple
+of the path hop counts.
+"""
+
+import pytest
+
+from repro.analysis.isarithmic import dimension_isarithmic
+from repro.analysis.tables import render_table
+from repro.netmodel.examples import canadian_topology, two_class_traffic
+
+from _util import publish
+
+OVERLOAD = 40.0  # per class, msg/s — beyond the shared trunk capacity
+
+
+@pytest.fixture(scope="module")
+def result():
+    return dimension_isarithmic(
+        canadian_topology(),
+        list(two_class_traffic(OVERLOAD, OVERLOAD)),
+        max_permits=32,
+        duration=400.0,
+        warmup=40.0,
+        seed=13,
+    )
+
+
+def test_dimension_isarithmic_pool(result):
+    rows = [
+        (permits, throughput, delay * 1e3, power)
+        for permits, throughput, delay, power in result.table_rows()
+    ]
+    text = render_table(
+        ["permits", "throughput (msg/s)", "delay (ms)", "power"],
+        rows,
+        title=(
+            "A5 — isarithmic permit dimensioning by simulation "
+            f"(2-class net, offered {2 * OVERLOAD:.0f} msg/s)"
+        ),
+        precision=2,
+    )
+    publish("isarithmic", text)
+
+    # Rise-then-fall in the permit count, like Fig. 4.9 in the window.
+    powers = {p: v[2] for p, v in result.evaluations.items()}
+    smallest = min(powers)
+    largest = max(powers)
+    assert powers[result.best_permits] > powers[smallest]
+    assert powers[result.best_permits] > powers[largest]
+    # The optimum is a handful of permits, not the extremes.
+    assert 2 <= result.best_permits <= 16
+
+
+def test_isarithmic_simulation_speed(benchmark, result):
+    from repro.sim import FlowControlConfig, simulate
+
+    config = FlowControlConfig(isarithmic_permits=result.best_permits)
+    benchmark(
+        lambda: simulate(
+            canadian_topology(),
+            list(two_class_traffic(OVERLOAD, OVERLOAD)),
+            config,
+            duration=200.0,
+            warmup=20.0,
+            source_model="poisson",
+            seed=13,
+        )
+    )

@@ -1,0 +1,80 @@
+"""Experiment A6 — multi-start WINDIM vs the thesis single start.
+
+Pattern search is local; on flat power surfaces the thesis's single
+hop-count start can park one step from the global optimum.  This
+benchmark measures, over a grid of 2-class load points, how often the
+single start misses the exhaustive-search optimum and how much power the
+multi-start wrapper recovers at what evaluation cost.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.multistart import windim_multistart
+from repro.core.objective import WindowObjective
+from repro.core.windim import windim
+from repro.netmodel.examples import canadian_two_class
+from repro.search.exhaustive import exhaustive_search
+from repro.search.space import IntegerBox
+
+from _util import publish
+
+LOAD_POINTS = [
+    (10.0, 15.0),
+    (12.5, 12.5),
+    (18.0, 18.0),
+    (8.0, 24.0),
+    (30.0, 20.0),
+    (50.0, 50.0),
+]
+MAX_WINDOW = 8
+
+
+@pytest.fixture(scope="module")
+def rows():
+    table = []
+    for rates in LOAD_POINTS:
+        net = canadian_two_class(*rates)
+        single = windim(net, solver="mva-exact", max_window=MAX_WINDOW)
+        multi = windim_multistart(net, solver="mva-exact", max_window=MAX_WINDOW)
+        objective = WindowObjective(net, "mva-exact")
+        reference = exhaustive_search(
+            objective, IntegerBox.windows(2, MAX_WINDOW)
+        )
+        global_power = 1.0 / reference.best_value
+        table.append(
+            (
+                f"{rates[0]:g},{rates[1]:g}",
+                single.power,
+                single.search.evaluations,
+                multi.power,
+                multi.search.evaluations,
+                global_power,
+            )
+        )
+    return table
+
+
+def test_multistart_vs_single(rows):
+    text = render_table(
+        ["rates", "single power", "single evals", "multi power",
+         "multi evals", "global power"],
+        rows,
+        title="A6 — multi-start WINDIM vs single hop-count start "
+        f"(2-class net, exhaustive over [1,{MAX_WINDOW}]^2)",
+        precision=2,
+    )
+    publish("multistart", text)
+    for row in rows:
+        single_power, multi_power, global_power = row[1], row[3], row[5]
+        # Multi-start dominates single start and reaches the global
+        # optimum to within numerical noise on this grid.
+        assert multi_power >= single_power - 1e-9
+        assert multi_power >= 0.9999 * global_power
+        # And costs far less than exhaustive search.
+        assert row[4] < IntegerBox.windows(2, MAX_WINDOW).size()
+
+
+def test_multistart_speed(benchmark):
+    net = canadian_two_class(18.0, 18.0)
+    benchmark(lambda: windim_multistart(net, max_window=MAX_WINDOW))

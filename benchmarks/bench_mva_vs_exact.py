@@ -1,0 +1,125 @@
+"""Experiment A1 — ablation: the MVA heuristic vs exact solvers.
+
+Quantifies the trade the thesis makes in §4.2: the heuristic's accuracy
+(against exact MVA / convolution) and its speed advantage, which is what
+makes WINDIM feasible as a search inner loop.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_solutions
+from repro.analysis.tables import render_table
+from repro.exact.convolution import solve_convolution
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.linearizer import solve_linearizer
+from repro.mva.schweitzer import solve_schweitzer
+from repro.netmodel.examples import canadian_four_class, canadian_two_class
+
+from _util import publish
+
+CASES = [
+    ("2-class (2,2)", lambda: canadian_two_class(18.0, 18.0, windows=(2, 2))),
+    ("2-class (4,4)", lambda: canadian_two_class(18.0, 18.0, windows=(4, 4))),
+    ("2-class (6,6) heavy", lambda: canadian_two_class(50.0, 50.0, windows=(6, 6))),
+    (
+        "4-class (2,2,2,4)",
+        lambda: canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(2, 2, 2, 4)),
+    ),
+    (
+        "4-class (4,4,3,1)",
+        lambda: canadian_four_class(12.5, 12.5, 12.5, 25.0, windows=(4, 4, 3, 1)),
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def accuracy_rows():
+    rows = []
+    for label, factory in CASES:
+        net = factory()
+        exact = solve_mva_exact(net)
+        heuristic = compare_solutions(exact, solve_mva_heuristic(net))
+        schweitzer = compare_solutions(exact, solve_schweitzer(net))
+        linearizer = compare_solutions(exact, solve_linearizer(net))
+        rows.append(
+            (
+                label,
+                heuristic.throughput_error * 100,
+                heuristic.power_error * 100,
+                schweitzer.throughput_error * 100,
+                schweitzer.power_error * 100,
+                linearizer.throughput_error * 100,
+                linearizer.power_error * 100,
+            )
+        )
+    return rows
+
+
+def test_heuristic_accuracy_table(accuracy_rows):
+    text = render_table(
+        ["case", "heur tput err %", "heur power err %",
+         "schweitzer tput err %", "schweitzer power err %",
+         "linearizer tput err %", "linearizer power err %"],
+        accuracy_rows,
+        title="A1 — approximate MVA accuracy vs exact MVA",
+        precision=3,
+    )
+    publish("ablation_mva_accuracy", text)
+    for row in accuracy_rows:
+        assert row[1] < 5.0  # thesis heuristic within 5% throughput
+        assert row[2] < 8.0
+        assert row[5] < 2.0  # linearizer clearly tighter
+
+
+def test_speed_scaling_table():
+    """Wall-clock growth: exact is O(prod E_r), heuristic ~O(sum E_r)."""
+    rows = []
+    for window in [2, 4, 6, 8, 10]:
+        net = canadian_four_class(
+            6.0, 6.0, 6.0, 12.0, windows=(window,) * 4
+        )
+        start = time.perf_counter()
+        solve_mva_exact(net)
+        exact_time = time.perf_counter() - start
+        start = time.perf_counter()
+        solve_mva_heuristic(net)
+        heuristic_time = time.perf_counter() - start
+        rows.append(
+            (window, (window + 1) ** 4, exact_time * 1e3, heuristic_time * 1e3,
+             exact_time / heuristic_time)
+        )
+    text = render_table(
+        ["window/class", "lattice size", "exact (ms)", "heuristic (ms)",
+         "speedup"],
+        rows,
+        title="A3 — exact vs heuristic cost growth (4-class network)",
+        precision=2,
+    )
+    publish("ablation_mva_speed", text)
+    # The speedup must grow with the window (the thesis's whole point).
+    speedups = [row[4] for row in rows]
+    assert speedups[-1] > speedups[0]
+
+
+def test_heuristic_speed(benchmark):
+    net = canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(4, 4, 3, 1))
+    benchmark(lambda: solve_mva_heuristic(net))
+
+
+def test_exact_mva_speed(benchmark):
+    net = canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(4, 4, 3, 1))
+    benchmark(lambda: solve_mva_exact(net))
+
+
+def test_convolution_speed(benchmark):
+    net = canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(4, 4, 3, 1))
+    benchmark(lambda: solve_convolution(net))
+
+
+def test_schweitzer_speed(benchmark):
+    net = canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(4, 4, 3, 1))
+    benchmark(lambda: solve_schweitzer(net))

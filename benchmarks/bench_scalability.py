@@ -1,0 +1,66 @@
+"""Experiment A3 — scalability of the heuristic on growing networks.
+
+The thesis motivates the heuristic by operation counts: exact methods cost
+``O(prod_r E_r)`` while the heuristic costs ``O(sum_r E_r)`` per sweep.
+This benchmark grows (a) the number of chains on random meshes and (b) the
+window sizes, timing the heuristic, and archives the growth table.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.netmodel.generator import random_network
+from repro.netmodel.examples import canadian_two_class
+
+from _util import publish
+
+
+@pytest.fixture(scope="module")
+def growth_rows():
+    rows = []
+    for num_classes in [2, 4, 8, 12, 16]:
+        net = random_network(
+            num_nodes=10, num_classes=num_classes, extra_edges=6, seed=17
+        )
+        start = time.perf_counter()
+        solution = solve_mva_heuristic(net)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                num_classes,
+                net.num_stations,
+                int(net.populations.sum()),
+                solution.iterations,
+                elapsed * 1e3,
+                solution.converged,
+            )
+        )
+    return rows
+
+
+def test_chain_growth_table(growth_rows):
+    text = render_table(
+        ["chains", "stations", "total window", "iterations", "time (ms)",
+         "converged"],
+        growth_rows,
+        title="A3 — heuristic cost vs number of chains (random meshes)",
+        precision=2,
+    )
+    publish("scalability_chains", text)
+    assert all(row[5] for row in growth_rows)  # everything converged
+
+
+@pytest.mark.parametrize("window", [4, 16, 64])
+def test_heuristic_speed_vs_window(benchmark, window):
+    """Heuristic solve time grows roughly linearly in the window size
+    (the single-chain subproblem is O(E_r))."""
+    net = canadian_two_class(18.0, 18.0, windows=(window, window))
+    benchmark(lambda: solve_mva_heuristic(net))
+
+
+def test_heuristic_speed_large_random_network(benchmark):
+    net = random_network(num_nodes=12, num_classes=10, extra_edges=8, seed=23)
+    benchmark(lambda: solve_mva_heuristic(net))

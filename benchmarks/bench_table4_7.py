@@ -1,0 +1,72 @@
+"""Experiment T4.7 — Table 4.7: symmetric class loadings (2-class net).
+
+Paper rows: S1 = S2 sweeping 12.5..75 msg/s; reported optimal windows fall
+from (5,5) to (2,2) while optimal power rises from 159 to 196.
+
+The benchmark times one WINDIM run at a representative load; the full
+table is regenerated once and archived to results/table4_7.txt.
+"""
+
+import pytest
+
+from repro.core.windim import windim
+from repro.netmodel.examples import canadian_two_class
+
+from _util import publish_rows
+
+SYMMETRIC_RATES = [12.5, 15.5, 18.0, 20.0, 22.5, 25.0, 37.5, 50.0, 62.5, 75.0]
+
+#: (total rate -> (optimal windows, power)) from the thesis Table 4.7.
+PAPER_ROWS = {
+    25.0: ((5, 5), 159),
+    31.0: ((5, 5), 173),
+    36.0: ((4, 4), 179),
+    40.0: ((4, 4), 182),
+    45.0: ((4, 4), 183),
+    50.0: ((3, 3), 184),
+    75.0: ((3, 3), 190),
+    100.0: ((3, 3), 192),
+    125.0: ((2, 2), 194),
+    150.0: ((2, 2), 196),
+}
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for rate in SYMMETRIC_RATES:
+        result = windim(canadian_two_class(rate, rate))
+        paper_windows, paper_power = PAPER_ROWS[2 * rate]
+        rows.append(
+            (
+                rate,
+                rate,
+                2 * rate,
+                " ".join(str(w) for w in result.windows),
+                result.power,
+                " ".join(str(w) for w in paper_windows),
+                paper_power,
+            )
+        )
+    return rows
+
+
+def test_regenerate_table4_7(table):
+    publish_rows(
+        "table4_7",
+        ["S1", "S2", "total", "E_opt (ours)", "power (ours)",
+         "E_opt (paper)", "power (paper)"],
+        table,
+        title="Table 4.7 — symmetric loadings, 2-class network",
+        precision=1,
+    )
+    # Shape assertions (see tests/integration for the full set).
+    window_sums = [sum(int(x) for x in row[3].split()) for row in table]
+    assert all(a >= b for a, b in zip(window_sums, window_sums[1:]))
+    powers = [row[4] for row in table]
+    assert all(a < b for a, b in zip(powers, powers[1:]))
+
+
+def test_windim_speed_table4_7_midload(benchmark):
+    """Time one full WINDIM optimisation (the per-row cost of Table 4.7)."""
+    benchmark(lambda: windim(canadian_two_class(25.0, 25.0)))

@@ -1,0 +1,69 @@
+"""Experiment T4.8 — Table 4.8: dissimilar class loadings (2-class net).
+
+Paper rows: fixed total rate (25 then 36 msg/s) with the class ratio
+S2/S1 growing to 4; optimal windows stay near-symmetric while power
+degrades with skew.
+"""
+
+import pytest
+
+from repro.core.windim import windim
+from repro.netmodel.examples import canadian_two_class
+
+from _util import publish_rows
+
+#: (S1, S2, paper windows, paper power) from the thesis Table 4.8.
+PAPER_ROWS = [
+    (12.0, 13.0, (5, 5), 159),
+    (10.0, 15.0, (5, 5), 157),
+    (8.4, 16.6, (5, 4), 153),
+    (7.0, 18.0, (5, 4), 147),
+    (5.0, 20.0, (5, 4), 138),
+    (18.0, 18.0, (4, 4), 179),
+    (15.0, 21.0, (5, 4), 177),
+    (12.0, 24.0, (5, 3), 172),
+    (9.0, 27.0, (5, 3), 161),
+]
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for s1, s2, paper_windows, paper_power in PAPER_ROWS:
+        result = windim(canadian_two_class(s1, s2))
+        rows.append(
+            (
+                s1,
+                s2,
+                s1 + s2,
+                round(s2 / s1, 2),
+                " ".join(str(w) for w in result.windows),
+                result.power,
+                " ".join(str(w) for w in paper_windows),
+                paper_power,
+            )
+        )
+    return rows
+
+
+def test_regenerate_table4_8(table):
+    publish_rows(
+        "table4_8",
+        ["S1", "S2", "total", "S2/S1", "E_opt (ours)", "power (ours)",
+         "E_opt (paper)", "power (paper)"],
+        table,
+        title="Table 4.8 — dissimilar loadings, 2-class network",
+        precision=1,
+    )
+    # Shape: within each fixed-total block, power degrades as skew grows.
+    block_25 = [row for row in table if row[2] == 25.0]
+    powers = [row[5] for row in block_25]
+    assert all(a >= b - 1e-9 for a, b in zip(powers, powers[1:]))
+    # Windows remain within one unit of symmetric despite 4x skew.
+    for row in table:
+        windows = [int(x) for x in row[4].split()]
+        assert abs(windows[0] - windows[1]) <= 2
+
+
+def test_windim_speed_skewed_load(benchmark):
+    benchmark(lambda: windim(canadian_two_class(5.0, 20.0)))

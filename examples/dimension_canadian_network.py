@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Reproduce the thesis experiments interactively (Tables 4.7 and 4.12).
+
+Sweeps symmetric loads on the 2-class network (Table 4.7) and compares
+WINDIM's windows against Kleinrock's hop-count rule on the strongly
+interacting 4-class network (Table 4.12).
+
+Run:  python examples/dimension_canadian_network.py
+"""
+
+from repro import canadian_four_class, canadian_two_class, windim
+from repro.analysis.tables import render_table
+from repro.core.kleinrock import hop_count_windows
+from repro.core.objective import WindowObjective
+
+
+def table_4_7() -> None:
+    rows = []
+    for rate in [12.5, 18.0, 25.0, 50.0, 75.0]:
+        result = windim(canadian_two_class(rate, rate))
+        rows.append(
+            (rate, rate, 2 * rate,
+             " ".join(str(w) for w in result.windows), result.power)
+        )
+    print(
+        render_table(
+            ["S1", "S2", "total", "optimal windows", "power"],
+            rows,
+            title="Symmetric loadings (cf. thesis Table 4.7)",
+            precision=1,
+        )
+    )
+    print()
+
+
+def table_4_12() -> None:
+    rows = []
+    for rates in [
+        (6.0, 6.0, 6.0, 12.0),
+        (12.5, 12.5, 12.5, 25.0),
+        (20.0, 20.0, 20.0, 40.0),
+    ]:
+        network = canadian_four_class(*rates)
+        result = windim(network)
+        objective = WindowObjective(network)
+        hops = hop_count_windows(network)
+        p_hops = 1.0 / objective(hops)
+        rows.append(
+            (
+                *rates,
+                " ".join(str(w) for w in result.windows),
+                result.power,
+                p_hops,
+            )
+        )
+    print(
+        render_table(
+            ["S1", "S2", "S3", "S4", "E_opt", "P_opt", "P at hop windows"],
+            rows,
+            title="4-class network: WINDIM vs Kleinrock hop rule "
+            "(cf. thesis Table 4.12)",
+            precision=1,
+        )
+    )
+    print()
+    print(
+        "Note how the optimal windows throttle the long interacting chains\n"
+        "down to 1 while giving the short independent chain a larger window\n"
+        "— exactly the thesis's finding that the hop-count rule breaks down\n"
+        "under strong chain interaction."
+    )
+
+
+def main() -> None:
+    table_4_7()
+    table_4_12()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Simulate the three flow-control mechanisms of Chapter 2.
+
+Drives the discrete-event simulator on the 2-class Canadian network with
+Poisson sources under overload, comparing:
+
+1. no flow control (congestion collapse via store-and-forward deadlock),
+2. end-to-end windows,
+3. end-to-end windows + local node-buffer limits,
+4. isarithmic (global permit) control.
+
+Run:  python examples/flow_control_simulation.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.netmodel.examples import canadian_topology, two_class_traffic
+from repro.sim import FlowControlConfig, simulate
+
+OFFERED_PER_CLASS = 35.0  # beyond the ~31 msg/s the shared trunks carry
+DURATION = 400.0
+WARMUP = 40.0
+
+
+def run(label: str, config: FlowControlConfig):
+    result = simulate(
+        canadian_topology(),
+        list(two_class_traffic(OFFERED_PER_CLASS, OFFERED_PER_CLASS)),
+        config,
+        duration=DURATION,
+        warmup=WARMUP,
+        source_model="poisson",
+        seed=42,
+    )
+    delay = result.mean_network_delay
+    return (
+        label,
+        result.network_throughput,
+        delay * 1e3 if delay != float("inf") else float("nan"),
+        result.power,
+    )
+
+
+def main() -> None:
+    configurations = [
+        ("no control (buffers=20)", FlowControlConfig(node_buffer_limits=20)),
+        ("end-to-end windows (3,3)", FlowControlConfig.end_to_end((3, 3))),
+        (
+            "windows (3,3) + local K=10",
+            FlowControlConfig(windows=(3, 3), node_buffer_limits=10),
+        ),
+        (
+            "isarithmic, 8 permits",
+            FlowControlConfig(isarithmic_permits=8),
+        ),
+    ]
+    rows = [run(label, config) for label, config in configurations]
+    print(
+        render_table(
+            ["flow control", "throughput (msg/s)", "network delay (ms)", "power"],
+            rows,
+            title=(
+                f"2-class network under overload "
+                f"({2 * OFFERED_PER_CLASS:.0f} msg/s offered)"
+            ),
+            precision=2,
+        )
+    )
+    print()
+    print(
+        "Without control the shared half-duplex trunks deadlock (thesis\n"
+        "§2.1) and throughput collapses; every admission-throttling scheme\n"
+        "keeps the network at its sustainable operating point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-build-isolation`` works without the ``wheel``
+package installed.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,140 @@
+"""WINDIM — window dimensioning for message-switched networks.
+
+A full reproduction of J. Y. K. Chan, *Dimensioning of Message-Switched
+Computer-Communication Networks with End-to-End Window Flow Control*
+(University of Ottawa, 1979): closed multichain queueing models, exact
+product-form solvers, the Reiser–Lavenberg MVA heuristic, integer pattern
+search, the WINDIM dimensioning algorithm, and a discrete-event simulator
+of store-and-forward networks with end-to-end, local and isarithmic flow
+control.
+
+Quickstart::
+
+    from repro import canadian_two_class, windim
+
+    network = canadian_two_class(s1=18.0, s2=18.0)
+    result = windim(network)
+    print(result.summary())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    PowerReport,
+    WindimResult,
+    WindowObjective,
+    hop_count_windows,
+    initial_windows,
+    inverse_power,
+    network_power,
+    power_report,
+    windim,
+)
+from repro.errors import (
+    ConvergenceError,
+    ModelError,
+    ReproError,
+    SearchError,
+    SimulationError,
+    SolverError,
+    StabilityError,
+)
+from repro.exact import (
+    solve_convolution,
+    solve_ctmc,
+    solve_gordon_newell,
+    solve_jackson,
+    solve_mixed,
+    solve_mva_exact,
+    solve_semiclosed,
+    station_queue_distribution,
+)
+from repro.mva import (
+    IterationControl,
+    solve_linearizer,
+    solve_mva_heuristic,
+    solve_schweitzer,
+    solve_single_chain,
+)
+from repro.netmodel import (
+    Channel,
+    Duplex,
+    Topology,
+    TrafficClass,
+    arpanet_fragment,
+    build_closed_network,
+    canadian_four_class,
+    canadian_topology,
+    canadian_two_class,
+    tandem_network,
+)
+from repro.queueing import ClosedChain, ClosedNetwork, Discipline, OpenChain, Station
+from repro.search import (
+    EvaluationCache,
+    IntegerBox,
+    SearchResult,
+    coordinate_descent,
+    exhaustive_search,
+    pattern_search,
+)
+from repro.solution import NetworkSolution
+
+__all__ = [
+    "__version__",
+    # core
+    "windim",
+    "WindimResult",
+    "network_power",
+    "inverse_power",
+    "power_report",
+    "PowerReport",
+    "WindowObjective",
+    "initial_windows",
+    "hop_count_windows",
+    # model
+    "Station",
+    "Discipline",
+    "ClosedChain",
+    "OpenChain",
+    "ClosedNetwork",
+    "NetworkSolution",
+    # solvers
+    "solve_mva_heuristic",
+    "solve_schweitzer",
+    "solve_linearizer",
+    "solve_single_chain",
+    "IterationControl",
+    "solve_mva_exact",
+    "solve_convolution",
+    "solve_ctmc",
+    "solve_gordon_newell",
+    "solve_jackson",
+    "solve_mixed",
+    "solve_semiclosed",
+    "station_queue_distribution",
+    # search
+    "pattern_search",
+    "exhaustive_search",
+    "coordinate_descent",
+    "EvaluationCache",
+    "IntegerBox",
+    "SearchResult",
+    # netmodel
+    "Topology",
+    "Channel",
+    "Duplex",
+    "TrafficClass",
+    "build_closed_network",
+    "canadian_topology",
+    "canadian_two_class",
+    "canadian_four_class",
+    "arpanet_fragment",
+    "tandem_network",
+    # errors
+    "ReproError",
+    "ModelError",
+    "SolverError",
+    "ConvergenceError",
+    "StabilityError",
+    "SearchError",
+    "SimulationError",
+]

@@ -1,0 +1,30 @@
+"""Sweeps, solver comparisons, buffer/permit dimensioning, tables."""
+
+from repro.analysis.buffers import BufferRecommendation, recommend_buffers
+from repro.analysis.compare import SolverComparison, compare_solutions, compare_solvers
+from repro.analysis.isarithmic import IsarithmicResult, dimension_isarithmic
+from repro.analysis.sensitivity import SensitivityPoint, window_sensitivity
+from repro.analysis.sweeps import (
+    SweepPoint,
+    optimal_window_sweep,
+    power_curve,
+    window_grid_power,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "SweepPoint",
+    "optimal_window_sweep",
+    "power_curve",
+    "window_grid_power",
+    "SolverComparison",
+    "compare_solutions",
+    "compare_solvers",
+    "render_table",
+    "BufferRecommendation",
+    "recommend_buffers",
+    "IsarithmicResult",
+    "dimension_isarithmic",
+    "SensitivityPoint",
+    "window_sensitivity",
+]

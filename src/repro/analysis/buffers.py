@@ -1,0 +1,102 @@
+"""Buffer dimensioning from exact queue-length distributions.
+
+Thesis §2.3: end-to-end windows and nodal storage must be dimensioned
+together — "if ``E_r`` were allowed to become so large that it exceeds the
+storage capacity ``K_i`` of node i …, a large amount of traffic may at
+times converge on one place", defeating the control.  This module closes
+that loop: given the window settings, it computes each station's exact
+stationary queue-length distribution (:mod:`repro.exact.marginals`) and
+returns the smallest buffer size whose overflow probability is below a
+target — the ``K_i`` to provision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.exact.marginals import station_queue_distribution
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Discipline
+
+__all__ = ["BufferRecommendation", "recommend_buffers"]
+
+
+@dataclass(frozen=True)
+class BufferRecommendation:
+    """Buffer advice for one station.
+
+    Attributes
+    ----------
+    station:
+        Station name.
+    buffer_size:
+        Smallest ``K`` with ``P(queue > K) <= overflow_probability``.
+    overflow_probability:
+        The achieved tail probability at that ``K``.
+    mean_queue_length:
+        Stationary mean, for context.
+    hard_bound:
+        The absolute worst case (total window mass that can reach this
+        station) — provisioning this much makes overflow impossible.
+    """
+
+    station: str
+    buffer_size: int
+    overflow_probability: float
+    mean_queue_length: float
+    hard_bound: int
+
+
+def recommend_buffers(
+    network: ClosedNetwork,
+    overflow_probability: float = 1e-3,
+    stations: Optional[Tuple[str, ...]] = None,
+) -> Dict[str, BufferRecommendation]:
+    """Recommend per-station buffer sizes for the given window settings.
+
+    Parameters
+    ----------
+    network:
+        The closed network *with its windows set* (chain populations).
+    overflow_probability:
+        Target bound on ``P(queue > K)``.
+    stations:
+        Optional subset of station names; defaults to every fixed-rate
+        queueing station (IS stations never queue).
+
+    Returns
+    -------
+    dict
+        Station name -> :class:`BufferRecommendation`.
+    """
+    if not 0 < overflow_probability < 1:
+        raise ModelError(
+            f"overflow probability must be in (0, 1), got {overflow_probability}"
+        )
+    wanted = set(stations) if stations is not None else None
+    recommendations: Dict[str, BufferRecommendation] = {}
+    for index, station in enumerate(network.stations):
+        if station.discipline is Discipline.IS:
+            continue
+        if wanted is not None and station.name not in wanted:
+            continue
+        pmf = station_queue_distribution(network, index)
+        tail = 1.0 - np.cumsum(pmf)
+        # Smallest K with P(queue > K) <= target.
+        buffer_size = int(np.argmax(tail <= overflow_probability))
+        mean = float(np.dot(np.arange(pmf.shape[0]), pmf))
+        # Worst case: every visiting chain's full window at this station.
+        visiting = network.visiting_chains(index)
+        hard_bound = int(network.populations[visiting].sum())
+        recommendations[station.name] = BufferRecommendation(
+            station=station.name,
+            buffer_size=buffer_size,
+            overflow_probability=float(tail[buffer_size]),
+            mean_queue_length=mean,
+            hard_bound=hard_bound,
+        )
+    return recommendations

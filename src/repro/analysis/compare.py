@@ -1,0 +1,94 @@
+"""Accuracy comparison between solvers (heuristic vs exact vs simulation).
+
+The heuristic's whole justification is that it tracks the exact solution
+closely at a fraction of the cost (§4.2); these helpers quantify that for
+the ablation benchmark and the validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.power import network_power
+from repro.queueing.network import ClosedNetwork
+from repro.solution import NetworkSolution
+
+__all__ = ["SolverComparison", "compare_solutions", "compare_solvers"]
+
+
+@dataclass(frozen=True)
+class SolverComparison:
+    """Error metrics of a candidate solution against a reference.
+
+    All errors are relative (fractions, not percent).
+    """
+
+    reference_method: str
+    candidate_method: str
+    throughput_error: float
+    max_queue_length_error: float
+    delay_error: float
+    power_error: float
+
+    def summary(self) -> str:
+        """One-line report."""
+        return (
+            f"{self.candidate_method} vs {self.reference_method}: "
+            f"throughput {self.throughput_error * 100:.2f}%, "
+            f"delay {self.delay_error * 100:.2f}%, "
+            f"power {self.power_error * 100:.2f}%, "
+            f"max queue {self.max_queue_length_error * 100:.2f}%"
+        )
+
+
+def _relative(candidate: float, reference: float) -> float:
+    if reference == 0:
+        return 0.0 if candidate == 0 else float("inf")
+    return abs(candidate - reference) / abs(reference)
+
+
+def compare_solutions(
+    reference: NetworkSolution, candidate: NetworkSolution
+) -> SolverComparison:
+    """Relative errors of ``candidate`` against ``reference``."""
+    throughput_error = _relative(
+        candidate.network_throughput, reference.network_throughput
+    )
+    delay_error = _relative(
+        candidate.mean_network_delay, reference.mean_network_delay
+    )
+    power_error = _relative(network_power(candidate), network_power(reference))
+
+    ref_queue = reference.queue_lengths
+    cand_queue = candidate.queue_lengths
+    mask = ref_queue > 1e-9
+    if np.any(mask):
+        queue_error = float(
+            np.max(np.abs(cand_queue[mask] - ref_queue[mask]) / ref_queue[mask])
+        )
+    else:
+        queue_error = 0.0
+    return SolverComparison(
+        reference_method=reference.method,
+        candidate_method=candidate.method,
+        throughput_error=throughput_error,
+        max_queue_length_error=queue_error,
+        delay_error=delay_error,
+        power_error=power_error,
+    )
+
+
+def compare_solvers(
+    network: ClosedNetwork,
+    reference: Callable[[ClosedNetwork], NetworkSolution],
+    candidates: Dict[str, Callable[[ClosedNetwork], NetworkSolution]],
+) -> Dict[str, SolverComparison]:
+    """Solve once with ``reference`` and compare each candidate solver."""
+    ref_solution = reference(network)
+    return {
+        name: compare_solutions(ref_solution, solver(network))
+        for name, solver in candidates.items()
+    }

@@ -1,0 +1,88 @@
+"""Sensitivity of window settings to traffic drift.
+
+Thesis §4.5 on Table 4.8: "instantaneous window sizing is virtually
+impractical, and so the window settings should be as insensitive to
+traffic fluctuations as possible."  This module quantifies that: design
+windows at nominal rates, then measure how much power is lost when the
+actual load drifts, compared to re-dimensioning at the drifted load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple, Union
+
+from repro.core.objective import Solver, WindowObjective
+from repro.core.windim import windim
+from repro.queueing.network import ClosedNetwork
+
+__all__ = ["SensitivityPoint", "window_sensitivity"]
+
+NetworkFactory = Callable[..., ClosedNetwork]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Power comparison at one drifted load.
+
+    Attributes
+    ----------
+    rates:
+        The drifted arrival-rate vector.
+    designed_power:
+        Power at the drifted load using the *nominal-design* windows.
+    reoptimized_power:
+        Power at the drifted load with windows re-dimensioned there.
+    reoptimized_windows:
+        The windows WINDIM picks at the drifted load.
+    """
+
+    rates: Tuple[float, ...]
+    designed_power: float
+    reoptimized_power: float
+    reoptimized_windows: Tuple[int, ...]
+
+    @property
+    def power_loss(self) -> float:
+        """Fractional power lost by not re-dimensioning (0 = none)."""
+        if self.reoptimized_power <= 0:
+            return 0.0
+        return 1.0 - self.designed_power / self.reoptimized_power
+
+
+def window_sensitivity(
+    factory: NetworkFactory,
+    nominal_rates: Sequence[float],
+    drifted_rate_vectors: Sequence[Sequence[float]],
+    solver: Union[str, Solver] = "mva-heuristic",
+    max_window: int = 32,
+) -> Tuple[Tuple[int, ...], List[SensitivityPoint]]:
+    """Design at nominal load, evaluate under drift.
+
+    Returns
+    -------
+    (design_windows, points):
+        The windows chosen at the nominal load, and one
+        :class:`SensitivityPoint` per drifted rate vector.
+    """
+    design = windim(
+        factory(*nominal_rates), solver=solver, max_window=max_window
+    )
+    points = []
+    for rates in drifted_rate_vectors:
+        network = factory(*rates)
+        objective = WindowObjective(network, solver)
+        designed_value = objective(design.windows)
+        designed_power = (
+            1.0 / designed_value if designed_value not in (0.0, float("inf")) else 0.0
+        )
+        reopt = windim(network, solver=solver, max_window=max_window)
+        points.append(
+            SensitivityPoint(
+                rates=tuple(float(r) for r in rates),
+                designed_power=designed_power,
+                reoptimized_power=reopt.power,
+                reoptimized_windows=reopt.windows,
+            )
+        )
+    return design.windows, points

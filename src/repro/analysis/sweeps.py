@@ -1,0 +1,111 @@
+"""Parameter sweeps reproducing the thesis experiment grids.
+
+Three sweep shapes cover every table and figure of §4.5:
+
+* :func:`optimal_window_sweep` — run WINDIM at each load point
+  (Tables 4.7, 4.8, 4.12).
+* :func:`power_curve` — power versus load for *fixed* windows
+  (Fig. 4.9's family of curves).
+* :func:`window_grid_power` — power over a grid of window vectors at a
+  fixed load (global-optimality probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.core.objective import Solver, WindowObjective, resolve_solver
+from repro.core.power import network_power
+from repro.core.windim import WindimResult, windim
+from repro.queueing.network import ClosedNetwork
+from repro.search.space import IntegerBox
+
+__all__ = [
+    "SweepPoint",
+    "optimal_window_sweep",
+    "power_curve",
+    "window_grid_power",
+]
+
+NetworkFactory = Callable[..., ClosedNetwork]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One load point of an optimal-window sweep."""
+
+    rates: Tuple[float, ...]
+    result: WindimResult
+
+    @property
+    def total_rate(self) -> float:
+        """Total offered load (msg/s)."""
+        return sum(self.rates)
+
+    @property
+    def windows(self) -> Tuple[int, ...]:
+        """Optimal window vector found at this load."""
+        return self.result.windows
+
+    @property
+    def power(self) -> float:
+        """Optimal network power at this load."""
+        return self.result.power
+
+
+def optimal_window_sweep(
+    factory: NetworkFactory,
+    rate_vectors: Sequence[Sequence[float]],
+    solver: Union[str, Solver] = "mva-heuristic",
+    max_window: int = 32,
+    **windim_kwargs,
+) -> List[SweepPoint]:
+    """Run WINDIM at each arrival-rate vector.
+
+    Parameters
+    ----------
+    factory:
+        Function mapping per-class rates to a :class:`ClosedNetwork`
+        (e.g. ``canadian_two_class``).
+    rate_vectors:
+        The load points (one rate per class each).
+    solver / max_window / windim_kwargs:
+        Forwarded to :func:`repro.core.windim.windim`.
+    """
+    points = []
+    for rates in rate_vectors:
+        network = factory(*rates)
+        result = windim(network, solver=solver, max_window=max_window, **windim_kwargs)
+        points.append(SweepPoint(rates=tuple(float(r) for r in rates), result=result))
+    return points
+
+
+def power_curve(
+    factory: NetworkFactory,
+    rate_vectors: Sequence[Sequence[float]],
+    windows: Sequence[int],
+    solver: Union[str, Solver] = "mva-heuristic",
+) -> List[Tuple[Tuple[float, ...], float]]:
+    """Power at each load point for one fixed window vector (Fig. 4.9)."""
+    solve = resolve_solver(solver)
+    curve = []
+    for rates in rate_vectors:
+        network = factory(*rates).with_populations([int(w) for w in windows])
+        solution = solve(network)
+        curve.append((tuple(float(r) for r in rates), network_power(solution)))
+    return curve
+
+
+def window_grid_power(
+    network: ClosedNetwork,
+    space: IntegerBox,
+    solver: Union[str, Solver] = "mva-heuristic",
+) -> Dict[Tuple[int, ...], float]:
+    """Power at every window vector of an integer box (optimality probe)."""
+    objective = WindowObjective(network, solver)
+    grid: Dict[Tuple[int, ...], float] = {}
+    for point in space.points():
+        value = objective(point)
+        grid[point] = 1.0 / value if value > 0 and value != float("inf") else 0.0
+    return grid

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for benchmark and CLI output.
+
+The benchmarks print the thesis tables side by side with measured values;
+this renderer keeps that output dependency-free and diff-friendly.
+:func:`render_csv` provides a machine-readable twin for archival.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "render_csv"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cell values; floats are formatted to ``precision`` decimals.
+    title:
+        Optional line printed above the table.
+    """
+    formatted: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        formatted.append([_format_cell(cell, precision) for cell in row])
+
+    widths = [max(len(line[c]) for line in formatted) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(formatted[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in formatted[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render the same table as CSV text (no title line).
+
+    Floats are written at full precision; consumers deciding significance
+    should round themselves.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        writer.writerow(list(row))
+    return buffer.getvalue()

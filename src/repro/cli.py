@@ -1,0 +1,338 @@
+"""Command-line interface: ``windim <subcommand>``.
+
+Subcommands
+-----------
+``solve``
+    Run the WINDIM dimensioning algorithm on a named example network.
+``evaluate``
+    Solve a network at explicit window settings and print the power report.
+``sweep``
+    Run WINDIM over a list of arrival-rate vectors (Table 4.7-style).
+``simulate``
+    Run the discrete-event simulator and print measured statistics.
+``buffers``
+    Recommend per-queue buffer sizes for given windows (thesis §2.3).
+``multistart``
+    WINDIM from multiple starting points (global-gap mitigation).
+
+Examples
+--------
+::
+
+    windim solve --network canadian2 --rates 18 18
+    windim evaluate --network canadian4 --rates 6 6 6 12 --windows 1 1 1 4
+    windim sweep --network canadian2 --rates "12.5,12.5;25,25;50,50"
+    windim simulate --network canadian2 --rates 18 18 --windows 4 4 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.core.objective import SOLVERS
+from repro.core.power import power_report
+from repro.core.windim import windim
+from repro.errors import ReproError
+from repro.netmodel.examples import (
+    arpanet_fragment,
+    canadian_four_class,
+    canadian_two_class,
+    four_class_traffic,
+    tandem_network,
+    two_class_traffic,
+    canadian_topology,
+)
+from repro.queueing.network import ClosedNetwork
+
+__all__ = ["main", "build_parser"]
+
+#: name -> (expected number of rates, factory)
+NETWORKS: Dict[str, Tuple[int, Callable[..., ClosedNetwork]]] = {
+    "canadian2": (2, canadian_two_class),
+    "canadian4": (4, canadian_four_class),
+    "arpanet": (4, lambda *rates: arpanet_fragment(rates)),
+    "tandem4": (1, lambda rate: tandem_network(4, rate)),
+}
+
+
+def _network_from_args(args: argparse.Namespace) -> ClosedNetwork:
+    if getattr(args, "spec", None):
+        from repro.netmodel.spec import network_from_spec
+
+        if args.rates:
+            raise ReproError("give either --spec or --rates, not both")
+        return network_from_spec(args.spec)
+    if not args.rates:
+        raise ReproError("--rates is required (or pass --spec <file.json>)")
+    expected, factory = NETWORKS[args.network]
+    if len(args.rates) != expected:
+        raise ReproError(
+            f"network {args.network!r} needs {expected} arrival rates, "
+            f"got {len(args.rates)}"
+        )
+    return factory(*args.rates)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    network = _network_from_args(args)
+    result = windim(
+        network,
+        solver=args.solver,
+        max_window=args.max_window,
+        start=args.start,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    network = _network_from_args(args)
+    if len(args.windows) != network.num_chains:
+        raise ReproError(
+            f"need {network.num_chains} windows, got {len(args.windows)}"
+        )
+    solver = SOLVERS[args.solver]
+    solution = solver(network.with_populations(args.windows))
+    print(solution.summary())
+    report = power_report(solution)
+    print(report.summary())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    expected, factory = NETWORKS[args.network]
+    rate_vectors: List[List[float]] = []
+    for chunk in args.rates_list.split(";"):
+        rates = [float(x) for x in chunk.split(",") if x.strip()]
+        if len(rates) != expected:
+            raise ReproError(
+                f"rate vector {chunk!r} has {len(rates)} entries; "
+                f"{args.network!r} needs {expected}"
+            )
+        rate_vectors.append(rates)
+    rows = []
+    for rates in rate_vectors:
+        result = windim(
+            factory(*rates), solver=args.solver, max_window=args.max_window
+        )
+        rows.append(
+            tuple(rates)
+            + (sum(rates), " ".join(str(w) for w in result.windows), result.power)
+        )
+    headers = [f"S{i + 1}" for i in range(expected)] + [
+        "total",
+        "optimal windows",
+        "power",
+    ]
+    print(render_table(headers, rows, title=f"WINDIM sweep on {args.network}"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim import FlowControlConfig, simulate
+
+    if getattr(args, "spec", None):
+        from repro.netmodel.spec import load_spec
+
+        if args.rates:
+            raise ReproError("give either --spec or --rates, not both")
+        topology, classes = load_spec(args.spec)
+    else:
+        expected, _factory = NETWORKS.get(args.network, (0, None))
+        if len(args.rates) != expected:
+            raise ReproError(
+                f"network {args.network!r} needs {expected} arrival rates"
+            )
+        if args.network == "canadian2":
+            topology, classes = canadian_topology(), two_class_traffic(*args.rates)
+        elif args.network == "canadian4":
+            topology, classes = canadian_topology(), four_class_traffic(*args.rates)
+        else:
+            raise ReproError(
+                "simulate supports --spec or the canadian2/canadian4 networks"
+            )
+    if len(args.windows) != len(classes):
+        raise ReproError(f"need {len(classes)} windows, got {len(args.windows)}")
+    result = simulate(
+        topology,
+        classes,
+        FlowControlConfig.end_to_end(args.windows),
+        duration=args.duration,
+        warmup=args.warmup,
+        source_model=args.source_model,
+        seed=args.seed,
+        ack_delay=args.ack_delay,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_buffers(args: argparse.Namespace) -> int:
+    from repro.analysis.buffers import recommend_buffers
+
+    network = _network_from_args(args)
+    if len(args.windows) != network.num_chains:
+        raise ReproError(
+            f"need {network.num_chains} windows, got {len(args.windows)}"
+        )
+    network = network.with_populations(args.windows)
+    recommendations = recommend_buffers(network, args.target)
+    rows = [
+        (
+            rec.station,
+            round(rec.mean_queue_length, 3),
+            rec.buffer_size,
+            rec.hard_bound,
+            f"{rec.overflow_probability:.2e}",
+        )
+        for rec in sorted(recommendations.values(), key=lambda r: r.station)
+    ]
+    print(
+        render_table(
+            ["queue", "mean length", "buffer", "hard bound", "P(overflow)"],
+            rows,
+            title=f"buffer sizes for P(overflow) <= {args.target:g}",
+        )
+    )
+    return 0
+
+
+def _cmd_multistart(args: argparse.Namespace) -> int:
+    from repro.core.multistart import windim_multistart
+
+    network = _network_from_args(args)
+    result = windim_multistart(
+        network, solver=args.solver, max_window=args.max_window
+    )
+    print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="windim",
+        description="WINDIM window dimensioning (Chan, 1979 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--network",
+            choices=sorted(NETWORKS),
+            default="canadian2",
+            help="example network to operate on",
+        )
+        p.add_argument(
+            "--rates",
+            type=float,
+            nargs="+",
+            default=[],
+            help="per-class Poisson arrival rates (msg/s)",
+        )
+        p.add_argument(
+            "--spec",
+            default=None,
+            help="JSON network-spec file (replaces --network/--rates)",
+        )
+        p.add_argument(
+            "--solver",
+            choices=sorted(SOLVERS),
+            default="mva-heuristic",
+            help="performance solver",
+        )
+
+    solve = sub.add_parser("solve", help="run WINDIM")
+    add_common(solve)
+    solve.add_argument("--max-window", type=int, default=32)
+    solve.add_argument(
+        "--start",
+        type=int,
+        nargs="+",
+        default=None,
+        help="initial windows (default: hop counts)",
+    )
+    solve.set_defaults(handler=_cmd_solve)
+
+    evaluate = sub.add_parser("evaluate", help="solve at fixed windows")
+    add_common(evaluate)
+    evaluate.add_argument("--windows", type=int, nargs="+", required=True)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    sweep = sub.add_parser("sweep", help="WINDIM over many load points")
+    sweep.add_argument(
+        "--network", choices=sorted(NETWORKS), default="canadian2"
+    )
+    sweep.add_argument(
+        "--rates-list",
+        required=True,
+        help="semicolon-separated rate vectors, e.g. '12.5,12.5;25,25'",
+    )
+    sweep.add_argument(
+        "--solver", choices=sorted(SOLVERS), default="mva-heuristic"
+    )
+    sweep.add_argument("--max-window", type=int, default=32)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    simulate_p = sub.add_parser("simulate", help="discrete-event simulation")
+    simulate_p.add_argument(
+        "--network", choices=("canadian2", "canadian4"), default="canadian2"
+    )
+    simulate_p.add_argument("--rates", type=float, nargs="+", default=[])
+    simulate_p.add_argument(
+        "--spec", default=None, help="JSON network-spec file"
+    )
+    simulate_p.add_argument("--windows", type=int, nargs="+", required=True)
+    simulate_p.add_argument("--duration", type=float, default=2000.0)
+    simulate_p.add_argument("--warmup", type=float, default=200.0)
+    simulate_p.add_argument(
+        "--source-model", choices=("closed", "poisson"), default="closed"
+    )
+    simulate_p.add_argument("--seed", type=int, default=0)
+    simulate_p.add_argument(
+        "--ack-delay",
+        type=float,
+        default=0.0,
+        help="mean acknowledgement transit time (s); 0 = instantaneous",
+    )
+    simulate_p.set_defaults(handler=_cmd_simulate)
+
+    buffers = sub.add_parser(
+        "buffers", help="recommend buffer sizes for given windows"
+    )
+    add_common(buffers)
+    buffers.add_argument("--windows", type=int, nargs="+", required=True)
+    buffers.add_argument(
+        "--target",
+        type=float,
+        default=1e-3,
+        help="overflow probability target (default 1e-3)",
+    )
+    buffers.set_defaults(handler=_cmd_buffers)
+
+    multistart = sub.add_parser(
+        "multistart", help="WINDIM from several starting points"
+    )
+    add_common(multistart)
+    multistart.add_argument("--max-window", type=int, default=32)
+    multistart.set_defaults(handler=_cmd_multistart)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

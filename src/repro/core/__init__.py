@@ -1,0 +1,48 @@
+"""The paper's primary contribution: power metric + WINDIM (Chapter 4).
+
+* :func:`~repro.core.windim.windim` — the WINDIM window-dimensioning
+  algorithm (top-level entry point).
+* :func:`~repro.core.power.network_power` and friends — the power
+  criterion ``P = lambda/T``.
+* :class:`~repro.core.objective.WindowObjective` — windows → ``1/P``.
+* :mod:`~repro.core.kleinrock` — the p-hop M/M/1 window model.
+* :mod:`~repro.core.initializers` — initial window strategies.
+"""
+
+from repro.core.initializers import INITIAL_WINDOW_STRATEGIES, initial_windows
+from repro.core.kleinrock import (
+    hop_count_windows,
+    kleinrock_delay,
+    kleinrock_power,
+    kleinrock_throughput,
+    kleinrock_window_for_throughput,
+    optimal_window,
+)
+from repro.core.constraints import StationCapacityConstraint, constrained_windim
+from repro.core.multistart import windim_multistart
+from repro.core.objective import SOLVERS, WindowObjective, resolve_solver
+from repro.core.power import PowerReport, inverse_power, network_power, power_report
+from repro.core.windim import WindimResult, windim
+
+__all__ = [
+    "windim",
+    "windim_multistart",
+    "constrained_windim",
+    "StationCapacityConstraint",
+    "WindimResult",
+    "network_power",
+    "inverse_power",
+    "power_report",
+    "PowerReport",
+    "WindowObjective",
+    "resolve_solver",
+    "SOLVERS",
+    "initial_windows",
+    "INITIAL_WINDOW_STRATEGIES",
+    "hop_count_windows",
+    "optimal_window",
+    "kleinrock_delay",
+    "kleinrock_throughput",
+    "kleinrock_power",
+    "kleinrock_window_for_throughput",
+]

@@ -1,0 +1,153 @@
+"""Storage-capacity constraints on window settings (thesis §2.3).
+
+§2.3: "if ``E_r`` were allowed to become so large that it exceeds the
+storage capacity ``K_i`` of node i along the r-th virtual channel, a large
+amount of traffic may at times converge on one place … rendering the
+control totally ineffective."  The safe condition is that each station's
+*worst-case* occupancy — the sum of the windows of all chains visiting it
+— stays within its storage:
+
+    sum_{r : i in Q(r)} E_r <= K_i        for every constrained station i.
+
+:class:`StationCapacityConstraint` encodes that linear constraint and
+:func:`constrained_windim` runs the WINDIM search inside the feasible
+region (infeasible window vectors evaluate to ``inf``, so pattern search
+simply never crosses the boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.initializers import initial_windows
+from repro.core.objective import Solver, WindowObjective
+from repro.core.power import power_report
+from repro.core.windim import WindimResult
+from repro.errors import ModelError, SearchError
+from repro.queueing.network import ClosedNetwork
+from repro.search.cache import EvaluationCache
+from repro.search.pattern import pattern_search
+from repro.search.space import IntegerBox
+
+__all__ = ["StationCapacityConstraint", "constrained_windim"]
+
+
+@dataclass(frozen=True)
+class StationCapacityConstraint:
+    """Per-station storage limits on the total window mass.
+
+    Parameters
+    ----------
+    capacities:
+        Mapping from station name to its storage capacity ``K_i``
+        (messages).  Stations not listed are unconstrained.
+    """
+
+    capacities: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        for station, capacity in self.capacities.items():
+            if capacity < 1:
+                raise ModelError(
+                    f"station {station!r}: capacity must be >= 1, got {capacity}"
+                )
+
+    def station_load(
+        self, network: ClosedNetwork, windows: Sequence[int], station: str
+    ) -> int:
+        """Worst-case occupancy of ``station`` under ``windows``."""
+        index = network.station_id(station)
+        visiting = network.visiting_chains(index)
+        return int(sum(int(windows[r]) for r in visiting))
+
+    def is_feasible(self, network: ClosedNetwork, windows: Sequence[int]) -> bool:
+        """True when every constrained station respects its capacity."""
+        for station, capacity in self.capacities.items():
+            if self.station_load(network, windows, station) > capacity:
+                return False
+        return True
+
+    def violations(
+        self, network: ClosedNetwork, windows: Sequence[int]
+    ) -> Dict[str, Tuple[int, int]]:
+        """Mapping station -> (load, capacity) for violated constraints."""
+        bad = {}
+        for station, capacity in self.capacities.items():
+            load = self.station_load(network, windows, station)
+            if load > capacity:
+                bad[station] = (load, capacity)
+        return bad
+
+
+def constrained_windim(
+    network: ClosedNetwork,
+    constraint: StationCapacityConstraint,
+    solver: Union[str, Solver] = "mva-heuristic",
+    start: Optional[Sequence[int]] = None,
+    max_window: int = 64,
+    initial_step: int = 2,
+    max_halvings: int = 8,
+    max_evaluations: int = 10_000,
+) -> WindimResult:
+    """WINDIM restricted to windows that fit the nodal storage (§2.3).
+
+    The unconstrained objective is wrapped so infeasible vectors return
+    ``inf``; the hop-count start is used when feasible, else the all-ones
+    vector (which is feasible whenever the problem is feasible at all for
+    single-visit chains).
+
+    Raises
+    ------
+    SearchError
+        If even unit windows violate the constraint.
+    """
+    unknown = set(constraint.capacities) - set(network.station_names)
+    if unknown:
+        raise ModelError(f"constraint names unknown stations: {sorted(unknown)}")
+
+    base_objective = WindowObjective(network, solver)
+
+    def objective(windows: Tuple[int, ...]) -> float:
+        if not constraint.is_feasible(network, windows):
+            return float("inf")
+        return base_objective(windows)
+
+    unit = (1,) * network.num_chains
+    if not constraint.is_feasible(network, unit):
+        raise SearchError(
+            "infeasible problem: unit windows already violate "
+            f"{constraint.violations(network, unit)}"
+        )
+    if start is None:
+        candidate = initial_windows(network, "hops")
+        start_point = candidate if constraint.is_feasible(network, candidate) else unit
+    else:
+        start_point = tuple(int(w) for w in start)
+        if not constraint.is_feasible(network, start_point):
+            raise SearchError(
+                "requested start violates the capacity constraint: "
+                f"{constraint.violations(network, start_point)}"
+            )
+
+    space = IntegerBox.windows(network.num_chains, max_window)
+    cache = EvaluationCache(objective)
+    search = pattern_search(
+        objective,
+        start_point,
+        space,
+        initial_step=initial_step,
+        max_halvings=max_halvings,
+        max_evaluations=max_evaluations,
+        cache=cache,
+    )
+    solution = base_objective.solution(search.best_point)
+    report = power_report(solution)
+    return WindimResult(
+        windows=search.best_point,
+        power=report.power,
+        report=report,
+        solution=solution,
+        search=search,
+        initial_windows=start_point,
+    )

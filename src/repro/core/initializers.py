@@ -1,0 +1,65 @@
+"""Initial window vectors for the WINDIM search (thesis §4.4).
+
+The choice of starting point matters for a local search.  The thesis uses
+Kleinrock's hop-count rule; this module also offers unit windows (maximal
+throttling) and a demand-balance rule for experimentation — the ablation
+benchmark ``bench_ablation_init`` compares them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.kleinrock import hop_count_windows
+from repro.errors import ModelError
+from repro.queueing.network import ClosedNetwork
+
+__all__ = ["initial_windows", "INITIAL_WINDOW_STRATEGIES"]
+
+#: Names accepted by :func:`initial_windows`.
+INITIAL_WINDOW_STRATEGIES = ("hops", "unit", "demand-balance")
+
+
+def unit_windows(network: ClosedNetwork) -> Tuple[int, ...]:
+    """All-ones window vector — start from maximal throttling."""
+    return (1,) * network.num_chains
+
+
+def demand_balance_windows(network: ClosedNetwork) -> Tuple[int, ...]:
+    """Windows proportional to route demand, normalised to min 1.
+
+    A chain whose cycle demand (excluding the source queue) is twice
+    another's gets twice the window, the intuition being that longer/slower
+    routes need more messages in flight to stay utilised.
+    """
+    demands = []
+    for r, chain in enumerate(network.chains):
+        total = 0.0
+        for visited, service in zip(chain.visits, chain.service_times):
+            if visited != chain.source_station:
+                total += service
+        demands.append(total)
+    floor = min(d for d in demands if d > 0) if any(d > 0 for d in demands) else 1.0
+    return tuple(max(1, round(d / floor)) for d in demands)
+
+
+def initial_windows(network: ClosedNetwork, strategy: str = "hops") -> Tuple[int, ...]:
+    """Initial window vector by named strategy.
+
+    ``"hops"``
+        Kleinrock hop counts — the thesis default.
+    ``"unit"``
+        All ones.
+    ``"demand-balance"``
+        Proportional to per-chain cycle demand.
+    """
+    if strategy == "hops":
+        return hop_count_windows(network)
+    if strategy == "unit":
+        return unit_windows(network)
+    if strategy == "demand-balance":
+        return demand_balance_windows(network)
+    raise ModelError(
+        f"unknown initial-window strategy {strategy!r}; "
+        f"expected one of {INITIAL_WINDOW_STRATEGIES}"
+    )

@@ -1,0 +1,96 @@
+"""Kleinrock's p-hop window model (thesis §4.6, [52]).
+
+The simplest analytical handle on window flow control: model a virtual
+channel as ``p`` identical M/M/1 hops with instantaneous end-to-end
+acknowledgements.  With network capacity ``mu`` (msg/s) and throughput
+``lambda``, the mean network delay is
+
+    T(lambda) = p / (mu - lambda)                       (eq. 4.21)
+
+and a window of ``w`` outstanding messages sustains (Little's law over the
+window, eq. 4.22)
+
+    w = p * lambda / (mu - lambda)    <=>    lambda(w) = w mu / (p + w)
+
+Power ``P = lambda/T = lambda (mu - lambda) / p`` is maximised at
+``lambda = mu/2``, i.e. at the famous rule
+
+    w* = p    (optimal window = hop count)              (eq. 4.23)
+
+The thesis shows this rule is good when chains barely interact (2-class
+example) and poor when they interact strongly (4-class example, Table 4.12
+column ``P_4431``).  These closed forms also provide WINDIM's initial
+window vector.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.queueing.network import ClosedNetwork
+
+__all__ = [
+    "kleinrock_delay",
+    "kleinrock_throughput",
+    "kleinrock_window_for_throughput",
+    "kleinrock_power",
+    "optimal_window",
+    "hop_count_windows",
+]
+
+
+def kleinrock_delay(throughput: float, capacity: float, hops: int) -> float:
+    """Mean network delay ``T = p/(mu - lambda)`` (eq. 4.21)."""
+    _validate(capacity, hops)
+    if throughput < 0:
+        raise ModelError("throughput must be >= 0")
+    if throughput >= capacity:
+        return float("inf")
+    return hops / (capacity - throughput)
+
+
+def kleinrock_throughput(window: float, capacity: float, hops: int) -> float:
+    """Throughput sustained by a window: ``lambda = w mu / (p + w)`` (eq. 4.22)."""
+    _validate(capacity, hops)
+    if window < 0:
+        raise ModelError("window must be >= 0")
+    return window * capacity / (hops + window)
+
+
+def kleinrock_window_for_throughput(throughput: float, capacity: float, hops: int) -> float:
+    """Window needed for a target throughput: ``w = p lambda/(mu - lambda)``."""
+    _validate(capacity, hops)
+    if not 0 <= throughput < capacity:
+        raise ModelError(
+            f"throughput must lie in [0, capacity); got {throughput} vs {capacity}"
+        )
+    return hops * throughput / (capacity - throughput)
+
+
+def kleinrock_power(window: float, capacity: float, hops: int) -> float:
+    """Power ``P(w) = lambda(w) (mu - lambda(w)) / p`` of the p-hop model."""
+    lam = kleinrock_throughput(window, capacity, hops)
+    return lam * (capacity - lam) / hops
+
+
+def optimal_window(hops: int) -> int:
+    """Kleinrock's optimal window ``w* = p`` (eq. 4.23)."""
+    if hops < 1:
+        raise ModelError(f"hops must be >= 1, got {hops}")
+    return hops
+
+
+def hop_count_windows(network: ClosedNetwork) -> tuple:
+    """Per-chain hop-count window vector ``(p_1, ..., p_R)``.
+
+    This is both Kleinrock's recommended setting for non-interacting chains
+    and the WINDIM initial point (thesis §4.4).  Hops exclude each chain's
+    source queue.
+    """
+    return tuple(max(1, chain.hop_count) for chain in network.chains)
+
+
+def _validate(capacity: float, hops: int) -> None:
+    if capacity <= 0:
+        raise ModelError(f"capacity must be positive, got {capacity}")
+    if hops < 1:
+        raise ModelError(f"hops must be >= 1, got {hops}")

@@ -1,0 +1,134 @@
+"""Window-setting objective function (the APL ``FCT`` role).
+
+:class:`WindowObjective` turns a closed network plus a solver into a plain
+``windows -> 1/power`` callable that the optimisers of :mod:`repro.search`
+can minimise.  It also remembers the full :class:`~repro.solution.
+NetworkSolution` of the best point seen, so WINDIM can report class
+throughputs and delays without re-solving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.core.power import inverse_power
+from repro.errors import ModelError, SolverError
+from repro.queueing.network import ClosedNetwork
+from repro.solution import NetworkSolution
+
+__all__ = ["WindowObjective", "resolve_solver", "SOLVERS"]
+
+Point = Tuple[int, ...]
+Solver = Callable[[ClosedNetwork], NetworkSolution]
+
+
+def _heuristic_solver(network: ClosedNetwork) -> NetworkSolution:
+    from repro.mva.heuristic import solve_mva_heuristic
+
+    return solve_mva_heuristic(network)
+
+
+def _exact_mva_solver(network: ClosedNetwork) -> NetworkSolution:
+    from repro.exact.mva_exact import solve_mva_exact
+
+    return solve_mva_exact(network)
+
+
+def _convolution_solver(network: ClosedNetwork) -> NetworkSolution:
+    from repro.exact.convolution import solve_convolution
+
+    return solve_convolution(network)
+
+
+def _schweitzer_solver(network: ClosedNetwork) -> NetworkSolution:
+    from repro.mva.schweitzer import solve_schweitzer
+
+    return solve_schweitzer(network)
+
+
+def _linearizer_solver(network: ClosedNetwork) -> NetworkSolution:
+    from repro.mva.linearizer import solve_linearizer
+
+    return solve_linearizer(network)
+
+
+#: Named solvers accepted by :func:`resolve_solver` and the CLI.
+SOLVERS: Dict[str, Solver] = {
+    "mva-heuristic": _heuristic_solver,
+    "mva-exact": _exact_mva_solver,
+    "convolution": _convolution_solver,
+    "schweitzer": _schweitzer_solver,
+    "linearizer": _linearizer_solver,
+}
+
+
+def resolve_solver(solver: "str | Solver") -> Solver:
+    """Map a solver name (or pass through a callable) to a solver."""
+    if callable(solver):
+        return solver
+    try:
+        return SOLVERS[solver]
+    except KeyError:
+        raise ModelError(
+            f"unknown solver {solver!r}; expected one of {sorted(SOLVERS)} "
+            "or a callable"
+        ) from None
+
+
+class WindowObjective:
+    """Callable ``windows -> 1/power`` for a fixed network topology.
+
+    Parameters
+    ----------
+    network:
+        The closed network whose chain populations are the decision
+        variables; its current populations are irrelevant.
+    solver:
+        Solver name from :data:`SOLVERS` or any
+        ``ClosedNetwork -> NetworkSolution`` callable.
+        Defaults to the thesis MVA heuristic.
+
+    Notes
+    -----
+    A window vector that makes the solver fail (e.g. a lattice-size guard
+    on an exact solver) evaluates to ``inf`` rather than raising, so a
+    search simply avoids it; genuine model errors still propagate.
+    """
+
+    def __init__(self, network: ClosedNetwork, solver: "str | Solver" = "mva-heuristic"):
+        self._network = network
+        self._solver = resolve_solver(solver)
+        self._solutions: Dict[Point, NetworkSolution] = {}
+        self.evaluations = 0
+
+    @property
+    def network(self) -> ClosedNetwork:
+        """The underlying network template."""
+        return self._network
+
+    def __call__(self, windows: Sequence[int]) -> float:
+        """Objective value ``F = 1/P`` at the given window vector."""
+        key = tuple(int(w) for w in windows)
+        if len(key) != self._network.num_chains:
+            raise ModelError(
+                f"expected {self._network.num_chains} windows, got {len(key)}"
+            )
+        if any(w < 0 for w in key):
+            raise ModelError(f"window sizes must be >= 0, got {key}")
+        self.evaluations += 1
+        candidate = self._network.with_populations(key)
+        try:
+            solution = self._solver(candidate)
+        except SolverError:
+            return float("inf")
+        self._solutions[key] = solution
+        return inverse_power(solution)
+
+    def solution(self, windows: Sequence[int]) -> NetworkSolution:
+        """The full solution at ``windows`` (solving now if needed)."""
+        key = tuple(int(w) for w in windows)
+        if key not in self._solutions:
+            self(key)
+        if key not in self._solutions:
+            raise SolverError(f"no solution obtainable at windows {key}")
+        return self._solutions[key]

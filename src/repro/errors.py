@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class.  The subclasses
+distinguish the three broad failure domains: model construction, numerical
+solution, and optimisation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An invalid queueing-network or topology specification.
+
+    Raised during model construction/validation, e.g. a chain routed over a
+    non-existent station, a non-positive service time, or an empty route.
+    """
+
+
+class SolverError(ReproError):
+    """A numerical solution failed (divergence, instability, overflow)."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver exhausted its iteration budget before converging.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual (solver-specific norm) when iteration stopped.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class StabilityError(SolverError):
+    """An open (sub)network is unstable: some station has utilisation >= 1."""
+
+
+class SearchError(ReproError):
+    """An optimisation run was mis-specified or failed."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation was mis-specified or reached a bad state."""

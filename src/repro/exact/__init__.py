@@ -1,0 +1,72 @@
+"""Exact solution methods for product-form queueing networks (Chapter 3).
+
+* :func:`~repro.exact.ctmc.solve_ctmc` — brute-force global balance
+  (ground truth for tiny networks).
+* :func:`~repro.exact.buzen.buzen` — single-chain convolution constants.
+* :func:`~repro.exact.gordon_newell.solve_gordon_newell` — single-chain
+  closed networks.
+* :func:`~repro.exact.convolution.solve_convolution` — multichain
+  convolution (Reiser–Kobayashi).
+* :func:`~repro.exact.mva_exact.solve_mva_exact` — exact multichain MVA.
+* :func:`~repro.exact.jackson.solve_jackson` — open Jackson networks.
+* :func:`~repro.exact.mixed.solve_mixed` — mixed open/closed networks.
+"""
+
+from repro.exact.aggregation import aggregate_single_chain, flow_equivalent_rates
+from repro.exact.buzen import BuzenResult, buzen, buzen_stations
+from repro.exact.convolution import normalization_constants, solve_convolution
+from repro.exact.ctmc import solve_ctmc
+from repro.exact.finite_buffer import FiniteQueueResult, solve_mmmk
+from repro.exact.gordon_newell import solve_gordon_newell
+from repro.exact.jackson import OpenNetworkResult, OpenStationResult, solve_jackson
+from repro.exact.marginals import (
+    complement_constants,
+    station_composition_distribution,
+    station_queue_distribution,
+)
+from repro.exact.mixed import MixedNetworkResult, solve_mixed
+from repro.exact.mva_exact import solve_mva_exact
+from repro.exact.open_multiclass import (
+    OpenMulticlassResult,
+    open_view_of_network,
+    solve_open_multiclass,
+)
+from repro.exact.semiclosed import SemiclosedResult, solve_semiclosed
+from repro.exact.states import (
+    compositions,
+    lattice_size,
+    population_vectors,
+    population_vectors_by_total,
+)
+
+__all__ = [
+    "aggregate_single_chain",
+    "flow_equivalent_rates",
+    "buzen",
+    "buzen_stations",
+    "BuzenResult",
+    "solve_convolution",
+    "normalization_constants",
+    "solve_ctmc",
+    "solve_mmmk",
+    "FiniteQueueResult",
+    "solve_gordon_newell",
+    "solve_jackson",
+    "OpenNetworkResult",
+    "OpenStationResult",
+    "solve_mixed",
+    "MixedNetworkResult",
+    "solve_mva_exact",
+    "solve_semiclosed",
+    "SemiclosedResult",
+    "solve_open_multiclass",
+    "open_view_of_network",
+    "OpenMulticlassResult",
+    "complement_constants",
+    "station_composition_distribution",
+    "station_queue_distribution",
+    "compositions",
+    "lattice_size",
+    "population_vectors",
+    "population_vectors_by_total",
+]

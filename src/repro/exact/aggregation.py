@@ -1,0 +1,136 @@
+"""Norton aggregation (flow-equivalent server method).
+
+Chandy–Herzog–Woo's theorem: in a product-form closed network, any
+subnetwork can be replaced by a single *flow-equivalent* station whose
+queue-dependent service rates equal the subnetwork's throughput with
+``k`` customers circulating in it (computed by shorting the rest of the
+network).  The reduced network is exactly equivalent for the remaining
+stations' statistics.
+
+This is the classical tool for analysing large networks hierarchically,
+and it exercises the queue-dependent-station machinery of
+:mod:`repro.queueing.capacity` and :mod:`repro.exact.buzen` end to end:
+the single-chain tests verify that aggregating part of a cycle leaves the
+chain throughput bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, SolverError
+from repro.exact.buzen import buzen_stations
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+__all__ = ["flow_equivalent_rates", "aggregate_single_chain"]
+
+
+def flow_equivalent_rates(
+    network: ClosedNetwork, stations: Sequence[str], max_population: int
+) -> np.ndarray:
+    """Throughput of the shorted subnetwork for populations ``1..max``.
+
+    The subnetwork consisting of ``stations`` is isolated: customers
+    leaving it re-enter immediately (the rest of the chain is shorted to
+    zero service time).  ``rates[k-1]`` is its cycle throughput with ``k``
+    circulating customers — the service rate the flow-equivalent station
+    must exhibit with ``k`` customers present.
+
+    Currently supports single-chain networks (the hierarchical multichain
+    variant reduces to repeated single-chain applications).
+    """
+    if network.num_chains != 1:
+        raise SolverError("flow-equivalent aggregation implemented for one chain")
+    if max_population < 1:
+        raise ModelError("max_population must be >= 1")
+    wanted = set(stations)
+    unknown = wanted - set(network.station_names)
+    if unknown:
+        raise ModelError(f"unknown stations in subnetwork: {sorted(unknown)}")
+    indices = [network.station_id(name) for name in stations]
+    demands = network.demands[0, indices]
+    if demands.sum() <= 0:
+        raise ModelError("subnetwork has zero total demand for the chain")
+    station_objs = [network.stations[i] for i in indices]
+
+    scale = demands.max()
+    result = buzen_stations(demands / scale, max_population, station_objs)
+    rates = np.array(
+        [result.throughput(k) / scale for k in range(1, max_population + 1)]
+    )
+    return rates
+
+
+def aggregate_single_chain(
+    network: ClosedNetwork, stations: Sequence[str], aggregate_name: str = "fes"
+) -> ClosedNetwork:
+    """Replace ``stations`` of a single-chain network by one equivalent station.
+
+    Returns a new network in which the listed stations are replaced by a
+    queue-dependent station whose rate multipliers realise the
+    flow-equivalent throughputs.  The remaining stations keep their
+    demands; the new station gets unit demand with rate multipliers
+    ``m(k) = rate(k) (in cycles/s) * 1 s`` — i.e. its service *time* at
+    queue length ``k`` is ``1 / rate(k)``.
+
+    The composite network's throughput and the kept stations' queue
+    lengths equal the original's (Norton's theorem); the aggregation tests
+    assert this against Buzen on both forms.
+    """
+    if network.num_chains != 1:
+        raise SolverError("aggregation implemented for single-chain networks")
+    chain = network.chains[0]
+    population = int(network.populations[0])
+    if population < 1:
+        raise ModelError("aggregation needs a positive chain population")
+    wanted = set(stations)
+    if aggregate_name in set(network.station_names) - wanted:
+        raise ModelError(f"aggregate name {aggregate_name!r} collides")
+    if not wanted:
+        raise ModelError("subnetwork must contain at least one station")
+
+    rates = flow_equivalent_rates(network, sorted(wanted), population)
+    # Queue-dependent station: unit work rate with multipliers m(k) such
+    # that the service rate with k present is rates[k-1] per second.
+    multipliers = tuple(float(r) for r in rates)
+    fes = Station(
+        name=aggregate_name,
+        servers=1,
+        rate_multipliers=multipliers,
+    )
+
+    kept_stations = [s for s in network.stations if s.name not in wanted]
+    new_stations = kept_stations + [fes]
+
+    # Rebuild the chain: kept visits in order, plus one visit to the FES
+    # with unit demand (its capacity function encodes the real rates).
+    new_visits = []
+    new_services = []
+    inserted = False
+    for visited, service in zip(chain.visits, chain.service_times):
+        if visited in wanted:
+            if not inserted:
+                new_visits.append(aggregate_name)
+                new_services.append(1.0)
+                inserted = True
+            continue
+        new_visits.append(visited)
+        new_services.append(service)
+    if not inserted:
+        raise ModelError("chain never visits the aggregated subnetwork")
+
+    source = chain.source_station
+    if source in wanted:
+        source = None
+    new_chain = ClosedChain(
+        name=chain.name,
+        visits=tuple(new_visits),
+        service_times=tuple(new_services),
+        population=population,
+        source_station=source,
+    )
+    return ClosedNetwork.build(new_stations, [new_chain])

@@ -1,0 +1,183 @@
+"""Buzen's convolution algorithm for single-chain closed networks.
+
+Computes the normalisation constants ``G(0..D)`` of a Gordon–Newell network
+(thesis §3.3.3, [25]) by convolving station capacity-function coefficients:
+
+    G = c_1 * c_2 * ... * c_N      (eq. 3.28, single-chain case)
+
+For a fixed-rate station the in-place recurrence
+``g(k) = g_prev(k) + rho * g(k-1)`` applies (eq. 3.30); general stations
+(multi-server, queue-dependent, IS) convolve their full coefficient vector.
+From the ``G`` sequence all standard measures follow:
+
+    throughput      lambda(D)   = G(D-1) / G(D)
+    utilisation     U_n(D)      = rho_n G(D-1)/G(D)               (fixed rate)
+    queue length    N_n(D)      = sum_{k=1..D} rho_n^k G(D-k)/G(D) (fixed rate)
+    marginal law    P(h_n = k)  = rho_n^k (G(D-k) - rho_n G(D-k-1))/G(D)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, SolverError
+from repro.queueing.capacity import capacity_coefficients
+from repro.queueing.station import Station
+
+__all__ = ["BuzenResult", "buzen", "buzen_stations"]
+
+
+@dataclass(frozen=True)
+class BuzenResult:
+    """Normalisation constants and derived measures for one closed chain.
+
+    Attributes
+    ----------
+    demands:
+        ``(L,)`` relative service demands used.
+    constants:
+        ``(D+1,)`` normalisation constants ``G(0..D)``.
+    fixed_rate:
+        ``(L,)`` bool; True where the closed forms for fixed-rate stations
+        apply.
+    """
+
+    demands: np.ndarray
+    constants: np.ndarray
+    fixed_rate: np.ndarray
+
+    @property
+    def population(self) -> int:
+        """The largest population solved for."""
+        return self.constants.shape[0] - 1
+
+    def throughput(self, population: Optional[int] = None) -> float:
+        """Chain throughput ``lambda(D) = G(D-1)/G(D)``."""
+        d = self.population if population is None else population
+        if d == 0:
+            return 0.0
+        return float(self.constants[d - 1] / self.constants[d])
+
+    def utilization(self, station: int, population: Optional[int] = None) -> float:
+        """Utilisation of a fixed-rate station."""
+        self._require_fixed_rate(station)
+        return float(self.demands[station] * self.throughput(population))
+
+    def mean_queue_length(self, station: int, population: Optional[int] = None) -> float:
+        """Mean queue length of a fixed-rate station.
+
+        ``N_n(D) = sum_{k=1..D} rho_n^k G(D-k) / G(D)``.
+        """
+        self._require_fixed_rate(station)
+        d = self.population if population is None else population
+        rho = self.demands[station]
+        powers = rho ** np.arange(1, d + 1)
+        return float(np.dot(powers, self.constants[d - 1 :: -1][:d]) / self.constants[d])
+
+    def queue_length_distribution(
+        self, station: int, population: Optional[int] = None
+    ) -> np.ndarray:
+        """Marginal queue-length pmf ``P(h_n = k)`` of a fixed-rate station."""
+        self._require_fixed_rate(station)
+        d = self.population if population is None else population
+        rho = self.demands[station]
+        pmf = np.empty(d + 1)
+        for k in range(d + 1):
+            tail = self.constants[d - k]
+            if k < d:
+                tail = tail - rho * self.constants[d - k - 1]
+            pmf[k] = (rho**k) * tail / self.constants[d]
+        # Guard against tiny negative values from cancellation.
+        pmf = np.clip(pmf, 0.0, None)
+        return pmf / pmf.sum()
+
+    def _require_fixed_rate(self, station: int) -> None:
+        if not self.fixed_rate[station]:
+            raise SolverError(
+                f"station {station} is not fixed-rate; closed-form per-station "
+                "measures are only provided for fixed-rate stations"
+            )
+
+
+def buzen(
+    demands: Sequence[float],
+    population: int,
+    coefficient_vectors: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> BuzenResult:
+    """Run Buzen's algorithm.
+
+    Parameters
+    ----------
+    demands:
+        Relative service demand ``rho_n`` of each station.
+    population:
+        Chain population ``D``.
+    coefficient_vectors:
+        Optional per-station capacity coefficients ``a_n(0..D)``; ``None``
+        entries (or omitting the argument entirely) mean fixed-rate.
+
+    Raises
+    ------
+    SolverError
+        On numerical overflow — rescale the demands and retry.
+    """
+    rho = np.asarray(demands, dtype=float)
+    if rho.ndim != 1:
+        raise ModelError("demands must be one-dimensional")
+    if np.any(rho < 0):
+        raise ModelError("demands must be non-negative")
+    if population < 0:
+        raise ModelError("population must be >= 0")
+
+    num_stations = rho.shape[0]
+    if coefficient_vectors is None:
+        coefficient_vectors = [None] * num_stations
+    if len(coefficient_vectors) != num_stations:
+        raise ModelError("coefficient_vectors length must match demands")
+
+    constants = np.zeros(population + 1)
+    constants[0] = 1.0
+    fixed_rate = np.zeros(num_stations, dtype=bool)
+    for n in range(num_stations):
+        coeffs = coefficient_vectors[n]
+        if coeffs is None:
+            fixed_rate[n] = True
+            # In-place fixed-rate recurrence g(k) += rho * g(k-1).
+            for k in range(1, population + 1):
+                constants[k] = constants[k] + rho[n] * constants[k - 1]
+        else:
+            coeffs = np.asarray(coeffs, dtype=float)
+            if coeffs.shape[0] < population + 1:
+                raise ModelError(
+                    f"station {n}: need {population + 1} capacity coefficients, "
+                    f"got {coeffs.shape[0]}"
+                )
+            station_terms = coeffs[: population + 1] * rho[n] ** np.arange(population + 1)
+            constants = np.convolve(constants, station_terms)[: population + 1]
+    if not np.all(np.isfinite(constants)):
+        raise SolverError(
+            "normalisation constants overflowed; rescale the service demands"
+        )
+    if constants[population] <= 0:
+        raise SolverError("normalisation constant vanished; demands degenerate")
+    return BuzenResult(demands=rho, constants=constants, fixed_rate=fixed_rate)
+
+
+def buzen_stations(
+    demands: Sequence[float], population: int, stations: Sequence[Station]
+) -> BuzenResult:
+    """Buzen's algorithm with coefficients derived from :class:`Station` s."""
+    vectors = []
+    for station in stations:
+        if (
+            station.servers == 1
+            and station.rate_multipliers is None
+            and not station.is_delay
+        ):
+            vectors.append(None)
+        else:
+            vectors.append(capacity_coefficients(station, population))
+    return buzen(demands, population, vectors)

@@ -1,0 +1,205 @@
+"""Multichain convolution algorithm (Reiser–Kobayashi; thesis §3.3.3).
+
+Computes the normalisation constant array ``g(h)`` over the population
+lattice ``0 <= h <= H`` by convolving station inverse capacity functions
+(eq. 3.28):
+
+* fixed-rate station ``n`` — in-place recurrence (eq. 3.30):
+  ``g_n(i) = g_{n-1}(i) + sum_w rho_nw g_n(i - u_w)``
+* infinite-server station ``n`` — full convolution with
+  ``c_n(i) = prod_w rho_nw^{i_w} / i_w!`` (eq. 3.32 family).
+
+From ``g`` the chain throughputs follow (eq. 3.34, visit-ratio form):
+
+    lambda_w(H) = g(H - u_w) / g(H)
+
+and fixed-rate per-chain mean queue lengths from eq. (3.36):
+
+    N_nw(H) = rho_nw * g_(n+)(H - u_w) / g(H)
+
+with ``g_(n+) = g * c_n`` (station ``n`` counted twice).  Demands are
+rescaled internally per chain to keep ``g`` in floating-point range; the
+scaling cancels out of every reported measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, SolverError
+from repro.exact.states import lattice_size
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Discipline
+from repro.solution import NetworkSolution
+
+__all__ = ["solve_convolution", "normalization_constants"]
+
+MAX_LATTICE_SIZE = 2_000_000
+
+
+def _factorial_coefficients(limits: Tuple[int, ...]) -> np.ndarray:
+    """Array ``F[i] = prod_w 1/i_w!`` over the lattice."""
+    grids = np.indices([l + 1 for l in limits])
+    result = np.ones([l + 1 for l in limits])
+    for axis_index in range(len(limits)):
+        axis_vals = grids[axis_index]
+        # factorial via cumulative product along one axis
+        fact = np.ones(limits[axis_index] + 1)
+        for k in range(1, limits[axis_index] + 1):
+            fact[k] = fact[k - 1] * k
+        result /= fact[axis_vals]
+    return result
+
+
+def _is_coefficients(demand_row: np.ndarray, limits: Tuple[int, ...]) -> np.ndarray:
+    """Inverse capacity function of an IS station over the lattice."""
+    coeffs = _factorial_coefficients(limits)
+    for w, rho in enumerate(demand_row):
+        axis_powers = rho ** np.arange(limits[w] + 1)
+        shape = [1] * len(limits)
+        shape[w] = -1
+        coeffs = coeffs * axis_powers.reshape(shape)
+    return coeffs
+
+
+def _lattice_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Truncated multidimensional convolution on the population lattice."""
+    result = np.zeros_like(a)
+    it = np.nditer(b, flags=["multi_index"])
+    for value in it:
+        scalar = float(value)
+        if scalar == 0.0:
+            continue
+        index = it.multi_index
+        src = a[tuple(slice(0, a.shape[k] - index[k]) for k in range(a.ndim))]
+        dst = tuple(slice(index[k], a.shape[k]) for k in range(a.ndim))
+        result[dst] += scalar * src
+    return result
+
+
+def normalization_constants(
+    network: ClosedNetwork, scale: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalisation-constant lattice ``g`` with per-chain demand scaling.
+
+    Returns
+    -------
+    (g, scale):
+        ``g`` has shape ``tuple(H_w + 1)``; demands were divided by
+        ``scale[w]`` per chain, so a throughput computed from ``g`` must be
+        divided by ``scale[w]`` to be physical (queue lengths need no
+        correction).
+    """
+    if not network.is_fixed_rate():
+        raise SolverError(
+            "convolution supports fixed-rate single-server and IS stations only"
+        )
+    limits = tuple(int(p) for p in network.populations)
+    if lattice_size(limits) > MAX_LATTICE_SIZE:
+        raise SolverError(
+            f"population lattice too large ({lattice_size(limits)} points) "
+            "for the convolution algorithm"
+        )
+    demands = network.demands
+    if scale is None:
+        scale = np.ones(network.num_chains)
+        for w in range(network.num_chains):
+            peak = demands[w].max()
+            if peak > 0:
+                scale[w] = peak
+    scaled = demands / scale[:, None]
+
+    g = np.zeros([l + 1 for l in limits])
+    g[(0,) * len(limits)] = 1.0
+    for n, station in enumerate(network.stations):
+        if station.discipline is Discipline.IS:
+            coeffs = _is_coefficients(scaled[:, n], limits)
+            g = _lattice_convolve(g, coeffs)
+        else:
+            # In-place fixed-rate recurrence, ascending along every axis.
+            it = np.nditer(g, flags=["multi_index"], op_flags=["readwrite"])
+            for cell in it:
+                index = it.multi_index
+                total = float(cell)
+                for w in range(network.num_chains):
+                    if index[w] > 0:
+                        predecessor = list(index)
+                        predecessor[w] -= 1
+                        total += scaled[w, n] * g[tuple(predecessor)]
+                cell[...] = total
+    if not np.all(np.isfinite(g)):
+        raise SolverError("normalisation constants overflowed despite scaling")
+    return g, scale
+
+
+def solve_convolution(network: ClosedNetwork) -> NetworkSolution:
+    """Solve a closed multichain network by the convolution algorithm.
+
+    Returns
+    -------
+    NetworkSolution
+        With ``method="convolution"``.  The (scaled) normalisation constant
+        is reported in ``extras["normalization_constant"]``.
+    """
+    g, scale = normalization_constants(network)
+    limits = tuple(int(p) for p in network.populations)
+    target = limits
+    g_target = g[target]
+    if g_target <= 0:
+        raise SolverError("normalisation constant vanished at target population")
+
+    num_chains, num_stations = network.demands.shape
+    throughputs = np.zeros(num_chains)
+    for w in range(num_chains):
+        if limits[w] == 0:
+            continue
+        predecessor = list(target)
+        predecessor[w] -= 1
+        throughputs[w] = (g[tuple(predecessor)] / g_target) / scale[w]
+
+    scaled = network.demands / scale[:, None]
+    delay_mask = np.asarray([s.is_delay for s in network.stations], dtype=bool)
+    queue_lengths = np.zeros((num_chains, num_stations))
+    for n, station in enumerate(network.stations):
+        if delay_mask[n]:
+            # eq. 3.37: N_nw = rho_nw * lambda_w (physical units cancel).
+            for w in range(num_chains):
+                queue_lengths[w, n] = network.demands[w, n] * throughputs[w]
+            continue
+        # g_(n+) = g convolved with station n's fixed-rate coefficients.
+        g_plus = g.copy()
+        it = np.nditer(g_plus, flags=["multi_index"], op_flags=["readwrite"])
+        for cell in it:
+            index = it.multi_index
+            total = float(cell)
+            for w in range(num_chains):
+                if index[w] > 0:
+                    predecessor = list(index)
+                    predecessor[w] -= 1
+                    total += scaled[w, n] * g_plus[tuple(predecessor)]
+            cell[...] = total
+        for w in range(num_chains):
+            if limits[w] == 0:
+                continue
+            predecessor = list(target)
+            predecessor[w] -= 1
+            queue_lengths[w, n] = scaled[w, n] * g_plus[tuple(predecessor)] / g_target
+
+    # Per-cycle waiting times by Little's law at each queue.
+    waiting = np.zeros_like(queue_lengths)
+    for w in range(num_chains):
+        if throughputs[w] > 0:
+            waiting[w] = queue_lengths[w] / throughputs[w]
+
+    return NetworkSolution(
+        network=network,
+        throughputs=throughputs,
+        queue_lengths=queue_lengths,
+        waiting_times=waiting,
+        method="convolution",
+        iterations=0,
+        converged=True,
+        extras={"normalization_constant": float(g_target)},
+    )

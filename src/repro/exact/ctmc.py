@@ -1,0 +1,174 @@
+"""Brute-force global-balance (CTMC) solver for small closed networks.
+
+The ground truth of this reproduction: build the continuous-time Markov
+chain of a closed multichain network explicitly, solve the balance
+equations ``pi Q = 0`` (thesis §3.3.1), and read off throughputs and mean
+queue lengths.  Exponential service, fixed-rate FCFS single-server and
+infinite-server stations.
+
+The state records, for every chain, how many of its customers sit at each
+*position* along its cyclic route.  For FCFS stations shared by several
+chains the per-visit service times must be equal (the product-form
+requirement, enforced by :class:`~repro.queueing.network.ClosedNetwork`);
+the class completing service is then distributed proportionally to class
+counts, which yields the exact stationary queue-length law of the FCFS
+system.
+
+State spaces explode combinatorially — the solver refuses networks beyond
+``MAX_STATES`` states and exists purely to validate the product-form
+algorithms on tiny instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, SolverError
+from repro.exact.states import compositions
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Discipline
+from repro.solution import NetworkSolution
+
+__all__ = ["solve_ctmc"]
+
+MAX_STATES = 200_000
+
+State = Tuple[Tuple[int, ...], ...]
+
+
+def _enumerate_states(route_lengths: List[int], populations: List[int]) -> List[State]:
+    # Guard on the closed-form count BEFORE materialising anything: the
+    # number of placements of D customers over p positions is
+    # C(D + p - 1, p - 1), which explodes combinatorially.
+    total = 1
+    for r in range(len(populations)):
+        count = math.comb(
+            populations[r] + route_lengths[r] - 1, route_lengths[r] - 1
+        )
+        total *= count
+        if total > MAX_STATES:
+            raise SolverError(
+                f"CTMC state space exceeds {MAX_STATES} states; "
+                "this solver is for validation on tiny networks only"
+            )
+    per_chain = [
+        list(compositions(populations[r], route_lengths[r]))
+        for r in range(len(populations))
+    ]
+    return [tuple(combo) for combo in itertools.product(*per_chain)]
+
+
+def solve_ctmc(network: ClosedNetwork) -> NetworkSolution:
+    """Solve a small closed multichain network by global balance.
+
+    Requirements: fixed-rate single-server FCFS (or IS) stations, and each
+    chain's route must not revisit a station (counts per position would
+    otherwise be ambiguous).
+
+    Returns
+    -------
+    NetworkSolution
+        With ``method="ctmc"``.
+    """
+    if not network.is_fixed_rate():
+        raise SolverError("CTMC solver supports fixed-rate and IS stations only")
+
+    routes: List[List[int]] = []
+    services: List[List[float]] = []
+    for chain in network.chains:
+        station_ids = [network.station_id(v) for v in chain.visits]
+        if len(set(station_ids)) != len(station_ids):
+            raise SolverError(
+                f"chain {chain.name!r} revisits a station; the CTMC state "
+                "encoding requires distinct stations per route"
+            )
+        routes.append(station_ids)
+        services.append(list(chain.service_times))
+
+    populations = [int(p) for p in network.populations]
+    route_lengths = [len(r) for r in routes]
+    states = _enumerate_states(route_lengths, populations)
+    index: Dict[State, int] = {s: i for i, s in enumerate(states)}
+    num_states = len(states)
+    num_chains = network.num_chains
+    num_stations = network.num_stations
+    delay_mask = [s.discipline is Discipline.IS for s in network.stations]
+
+    generator = np.zeros((num_states, num_states))
+    # completion_rate[s_idx][r] at reference position 0: used for throughput.
+    completion_at_ref = np.zeros((num_states, num_chains))
+
+    for s_idx, state in enumerate(states):
+        station_totals = np.zeros(num_stations)
+        for r in range(num_chains):
+            for p, count in enumerate(state[r]):
+                station_totals[routes[r][p]] += count
+        for r in range(num_chains):
+            for p, count in enumerate(state[r]):
+                if count == 0:
+                    continue
+                station = routes[r][p]
+                if delay_mask[station]:
+                    rate = count / services[r][p]
+                else:
+                    # Single fixed-rate server: total completion rate is
+                    # 1/service, split over classes by their share in queue.
+                    rate = (count / station_totals[station]) / services[r][p]
+                next_p = (p + 1) % route_lengths[r]
+                new_chain = list(state[r])
+                new_chain[p] -= 1
+                new_chain[next_p] += 1
+                new_state = tuple(
+                    tuple(new_chain) if rr == r else state[rr]
+                    for rr in range(num_chains)
+                )
+                t_idx = index[new_state]
+                generator[s_idx, t_idx] += rate
+                generator[s_idx, s_idx] -= rate
+                if p == 0:
+                    completion_at_ref[s_idx, r] += rate
+
+    # Solve pi Q = 0 with sum(pi) = 1 by replacing one column.
+    system = generator.T.copy()
+    system[0, :] = 1.0
+    rhs = np.zeros(num_states)
+    rhs[0] = 1.0
+    try:
+        pi = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError("global balance equations are singular") from exc
+    if np.any(pi < -1e-9):
+        raise SolverError("stationary distribution has negative entries")
+    pi = np.clip(pi, 0.0, None)
+    pi = pi / pi.sum()
+
+    throughputs = pi @ completion_at_ref
+    queue_lengths = np.zeros((num_chains, num_stations))
+    for s_idx, state in enumerate(states):
+        weight = pi[s_idx]
+        if weight == 0:
+            continue
+        for r in range(num_chains):
+            for p, count in enumerate(state[r]):
+                if count:
+                    queue_lengths[r, routes[r][p]] += weight * count
+
+    waiting = np.zeros_like(queue_lengths)
+    for r in range(num_chains):
+        if throughputs[r] > 0:
+            waiting[r] = queue_lengths[r] / throughputs[r]
+
+    return NetworkSolution(
+        network=network,
+        throughputs=np.asarray(throughputs, dtype=float),
+        queue_lengths=queue_lengths,
+        waiting_times=waiting,
+        method="ctmc",
+        iterations=0,
+        converged=True,
+        extras={"num_states": float(num_states)},
+    )

@@ -1,0 +1,101 @@
+"""Finite-buffer single queues: M/M/1/K and M/M/m/K.
+
+The local flow control of §2.2.2 caps node storage at ``K_i``; the exact
+analysis of *networks* of such queues is intractable (thesis Ch. 5: "the
+exact modelling of the local flow control scheme is hitherto
+unsuccessful"), but the single finite-buffer queue has elementary closed
+forms used throughout as baselines:
+
+    p(k) = p(0) a^k / prod_{j<=k} min(j, m),  k = 0..K
+    blocking = p(K)  (PASTA), carried = lambda (1 - p(K))
+
+For ``m = 1`` this is the classic M/M/1/K geometric truncation.  The
+tests also cross-validate against :mod:`repro.exact.semiclosed`: an
+M/M/1/K is exactly a single-station semiclosed chain with ``H+ = K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["FiniteQueueResult", "solve_mmmk"]
+
+
+@dataclass(frozen=True)
+class FiniteQueueResult:
+    """Steady state of an M/M/m/K queue.
+
+    Attributes
+    ----------
+    distribution:
+        ``p(0..K)`` — the stationary number-in-system pmf.
+    blocking_probability:
+        ``p(K)`` — fraction of arrivals lost (PASTA).
+    carried_rate:
+        ``lambda (1 - p(K))`` — accepted throughput.
+    mean_customers:
+        ``E[k]``.
+    mean_sojourn_time:
+        Mean time in system of *accepted* customers (Little on the
+        carried rate).
+    """
+
+    distribution: np.ndarray
+    blocking_probability: float
+    carried_rate: float
+    mean_customers: float
+    mean_sojourn_time: float
+
+    @property
+    def buffer_size(self) -> int:
+        """The system capacity ``K``."""
+        return self.distribution.shape[0] - 1
+
+
+def solve_mmmk(
+    arrival_rate: float, service_rate: float, capacity: int, servers: int = 1
+) -> FiniteQueueResult:
+    """Solve an M/M/m/K queue exactly.
+
+    Parameters
+    ----------
+    arrival_rate / service_rate:
+        Poisson arrivals ``lambda``; per-server exponential rate ``mu``.
+    capacity:
+        Total system capacity ``K`` (queue + in service), ``K >= servers``.
+    servers:
+        Number of identical servers ``m``.
+    """
+    if arrival_rate <= 0:
+        raise ModelError(f"arrival rate must be positive, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ModelError(f"service rate must be positive, got {service_rate}")
+    if servers < 1:
+        raise ModelError(f"servers must be >= 1, got {servers}")
+    if capacity < servers:
+        raise ModelError(
+            f"capacity ({capacity}) must be >= servers ({servers})"
+        )
+
+    offered = arrival_rate / service_rate
+    weights = np.empty(capacity + 1)
+    weights[0] = 1.0
+    for k in range(1, capacity + 1):
+        weights[k] = weights[k - 1] * offered / min(k, servers)
+    distribution = weights / weights.sum()
+
+    blocking = float(distribution[capacity])
+    carried = arrival_rate * (1.0 - blocking)
+    mean_customers = float(np.dot(np.arange(capacity + 1), distribution))
+    sojourn = mean_customers / carried if carried > 0 else float("inf")
+    return FiniteQueueResult(
+        distribution=distribution,
+        blocking_probability=blocking,
+        carried_rate=carried,
+        mean_customers=mean_customers,
+        mean_sojourn_time=sojourn,
+    )

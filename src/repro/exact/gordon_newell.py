@@ -1,0 +1,101 @@
+"""Gordon–Newell single-chain closed networks (thesis §3.3.3).
+
+A thin solver wrapper: a :class:`~repro.queueing.network.ClosedNetwork`
+with exactly one chain is solved exactly through Buzen's convolution
+(:mod:`repro.exact.buzen`), producing the same
+:class:`~repro.solution.NetworkSolution` record as every other solver.
+This covers networks with fixed-rate, multi-server, queue-dependent and
+infinite-server stations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.exact.buzen import buzen_stations
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Discipline
+from repro.solution import NetworkSolution
+
+__all__ = ["solve_gordon_newell"]
+
+
+def solve_gordon_newell(network: ClosedNetwork) -> NetworkSolution:
+    """Exactly solve a single-chain closed network.
+
+    Raises
+    ------
+    SolverError
+        If the network has more than one chain (use convolution or exact
+        MVA instead).
+    """
+    if network.num_chains != 1:
+        raise SolverError(
+            f"Gordon–Newell solver requires exactly one chain, got {network.num_chains}"
+        )
+    population = int(network.populations[0])
+    demands = network.demands[0]
+    # Rescale to protect against overflow at large populations.
+    peak = demands.max()
+    scale = peak if peak > 0 else 1.0
+    result = buzen_stations(demands / scale, population, network.stations)
+
+    throughput = result.throughput() / scale
+    num_stations = network.num_stations
+    queue_lengths = np.zeros((1, num_stations))
+    for n, station in enumerate(network.stations):
+        if station.discipline is Discipline.IS:
+            # Delay station: N = demand * throughput (no queueing).
+            queue_lengths[0, n] = demands[n] * throughput
+        elif (
+            station.servers == 1
+            and station.rate_multipliers is None
+        ):
+            queue_lengths[0, n] = result.mean_queue_length(n)
+        else:
+            queue_lengths[0, n] = _general_station_queue_length(
+                result, network, n, population, scale
+            )
+
+    waiting = np.zeros_like(queue_lengths)
+    if throughput > 0:
+        waiting[0] = queue_lengths[0] / throughput
+
+    return NetworkSolution(
+        network=network,
+        throughputs=np.asarray([throughput]),
+        queue_lengths=queue_lengths,
+        waiting_times=waiting,
+        method="gordon-newell",
+        iterations=0,
+        converged=True,
+        extras={"normalization_constant": float(result.constants[population])},
+    )
+
+
+def _general_station_queue_length(
+    result, network: ClosedNetwork, station: int, population: int, scale: float
+) -> float:
+    """Mean queue length at a general station via the complement network.
+
+    ``P(h_n = k) = a_n(k) rho_n^k g_(n-)(D - k) / G(D)`` where ``g_(n-)``
+    is the normalisation sequence of the network with station ``n``
+    removed (thesis §3.3.3 (iii)).
+    """
+    from repro.exact.buzen import buzen_stations as _buzen
+
+    others = [s for i, s in enumerate(network.stations) if i != station]
+    other_demands = np.delete(network.demands[0], station) / scale
+    complement = _buzen(other_demands, population, others)
+
+    from repro.queueing.capacity import capacity_coefficients
+
+    coeffs = capacity_coefficients(network.stations[station], population)
+    rho = network.demands[0, station] / scale
+    total = 0.0
+    g_target = result.constants[population]
+    for k in range(population + 1):
+        prob = coeffs[k] * (rho**k) * complement.constants[population - k] / g_target
+        total += k * prob
+    return total

@@ -1,0 +1,142 @@
+"""Open Jackson networks (thesis §3.3.2).
+
+Each station of a stable open Markovian network behaves as an independent
+M/M/m queue fed at the aggregate rate solving the traffic equations
+(eq. 3.1); the joint queue-length law is the product of the marginals
+(eq. 3.2).  This module solves the traffic equations, checks stability,
+and reports the standard per-station and network measures.
+
+The open model is what the WINDIM networks look like *before* the windows
+close the chains; it also supplies the saturation analysis used to sanity
+check simulator and MVA outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, StabilityError
+from repro.queueing.routing import open_chain_arrival_rates
+
+__all__ = ["OpenStationResult", "OpenNetworkResult", "solve_jackson"]
+
+
+@dataclass(frozen=True)
+class OpenStationResult:
+    """Steady-state measures of one M/M/m station in an open network."""
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+    utilization: float
+    mean_queue_length: float
+    mean_sojourn_time: float
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue excluding service."""
+        return self.mean_sojourn_time - 1.0 / self.service_rate
+
+
+@dataclass(frozen=True)
+class OpenNetworkResult:
+    """Network-wide measures of an open Jackson network."""
+
+    stations: Tuple[OpenStationResult, ...]
+    arrival_rates: np.ndarray
+    total_external_rate: float
+
+    @property
+    def mean_customers(self) -> float:
+        """Total mean number of customers in the network."""
+        return sum(s.mean_queue_length for s in self.stations)
+
+    @property
+    def mean_network_delay(self) -> float:
+        """Mean end-to-end sojourn time by Little's law."""
+        if self.total_external_rate <= 0:
+            return 0.0
+        return self.mean_customers / self.total_external_rate
+
+
+def _mmm_queue_length(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Mean number in system of an M/M/m queue (Erlang-C based)."""
+    if servers < 1:
+        raise ModelError("servers must be >= 1")
+    offered = arrival_rate / service_rate
+    rho = offered / servers
+    if rho >= 1.0:
+        raise StabilityError(
+            f"M/M/{servers} queue unstable: utilisation {rho:.3f} >= 1"
+        )
+    if servers == 1:
+        return rho / (1.0 - rho)
+    # Erlang-C probability of queueing.
+    terms = [offered**k / math.factorial(k) for k in range(servers)]
+    tail = offered**servers / (math.factorial(servers) * (1.0 - rho))
+    p_wait = tail / (sum(terms) + tail)
+    return offered + p_wait * rho / (1.0 - rho)
+
+
+def solve_jackson(
+    routing: np.ndarray,
+    external_rates: Sequence[float],
+    service_rates: Sequence[float],
+    servers: Optional[Sequence[int]] = None,
+) -> OpenNetworkResult:
+    """Solve an open Jackson network.
+
+    Parameters
+    ----------
+    routing:
+        ``(N, N)`` sub-stochastic routing matrix (rows may sum to < 1; the
+        deficit is the departure probability).
+    external_rates:
+        Exogenous Poisson rate ``gamma_i`` at each station.
+    service_rates:
+        Per-server exponential service rate ``mu_i`` at each station.
+    servers:
+        Servers per station (default all 1).
+
+    Raises
+    ------
+    StabilityError
+        If any station's utilisation reaches 1 (thesis §3.2.5).
+    """
+    rates = open_chain_arrival_rates(routing, external_rates)
+    mu = np.asarray(service_rates, dtype=float)
+    if mu.shape != rates.shape:
+        raise ModelError("service_rates length must match the routing matrix")
+    if np.any(mu <= 0):
+        raise ModelError("service rates must be positive")
+    if servers is None:
+        server_counts = [1] * rates.shape[0]
+    else:
+        server_counts = [int(m) for m in servers]
+        if len(server_counts) != rates.shape[0]:
+            raise ModelError("servers length must match the routing matrix")
+
+    stations = []
+    for i in range(rates.shape[0]):
+        lam = float(rates[i])
+        n_mean = _mmm_queue_length(lam, float(mu[i]), server_counts[i]) if lam > 0 else 0.0
+        sojourn = n_mean / lam if lam > 0 else 0.0
+        stations.append(
+            OpenStationResult(
+                arrival_rate=lam,
+                service_rate=float(mu[i]),
+                servers=server_counts[i],
+                utilization=lam / (mu[i] * server_counts[i]),
+                mean_queue_length=n_mean,
+                mean_sojourn_time=sojourn,
+            )
+        )
+    return OpenNetworkResult(
+        stations=tuple(stations),
+        arrival_rates=rates,
+        total_external_rate=float(np.sum(external_rates)),
+    )

@@ -1,0 +1,145 @@
+"""Exact marginal queue-length distributions for multichain networks.
+
+Thesis §3.3.3 (iii): quantities beyond means — marginal queue-size
+distributions — require the complement normalisation constants
+``g_(n-)``, the inverse of ``G_(n-)(z) = prod_{i != n} C_i(r_i . z)``.
+For a fixed-rate station the complement array follows from the full array
+by *deconvolution* of eq. (3.30):
+
+    g_(n-)(i) = g(i) - sum_w rho_nw g_(n-)(i - u_w)
+
+The marginal law of station ``n`` holding the per-chain composition
+``m`` then reads (product form):
+
+    P(h_n = m) = f_n(m) * g_(n-)(H - m) / g(H),
+    f_n(m) = |m|! prod_w rho_nw^{m_w} / m_w!
+
+and the total-count marginal ``P(|h_n| = k)`` sums this over ``|m| = k``.
+These distributions connect window dimensioning to buffer provisioning:
+§2.3 warns that windows exceeding nodal storage render the control
+ineffective, and :mod:`repro.analysis.buffers` turns the tail
+probabilities computed here into buffer recommendations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.exact.convolution import normalization_constants
+from repro.exact.states import population_vectors
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Discipline
+
+__all__ = [
+    "complement_constants",
+    "station_composition_distribution",
+    "station_queue_distribution",
+]
+
+
+def complement_constants(
+    network: ClosedNetwork,
+    station: int,
+    g: Optional[np.ndarray] = None,
+    scale: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalisation lattice of the network with ``station`` removed.
+
+    Parameters
+    ----------
+    network:
+        Closed multichain network (fixed-rate / IS stations).
+    station:
+        Index of the fixed-rate station to remove.
+    g / scale:
+        Optionally reuse a lattice from
+        :func:`repro.exact.convolution.normalization_constants`.
+
+    Returns
+    -------
+    (g_minus, scale):
+        Complement lattice (same shape as ``g``) and the per-chain demand
+        scaling used.
+    """
+    if network.stations[station].discipline is Discipline.IS:
+        raise SolverError(
+            "complement constants via deconvolution require a fixed-rate "
+            "station; IS stations have no queueing distribution of interest"
+        )
+    if g is None or scale is None:
+        g, scale = normalization_constants(network)
+    scaled_demands = network.demands[:, station] / scale
+
+    # Invert the fixed-rate recurrence g(i) = g_(n-)(i) + sum_w rho_w g(i-u_w):
+    # the subtraction uses the *full* lattice at the predecessors.
+    g_minus = np.zeros_like(g)
+    it = np.nditer(g, flags=["multi_index"])
+    for cell in it:
+        index = it.multi_index
+        value = float(cell)
+        for w in range(network.num_chains):
+            if index[w] > 0:
+                predecessor = list(index)
+                predecessor[w] -= 1
+                value -= scaled_demands[w] * g[tuple(predecessor)]
+        g_minus[index] = value
+    if np.any(g_minus < -1e-6 * g.max()):
+        raise SolverError(
+            "deconvolution produced significantly negative complement "
+            "constants; the lattice is numerically degenerate"
+        )
+    return np.clip(g_minus, 0.0, None), scale
+
+
+def station_composition_distribution(
+    network: ClosedNetwork, station: int
+) -> dict:
+    """Joint pmf of the per-chain customer counts at a fixed-rate station.
+
+    Returns
+    -------
+    dict
+        Mapping composition tuples ``m`` (one count per chain) to their
+        stationary probability ``P(h_station = m)``.
+    """
+    g, scale = normalization_constants(network)
+    g_minus, _ = complement_constants(network, station, g, scale)
+    limits = tuple(int(p) for p in network.populations)
+    target = limits
+    g_target = g[target]
+    scaled_demands = network.demands[:, station] / scale
+
+    pmf = {}
+    for m in population_vectors(limits):
+        total = sum(m)
+        weight = math.factorial(total)
+        for w, count in enumerate(m):
+            weight *= scaled_demands[w] ** count / math.factorial(count)
+        remainder = tuple(h - k for h, k in zip(target, m))
+        pmf[m] = weight * g_minus[remainder] / g_target
+    # Guard: probabilities must sum to one.
+    mass = sum(pmf.values())
+    if not math.isclose(mass, 1.0, rel_tol=1e-6):
+        raise SolverError(
+            f"composition distribution mass {mass} != 1; numerical failure"
+        )
+    return {m: p / mass for m, p in pmf.items()}
+
+
+def station_queue_distribution(
+    network: ClosedNetwork, station: int
+) -> np.ndarray:
+    """Total-count marginal pmf ``P(|h_station| = k)`` of a fixed-rate station.
+
+    The result has length ``total_population + 1``.
+    """
+    composition = station_composition_distribution(network, station)
+    total = network.total_population()
+    pmf = np.zeros(total + 1)
+    for m, p in composition.items():
+        pmf[sum(m)] += p
+    return pmf

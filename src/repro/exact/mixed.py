@@ -1,0 +1,160 @@
+"""Mixed open/closed multichain networks (thesis §3.3.3).
+
+For product-form networks, open chains "shift the argument of the capacity
+function" (Table 3.9 discussion): at a fixed-rate station with open-chain
+utilisation ``rho0_n = sum_open rho_nr``, the closed chains see the station
+as a fixed-rate station with demands inflated by ``1/(1 - rho0_n)``.  The
+closed subnetwork can then be solved by any closed-network algorithm, and
+the open-chain measures follow from M/M/1-like formulas conditioned on the
+closed-chain state.
+
+This module performs exactly that reduction:
+
+1. Validate stability of the open part (``rho0_n < 1`` — a mixed network is
+   stable iff it is stable with the closed populations set to zero).
+2. Inflate the closed demands and delegate to the chosen closed solver.
+3. Report open-chain mean queue lengths
+   ``N_nr = rho_nr (1 + N_n^closed) / (1 - rho0_n)``, the standard mixed
+   product-form result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, SolverError, StabilityError
+from repro.queueing.chain import ClosedChain, OpenChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Discipline, Station
+from repro.solution import NetworkSolution
+
+__all__ = ["MixedNetworkResult", "solve_mixed"]
+
+
+@dataclass(frozen=True)
+class MixedNetworkResult:
+    """Solution of a mixed network.
+
+    Attributes
+    ----------
+    closed:
+        Solution of the (inflated) closed subnetwork; its queue lengths and
+        throughputs are the exact closed-chain measures of the mixed model.
+    open_queue_lengths:
+        ``(num_open_chains, L)`` mean queue lengths of the open chains.
+    open_utilizations:
+        ``(L,)`` total open-chain utilisation ``rho0_n`` per station.
+    """
+
+    closed: NetworkSolution
+    open_chains: Tuple[OpenChain, ...]
+    open_queue_lengths: np.ndarray
+    open_utilizations: np.ndarray
+
+    def open_chain_delay(self, chain: int) -> float:
+        """Mean end-to-end sojourn time of open chain ``chain`` (Little)."""
+        rate = self.open_chains[chain].arrival_rate
+        if rate <= 0:
+            return 0.0
+        return float(self.open_queue_lengths[chain].sum() / rate)
+
+
+def solve_mixed(
+    stations: Sequence[Station],
+    closed_chains: Sequence[ClosedChain],
+    open_chains: Sequence[OpenChain],
+    closed_solver: Optional[Callable[[ClosedNetwork], NetworkSolution]] = None,
+) -> MixedNetworkResult:
+    """Solve a mixed multichain product-form network.
+
+    Parameters
+    ----------
+    stations:
+        All stations (shared by open and closed chains).
+    closed_chains / open_chains:
+        The chain populations; open chains carry Poisson arrival rates.
+    closed_solver:
+        Solver for the reduced closed network; defaults to exact MVA.
+
+    Raises
+    ------
+    StabilityError
+        If the open chains alone saturate some station.
+    """
+    if closed_solver is None:
+        from repro.exact.mva_exact import solve_mva_exact
+
+        closed_solver = solve_mva_exact
+    if not closed_chains:
+        raise ModelError("solve_mixed needs at least one closed chain")
+
+    station_index = {s.name: i for i, s in enumerate(stations)}
+    num_stations = len(stations)
+
+    # Open-chain utilisation per station.
+    rho_open = np.zeros((len(open_chains), num_stations))
+    for k, chain in enumerate(open_chains):
+        for visited, service in zip(chain.visits, chain.service_times):
+            if visited not in station_index:
+                raise ModelError(
+                    f"open chain {chain.name!r} visits unknown station {visited!r}"
+                )
+            rho_open[k, station_index[visited]] += chain.arrival_rate * service
+    rho0 = rho_open.sum(axis=0)
+    for i, station in enumerate(stations):
+        if station.discipline is Discipline.IS:
+            continue
+        if rho0[i] >= 1.0:
+            raise StabilityError(
+                f"station {station.name!r} saturated by open chains "
+                f"(rho0 = {rho0[i]:.3f} >= 1)"
+            )
+
+    # Closed chains see inflated demands at shared queueing stations.
+    inflated_chains = []
+    for chain in closed_chains:
+        new_services = []
+        for visited, service in zip(chain.visits, chain.service_times):
+            i = station_index[visited]
+            if stations[i].discipline is Discipline.IS:
+                new_services.append(service)
+            else:
+                new_services.append(service / (1.0 - rho0[i]))
+        inflated_chains.append(
+            ClosedChain(
+                name=chain.name,
+                visits=chain.visits,
+                service_times=tuple(new_services),
+                population=chain.population,
+                source_station=chain.source_station,
+            )
+        )
+
+    closed_network = ClosedNetwork.build(
+        stations, inflated_chains, strict_fcfs=False
+    )
+    closed_solution = closed_solver(closed_network)
+
+    # Open-chain queue lengths, conditioned on the closed-chain load.
+    closed_totals = closed_solution.queue_lengths.sum(axis=0)
+    open_queue_lengths = np.zeros_like(rho_open)
+    for k, chain in enumerate(open_chains):
+        for i in range(num_stations):
+            if rho_open[k, i] <= 0:
+                continue
+            if stations[i].discipline is Discipline.IS:
+                open_queue_lengths[k, i] = rho_open[k, i]
+            else:
+                open_queue_lengths[k, i] = (
+                    rho_open[k, i] * (1.0 + closed_totals[i]) / (1.0 - rho0[i])
+                )
+
+    return MixedNetworkResult(
+        closed=closed_solution,
+        open_chains=tuple(open_chains),
+        open_queue_lengths=open_queue_lengths,
+        open_utilizations=rho0,
+    )

@@ -1,0 +1,129 @@
+"""Exact Mean Value Analysis for closed multichain networks.
+
+The exact multichain recursion (thesis eqs. 4.5–4.7):
+
+    t_ir(D) = G_ir * (1 + sum_j N_ij(D - u_r))     (queueing stations)
+    t_ir(D) = G_ir                                  (delay stations)
+    lambda_r(D) = D_r / sum_i t_ir(D)
+    N_ir(D) = lambda_r(D) * t_ir(D)
+
+evaluated over *every* population vector ``0 <= d <= D`` in order of
+increasing total population.  The operation count is
+``O(R L prod_r (D_r + 1))`` — the intractability that motivates the
+heuristic of §4.2 — but for the small windows of the thesis examples it is
+perfectly feasible and serves as the reproduction's exact reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, SolverError
+from repro.exact.states import lattice_size, population_vectors_by_total
+from repro.queueing.network import ClosedNetwork
+from repro.solution import NetworkSolution
+
+__all__ = ["solve_mva_exact"]
+
+#: Refuse lattices beyond this many population vectors — the caller almost
+#: certainly wanted the heuristic instead.
+MAX_LATTICE_SIZE = 5_000_000
+
+
+def solve_mva_exact(network: ClosedNetwork) -> NetworkSolution:
+    """Solve a closed multichain network by exact MVA.
+
+    Only fixed-rate single-server and infinite-server stations are
+    supported (``network.is_fixed_rate()``), which covers the entire model
+    class used in the thesis.
+
+    Returns
+    -------
+    NetworkSolution
+        With ``method="mva-exact"``.
+
+    Raises
+    ------
+    SolverError
+        If the population lattice exceeds ``MAX_LATTICE_SIZE`` vectors or
+        the network has unsupported station types.
+    """
+    if not network.is_fixed_rate():
+        raise SolverError(
+            "exact MVA supports fixed-rate single-server and IS stations only"
+        )
+    limits = [int(p) for p in network.populations]
+    size = lattice_size(limits)
+    if size > MAX_LATTICE_SIZE:
+        raise SolverError(
+            f"population lattice has {size} vectors (> {MAX_LATTICE_SIZE}); "
+            "use the MVA heuristic for problems of this size"
+        )
+
+    demands = network.demands
+    num_chains, num_stations = demands.shape
+    delay_mask = np.asarray([s.is_delay for s in network.stations], dtype=bool)
+    visit_mask = network.visit_counts > 0
+
+    # queue_totals maps a population vector to its (L,) total mean queue
+    # length vector.  Only the previous total-population level is needed
+    # to process the current one, so older levels are dropped as the walk
+    # proceeds — memory is O(width of one level), not O(lattice).
+    previous_level: Dict[Tuple[int, ...], np.ndarray] = {
+        tuple([0] * num_chains): np.zeros(num_stations)
+    }
+    current_level: Dict[Tuple[int, ...], np.ndarray] = {}
+    current_total = 0
+
+    target = tuple(limits)
+    final_wait = np.zeros((num_chains, num_stations))
+    final_throughput = np.zeros(num_chains)
+    final_queue = np.zeros((num_chains, num_stations))
+
+    for vector in population_vectors_by_total(limits):
+        total = sum(vector)
+        if total == 0:
+            continue
+        if total != current_total:
+            if current_total != 0:
+                previous_level = current_level
+            current_level = {}
+            current_total = total
+        waits = np.zeros((num_chains, num_stations))
+        throughputs = np.zeros(num_chains)
+        per_chain_queue = np.zeros((num_chains, num_stations))
+        for r in range(num_chains):
+            if vector[r] == 0:
+                continue
+            predecessor = list(vector)
+            predecessor[r] -= 1
+            seen = previous_level[tuple(predecessor)]
+            wait_r = np.where(delay_mask, demands[r], demands[r] * (1.0 + seen))
+            wait_r = np.where(visit_mask[r], wait_r, 0.0)
+            cycle_time = wait_r.sum()
+            if cycle_time <= 0:
+                raise ModelError(
+                    f"chain {network.chains[r].name!r} has zero total demand"
+                )
+            lam = vector[r] / cycle_time
+            waits[r] = wait_r
+            throughputs[r] = lam
+            per_chain_queue[r] = lam * wait_r
+        current_level[vector] = per_chain_queue.sum(axis=0)
+        if vector == target:
+            final_wait = waits
+            final_throughput = throughputs
+            final_queue = per_chain_queue
+
+    return NetworkSolution(
+        network=network,
+        throughputs=final_throughput,
+        queue_lengths=final_queue,
+        waiting_times=final_wait,
+        method="mva-exact",
+        iterations=0,
+        converged=True,
+        extras={"lattice_size": float(size)},
+    )

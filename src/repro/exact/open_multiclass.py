@@ -1,0 +1,188 @@
+"""Multiclass open product-form networks (thesis §3.3.2, eqs. 3.3–3.12).
+
+The generalisation of Jackson's theorem to ``R`` customer classes: with
+class-``r`` Poisson streams of rate ``lambda_r`` over fixed routes, each
+fixed-rate station ``n`` sees per-class utilisations
+``rho_nr = lambda_r * demand_nr`` and behaves like an independent
+multiclass M/M/1:
+
+    N_nr = rho_nr / (1 - rho_n),    rho_n = sum_r rho_nr
+
+(the p.g.f. of eq. 3.12 evaluated at the linear workload combination of
+eq. 3.11).  IS stations give ``N_nr = rho_nr`` (Poisson law, Table 3.7).
+
+This is the *uncontrolled* view of a window-flow-controlled network — the
+model the windows protect against (its delays diverge as any ``rho_n``
+approaches 1, which is precisely Fig. 2.1's congestion wall).  The
+functions below also return per-class end-to-end delays so examples can
+contrast open (no-control) and closed (windowed) predictions directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, StabilityError
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.queueing.station import Discipline, Station
+
+__all__ = ["OpenMulticlassResult", "solve_open_multiclass", "open_view_of_network"]
+
+
+@dataclass(frozen=True)
+class OpenMulticlassResult:
+    """Steady state of a multiclass open product-form network.
+
+    Attributes
+    ----------
+    station_names:
+        Station labels, index-aligned with the arrays below.
+    utilizations:
+        ``(L,)`` total utilisation ``rho_n`` per station.
+    queue_lengths:
+        ``(R, L)`` mean class-``r`` customers at station ``n``.
+    class_delays:
+        ``(R,)`` mean end-to-end sojourn time per class (Little).
+    arrival_rates:
+        ``(R,)`` class arrival rates.
+    """
+
+    station_names: Tuple[str, ...]
+    utilizations: np.ndarray
+    queue_lengths: np.ndarray
+    class_delays: np.ndarray
+    arrival_rates: np.ndarray
+
+    @property
+    def network_throughput(self) -> float:
+        """Total carried rate (equals total offered rate when stable)."""
+        return float(self.arrival_rates.sum())
+
+    @property
+    def mean_network_delay(self) -> float:
+        """Throughput-weighted mean end-to-end delay."""
+        total = self.network_throughput
+        if total <= 0:
+            return 0.0
+        return float(np.dot(self.arrival_rates, self.class_delays) / total)
+
+    @property
+    def power(self) -> float:
+        """Open-network power ``lambda / T``."""
+        delay = self.mean_network_delay
+        if delay <= 0:
+            return 0.0
+        return self.network_throughput / delay
+
+
+def solve_open_multiclass(
+    station_names: Sequence[str],
+    stations: Sequence[Station],
+    demands: np.ndarray,
+    arrival_rates: Sequence[float],
+) -> OpenMulticlassResult:
+    """Solve a multiclass open network over fixed routes.
+
+    Parameters
+    ----------
+    station_names / stations:
+        The stations (fixed-rate single-server or IS).
+    demands:
+        ``(R, L)`` — total mean service demand of one class-``r`` customer
+        at station ``n`` over its route (zero off-route).
+    arrival_rates:
+        ``(R,)`` class Poisson rates.
+
+    Raises
+    ------
+    StabilityError
+        If any queueing station has ``rho_n >= 1`` (thesis §3.2.5).
+    """
+    demand_arr = np.asarray(demands, dtype=float)
+    rates = np.asarray(arrival_rates, dtype=float)
+    if demand_arr.ndim != 2:
+        raise ModelError("demands must be a (classes, stations) matrix")
+    if rates.shape != (demand_arr.shape[0],):
+        raise ModelError("arrival_rates length must match the demand rows")
+    if len(stations) != demand_arr.shape[1]:
+        raise ModelError("stations length must match the demand columns")
+    if np.any(rates <= 0):
+        raise ModelError("class arrival rates must be positive")
+    if np.any(demand_arr < 0):
+        raise ModelError("demands must be non-negative")
+
+    rho = rates[:, None] * demand_arr  # (R, L)
+    rho_total = rho.sum(axis=0)
+    delay_mask = np.asarray(
+        [s.discipline is Discipline.IS for s in stations], dtype=bool
+    )
+    for n, station in enumerate(stations):
+        if delay_mask[n]:
+            continue
+        if station.servers != 1 or station.rate_multipliers is not None:
+            raise ModelError(
+                "solve_open_multiclass supports fixed-rate single-server "
+                "and IS stations"
+            )
+        if rho_total[n] >= 1.0:
+            raise StabilityError(
+                f"station {station_names[n]!r} unstable: rho = {rho_total[n]:.3f}"
+            )
+
+    queue_lengths = np.where(
+        delay_mask[None, :], rho, rho / (1.0 - rho_total[None, :])
+    )
+    class_delays = np.zeros(rates.shape[0])
+    for r in range(rates.shape[0]):
+        class_delays[r] = queue_lengths[r].sum() / rates[r]
+
+    return OpenMulticlassResult(
+        station_names=tuple(station_names),
+        utilizations=rho_total,
+        queue_lengths=queue_lengths,
+        class_delays=class_delays,
+        arrival_rates=rates,
+    )
+
+
+def open_view_of_network(
+    topology: Topology, classes: Sequence[TrafficClass]
+) -> OpenMulticlassResult:
+    """The no-flow-control (open) prediction for a message-switched network.
+
+    Builds the same channel queues as
+    :func:`repro.netmodel.builder.build_closed_network` but *without*
+    windows or source queues, and solves the multiclass open model —
+    the uncontrolled baseline against which windowed operation is judged.
+    """
+    if not classes:
+        raise ModelError("need at least one traffic class")
+    station_names: list = []
+    index = {}
+    rows = []
+    for traffic_class in classes:
+        channels = topology.path_channels(traffic_class.path)
+        row = {}
+        for (from_node, to_node), channel in zip(
+            zip(traffic_class.path, traffic_class.path[1:]), channels
+        ):
+            queue = channel.queue_name(from_node, to_node)
+            if queue not in index:
+                index[queue] = len(station_names)
+                station_names.append(queue)
+            row[queue] = row.get(queue, 0.0) + channel.service_time(
+                traffic_class.mean_message_bits
+            )
+        rows.append(row)
+
+    demands = np.zeros((len(classes), len(station_names)))
+    for r, row in enumerate(rows):
+        for queue, demand in row.items():
+            demands[r, index[queue]] = demand
+    stations = [Station.fcfs(name) for name in station_names]
+    rates = [traffic_class.arrival_rate for traffic_class in classes]
+    return solve_open_multiclass(station_names, stations, demands, rates)

@@ -1,0 +1,151 @@
+"""Semiclosed chains (thesis §3.3.3, the Georganas extension).
+
+A chain is *semiclosed* with parameters ``H- <= h <= H+`` when:
+
+* at ``h = H-`` a departing customer is immediately replaced,
+* for ``H- < h < H+`` customers arrive as a Poisson stream of rate
+  ``lambda``,
+* at ``h = H+`` arrivals stop.
+
+This generalises both the closed chain (``H- = H+``) and a window-limited
+open chain (``H- = 0``, ``H+ = window``): the latter is exactly the
+end-to-end flow-control model with an *open* source instead of the
+reentrant source queue, so the semiclosed solver provides an independent
+product-form treatment of window flow control.
+
+For a single semiclosed chain over product-form stations, the total
+population is a birth-death process whose conditional state given
+``h = m`` is the closed network of population ``m``; the population
+marginal is
+
+    P(h = m) ∝ lambda^m g(m),     H- <= m <= H+
+
+with ``g(m)`` the Buzen normalisation constants.  All measures follow by
+conditioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.exact.buzen import buzen
+
+__all__ = ["SemiclosedResult", "solve_semiclosed"]
+
+
+@dataclass(frozen=True)
+class SemiclosedResult:
+    """Steady state of a single semiclosed chain.
+
+    Attributes
+    ----------
+    population_pmf:
+        ``P(h = m)`` for ``m = 0..H+`` (zero below ``H-``).
+    acceptance_probability:
+        ``P(h < H+)`` — the probability an arriving customer is admitted.
+    effective_arrival_rate:
+        ``lambda * P(h < H+)`` (equals the departure throughput at
+        stationarity when ``H- = 0``).
+    mean_population:
+        ``E[h]``.
+    mean_queue_lengths:
+        ``(L,)`` per-station stationary means.
+    throughput:
+        Stationary service completion rate of the chain through its
+        reference cycle.
+    """
+
+    population_pmf: np.ndarray
+    acceptance_probability: float
+    effective_arrival_rate: float
+    mean_population: float
+    mean_queue_lengths: np.ndarray
+    throughput: float
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean time in network by Little's law."""
+        if self.throughput <= 0:
+            return float("inf")
+        return self.mean_population / self.throughput
+
+
+def solve_semiclosed(
+    demands: Sequence[float],
+    arrival_rate: float,
+    h_min: int,
+    h_max: int,
+) -> SemiclosedResult:
+    """Solve a single semiclosed chain over fixed-rate stations.
+
+    Parameters
+    ----------
+    demands:
+        Per-station service demands of the chain (seconds per visit).
+    arrival_rate:
+        Poisson arrival rate ``lambda`` (active while ``h < H+``).
+    h_min / h_max:
+        The population bounds ``H- <= h <= H+``.
+
+    Notes
+    -----
+    With ``h_min = 0`` this is the window-flow-controlled open chain: the
+    window is ``h_max`` and blocked arrivals are lost/throttled (the
+    acceptance probability quantifies the throttling).  With
+    ``h_min = h_max`` it degenerates to the Gordon–Newell closed chain.
+    """
+    demand_arr = np.asarray(demands, dtype=float)
+    if demand_arr.ndim != 1 or demand_arr.size == 0:
+        raise ModelError("demands must be a non-empty vector")
+    if np.any(demand_arr < 0) or demand_arr.max() <= 0:
+        raise ModelError("demands must be non-negative with positive total")
+    if arrival_rate <= 0:
+        raise ModelError(f"arrival rate must be positive, got {arrival_rate}")
+    if not 0 <= h_min <= h_max:
+        raise ModelError(f"need 0 <= H- <= H+, got ({h_min}, {h_max})")
+    if h_max == 0:
+        raise ModelError("H+ = 0 leaves no feasible customers")
+
+    # Buzen constants with demand scaling for numerical safety.
+    scale = demand_arr.max()
+    result = buzen(demand_arr / scale, h_max)
+    constants = result.constants  # g'(m) with rho' = rho/scale
+
+    # P(h = m) ∝ lambda^m g(m); in scaled terms g(m) = g'(m) scale^m, so
+    # weight(m) = (lambda * scale)^m g'(m).
+    weights = np.zeros(h_max + 1)
+    factor = arrival_rate * scale
+    for m in range(h_min, h_max + 1):
+        weights[m] = factor**m * constants[m]
+    mass = weights.sum()
+    if mass <= 0 or not np.isfinite(mass):
+        raise ModelError("population weights degenerate; rescale the inputs")
+    pmf = weights / mass
+
+    acceptance = float(pmf[:h_max].sum())
+    mean_population = float(np.dot(np.arange(h_max + 1), pmf))
+
+    # Condition per-station means and throughput on the population.
+    num_stations = demand_arr.size
+    mean_queues = np.zeros(num_stations)
+    throughput = 0.0
+    for m in range(h_min, h_max + 1):
+        if pmf[m] == 0:
+            continue
+        lam_m = result.throughput(m) / scale
+        throughput += pmf[m] * lam_m
+        for n in range(num_stations):
+            mean_queues[n] += pmf[m] * result.mean_queue_length(n, m)
+
+    return SemiclosedResult(
+        population_pmf=pmf,
+        acceptance_probability=acceptance,
+        effective_arrival_rate=arrival_rate * acceptance,
+        mean_population=mean_population,
+        mean_queue_lengths=mean_queues,
+        throughput=float(throughput),
+    )

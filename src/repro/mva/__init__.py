@@ -1,0 +1,36 @@
+"""Mean Value Analysis solvers (thesis §4.2).
+
+* :func:`~repro.mva.single_chain.solve_single_chain` — exact single-chain
+  MVA recursion (also the auxiliary subproblem of the heuristic).
+* :func:`~repro.mva.heuristic.solve_mva_heuristic` — the thesis multichain
+  heuristic (the function-evaluation engine of WINDIM).
+* :func:`~repro.mva.schweitzer.solve_schweitzer` — Schweitzer–Bard AMVA,
+  included as a comparison baseline.
+* :class:`~repro.mva.convergence.IterationControl` — iteration policy.
+"""
+
+from repro.mva.bounds import (
+    ThroughputBounds,
+    asymptotic_bounds,
+    balanced_job_bounds,
+    saturation_population,
+)
+from repro.mva.convergence import IterationControl
+from repro.mva.heuristic import initial_queue_lengths, solve_mva_heuristic
+from repro.mva.linearizer import solve_linearizer
+from repro.mva.schweitzer import solve_schweitzer
+from repro.mva.single_chain import SingleChainTrace, solve_single_chain
+
+__all__ = [
+    "IterationControl",
+    "solve_mva_heuristic",
+    "initial_queue_lengths",
+    "solve_linearizer",
+    "solve_schweitzer",
+    "solve_single_chain",
+    "SingleChainTrace",
+    "ThroughputBounds",
+    "asymptotic_bounds",
+    "balanced_job_bounds",
+    "saturation_population",
+]

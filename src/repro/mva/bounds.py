@@ -1,0 +1,92 @@
+"""Asymptotic and balanced-job bounds for closed chains.
+
+Cheap two-sided bounds on single-chain throughput used to sanity-check
+solver output and to reason about window choices without solving anything:
+
+* **Asymptotic bounds** (Muntz–Wong/Denning–Buzen):
+  ``lambda(D) <= min(D / T_total, 1 / d_max)`` and
+  ``lambda(D) >= D / (D * d_max + T_total - d_max)`` … the classic
+  optimistic/pessimistic envelope, exact at ``D = 1`` and ``D -> inf``.
+* **Balanced job bounds** (Zahorjan et al.): tighter two-sided bounds
+  obtained by comparing against balanced networks with the same total
+  demand,
+
+      D / (T + d_max (D - 1))      <= lambda(D) <=
+      D / (T + d_avg (D - 1))         (upper also capped by 1/d_max)
+
+  where ``T`` is total demand, ``d_avg = T / L``.
+
+The bound crossing point ``D* = T_total / d_max`` is Kleinrock's optimal
+window in disguise: for a balanced ``p``-hop chain it equals ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["ThroughputBounds", "asymptotic_bounds", "balanced_job_bounds", "saturation_population"]
+
+
+@dataclass(frozen=True)
+class ThroughputBounds:
+    """Two-sided bounds on closed-chain throughput at one population."""
+
+    population: int
+    lower: float
+    upper: float
+
+    def contains(self, value: float, slack: float = 1e-9) -> bool:
+        """True if ``value`` lies within the bounds (with tiny slack)."""
+        return self.lower - slack <= value <= self.upper + slack
+
+
+def _validate(demands: Sequence[float], population: int) -> np.ndarray:
+    arr = np.asarray(demands, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ModelError("demands must be a non-empty vector")
+    if np.any(arr < 0) or arr.max() <= 0:
+        raise ModelError("demands must be non-negative with a positive maximum")
+    if population < 1:
+        raise ModelError(f"population must be >= 1, got {population}")
+    return arr
+
+
+def asymptotic_bounds(demands: Sequence[float], population: int) -> ThroughputBounds:
+    """Optimistic/pessimistic asymptotic throughput bounds."""
+    arr = _validate(demands, population)
+    total = arr.sum()
+    bottleneck = arr.max()
+    upper = min(population / total, 1.0 / bottleneck)
+    lower = population / (population * bottleneck + total - bottleneck)
+    return ThroughputBounds(population=population, lower=lower, upper=upper)
+
+
+def balanced_job_bounds(demands: Sequence[float], population: int) -> ThroughputBounds:
+    """Balanced-job throughput bounds (tighter than asymptotic)."""
+    arr = _validate(demands, population)
+    positive = arr[arr > 0]
+    total = positive.sum()
+    bottleneck = positive.max()
+    average = total / positive.size
+    lower = population / (total + bottleneck * (population - 1))
+    upper = min(
+        1.0 / bottleneck, population / (total + average * (population - 1))
+    )
+    return ThroughputBounds(population=population, lower=lower, upper=upper)
+
+
+def saturation_population(demands: Sequence[float]) -> float:
+    """The knee ``D* = T_total / d_max`` where the asymptotes cross.
+
+    Populations beyond ``D*`` buy queueing delay instead of throughput —
+    the bound-level justification of small windows at heavy load, and the
+    generalisation of Kleinrock's ``w* = p`` (for ``p`` identical hops
+    ``D* = p`` exactly).
+    """
+    arr = _validate(demands, 1)
+    return float(arr.sum() / arr.max())

@@ -1,0 +1,79 @@
+"""Iteration control for fixed-point solvers.
+
+The thesis heuristic (§4.2 STEP 6) iterates until "the stopping condition
+(e.g. convergence criterion) is met"; the APL program uses the Euclidean
+norm of the change in class throughputs (``CRIT`` in ``FCT``).  This module
+centralises that policy — tolerance, iteration budget, optional damping —
+so every iterative solver in :mod:`repro.mva` behaves consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ModelError
+
+__all__ = ["IterationControl"]
+
+
+@dataclass(frozen=True)
+class IterationControl:
+    """Policy for a fixed-point iteration.
+
+    Parameters
+    ----------
+    tolerance:
+        Convergence threshold on the Euclidean norm of the change in the
+        iterate (class throughput vector for the MVA heuristics).
+    max_iterations:
+        Hard budget; behaviour on exhaustion is set by ``raise_on_failure``.
+    damping:
+        New iterate = ``damping * proposed + (1-damping) * previous``.
+        ``1.0`` (default) reproduces the undamped thesis iteration; values
+        in ``(0, 1)`` help strongly coupled networks converge.
+    raise_on_failure:
+        If True, exhausting the budget raises
+        :class:`~repro.errors.ConvergenceError`; if False the solver returns
+        its last iterate flagged ``converged=False``.
+    """
+
+    tolerance: float = 1e-8
+    max_iterations: int = 10_000
+    damping: float = 1.0
+    raise_on_failure: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tolerance <= 0:
+            raise ModelError(f"tolerance must be positive, got {self.tolerance}")
+        if self.max_iterations < 1:
+            raise ModelError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if not 0.0 < self.damping <= 1.0:
+            raise ModelError(f"damping must be in (0, 1], got {self.damping}")
+
+    def residual(self, current: np.ndarray, previous: np.ndarray) -> float:
+        """Euclidean norm of the iterate change (the APL ``CRIT``)."""
+        return float(np.linalg.norm(np.asarray(current) - np.asarray(previous)))
+
+    def has_converged(self, current: np.ndarray, previous: np.ndarray) -> bool:
+        """True when the residual falls below the tolerance."""
+        return self.residual(current, previous) < self.tolerance
+
+    def apply_damping(self, proposed: np.ndarray, previous: np.ndarray) -> np.ndarray:
+        """Blend the proposed iterate with the previous one."""
+        if self.damping >= 1.0:
+            return proposed
+        return self.damping * proposed + (1.0 - self.damping) * previous
+
+    def on_exhausted(self, solver: str, iterations: int, residual: float) -> None:
+        """Handle budget exhaustion according to ``raise_on_failure``."""
+        if self.raise_on_failure:
+            raise ConvergenceError(
+                f"{solver} did not converge within {iterations} iterations "
+                f"(residual {residual:.3e} > tolerance {self.tolerance:.3e})",
+                iterations=iterations,
+                residual=residual,
+            )

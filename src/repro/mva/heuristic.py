@@ -1,0 +1,172 @@
+"""The thesis §4.2 multichain MVA heuristic (Reiser–Lavenberg).
+
+Exact multichain MVA recurses over every population vector below the target
+— ``O(prod_r (E_r + 1))`` work — which is what makes window dimensioning by
+exact analysis intractable.  The heuristic replaces the recursion with a
+fixed-point iteration costing ``O(sum_r E_r)`` per sweep:
+
+1. For each chain ``r``, estimate the own-chain queue-length increments
+   ``sigma_ir(r-) = N_ir(D) - N_ir(D - u_r)`` from an auxiliary
+   *single-chain* problem in which chain ``r`` is isolated with service
+   times inflated by the other chains' current mean queue lengths
+   (eq. 4.12; APL ``FCT`` lines [40]–[62]).  Cross-chain increments are
+   taken as zero (eq. 4.11: the chain losing the customer is affected most).
+2. Apply the arrival theorem with the approximation
+   ``N_ij(D - u_r) ~= N_ij(D) - sigma_ij(r-)`` (eq. 4.13):
+   ``t_ir = G_ir * (1 + sum_j N_ij - sigma_ir)``.
+3. Close the loop with Little's law for chains and queues
+   (eqs. 4.14, 4.15) and iterate until the class-throughput vector is
+   stationary (the APL ``CRIT`` criterion).
+
+The procedure is asymptotically exact as populations and/or the number of
+chains grow (thesis p. 89, citing [26]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mva.convergence import IterationControl
+from repro.mva.single_chain import solve_single_chain
+from repro.queueing.network import ClosedNetwork
+from repro.solution import NetworkSolution
+
+__all__ = ["solve_mva_heuristic", "initial_queue_lengths"]
+
+#: Supported initialisation strategies for the mean queue lengths (STEP 1).
+INITIALIZERS = ("balanced", "bottleneck")
+
+
+def initial_queue_lengths(network: ClosedNetwork, strategy: str = "balanced") -> np.ndarray:
+    """Initial mean queue lengths satisfying eq. (4.18).
+
+    ``balanced``
+        Spread each chain's population evenly over its stations
+        (eq. 4.17, "totally balanced chain").
+    ``bottleneck``
+        Put the whole population at the chain's largest-demand station
+        (eq. 4.16, "static location of bottleneck queue").
+    """
+    if strategy not in INITIALIZERS:
+        raise ModelError(
+            f"unknown initialisation strategy {strategy!r}; expected one of {INITIALIZERS}"
+        )
+    queue_lengths = np.zeros_like(network.demands)
+    for r in range(network.num_chains):
+        population = float(network.populations[r])
+        stations = network.visited_stations(r)
+        if population == 0 or stations.size == 0:
+            continue
+        if strategy == "balanced":
+            queue_lengths[r, stations] = population / stations.size
+        else:
+            queue_lengths[r, network.bottleneck_station(r)] = population
+    return queue_lengths
+
+
+def solve_mva_heuristic(
+    network: ClosedNetwork,
+    control: Optional[IterationControl] = None,
+    initializer: str = "balanced",
+) -> NetworkSolution:
+    """Solve a closed multichain network with the thesis §4.2 heuristic.
+
+    Parameters
+    ----------
+    network:
+        The closed network; any chain may have population zero (it then
+        simply contributes nothing).
+    control:
+        Iteration policy; defaults to ``IterationControl()`` which matches
+        the thesis (undamped, throughput-norm stopping criterion).
+    initializer:
+        Queue-length initialisation strategy (``"balanced"`` default, or
+        ``"bottleneck"``; thesis §4.2 rules 1 and 2).
+
+    Returns
+    -------
+    NetworkSolution
+        With ``method="mva-heuristic"``.  ``converged`` is False if the
+        iteration budget ran out (unless the control is set to raise).
+    """
+    if control is None:
+        control = IterationControl()
+
+    demands = network.demands
+    num_chains, num_stations = demands.shape
+    populations = network.populations.astype(float)
+    delay_mask = np.asarray([s.is_delay for s in network.stations], dtype=bool)
+    visit_mask = network.visit_counts > 0
+
+    queue_lengths = initial_queue_lengths(network, initializer)
+    throughputs = np.zeros(num_chains)
+    waiting = np.zeros_like(demands)
+    sigma = np.zeros_like(demands)
+
+    active = [r for r in range(num_chains) if populations[r] > 0]
+
+    iterations = 0
+    residual = float("inf")
+    for iterations in range(1, control.max_iterations + 1):
+        # STEP 2 — own-chain queue-length increments from the isolated
+        # single-chain problem with inflated service times.
+        total_by_station = queue_lengths.sum(axis=0)
+        sigma[:] = 0.0
+        for r in active:
+            others = total_by_station - queue_lengths[r]
+            scaled = np.where(
+                delay_mask, demands[r], demands[r] * (1.0 + others)
+            )
+            trace = solve_single_chain(
+                scaled, int(network.populations[r]), delay_station=delay_mask
+            )
+            sigma[r] = trace.increment()
+
+        # STEP 3 — arrival theorem with N(D - u_r) ~= N(D) - sigma(r-).
+        seen = np.clip(total_by_station[None, :] - sigma, 0.0, None)
+        waiting = np.where(delay_mask[None, :], demands, demands * (1.0 + seen))
+        waiting[~visit_mask] = 0.0
+
+        # STEP 4 — Little's law for chains.
+        new_throughputs = np.zeros(num_chains)
+        for r in active:
+            cycle_time = waiting[r].sum()
+            if cycle_time <= 0:
+                raise ModelError(
+                    f"chain {network.chains[r].name!r} has zero total demand"
+                )
+            new_throughputs[r] = populations[r] / cycle_time
+        new_throughputs = control.apply_damping(new_throughputs, throughputs)
+
+        # STEP 5 — Little's law for queues.
+        queue_lengths = new_throughputs[:, None] * waiting
+
+        # STEP 6 — stopping criterion on the throughput vector.
+        residual = control.residual(new_throughputs, throughputs)
+        throughputs = new_throughputs
+        if residual < control.tolerance:
+            return NetworkSolution(
+                network=network,
+                throughputs=throughputs,
+                queue_lengths=queue_lengths,
+                waiting_times=waiting,
+                method="mva-heuristic",
+                iterations=iterations,
+                converged=True,
+                extras={"residual": residual},
+            )
+
+    control.on_exhausted("mva-heuristic", iterations, residual)
+    return NetworkSolution(
+        network=network,
+        throughputs=throughputs,
+        queue_lengths=queue_lengths,
+        waiting_times=waiting,
+        method="mva-heuristic",
+        iterations=iterations,
+        converged=False,
+        extras={"residual": residual},
+    )

@@ -1,0 +1,171 @@
+"""Linearizer approximate MVA (Chandy–Neuse).
+
+The thesis notes that "more advanced search techniques can of course be
+used" (§4.1) and that heuristic MVA accuracy improves with population
+(§4.2).  Linearizer is the classical next rung above Schweitzer–Bard and
+the thesis heuristic: instead of assuming the queue-length *fractions*
+``F_ir = N_ir / D_r`` are unchanged by removing one customer, it estimates
+the first-order changes
+
+    Delta_ir(j) = F_ir(D - u_j) - F_ir(D)
+
+by actually solving the ``R`` reduced populations, then re-solving the
+full population with the corrected arrival-instant estimate
+
+    N_ir(D - u_j) ~= (D_r - [j == r]) * (F_ir(D) + Delta_ir(j)).
+
+Two to three outer refinements typically bring multichain errors well
+under one percent.  Included as an extension/ablation: the benchmark
+``bench_mva_vs_exact`` reports its accuracy next to the thesis heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mva.convergence import IterationControl
+from repro.queueing.network import ClosedNetwork
+from repro.solution import NetworkSolution
+
+__all__ = ["solve_linearizer"]
+
+
+def _core_fixed_point(
+    demands: np.ndarray,
+    populations: np.ndarray,
+    delay_mask: np.ndarray,
+    visit_mask: np.ndarray,
+    deltas: np.ndarray,
+    control: IterationControl,
+):
+    """Solve one population vector with frozen fraction corrections.
+
+    ``deltas[j, r, i]`` estimates ``F_ri(D - u_j) - F_ri(D)``.  Returns
+    ``(throughputs, queue_lengths, waiting, iterations, residual)``.
+    """
+    num_chains, num_stations = demands.shape
+    active = [r for r in range(num_chains) if populations[r] > 0]
+
+    queue_lengths = np.zeros_like(demands)
+    for r in active:
+        stations = np.flatnonzero(visit_mask[r])
+        queue_lengths[r, stations] = populations[r] / stations.size
+
+    throughputs = np.zeros(num_chains)
+    waiting = np.zeros_like(demands)
+    iterations = 0
+    residual = float("inf")
+    for iterations in range(1, control.max_iterations + 1):
+        fractions = np.zeros_like(demands)
+        for r in active:
+            fractions[r] = queue_lengths[r] / populations[r]
+
+        new_throughputs = np.zeros(num_chains)
+        for j in active:
+            # Estimated queue lengths seen by an arriving chain-j customer.
+            seen = np.zeros(num_stations)
+            for r in active:
+                reduced = populations[r] - (1.0 if r == j else 0.0)
+                seen += reduced * np.clip(fractions[r] + deltas[j, r], 0.0, 1.0)
+            wait_j = np.where(delay_mask, demands[j], demands[j] * (1.0 + seen))
+            wait_j = np.where(visit_mask[j], wait_j, 0.0)
+            cycle_time = wait_j.sum()
+            if cycle_time <= 0:
+                raise ModelError("chain with zero total demand")
+            new_throughputs[j] = populations[j] / cycle_time
+            waiting[j] = wait_j
+
+        new_throughputs = control.apply_damping(new_throughputs, throughputs)
+        queue_lengths = new_throughputs[:, None] * waiting
+        residual = control.residual(new_throughputs, throughputs)
+        throughputs = new_throughputs
+        if residual < control.tolerance:
+            break
+    return throughputs, queue_lengths, waiting, iterations, residual
+
+
+def solve_linearizer(
+    network: ClosedNetwork,
+    control: Optional[IterationControl] = None,
+    refinements: int = 2,
+) -> NetworkSolution:
+    """Solve a closed multichain network with the Linearizer AMVA.
+
+    Parameters
+    ----------
+    network / control:
+        As for :func:`repro.mva.heuristic.solve_mva_heuristic`.
+    refinements:
+        Number of outer delta-refinement passes (2 is the classical
+        choice; 0 degenerates to Schweitzer–Bard).
+
+    Returns
+    -------
+    NetworkSolution
+        With ``method="linearizer"``.
+    """
+    if control is None:
+        control = IterationControl()
+    if refinements < 0:
+        raise ModelError(f"refinements must be >= 0, got {refinements}")
+
+    demands = network.demands
+    num_chains, num_stations = demands.shape
+    populations = network.populations.astype(float)
+    delay_mask = np.asarray([s.is_delay for s in network.stations], dtype=bool)
+    visit_mask = network.visit_counts > 0
+
+    deltas = np.zeros((num_chains, num_chains, num_stations))
+    total_iterations = 0
+
+    result = _core_fixed_point(
+        demands, populations, delay_mask, visit_mask, deltas, control
+    )
+    total_iterations += result[3]
+
+    for _pass in range(refinements):
+        throughputs, queue_lengths, _w, _it, _res = result
+        fractions_full = np.zeros_like(demands)
+        for r in range(num_chains):
+            if populations[r] > 0:
+                fractions_full[r] = queue_lengths[r] / populations[r]
+
+        # Solve each reduced population D - u_j with the current deltas.
+        for j in range(num_chains):
+            if populations[j] <= 0:
+                continue
+            reduced = populations.copy()
+            reduced[j] -= 1.0
+            sub = _core_fixed_point(
+                demands, reduced, delay_mask, visit_mask, deltas, control
+            )
+            total_iterations += sub[3]
+            sub_queue = sub[1]
+            for r in range(num_chains):
+                if reduced[r] > 0:
+                    deltas[j, r] = sub_queue[r] / reduced[r] - fractions_full[r]
+                else:
+                    deltas[j, r] = 0.0
+
+        result = _core_fixed_point(
+            demands, populations, delay_mask, visit_mask, deltas, control
+        )
+        total_iterations += result[3]
+
+    throughputs, queue_lengths, waiting, _it, residual = result
+    converged = residual < control.tolerance
+    if not converged:
+        control.on_exhausted("linearizer", total_iterations, residual)
+    return NetworkSolution(
+        network=network,
+        throughputs=throughputs,
+        queue_lengths=queue_lengths,
+        waiting_times=waiting,
+        method="linearizer",
+        iterations=total_iterations,
+        converged=converged,
+        extras={"residual": residual},
+    )

@@ -1,0 +1,137 @@
+"""Exact Mean Value Analysis for a single closed chain.
+
+Implements the classical single-chain recursion (thesis eqs. 4.1–4.4):
+
+    t_i(D) = G_i * (1 + N_i(D-1))        (arrival theorem; queueing stations)
+    t_i(D) = G_i                          (delay stations)
+    lambda(D) = D / sum_i t_i(D)          (Little, chain)
+    N_i(D) = lambda(D) * t_i(D)           (Little, queue)
+
+starting from ``N_i(0) = 0``.  This recursion is exact for product-form
+networks.  It is used standalone (Gordon–Newell class networks) and as the
+auxiliary single-chain subproblem inside the thesis multichain heuristic,
+which needs the *last two* population steps to form the queue-length
+increment ``sigma_i = N_i(D) - N_i(D-1)`` (eq. 4.12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["SingleChainTrace", "solve_single_chain"]
+
+
+@dataclass(frozen=True)
+class SingleChainTrace:
+    """Full population-by-population output of the single-chain recursion.
+
+    Index ``d`` of each array corresponds to population ``d`` (``d = 0`` is
+    the empty network).
+
+    Attributes
+    ----------
+    demands:
+        ``(L,)`` service demands the recursion was run with.
+    queue_lengths:
+        ``(D+1, L)`` — ``queue_lengths[d, i]`` is ``N_i(d)``.
+    waiting_times:
+        ``(D+1, L)`` — ``waiting_times[d, i]`` is ``t_i(d)`` (zero row at
+        ``d = 0``).
+    throughputs:
+        ``(D+1,)`` — ``throughputs[d]`` is ``lambda(d)``.
+    """
+
+    demands: np.ndarray
+    queue_lengths: np.ndarray
+    waiting_times: np.ndarray
+    throughputs: np.ndarray
+
+    @property
+    def population(self) -> int:
+        """The population the recursion was run up to."""
+        return self.queue_lengths.shape[0] - 1
+
+    def increment(self, population: Optional[int] = None) -> np.ndarray:
+        """Queue-length increments ``sigma_i = N_i(D) - N_i(D-1)``.
+
+        This is thesis eq. (4.12): the estimated change in mean queue length
+        when the chain population drops by one customer.  For ``D = 0`` the
+        increment is identically zero.
+        """
+        d = self.population if population is None else population
+        if not 0 <= d <= self.population:
+            raise ValueError(f"population {d} out of range 0..{self.population}")
+        if d == 0:
+            return np.zeros_like(self.demands)
+        return self.queue_lengths[d] - self.queue_lengths[d - 1]
+
+
+def solve_single_chain(
+    demands: Sequence[float],
+    population: int,
+    delay_station: Optional[Sequence[bool]] = None,
+) -> SingleChainTrace:
+    """Run exact single-chain MVA up to ``population`` customers.
+
+    Parameters
+    ----------
+    demands:
+        Mean service demand per cycle at each station (seconds).  Stations
+        with zero demand are simply carried through with zero results.
+    population:
+        Chain population ``D >= 0``.
+    delay_station:
+        Optional boolean mask marking infinite-server stations, whose
+        waiting time is their demand regardless of congestion.
+
+    Returns
+    -------
+    SingleChainTrace
+        The complete recursion, populations ``0..D``.
+    """
+    demand_arr = np.asarray(demands, dtype=float)
+    if demand_arr.ndim != 1:
+        raise ModelError(f"demands must be one-dimensional, got shape {demand_arr.shape}")
+    if np.any(demand_arr < 0):
+        raise ModelError("service demands must be non-negative")
+    if population < 0:
+        raise ModelError(f"population must be >= 0, got {population}")
+
+    num_stations = demand_arr.shape[0]
+    if delay_station is None:
+        delay_mask = np.zeros(num_stations, dtype=bool)
+    else:
+        delay_mask = np.asarray(delay_station, dtype=bool)
+        if delay_mask.shape != (num_stations,):
+            raise ModelError("delay_station mask must match demands in length")
+
+    queue_lengths = np.zeros((population + 1, num_stations))
+    waiting_times = np.zeros((population + 1, num_stations))
+    throughputs = np.zeros(population + 1)
+
+    queueing = ~delay_mask
+    for d in range(1, population + 1):
+        wait = np.where(
+            queueing, demand_arr * (1.0 + queue_lengths[d - 1]), demand_arr
+        )
+        total_wait = wait.sum()
+        if total_wait <= 0:
+            # All demands are zero: customers circulate instantaneously.
+            throughputs[d] = float("inf")
+            continue
+        lam = d / total_wait
+        throughputs[d] = lam
+        waiting_times[d] = wait
+        queue_lengths[d] = lam * wait
+
+    return SingleChainTrace(
+        demands=demand_arr,
+        queue_lengths=queue_lengths,
+        waiting_times=waiting_times,
+        throughputs=throughputs,
+    )

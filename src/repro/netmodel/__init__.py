@@ -1,0 +1,54 @@
+"""Message-switched network modelling (topology → queueing model).
+
+* :class:`~repro.netmodel.topology.Topology`,
+  :class:`~repro.netmodel.topology.Channel` — the physical network.
+* :class:`~repro.netmodel.traffic.TrafficClass` — virtual channels.
+* :func:`~repro.netmodel.builder.build_closed_network` — topology +
+  classes → :class:`~repro.queueing.network.ClosedNetwork`.
+* :mod:`~repro.netmodel.examples` — the thesis networks.
+* :mod:`~repro.netmodel.generator` — seeded random instances.
+"""
+
+from repro.netmodel.builder import build_closed_network, source_station_name
+from repro.netmodel.examples import (
+    arpanet_fragment,
+    canadian_four_class,
+    canadian_topology,
+    canadian_two_class,
+    tandem_network,
+)
+from repro.netmodel.generator import (
+    line_topology,
+    random_mesh_topology,
+    random_network,
+    random_traffic_classes,
+    ring_topology,
+)
+from repro.netmodel.routes import route_all_pairs, shortest_path
+from repro.netmodel.spec import load_spec, network_from_spec, parse_spec
+from repro.netmodel.topology import Channel, Duplex, Topology
+from repro.netmodel.traffic import TrafficClass
+
+__all__ = [
+    "Topology",
+    "Channel",
+    "Duplex",
+    "TrafficClass",
+    "build_closed_network",
+    "source_station_name",
+    "shortest_path",
+    "route_all_pairs",
+    "parse_spec",
+    "load_spec",
+    "network_from_spec",
+    "canadian_topology",
+    "canadian_two_class",
+    "canadian_four_class",
+    "arpanet_fragment",
+    "tandem_network",
+    "ring_topology",
+    "line_topology",
+    "random_mesh_topology",
+    "random_traffic_classes",
+    "random_network",
+]

@@ -1,0 +1,112 @@
+"""Build closed multichain queueing models from network descriptions.
+
+This is the modelling step of thesis §4.5: each channel becomes an FCFS
+single-server queue (half-duplex channels yield *one* queue shared by both
+directions; full-duplex channels one per direction), and each traffic class
+becomes a closed cyclic chain whose population is its end-to-end window.
+The chain is closed by the class's *source queue* — an FCFS queue with
+mean service time ``1/S_r`` modelling the Poisson source and the
+acknowledgement-driven admission throttling ("reentrant queue from sink to
+source", §3.4; queues 8–9 of Fig. 4.6 and 8–11 of Fig. 4.11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+__all__ = ["build_closed_network", "source_station_name"]
+
+
+def source_station_name(traffic_class: TrafficClass) -> str:
+    """Name of the source queue modelling a traffic class's arrivals."""
+    return f"src:{traffic_class.name}"
+
+
+def build_closed_network(
+    topology: Topology,
+    classes: Sequence[TrafficClass],
+    windows: Optional[Sequence[int]] = None,
+) -> ClosedNetwork:
+    """Assemble the closed multichain model of a flow-controlled network.
+
+    Parameters
+    ----------
+    topology:
+        The physical network.
+    classes:
+        The traffic classes; each path is validated against the topology.
+    windows:
+        Optional per-class window overrides; entries of ``None`` (or an
+        omitted argument) fall back to the class's own ``window`` attribute
+        and finally to its hop count (the Kleinrock rule).
+
+    Returns
+    -------
+    ClosedNetwork
+        Stations: one per half-duplex channel or full-duplex direction
+        actually used, plus one source queue per class.  Chains: one per
+        class, source queue first.
+    """
+    if not classes:
+        raise ModelError("need at least one traffic class")
+    names = set()
+    for traffic_class in classes:
+        if traffic_class.name in names:
+            raise ModelError(f"duplicate traffic class name {traffic_class.name!r}")
+        names.add(traffic_class.name)
+
+    if windows is not None and len(windows) != len(classes):
+        raise ModelError(
+            f"got {len(windows)} window overrides for {len(classes)} classes"
+        )
+
+    stations: Dict[str, Station] = {}
+    chains: List[ClosedChain] = []
+
+    for k, traffic_class in enumerate(classes):
+        channels = topology.path_channels(traffic_class.path)
+        source_name = source_station_name(traffic_class)
+        if source_name in stations:
+            raise ModelError(f"station name collision on {source_name!r}")
+        stations[source_name] = Station.fcfs(source_name)
+
+        visits = [source_name]
+        services = [1.0 / traffic_class.arrival_rate]
+        for (from_node, to_node), channel in zip(
+            zip(traffic_class.path, traffic_class.path[1:]), channels
+        ):
+            queue = channel.queue_name(from_node, to_node)
+            if queue not in stations:
+                stations[queue] = Station.fcfs(queue)
+            visits.append(queue)
+            services.append(channel.service_time(traffic_class.mean_message_bits))
+
+        if windows is not None and windows[k] is not None:
+            window = int(windows[k])
+        elif traffic_class.window is not None:
+            window = traffic_class.window
+        else:
+            window = traffic_class.hops
+        if window < 1:
+            raise ModelError(
+                f"class {traffic_class.name!r}: window must be >= 1, got {window}"
+            )
+
+        chains.append(
+            ClosedChain(
+                name=traffic_class.name,
+                visits=tuple(visits),
+                service_times=tuple(services),
+                population=window,
+                source_station=source_name,
+            )
+        )
+
+    return ClosedNetwork.build(tuple(stations.values()), chains)

@@ -1,0 +1,229 @@
+"""Canonical network examples from the thesis (and an ARPA-like extra).
+
+**Topology reconstruction note.** The scanned thesis describes the Canadian
+example only in prose: six switching nodes (Vancouver, Edmonton, Winnipeg,
+Toronto, Montréal, Ottawa), seven half-duplex channels — channels 1–5 at
+50 kbit/s, channels 6–7 at 25 kbit/s — FIFO queueing and 1000-bit
+exponential messages (Figs. 4.5/4.10 are not legible in the microfiche).
+The class routes *are* given exactly:
+
+* class 1: Edmonton → Winnipeg → Toronto → Montréal → Ottawa  (4 hops)
+* class 2: Montréal → Toronto → Winnipeg → Edmonton → Vancouver (4 hops)
+* class 3: Vancouver → Edmonton, → Winnipeg → Montréal (3 hops)
+* class 4: Toronto → Winnipeg (1 hop)
+
+The channel set reconstructed here is the unique economical one consistent
+with those routes, the "4 4 3 1" hop counts of Table 4.12 and the channel
+count/capacities: trunk channels Edmonton–Winnipeg, Winnipeg–Toronto,
+Toronto–Montréal, Winnipeg–Montréal and a spare Toronto–Ottawa at
+50 kbit/s (channels 1–5), tail channels Montréal–Ottawa and
+Edmonton–Vancouver at 25 kbit/s (channels 6–7).  Because the channels are
+half-duplex, classes 1 and 2 share the three trunk queues in opposite
+directions — the interaction the thesis studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.netmodel.builder import build_closed_network
+from repro.netmodel.topology import Channel, Duplex, Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.queueing.network import ClosedNetwork
+
+__all__ = [
+    "canadian_topology",
+    "canadian_two_class",
+    "canadian_four_class",
+    "arpanet_fragment",
+    "tandem_network",
+]
+
+#: Mean message length used throughout the thesis examples (bits).
+THESIS_MESSAGE_BITS = 1000.0
+
+TRUNK_BPS = 50_000.0
+TAIL_BPS = 25_000.0
+
+
+def canadian_topology() -> Topology:
+    """The six-node, seven-channel network of Figs. 4.5/4.10."""
+    nodes = ("Vancouver", "Edmonton", "Winnipeg", "Toronto", "Montreal", "Ottawa")
+    channels = (
+        Channel("ch1", "Edmonton", "Winnipeg", TRUNK_BPS),
+        Channel("ch2", "Winnipeg", "Toronto", TRUNK_BPS),
+        Channel("ch3", "Toronto", "Montreal", TRUNK_BPS),
+        Channel("ch4", "Winnipeg", "Montreal", TRUNK_BPS),
+        Channel("ch5", "Toronto", "Ottawa", TRUNK_BPS),
+        Channel("ch6", "Montreal", "Ottawa", TAIL_BPS),
+        Channel("ch7", "Edmonton", "Vancouver", TAIL_BPS),
+    )
+    return Topology(nodes, channels)
+
+
+def canadian_two_class(
+    s1: float,
+    s2: float,
+    windows: Optional[Sequence[int]] = None,
+) -> ClosedNetwork:
+    """The 2-class example network of §4.5 (Fig. 4.5/4.6).
+
+    Parameters
+    ----------
+    s1 / s2:
+        Poisson arrival rates (msg/s) of classes 1 and 2.
+    windows:
+        Optional window overrides ``(E_1, E_2)``; default = hop counts.
+
+    Returns
+    -------
+    ClosedNetwork
+        Two chains over nine queues (7 channels + 2 source queues); the
+        chains share the three trunk channels in opposite directions.
+    """
+    classes = two_class_traffic(s1, s2)
+    return build_closed_network(canadian_topology(), classes, windows)
+
+
+def two_class_traffic(s1: float, s2: float) -> Tuple[TrafficClass, TrafficClass]:
+    """The two thesis traffic classes as :class:`TrafficClass` records."""
+    return (
+        TrafficClass(
+            name="class1",
+            path=("Edmonton", "Winnipeg", "Toronto", "Montreal", "Ottawa"),
+            arrival_rate=s1,
+            mean_message_bits=THESIS_MESSAGE_BITS,
+        ),
+        TrafficClass(
+            name="class2",
+            path=("Montreal", "Toronto", "Winnipeg", "Edmonton", "Vancouver"),
+            arrival_rate=s2,
+            mean_message_bits=THESIS_MESSAGE_BITS,
+        ),
+    )
+
+
+def canadian_four_class(
+    s1: float,
+    s2: float,
+    s3: float,
+    s4: float,
+    windows: Optional[Sequence[int]] = None,
+) -> ClosedNetwork:
+    """The 4-class example network of §4.5 (Fig. 4.10/4.11).
+
+    Classes 1–2 as in the 2-class example; class 3 routes Vancouver →
+    Edmonton → Winnipeg → Montréal, class 4 routes Toronto → Winnipeg.
+    The model has 4 chains over 11 queues (Fig. 4.11: 7 channel queues,
+    of which 6 are used, plus 4 source queues).
+    """
+    classes = four_class_traffic(s1, s2, s3, s4)
+    return build_closed_network(canadian_topology(), classes, windows)
+
+
+def four_class_traffic(
+    s1: float, s2: float, s3: float, s4: float
+) -> Tuple[TrafficClass, ...]:
+    """The four thesis traffic classes as :class:`TrafficClass` records."""
+    class1, class2 = two_class_traffic(s1, s2)
+    return (
+        class1,
+        class2,
+        TrafficClass(
+            name="class3",
+            path=("Vancouver", "Edmonton", "Winnipeg", "Montreal"),
+            arrival_rate=s3,
+            mean_message_bits=THESIS_MESSAGE_BITS,
+        ),
+        TrafficClass(
+            name="class4",
+            path=("Toronto", "Winnipeg"),
+            arrival_rate=s4,
+            mean_message_bits=THESIS_MESSAGE_BITS,
+        ),
+    )
+
+
+def arpanet_fragment(
+    rates: Optional[Sequence[float]] = None,
+    windows: Optional[Sequence[int]] = None,
+) -> ClosedNetwork:
+    """An ARPANET-like 8-node fragment with four cross-country classes.
+
+    A richer playground than the thesis examples (Fig. 2.3 motivates it):
+    eight IMP sites joined by 50 kbit/s full-duplex trunks, four traffic
+    classes crossing the network in both directions.  Used by examples and
+    scalability benchmarks; not a thesis experiment.
+    """
+    nodes = ("SRI", "UCLA", "UTAH", "ILL", "MIT", "BBN", "HARV", "CMU")
+    channels = (
+        Channel("sri-ucla", "SRI", "UCLA", 50_000.0, Duplex.FULL),
+        Channel("sri-utah", "SRI", "UTAH", 50_000.0, Duplex.FULL),
+        Channel("ucla-utah", "UCLA", "UTAH", 50_000.0, Duplex.FULL),
+        Channel("utah-ill", "UTAH", "ILL", 50_000.0, Duplex.FULL),
+        Channel("ill-mit", "ILL", "MIT", 50_000.0, Duplex.FULL),
+        Channel("mit-bbn", "MIT", "BBN", 50_000.0, Duplex.FULL),
+        Channel("bbn-harv", "BBN", "HARV", 50_000.0, Duplex.FULL),
+        Channel("harv-cmu", "HARV", "CMU", 50_000.0, Duplex.FULL),
+        Channel("cmu-ill", "CMU", "ILL", 50_000.0, Duplex.FULL),
+    )
+    topology = Topology(nodes, channels)
+    if rates is None:
+        rates = (8.0, 8.0, 6.0, 6.0)
+    if len(rates) != 4:
+        raise ModelError(f"arpanet_fragment expects 4 rates, got {len(rates)}")
+    classes = (
+        TrafficClass(
+            "west-east",
+            ("SRI", "UTAH", "ILL", "MIT", "BBN"),
+            rates[0],
+        ),
+        TrafficClass(
+            "east-west",
+            ("BBN", "MIT", "ILL", "UTAH", "SRI"),
+            rates[1],
+        ),
+        TrafficClass(
+            "south-north",
+            ("UCLA", "UTAH", "ILL", "CMU"),
+            rates[2],
+        ),
+        TrafficClass(
+            "north-south",
+            ("HARV", "BBN", "MIT", "ILL"),
+            rates[3],
+        ),
+    )
+    return build_closed_network(topology, classes, windows)
+
+
+def tandem_network(
+    hops: int,
+    arrival_rate: float,
+    capacity_bps: float = 50_000.0,
+    message_bits: float = THESIS_MESSAGE_BITS,
+    window: Optional[int] = None,
+) -> ClosedNetwork:
+    """A single-class tandem of ``hops`` identical channels.
+
+    The direct analogue of Kleinrock's p-hop model (§4.6): with one class
+    there is no chain interaction, so the optimal window should approach
+    the hop count — the property tested against
+    :mod:`repro.core.kleinrock`.
+    """
+    if hops < 1:
+        raise ModelError(f"hops must be >= 1, got {hops}")
+    nodes = tuple(f"n{i}" for i in range(hops + 1))
+    channels = tuple(
+        Channel(f"hop{i}", f"n{i}", f"n{i + 1}", capacity_bps) for i in range(hops)
+    )
+    topology = Topology(nodes, channels)
+    traffic = TrafficClass(
+        name="flow",
+        path=nodes,
+        arrival_rate=arrival_rate,
+        mean_message_bits=message_bits,
+        window=window,
+    )
+    return build_closed_network(topology, (traffic,))

@@ -1,0 +1,155 @@
+"""Random topology and workload generators.
+
+Seeded generators for property-based tests and scalability benchmarks:
+ring, line and random-mesh topologies plus random flow-controlled traffic
+classes routed by shortest path.  Every function takes an explicit
+``numpy.random.Generator`` (or seed) so results are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.netmodel.builder import build_closed_network
+from repro.netmodel.routes import shortest_path
+from repro.netmodel.topology import Channel, Duplex, Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.queueing.network import ClosedNetwork
+
+__all__ = [
+    "ring_topology",
+    "line_topology",
+    "random_mesh_topology",
+    "random_traffic_classes",
+    "random_network",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def ring_topology(num_nodes: int, capacity_bps: float = 50_000.0) -> Topology:
+    """A ring of ``num_nodes`` half-duplex channels."""
+    if num_nodes < 3:
+        raise ModelError("a ring needs at least 3 nodes")
+    nodes = tuple(f"n{i}" for i in range(num_nodes))
+    channels = tuple(
+        Channel(f"ring{i}", nodes[i], nodes[(i + 1) % num_nodes], capacity_bps)
+        for i in range(num_nodes)
+    )
+    return Topology(nodes, channels)
+
+
+def line_topology(num_nodes: int, capacity_bps: float = 50_000.0) -> Topology:
+    """A line (tandem) of ``num_nodes - 1`` half-duplex channels."""
+    if num_nodes < 2:
+        raise ModelError("a line needs at least 2 nodes")
+    nodes = tuple(f"n{i}" for i in range(num_nodes))
+    channels = tuple(
+        Channel(f"line{i}", nodes[i], nodes[i + 1], capacity_bps)
+        for i in range(num_nodes - 1)
+    )
+    return Topology(nodes, channels)
+
+
+def random_mesh_topology(
+    num_nodes: int,
+    extra_edges: int = 2,
+    capacity_choices: Sequence[float] = (25_000.0, 50_000.0),
+    seed: SeedLike = None,
+) -> Topology:
+    """A connected random mesh: a random spanning tree plus extra chords.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of switching nodes (>= 2).
+    extra_edges:
+        Chords added beyond the spanning tree (clipped to the complete
+        graph).
+    capacity_choices:
+        Channel capacities drawn uniformly from this set.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    if num_nodes < 2:
+        raise ModelError("a mesh needs at least 2 nodes")
+    rng = _rng(seed)
+    nodes = tuple(f"n{i}" for i in range(num_nodes))
+    edges: List[Tuple[int, int]] = []
+    present = set()
+    # Random spanning tree: attach each node to a random earlier node.
+    for i in range(1, num_nodes):
+        j = int(rng.integers(0, i))
+        edges.append((j, i))
+        present.add((j, i))
+    max_extra = num_nodes * (num_nodes - 1) // 2 - len(edges)
+    for _ in range(min(extra_edges, max_extra)):
+        while True:
+            a, b = sorted(rng.choice(num_nodes, size=2, replace=False).tolist())
+            if (a, b) not in present:
+                present.add((a, b))
+                edges.append((a, b))
+                break
+    channels = tuple(
+        Channel(
+            f"e{k}",
+            nodes[a],
+            nodes[b],
+            float(rng.choice(list(capacity_choices))),
+        )
+        for k, (a, b) in enumerate(edges)
+    )
+    return Topology(nodes, channels)
+
+
+def random_traffic_classes(
+    topology: Topology,
+    num_classes: int,
+    rate_range: Tuple[float, float] = (5.0, 25.0),
+    message_bits: float = 1000.0,
+    seed: SeedLike = None,
+) -> Tuple[TrafficClass, ...]:
+    """Random source/destination classes routed by fewest hops."""
+    if num_classes < 1:
+        raise ModelError("need at least one traffic class")
+    rng = _rng(seed)
+    nodes = list(topology.nodes)
+    if len(nodes) < 2:
+        raise ModelError("topology too small for traffic generation")
+    classes = []
+    for k in range(num_classes):
+        source, destination = rng.choice(len(nodes), size=2, replace=False)
+        path = shortest_path(topology, nodes[int(source)], nodes[int(destination)])
+        rate = float(rng.uniform(*rate_range))
+        classes.append(
+            TrafficClass(
+                name=f"class{k + 1}",
+                path=tuple(path),
+                arrival_rate=rate,
+                mean_message_bits=message_bits,
+            )
+        )
+    return tuple(classes)
+
+
+def random_network(
+    num_nodes: int = 8,
+    num_classes: int = 3,
+    extra_edges: int = 3,
+    seed: SeedLike = None,
+    windows: Optional[Sequence[int]] = None,
+) -> ClosedNetwork:
+    """A complete random closed network: mesh topology + random classes."""
+    rng = _rng(seed)
+    topology = random_mesh_topology(num_nodes, extra_edges, seed=rng)
+    classes = random_traffic_classes(topology, num_classes, seed=rng)
+    return build_closed_network(topology, classes, windows)

@@ -1,0 +1,90 @@
+"""Shortest-path routing over topologies.
+
+The thesis fixes each class's route by hand; for generated workloads and
+user convenience this module provides Dijkstra routing with two weightings:
+
+* ``"hops"`` — fewest channels;
+* ``"delay"`` — smallest total transmission time for a reference message
+  length (favours high-capacity channels).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ModelError
+from repro.netmodel.topology import Channel, Topology
+
+__all__ = ["shortest_path", "route_all_pairs"]
+
+
+def _weight_function(metric: str, message_bits: float) -> Callable[[Channel], float]:
+    if metric == "hops":
+        return lambda channel: 1.0
+    if metric == "delay":
+        return lambda channel: message_bits / channel.capacity_bps
+    raise ModelError(f"unknown routing metric {metric!r}; expected 'hops' or 'delay'")
+
+
+def shortest_path(
+    topology: Topology,
+    source: str,
+    destination: str,
+    metric: str = "hops",
+    message_bits: float = 1000.0,
+) -> List[str]:
+    """Shortest node path from ``source`` to ``destination``.
+
+    Raises
+    ------
+    ModelError
+        If no path exists or the endpoints are unknown/identical.
+    """
+    if source == destination:
+        raise ModelError("source and destination must differ")
+    weight = _weight_function(metric, message_bits)
+    if source not in topology.nodes or destination not in topology.nodes:
+        raise ModelError(f"unknown endpoint in ({source!r}, {destination!r})")
+
+    distances: Dict[str, float] = {source: 0.0}
+    previous: Dict[str, str] = {}
+    heap: List[Tuple[float, str]] = [(0.0, source)]
+    visited = set()
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == destination:
+            break
+        for neighbor in topology.neighbors(node):
+            channel = topology.channel_between(node, neighbor)
+            candidate = dist + weight(channel)
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                previous[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+
+    if destination not in distances:
+        raise ModelError(f"no path from {source!r} to {destination!r}")
+    path = [destination]
+    while path[-1] != source:
+        path.append(previous[path[-1]])
+    path.reverse()
+    return path
+
+
+def route_all_pairs(
+    topology: Topology, metric: str = "hops", message_bits: float = 1000.0
+) -> Dict[Tuple[str, str], List[str]]:
+    """Shortest paths for every ordered node pair (small topologies)."""
+    routes: Dict[Tuple[str, str], List[str]] = {}
+    for source in topology.nodes:
+        for destination in topology.nodes:
+            if source == destination:
+                continue
+            routes[(source, destination)] = shortest_path(
+                topology, source, destination, metric, message_bits
+            )
+    return routes

@@ -1,0 +1,101 @@
+"""Traffic classes (virtual channels) of a message-switched network.
+
+A traffic class is the thesis's unidirectional virtual channel: messages of
+a given mean length arrive as a Poisson stream at a source node and follow
+a fixed store-and-forward path to a destination node, subject to an
+end-to-end window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ModelError
+
+__all__ = ["TrafficClass"]
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One flow-controlled traffic class.
+
+    Parameters
+    ----------
+    name:
+        Identifier, unique within a network model.
+    path:
+        Node sequence from source to destination (at least two nodes).
+    arrival_rate:
+        Poisson message arrival rate ``S_r`` (messages/second).
+    mean_message_bits:
+        Mean (exponential) message length in bits; the thesis examples use
+        1000 bits for every class.
+    window:
+        End-to-end window ``E_r`` (outstanding messages); ``None`` defaults
+        to the hop count when the queueing model is built.
+    """
+
+    name: str
+    path: Tuple[str, ...]
+    arrival_rate: float
+    mean_message_bits: float = 1000.0
+    window: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("traffic class name must be non-empty")
+        if len(self.path) < 2:
+            raise ModelError(
+                f"class {self.name!r}: path must contain source and destination"
+            )
+        if len(set(self.path)) != len(self.path):
+            raise ModelError(f"class {self.name!r}: path revisits a node")
+        if self.arrival_rate <= 0:
+            raise ModelError(
+                f"class {self.name!r}: arrival rate must be positive, "
+                f"got {self.arrival_rate}"
+            )
+        if self.mean_message_bits <= 0:
+            raise ModelError(
+                f"class {self.name!r}: mean message length must be positive"
+            )
+        if self.window is not None and self.window < 1:
+            raise ModelError(
+                f"class {self.name!r}: window must be >= 1, got {self.window}"
+            )
+
+    @property
+    def source(self) -> str:
+        """Source node of the virtual channel."""
+        return self.path[0]
+
+    @property
+    def destination(self) -> str:
+        """Destination (sink) node of the virtual channel."""
+        return self.path[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of channel hops on the path."""
+        return len(self.path) - 1
+
+    def with_rate(self, arrival_rate: float) -> "TrafficClass":
+        """Copy with a different arrival rate (for load sweeps)."""
+        return TrafficClass(
+            name=self.name,
+            path=self.path,
+            arrival_rate=arrival_rate,
+            mean_message_bits=self.mean_message_bits,
+            window=self.window,
+        )
+
+    def with_window(self, window: Optional[int]) -> "TrafficClass":
+        """Copy with a different end-to-end window."""
+        return TrafficClass(
+            name=self.name,
+            path=self.path,
+            arrival_rate=self.arrival_rate,
+            mean_message_bits=self.mean_message_bits,
+            window=window,
+        )

@@ -1,0 +1,32 @@
+"""Queueing-network data model (thesis Chapter 3 model class).
+
+Public names:
+
+* :class:`~repro.queueing.station.Station`, :class:`~repro.queueing.station.Discipline`
+* :class:`~repro.queueing.chain.ClosedChain`, :class:`~repro.queueing.chain.OpenChain`
+* :class:`~repro.queueing.network.ClosedNetwork`
+* traffic-equation helpers in :mod:`repro.queueing.routing`
+* capacity-function helpers in :mod:`repro.queueing.capacity`
+"""
+
+from repro.queueing.chain import ClosedChain, OpenChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.routing import (
+    closed_chain_visit_ratios,
+    cyclic_routing_matrix,
+    open_chain_arrival_rates,
+    validate_routing_matrix,
+)
+from repro.queueing.station import Discipline, Station
+
+__all__ = [
+    "Station",
+    "Discipline",
+    "ClosedChain",
+    "OpenChain",
+    "ClosedNetwork",
+    "open_chain_arrival_rates",
+    "closed_chain_visit_ratios",
+    "cyclic_routing_matrix",
+    "validate_routing_matrix",
+]

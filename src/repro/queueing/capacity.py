@@ -1,0 +1,133 @@
+"""Capacity functions of service stations (thesis §3.3.2, Table 3.6).
+
+The *capacity function* of queue ``n`` is the formal power series
+
+    C_n(x) = sum_{i>=0} a_n(i) x^i,   a_n(i) = (mu_n^0)^i / prod_{j<=i} mu_n(j)
+
+whose coefficients ``a_n(i)`` are the station factors appearing in the
+product-form solution.  Three practically important cases (Table 3.6):
+
+* fixed-rate single server:        C(x) = 1 / (1 - x),        a(i) = 1
+* limited queue-dependent servers: C(x) = Theta(x) / (1 - x)
+* infinite server (M/G/inf):       C(x) = exp(x),             a(i) = 1/i!
+
+These coefficient sequences drive the convolution solvers in
+:mod:`repro.exact` and are exposed here for testing and for users building
+custom stations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.queueing.station import Discipline, Station
+
+__all__ = [
+    "capacity_coefficients",
+    "fixed_rate_coefficients",
+    "infinite_server_coefficients",
+    "multiserver_coefficients",
+    "capacity_function_value",
+]
+
+
+def fixed_rate_coefficients(max_customers: int) -> np.ndarray:
+    """Coefficients ``a(i) = 1`` of ``C(x) = 1/(1-x)``."""
+    if max_customers < 0:
+        raise ModelError("max_customers must be >= 0")
+    return np.ones(max_customers + 1)
+
+
+def infinite_server_coefficients(max_customers: int) -> np.ndarray:
+    """Coefficients ``a(i) = 1/i!`` of ``C(x) = exp(x)``."""
+    if max_customers < 0:
+        raise ModelError("max_customers must be >= 0")
+    coeffs = np.empty(max_customers + 1)
+    coeffs[0] = 1.0
+    for i in range(1, max_customers + 1):
+        coeffs[i] = coeffs[i - 1] / i
+    return coeffs
+
+
+def multiserver_coefficients(servers: int, max_customers: int) -> np.ndarray:
+    """Coefficients for an ``m``-server station with unit-rate servers.
+
+    ``a(i) = 1 / prod_{j<=i} min(j, m)`` — the "limited queue-dependent
+    server" of Table 3.6 with multipliers ``min(j, m)``.
+    """
+    if servers < 1:
+        raise ModelError("servers must be >= 1")
+    if max_customers < 0:
+        raise ModelError("max_customers must be >= 0")
+    coeffs = np.empty(max_customers + 1)
+    coeffs[0] = 1.0
+    for i in range(1, max_customers + 1):
+        coeffs[i] = coeffs[i - 1] / min(i, servers)
+    return coeffs
+
+
+def _multiplier_coefficients(multipliers: Sequence[float], max_customers: int) -> np.ndarray:
+    """Coefficients for explicit queue-dependent rate multipliers."""
+    coeffs = np.empty(max_customers + 1)
+    coeffs[0] = 1.0
+    for i in range(1, max_customers + 1):
+        idx = min(i, len(multipliers)) - 1
+        coeffs[i] = coeffs[i - 1] / multipliers[idx]
+    return coeffs
+
+
+def capacity_coefficients(station: Station, max_customers: int) -> np.ndarray:
+    """Capacity-function coefficients ``a(0..max_customers)`` of a station."""
+    if station.rate_multipliers is not None:
+        return _multiplier_coefficients(station.rate_multipliers, max_customers)
+    if station.discipline is Discipline.IS:
+        return infinite_server_coefficients(max_customers)
+    if station.servers == 1:
+        return fixed_rate_coefficients(max_customers)
+    return multiserver_coefficients(station.servers, max_customers)
+
+
+def capacity_function_value(
+    station: Station, x: float, terms: int = 200, tolerance: float = 1e-14
+) -> float:
+    """Numerically evaluate ``C(x)`` for a station.
+
+    Closed forms are used when available (fixed rate, IS); otherwise the
+    series is summed until terms fall below ``tolerance``.
+
+    Raises
+    ------
+    ModelError
+        If ``x >= 1`` for a station whose series has radius of convergence 1
+        (any station whose rate saturates).
+    """
+    if station.rate_multipliers is None:
+        if station.discipline is Discipline.IS:
+            return math.exp(x)
+        if station.servers == 1:
+            if x >= 1.0:
+                raise ModelError("C(x)=1/(1-x) diverges for x >= 1")
+            return 1.0 / (1.0 - x)
+
+    # General case: the rate eventually saturates at its final multiplier m*,
+    # so the tail behaves like a geometric series with ratio x/m*.
+    if station.rate_multipliers is not None:
+        saturation = station.rate_multipliers[-1]
+    else:
+        saturation = float(station.servers)
+    if x >= saturation:
+        raise ModelError(
+            f"capacity function diverges: x={x} >= saturated service rate {saturation}"
+        )
+    total = 1.0
+    coeff = 1.0
+    for i in range(1, terms + 1):
+        coeff *= x / station.rate_multiplier(i)
+        total += coeff
+        if coeff < tolerance * total:
+            break
+    return total

@@ -1,0 +1,159 @@
+"""Routing matrices and traffic equations.
+
+Thesis §3.2.3/§3.3.2: a chain's routing is a Markov chain over stations.
+For open chains the aggregate arrival rates solve the *traffic equations*
+
+    lambda_i = gamma_i + sum_j lambda_j * p_ji          (eq. 3.1)
+
+and for closed chains the *visit ratios* solve the same system with
+``gamma = 0``, determined up to a multiplicative constant (eq. 3.15a).
+
+These helpers let models be specified by probabilistic routing rather than
+explicit visit sequences; the deterministic cyclic routes used by WINDIM are
+the special case of a permutation-like routing matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, SolverError
+
+__all__ = [
+    "validate_routing_matrix",
+    "open_chain_arrival_rates",
+    "closed_chain_visit_ratios",
+    "cyclic_routing_matrix",
+]
+
+
+def validate_routing_matrix(routing: np.ndarray, allow_exit: bool = True) -> None:
+    """Check that ``routing`` is a valid sub-stochastic routing matrix.
+
+    Parameters
+    ----------
+    routing:
+        Square matrix; ``routing[i, j]`` is the probability that a customer
+        finishing service at station ``i`` proceeds to station ``j``.
+    allow_exit:
+        If True, row sums may be less than one (the deficit is the exit
+        probability, open networks).  If False, every row must sum to one
+        (closed networks; the thesis stability condition of §3.2.5).
+    """
+    routing = np.asarray(routing, dtype=float)
+    if routing.ndim != 2 or routing.shape[0] != routing.shape[1]:
+        raise ModelError(f"routing matrix must be square, got shape {routing.shape}")
+    if np.any(routing < -1e-12):
+        raise ModelError("routing probabilities must be non-negative")
+    row_sums = routing.sum(axis=1)
+    if np.any(row_sums > 1.0 + 1e-9):
+        raise ModelError("routing matrix row sums must not exceed 1")
+    if not allow_exit and np.any(np.abs(row_sums - 1.0) > 1e-9):
+        raise ModelError("closed-chain routing matrix rows must sum to 1")
+
+
+def open_chain_arrival_rates(
+    routing: np.ndarray, external_rates: Sequence[float]
+) -> np.ndarray:
+    """Solve the open-network traffic equations (thesis eq. 3.1).
+
+    Parameters
+    ----------
+    routing:
+        ``(N, N)`` sub-stochastic routing matrix.
+    external_rates:
+        ``gamma_i`` — exogenous Poisson arrival rate at each station.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``lambda_i`` — aggregate arrival rate at each station.
+    """
+    routing = np.asarray(routing, dtype=float)
+    validate_routing_matrix(routing, allow_exit=True)
+    gamma = np.asarray(external_rates, dtype=float)
+    if gamma.shape != (routing.shape[0],):
+        raise ModelError(
+            f"external rates shape {gamma.shape} does not match routing "
+            f"matrix {routing.shape}"
+        )
+    if np.any(gamma < 0):
+        raise ModelError("external arrival rates must be non-negative")
+    identity = np.eye(routing.shape[0])
+    try:
+        rates = np.linalg.solve(identity - routing.T, gamma)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(
+            "traffic equations are singular; customers cannot all eventually "
+            "leave the network"
+        ) from exc
+    if np.any(rates < -1e-9):
+        raise SolverError("traffic equations produced negative arrival rates")
+    return np.clip(rates, 0.0, None)
+
+
+def closed_chain_visit_ratios(
+    routing: np.ndarray, reference_station: int = 0
+) -> np.ndarray:
+    """Visit ratios of a closed chain (thesis eq. 3.15a with q=0).
+
+    The ratios are normalised so the reference station has visit ratio 1.
+
+    Parameters
+    ----------
+    routing:
+        ``(N, N)`` stochastic routing matrix of the chain (rows sum to 1).
+    reference_station:
+        Station whose visit ratio is pinned to 1.
+    """
+    routing = np.asarray(routing, dtype=float)
+    validate_routing_matrix(routing, allow_exit=False)
+    n = routing.shape[0]
+    if not 0 <= reference_station < n:
+        raise ModelError(f"reference station {reference_station} out of range")
+    # Solve e = e P with e[ref] = 1: replace one balance equation by the
+    # normalisation, which also handles the rank deficiency of (I - P^T).
+    system = (np.eye(n) - routing.T).copy()
+    rhs = np.zeros(n)
+    system[reference_station, :] = 0.0
+    system[reference_station, reference_station] = 1.0
+    rhs[reference_station] = 1.0
+    try:
+        ratios = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(
+            "visit-ratio equations are singular; the routing chain is not "
+            "irreducible"
+        ) from exc
+    if np.any(ratios < -1e-9):
+        raise SolverError("visit ratios came out negative; routing chain not irreducible")
+    return np.clip(ratios, 0.0, None)
+
+
+def cyclic_routing_matrix(route: Sequence[int], num_stations: Optional[int] = None) -> np.ndarray:
+    """Routing matrix of a deterministic cycle over ``route``.
+
+    ``route`` lists station indices in visit order; the last hop returns to
+    the first station, closing the chain.  Stations outside the route get
+    self-loops so the matrix stays stochastic (they are never entered).
+    """
+    if len(route) == 0:
+        raise ModelError("route must contain at least one station")
+    size = num_stations if num_stations is not None else max(route) + 1
+    if any(not 0 <= i < size for i in route):
+        raise ModelError("route contains station indices out of range")
+    if len(set(route)) != len(route):
+        raise ModelError(
+            "cyclic_routing_matrix requires distinct stations on the route; "
+            "use explicit visit sequences for re-entrant routes"
+        )
+    routing = np.zeros((size, size))
+    for here, nxt in zip(route, list(route[1:]) + [route[0]]):
+        routing[here, nxt] = 1.0
+    on_route = set(route)
+    for i in range(size):
+        if i not in on_route:
+            routing[i, i] = 1.0
+    return routing

@@ -1,0 +1,133 @@
+"""Service stations for queueing-network models.
+
+A *station* (thesis §3.2.4) is a queue plus one or more servers plus a queue
+discipline.  The separable-network theory (BCMP/thesis §3.3) admits four
+work-conserving disciplines, encoded here by :class:`Discipline`:
+
+* ``FCFS`` — first-come first-served, exponential service, a service rate
+  common to all classes (possibly queue-length dependent).
+* ``PS`` — processor sharing; class-dependent general (rational-Laplace)
+  service times allowed.
+* ``LCFS_PR`` — last-come first-served preemptive-resume; as PS.
+* ``IS`` — infinite server ("delay" station); as PS.
+
+For the WINDIM networks of Chapter 4 every link is an FCFS single-server
+queue, but the solvers in :mod:`repro.exact` and :mod:`repro.mva` accept any
+of the four disciplines so the library covers the full model class of the
+thesis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+
+__all__ = ["Discipline", "Station"]
+
+
+class Discipline(enum.Enum):
+    """Work-conserving queue disciplines with product-form solutions."""
+
+    FCFS = "fcfs"
+    PS = "ps"
+    LCFS_PR = "lcfs-pr"
+    IS = "is"
+
+    @property
+    def is_queueing(self) -> bool:
+        """True for disciplines where customers actually queue (not IS)."""
+        return self is not Discipline.IS
+
+    @property
+    def allows_class_dependent_service(self) -> bool:
+        """True if per-class mean service times may differ at this station.
+
+        FCFS product-form stations require a single exponential service time
+        distribution shared by all classes (thesis §3.2.4); the other three
+        disciplines allow class-dependent means.
+        """
+        return self is not Discipline.FCFS
+
+
+@dataclass(frozen=True)
+class Station:
+    """A single service station.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier; must be unique within a network.
+    discipline:
+        Queue discipline (default FCFS, the WINDIM link model).
+    servers:
+        Number of identical servers (default 1).  Ignored for IS stations,
+        which conceptually have infinitely many.
+    rate_multipliers:
+        Optional queue-length-dependent rate multipliers ``m[j]``: with ``j``
+        customers present the station works at ``m[min(j, len(m)) - 1]`` times
+        its unit rate.  This is the "limited queue-dependent server" of
+        Table 3.6.  When omitted, a multi-server station uses the standard
+        ``min(j, servers)`` multiplier.
+    """
+
+    name: str
+    discipline: Discipline = Discipline.FCFS
+    servers: int = 1
+    rate_multipliers: Optional[Tuple[float, ...]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("station name must be non-empty")
+        if self.servers < 1:
+            raise ModelError(f"station {self.name!r}: servers must be >= 1, got {self.servers}")
+        if self.rate_multipliers is not None:
+            if len(self.rate_multipliers) == 0:
+                raise ModelError(f"station {self.name!r}: rate_multipliers must be non-empty")
+            if any(m <= 0 for m in self.rate_multipliers):
+                raise ModelError(f"station {self.name!r}: rate multipliers must be positive")
+
+    @property
+    def is_delay(self) -> bool:
+        """True if this is an infinite-server (delay) station."""
+        return self.discipline is Discipline.IS
+
+    def rate_multiplier(self, customers: int) -> float:
+        """Service-rate multiplier when ``customers`` are present.
+
+        For a fixed-rate single server this is 1 for any positive queue
+        length; for an ``m``-server station it is ``min(customers, m)``;
+        for IS stations it equals ``customers`` (every customer is served
+        concurrently); explicit ``rate_multipliers`` override both.
+        """
+        if customers < 0:
+            raise ValueError(f"customers must be >= 0, got {customers}")
+        if customers == 0:
+            return 0.0
+        if self.rate_multipliers is not None:
+            idx = min(customers, len(self.rate_multipliers)) - 1
+            return self.rate_multipliers[idx]
+        if self.is_delay:
+            return float(customers)
+        return float(min(customers, self.servers))
+
+    @classmethod
+    def fcfs(cls, name: str, servers: int = 1) -> "Station":
+        """Convenience constructor for an FCFS station."""
+        return cls(name=name, discipline=Discipline.FCFS, servers=servers)
+
+    @classmethod
+    def delay(cls, name: str) -> "Station":
+        """Convenience constructor for an infinite-server (delay) station."""
+        return cls(name=name, discipline=Discipline.IS)
+
+
+def validate_unique_names(stations: Sequence[Station]) -> None:
+    """Raise :class:`ModelError` if any two stations share a name."""
+    seen = set()
+    for station in stations:
+        if station.name in seen:
+            raise ModelError(f"duplicate station name {station.name!r}")
+        seen.add(station.name)

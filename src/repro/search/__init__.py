@@ -1,0 +1,25 @@
+"""Integer optimisers for window dimensioning (thesis §4.3).
+
+* :func:`~repro.search.pattern.pattern_search` — Hooke–Jeeves, the WINDIM
+  engine.
+* :func:`~repro.search.exhaustive.exhaustive_search` — global baseline.
+* :func:`~repro.search.coordinate.coordinate_descent` — simple baseline.
+* :class:`~repro.search.cache.EvaluationCache` — memoisation (APL ``FLOC``).
+* :class:`~repro.search.space.IntegerBox` — integer search spaces.
+"""
+
+from repro.search.cache import EvaluationCache
+from repro.search.coordinate import coordinate_descent
+from repro.search.exhaustive import exhaustive_search
+from repro.search.pattern import pattern_search
+from repro.search.result import SearchResult
+from repro.search.space import IntegerBox
+
+__all__ = [
+    "EvaluationCache",
+    "IntegerBox",
+    "SearchResult",
+    "pattern_search",
+    "exhaustive_search",
+    "coordinate_descent",
+]

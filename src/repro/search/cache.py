@@ -1,0 +1,79 @@
+"""Memoised objective evaluation (the APL ``FLOC``/``FCT`` pair).
+
+The thesis WINDIM program keeps every evaluated window vector and its
+objective value in arrays (``XCMP``/``FXCMP``); before calling the costly
+MVA routine ``FCT`` it scans them via ``FLOC`` ("the necessary computations
+were done previously").  :class:`EvaluationCache` is the same idea with a
+dictionary, plus bookkeeping of hit/miss counts used by the benchmarks to
+report how much work memoisation saves the pattern search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["EvaluationCache"]
+
+Point = Tuple[int, ...]
+
+
+@dataclass
+class EvaluationCache:
+    """Memoising wrapper around an objective function.
+
+    Parameters
+    ----------
+    objective:
+        Function mapping an integer point to the value being minimised.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup statistics.
+    history:
+        Every *distinct* evaluated point, in evaluation order, with its
+        value — useful for plotting search trajectories.
+    """
+
+    objective: Callable[[Point], float]
+    values: Dict[Point, float] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    history: List[Tuple[Point, float]] = field(default_factory=list)
+
+    def __call__(self, point: Point) -> float:
+        """Evaluate ``point``, reusing a previous result when available."""
+        key = tuple(int(x) for x in point)
+        if key in self.values:
+            self.hits += 1
+            return self.values[key]
+        self.misses += 1
+        value = float(self.objective(key))
+        self.values[key] = value
+        self.history.append((key, value))
+        return value
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct objective evaluations performed."""
+        return self.misses
+
+    @property
+    def lookups(self) -> int:
+        """Total number of objective requests (cached or not)."""
+        return self.hits + self.misses
+
+    def best(self) -> Tuple[Optional[Point], float]:
+        """The best point seen so far (``(None, inf)`` when empty)."""
+        if not self.values:
+            return None, float("inf")
+        point = min(self.values, key=self.values.get)
+        return point, self.values[point]
+
+    def clear(self) -> None:
+        """Forget all cached evaluations and statistics."""
+        self.values.clear()
+        self.history.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,63 @@
+"""Exhaustive grid search baseline.
+
+Evaluates every point of the integer box and returns the global minimiser.
+This is the brute force that pattern search is designed to avoid; the
+benchmarks use it to probe the global optimality of WINDIM's answers on
+small windows (§4.5, "In probing the global optimality of the window sizes
+selected …").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.errors import SearchError
+from repro.search.cache import EvaluationCache
+from repro.search.result import SearchResult
+from repro.search.space import IntegerBox
+
+__all__ = ["exhaustive_search"]
+
+Point = Tuple[int, ...]
+
+
+def exhaustive_search(
+    objective: Callable[[Point], float],
+    space: IntegerBox,
+    max_points: int = 1_000_000,
+    cache: Optional[EvaluationCache] = None,
+) -> SearchResult:
+    """Minimise ``objective`` by evaluating every point of ``space``.
+
+    Parameters
+    ----------
+    objective / space / cache:
+        As for :func:`repro.search.pattern.pattern_search`.
+    max_points:
+        Guard rail: refuse spaces with more points than this.
+    """
+    size = space.size()
+    if size > max_points:
+        raise SearchError(
+            f"search space has {size} points (> {max_points}); "
+            "exhaustive search refused"
+        )
+    if cache is None:
+        cache = EvaluationCache(objective)
+
+    best_point: Optional[Point] = None
+    best_value = float("inf")
+    for point in space.points():
+        value = cache(point)
+        if value < best_value:
+            best_point, best_value = point, value
+    assert best_point is not None  # space is never empty
+
+    return SearchResult(
+        best_point=best_point,
+        best_value=best_value,
+        evaluations=cache.evaluations,
+        lookups=cache.lookups,
+        base_points=[best_point],
+        method="exhaustive",
+    )

@@ -1,0 +1,150 @@
+"""Integer Hooke–Jeeves pattern search (thesis §4.3 and the APL ``WINDIM``).
+
+Pattern search alternates two kinds of moves:
+
+* **Exploratory move** — perturb one coordinate at a time by the current
+  step, keeping each change that reduces the objective (Fig. 4.2).
+* **Pattern move** — after a successful exploration, leap from the new base
+  point along the line from the previous base point, doubling the
+  established direction (Fig. 4.3), and explore around the landing point.
+  Successful patterns extend themselves, giving the accelerated
+  ridge-following behaviour of Fig. 4.4.
+
+When exploration around the current base fails, the step size is halved
+(the APL ``Y <- 0.5 x Y``) and a new pattern is started; the search stops
+once the integer step would drop below one, or after ``max_halvings``
+reductions.  Because window sizes are integers, steps are integers here —
+"since we are interested only in integral window settings … the Pattern
+Search suffices" (§4.1).
+
+All evaluations flow through an :class:`~repro.search.cache.EvaluationCache`
+(the APL ``FLOC``), so revisited points are free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import SearchError
+from repro.search.cache import EvaluationCache
+from repro.search.result import SearchResult
+from repro.search.space import IntegerBox
+
+__all__ = ["pattern_search"]
+
+Point = Tuple[int, ...]
+
+
+def _explore(
+    cache: EvaluationCache,
+    space: IntegerBox,
+    point: Point,
+    value: float,
+    step: int,
+) -> Tuple[Point, float]:
+    """One exploratory sweep: perturb each coordinate by ±step in turn."""
+    current = list(point)
+    current_value = value
+    for axis in range(space.dimensions):
+        for direction in (+1, -1):
+            candidate = list(current)
+            candidate[axis] += direction * step
+            candidate_t = tuple(candidate)
+            if candidate_t not in space:
+                continue
+            candidate_value = cache(candidate_t)
+            if candidate_value < current_value:
+                current = candidate
+                current_value = candidate_value
+                break  # keep the improvement; next axis
+    return tuple(current), current_value
+
+
+def pattern_search(
+    objective: Callable[[Point], float],
+    start: Sequence[int],
+    space: IntegerBox,
+    initial_step: int = 2,
+    max_halvings: int = 8,
+    max_evaluations: int = 100_000,
+    cache: Optional[EvaluationCache] = None,
+) -> SearchResult:
+    """Minimise ``objective`` over ``space`` by integer pattern search.
+
+    Parameters
+    ----------
+    objective:
+        Function of an integer tuple returning the value to minimise
+        (WINDIM passes ``1/power``).
+    start:
+        Initial window vector (the thesis uses the per-chain hop counts);
+        clipped into ``space`` if outside.
+    space:
+        Integer box of feasible points.
+    initial_step:
+        Starting exploration step (>= 1).
+    max_halvings:
+        The APL ``KMAX``: number of step halvings before stopping.  With
+        integer steps the search also stops as soon as the step underflows
+        below one.
+    max_evaluations:
+        Safety budget of distinct objective evaluations.
+    cache:
+        Optional pre-populated evaluation cache to share across runs (e.g.
+        across sweep points that revisit the same windows).
+
+    Returns
+    -------
+    SearchResult
+        The best point found and the search trajectory.
+    """
+    if initial_step < 1:
+        raise SearchError(f"initial_step must be >= 1, got {initial_step}")
+    if max_halvings < 0:
+        raise SearchError(f"max_halvings must be >= 0, got {max_halvings}")
+    if cache is None:
+        cache = EvaluationCache(objective)
+    elif cache.objective is not objective:
+        raise SearchError("shared cache wraps a different objective")
+
+    base = space.clip(start)
+    base_value = cache(base)
+    trajectory = [base]
+    step = initial_step
+    halvings = 0
+
+    while step >= 1 and halvings <= max_halvings:
+        if cache.evaluations >= max_evaluations:
+            break
+        probe, probe_value = _explore(cache, space, base, base_value, step)
+        if probe_value < base_value:
+            # Pattern phase: ride the established direction.
+            previous = base
+            base, base_value = probe, probe_value
+            trajectory.append(base)
+            while cache.evaluations < max_evaluations:
+                pattern_point = space.clip(
+                    tuple(2 * b - p for b, p in zip(base, previous))
+                )
+                landing_value = cache(pattern_point)
+                probe2, probe2_value = _explore(
+                    cache, space, pattern_point, landing_value, step
+                )
+                if probe2_value < base_value:
+                    previous = base
+                    base, base_value = probe2, probe2_value
+                    trajectory.append(base)
+                else:
+                    break
+        else:
+            step //= 2
+            halvings += 1
+
+    return SearchResult(
+        best_point=base,
+        best_value=base_value,
+        evaluations=cache.evaluations,
+        lookups=cache.lookups,
+        base_points=trajectory,
+        method="pattern-search",
+    )

@@ -1,0 +1,47 @@
+"""Common result record for the integer optimisers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["SearchResult"]
+
+Point = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of an optimisation run.
+
+    Attributes
+    ----------
+    best_point:
+        The minimiser found (for WINDIM: the optimal window vector).
+    best_value:
+        Objective value at ``best_point`` (for WINDIM: ``1/power``).
+    evaluations:
+        Distinct objective evaluations performed (cache misses).
+    lookups:
+        Total objective requests including cache hits.
+    base_points:
+        Sequence of accepted base points, ending at ``best_point`` —
+        the search trajectory (thesis Fig. 4.4).
+    method:
+        Optimiser name.
+    """
+
+    best_point: Point
+    best_value: float
+    evaluations: int
+    lookups: int
+    base_points: List[Point] = field(default_factory=list)
+    method: str = ""
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.method}: best {list(self.best_point)} "
+            f"value {self.best_value:.6g} "
+            f"({self.evaluations} evaluations, {self.lookups} lookups)"
+        )

@@ -1,0 +1,101 @@
+"""Integer box search spaces for window dimensioning.
+
+Window vectors are integer points ``lower <= e <= upper`` componentwise.
+The thesis problem has ``lower = 1`` (a window of zero shuts the virtual
+channel) and an upper bound set by node buffer capacity considerations
+(§2.3).  :class:`IntegerBox` encapsulates clipping, membership and
+neighbour generation for all the optimisers in this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import SearchError
+
+__all__ = ["IntegerBox"]
+
+
+@dataclass(frozen=True)
+class IntegerBox:
+    """Axis-aligned box of integer points.
+
+    Parameters
+    ----------
+    lower / upper:
+        Inclusive per-dimension bounds; must satisfy ``lower <= upper``.
+    """
+
+    lower: Tuple[int, ...]
+    upper: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lower) != len(self.upper):
+            raise SearchError(
+                f"bounds dimension mismatch: {len(self.lower)} vs {len(self.upper)}"
+            )
+        if len(self.lower) == 0:
+            raise SearchError("search space must have at least one dimension")
+        for lo, hi in zip(self.lower, self.upper):
+            if lo > hi:
+                raise SearchError(f"empty range [{lo}, {hi}] in search space")
+
+    @classmethod
+    def windows(cls, dimensions: int, max_window: int = 64) -> "IntegerBox":
+        """The standard window-dimensioning space ``[1, max_window]^R``."""
+        if dimensions < 1:
+            raise SearchError("need at least one window dimension")
+        if max_window < 1:
+            raise SearchError("max_window must be >= 1")
+        return cls(lower=(1,) * dimensions, upper=(max_window,) * dimensions)
+
+    @property
+    def dimensions(self) -> int:
+        """Number of coordinates."""
+        return len(self.lower)
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        if len(point) != self.dimensions:
+            return False
+        return all(
+            lo <= x <= hi for x, lo, hi in zip(point, self.lower, self.upper)
+        )
+
+    def clip(self, point: Sequence[int]) -> Tuple[int, ...]:
+        """Project a point onto the box."""
+        if len(point) != self.dimensions:
+            raise SearchError(
+                f"point dimension {len(point)} != space dimension {self.dimensions}"
+            )
+        return tuple(
+            min(max(int(x), lo), hi)
+            for x, lo, hi in zip(point, self.lower, self.upper)
+        )
+
+    def size(self) -> int:
+        """Number of integer points in the box."""
+        count = 1
+        for lo, hi in zip(self.lower, self.upper):
+            count *= hi - lo + 1
+        return count
+
+    def points(self) -> Iterator[Tuple[int, ...]]:
+        """Enumerate every point (row-major); used by exhaustive search."""
+        import itertools
+
+        ranges = [range(lo, hi + 1) for lo, hi in zip(self.lower, self.upper)]
+        return itertools.product(*ranges)
+
+    def axis_neighbors(
+        self, point: Sequence[int], step: int, axis: int
+    ) -> Iterator[Tuple[int, ...]]:
+        """The two axis moves ``point ± step * u_axis`` that stay in the box."""
+        if step < 1:
+            raise SearchError("step must be >= 1")
+        base = list(point)
+        for direction in (+1, -1):
+            candidate = list(base)
+            candidate[axis] += direction * step
+            if tuple(candidate) in self:
+                yield tuple(candidate)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation of store-and-forward networks (Chapter 2).
+
+* :class:`~repro.sim.engine.NetworkSimulator` /
+  :func:`~repro.sim.engine.simulate` — the simulator.
+* :class:`~repro.sim.flowcontrol.FlowControlConfig` — end-to-end windows,
+  local buffer limits, isarithmic permits, in any combination.
+* :class:`~repro.sim.results.SimulationResult` — measured statistics.
+"""
+
+from repro.sim.engine import NetworkSimulator, simulate
+from repro.sim.flowcontrol import FlowControlConfig, FlowControlState
+from repro.sim.messages import Message
+from repro.sim.results import ChannelStats, ClassStats, SimulationResult
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import TallyStatistic, TimeWeightedStatistic, batch_means
+from repro.sim.trace import EventKind, TraceCollector, TraceEvent
+
+__all__ = [
+    "NetworkSimulator",
+    "simulate",
+    "FlowControlConfig",
+    "FlowControlState",
+    "Message",
+    "SimulationResult",
+    "ClassStats",
+    "ChannelStats",
+    "RandomStreams",
+    "TallyStatistic",
+    "TimeWeightedStatistic",
+    "batch_means",
+    "EventKind",
+    "TraceCollector",
+    "TraceEvent",
+]

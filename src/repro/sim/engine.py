@@ -1,0 +1,589 @@
+"""Discrete-event simulator of store-and-forward message switching.
+
+Simulates the thesis network model directly: messages of exponential
+length hop node-to-node over FCFS channels (half-duplex channels are a
+single server shared by both directions), under any combination of
+end-to-end window, local buffer-limit and isarithmic flow control
+(:mod:`repro.sim.flowcontrol`).
+
+Two source models are provided:
+
+* ``source_model="closed"`` — each class's source is an exponential server
+  of rate ``S_r`` with the class's ``E_r`` messages cycling through it,
+  i.e. *exactly* the closed multichain queueing model of §4.2 (the
+  "reentrant queue" of Fig. 4.6/4.11).  Simulated and MVA results must
+  agree within confidence intervals; the validation tests rely on this.
+* ``source_model="poisson"`` — a genuinely open Poisson stream of rate
+  ``S_r`` throttled at the source host by flow control, with an unbounded
+  host backlog.  This is the operationally realistic scenario used for the
+  Fig. 2.1 congestion experiments.
+
+Message lengths are resampled independently at every hop (Kleinrock's
+independence assumption), matching the analytic model's per-queue
+exponential service times.  Acknowledgements are instantaneous, as in the
+closed-chain model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.netmodel.topology import Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.sim.flowcontrol import FlowControlConfig, FlowControlState
+from repro.sim.messages import Message
+from repro.sim.results import ChannelStats, ClassStats, SimulationResult
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import TallyStatistic, TimeWeightedStatistic
+from repro.sim.trace import EventKind, TraceEvent
+
+__all__ = ["NetworkSimulator", "simulate"]
+
+_ARRIVAL = 0
+_DEPARTURE = 1
+_SOURCE_DONE = 2
+_WARMUP = 3
+_END = 4
+_ACK = 5
+
+
+class _Server:
+    """One FCFS single-server transmission queue (a channel direction set)."""
+
+    __slots__ = (
+        "name",
+        "queue",
+        "in_service",
+        "blocked_on",
+        "queue_stat",
+        "busy_stat",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.queue: Deque[Message] = deque()
+        self.in_service: Optional[Message] = None
+        self.blocked_on: Optional[str] = None
+        self.queue_stat = TimeWeightedStatistic()
+        self.busy_stat = TimeWeightedStatistic()
+
+    def total_present(self) -> int:
+        return len(self.queue) + (1 if self.in_service is not None else 0)
+
+
+@dataclass
+class _HopPlan:
+    """Resolved routing for one hop of one class."""
+
+    server: str
+    from_node: str
+    to_node: str
+    mean_service: float
+
+
+class NetworkSimulator:
+    """Event-driven simulator of one flow-controlled network.
+
+    Parameters
+    ----------
+    topology:
+        The physical network.
+    classes:
+        Traffic classes; paths are validated against the topology.
+    flow_control:
+        Flow-control configuration.  For ``source_model="closed"`` the
+        end-to-end windows are mandatory (they are the circulating
+        populations).
+    source_model:
+        ``"closed"`` (matches the queueing model) or ``"poisson"``.
+    seed:
+        Root RNG seed.
+    ack_delay:
+        Mean of the exponential acknowledgement transit time back to the
+        source.  The default 0 gives the instantaneous acknowledgements
+        of the thesis model; positive values model the return path and
+        reduce the effective window rate.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        classes: Sequence[TrafficClass],
+        flow_control: FlowControlConfig,
+        source_model: str = "closed",
+        seed: int = 0,
+        ack_delay: float = 0.0,
+        observer: Optional[callable] = None,
+    ):
+        if source_model not in ("closed", "poisson"):
+            raise SimulationError(
+                f"unknown source model {source_model!r}; "
+                "expected 'closed' or 'poisson'"
+            )
+        if not classes:
+            raise SimulationError("need at least one traffic class")
+        if source_model == "closed" and flow_control.windows is None:
+            raise SimulationError(
+                "the closed source model requires end-to-end windows"
+            )
+        if ack_delay < 0:
+            raise SimulationError(f"ack_delay must be >= 0, got {ack_delay}")
+        self._ack_delay = float(ack_delay)
+        self._observer = observer
+        self._topology = topology
+        self._classes = tuple(classes)
+        self._config = flow_control
+        self._source_model = source_model
+        self._streams = RandomStreams(seed)
+
+        # Resolve every class hop to a server and a mean service time.
+        self._servers: Dict[str, _Server] = {}
+        self._plans: List[List[_HopPlan]] = []
+        for traffic_class in self._classes:
+            channels = topology.path_channels(traffic_class.path)
+            plan = []
+            for (from_node, to_node), channel in zip(
+                zip(traffic_class.path, traffic_class.path[1:]), channels
+            ):
+                queue_name = channel.queue_name(from_node, to_node)
+                if queue_name not in self._servers:
+                    self._servers[queue_name] = _Server(queue_name)
+                plan.append(
+                    _HopPlan(
+                        server=queue_name,
+                        from_node=from_node,
+                        to_node=to_node,
+                        mean_service=channel.service_time(
+                            traffic_class.mean_message_bits
+                        ),
+                    )
+                )
+            self._plans.append(plan)
+
+        # Pre-create RNG streams in a deterministic order.
+        for k in range(len(self._classes)):
+            self._streams.stream(("arrival", k))
+        for name in sorted(self._servers):
+            self._streams.stream(("service", name))
+        for k in range(len(self._classes)):
+            self._streams.stream(("ack", k))
+
+        self._state = FlowControlState(
+            flow_control, len(self._classes), topology.nodes
+        )
+        self._backlog: List[Deque[Message]] = [deque() for _ in self._classes]
+        # Closed-model source servers: (busy_until_message, queue of idle tokens)
+        self._source_busy: List[Optional[Message]] = [None for _ in self._classes]
+        self._source_queue: List[Deque[Message]] = [deque() for _ in self._classes]
+        self._blocked_waiters: Dict[str, Deque[str]] = {
+            node: deque() for node in topology.nodes
+        }
+        self._node_stats: Dict[str, TimeWeightedStatistic] = {
+            node: TimeWeightedStatistic() for node in topology.nodes
+        }
+
+        self._heap: List[Tuple[float, int, int, int, str]] = []
+        self._seq = itertools.count()
+        self._message_ids = itertools.count()
+        self._now = 0.0
+        self._measuring = False
+        self._measure_start = 0.0
+
+        self._class_delay: List[TallyStatistic] = [
+            TallyStatistic() for _ in self._classes
+        ]
+        self._class_total_delay: List[TallyStatistic] = [
+            TallyStatistic(keep_samples=False) for _ in self._classes
+        ]
+        self._class_source_wait: List[TallyStatistic] = [
+            TallyStatistic(keep_samples=False) for _ in self._classes
+        ]
+        self._delivered: List[int] = [0 for _ in self._classes]
+        self._offered: List[int] = [0 for _ in self._classes]
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, kind: int, index: int = 0, name: str = "") -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, index, name))
+
+    def _emit(
+        self,
+        kind: EventKind,
+        class_index: int = -1,
+        message_id: int = -1,
+        place: str = "",
+    ) -> None:
+        if self._observer is not None:
+            self._observer(
+                TraceEvent(
+                    time=self._now,
+                    kind=kind,
+                    class_index=class_index,
+                    message_id=message_id,
+                    place=place,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self, duration: float, warmup: float = 0.0) -> SimulationResult:
+        """Simulate for ``duration`` seconds, discarding ``warmup``.
+
+        Returns
+        -------
+        SimulationResult
+            Measured throughputs, delays (with confidence intervals),
+            channel utilisations and queue lengths.
+        """
+        if duration <= 0:
+            raise SimulationError(f"duration must be positive, got {duration}")
+        if not 0 <= warmup < duration:
+            raise SimulationError("warmup must lie in [0, duration)")
+
+        self._bootstrap()
+        self._schedule(warmup, _WARMUP)
+        self._schedule(duration, _END)
+
+        while self._heap:
+            time, _seq, kind, index, name = heapq.heappop(self._heap)
+            self._now = time
+            if kind == _END:
+                break
+            if kind == _WARMUP:
+                self._reset_statistics()
+                continue
+            if kind == _ARRIVAL:
+                self._handle_arrival(index)
+            elif kind == _SOURCE_DONE:
+                self._handle_source_done(index)
+            elif kind == _DEPARTURE:
+                self._handle_departure(name)
+            elif kind == _ACK:
+                self._handle_ack(index)
+        return self._collect(duration, warmup)
+
+    def _bootstrap(self) -> None:
+        if self._source_model == "poisson":
+            for k, traffic_class in enumerate(self._classes):
+                delay = self._streams.exponential(
+                    ("arrival", k), 1.0 / traffic_class.arrival_rate
+                )
+                self._schedule(delay, _ARRIVAL, index=k)
+        else:
+            assert self._config.windows is not None
+            for k, window in enumerate(self._config.windows):
+                for _ in range(window):
+                    message = self._new_message(k, created=0.0)
+                    self._source_queue[k].append(message)
+                self._try_start_source(k)
+
+    def _new_message(self, class_index: int, created: float) -> Message:
+        return Message(
+            ident=next(self._message_ids),
+            class_index=class_index,
+            path=self._classes[class_index].path,
+            created=created,
+        )
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def _handle_arrival(self, class_index: int) -> None:
+        """Poisson arrival at the source host."""
+        traffic_class = self._classes[class_index]
+        message = self._new_message(class_index, created=self._now)
+        if self._measuring:
+            self._offered[class_index] += 1
+        if self._backlog[class_index] or not self._state.can_admit(
+            class_index, traffic_class.source
+        ):
+            self._backlog[class_index].append(message)
+            self._emit(
+                EventKind.THROTTLE, class_index, message.ident,
+                traffic_class.source,
+            )
+        else:
+            self._admit(message)
+        next_delay = self._streams.exponential(
+            ("arrival", class_index), 1.0 / traffic_class.arrival_rate
+        )
+        self._schedule(self._now + next_delay, _ARRIVAL, index=class_index)
+
+    def _try_start_source(self, class_index: int) -> None:
+        """Closed model: start the class's source server if idle."""
+        if self._source_busy[class_index] is not None:
+            return
+        if not self._source_queue[class_index]:
+            return
+        message = self._source_queue[class_index].popleft()
+        self._source_busy[class_index] = message
+        service = self._streams.exponential(
+            ("arrival", class_index),
+            1.0 / self._classes[class_index].arrival_rate,
+        )
+        self._schedule(self._now + service, _SOURCE_DONE, index=class_index)
+
+    def _handle_source_done(self, class_index: int) -> None:
+        """Closed model: the source server finished generating a message."""
+        message = self._source_busy[class_index]
+        if message is None:
+            raise SimulationError("source completion with idle source server")
+        # The generated message needs all admission conditions — source-node
+        # buffer space and, when other mechanisms are combined with the
+        # closed model, a free isarithmic permit (the window credit itself
+        # was released by the delivery that recycled this message, but a
+        # backlogged sibling may have consumed it first).
+        self._source_busy[class_index] = None
+        if not self._state.can_admit(class_index, self._classes[class_index].source):
+            self._backlog[class_index].append(message)
+            self._try_start_source(class_index)
+            return
+        message.created = self._now
+        self._admit(message)
+        self._try_start_source(class_index)
+
+    def _admit(self, message: Message) -> None:
+        """Message passes flow control and enters its first channel queue."""
+        class_index = message.class_index
+        message.admitted = self._now
+        self._state.on_admit(class_index, self._classes[class_index].source)
+        self._touch_node(self._classes[class_index].source)
+        self._emit(
+            EventKind.ADMIT, class_index, message.ident,
+            self._classes[class_index].source,
+        )
+        self._enqueue(message)
+
+    def _try_admit_backlog(self) -> None:
+        """Admit throttled messages whose constraints have cleared (FIFO)."""
+        for k, traffic_class in enumerate(self._classes):
+            while self._backlog[k] and self._state.can_admit(
+                k, traffic_class.source
+            ):
+                message = self._backlog[k].popleft()
+                if self._source_model == "closed":
+                    message.created = self._now
+                self._admit(message)
+
+    # ------------------------------------------------------------------
+    # channels
+    # ------------------------------------------------------------------
+    def _enqueue(self, message: Message) -> None:
+        plan = self._plans[message.class_index][message.hop]
+        server = self._servers[plan.server]
+        server.queue.append(message)
+        server.queue_stat.update(self._now, server.total_present())
+        self._try_start(server)
+
+    def _try_start(self, server: _Server) -> None:
+        if server.in_service is not None or server.blocked_on is not None:
+            return
+        if not server.queue:
+            return
+        message = server.queue.popleft()
+        server.in_service = message
+        server.busy_stat.update(self._now, 1.0)
+        plan = self._plans[message.class_index][message.hop]
+        service = self._streams.exponential(
+            ("service", server.name), plan.mean_service
+        )
+        self._schedule(self._now + service, _DEPARTURE, name=server.name)
+
+    def _handle_departure(self, server_name: str) -> None:
+        server = self._servers[server_name]
+        message = server.in_service
+        if message is None:
+            raise SimulationError(f"departure from idle server {server_name!r}")
+        self._complete_transmission(server, message)
+
+    def _complete_transmission(self, server: _Server, message: Message) -> None:
+        plan = self._plans[message.class_index][message.hop]
+        if message.at_last_hop:
+            self._deliver(server, message, plan.from_node)
+            return
+        next_node = plan.to_node
+        if not self._state.node_has_space(next_node):
+            # Store-and-forward blocking: the channel holds the message
+            # until the downstream node frees a buffer slot (§2.2.2).
+            server.blocked_on = next_node
+            self._blocked_waiters[next_node].append(server.name)
+            self._emit(
+                EventKind.BLOCK, message.class_index, message.ident, server.name
+            )
+            return
+        self._advance(server, message, plan.from_node, next_node)
+
+    def _advance(
+        self, server: _Server, message: Message, from_node: str, to_node: str
+    ) -> None:
+        """Move the in-service message one node forward."""
+        self._state.on_hop(from_node, to_node)
+        self._touch_node(from_node)
+        self._touch_node(to_node)
+        self._emit(EventKind.HOP, message.class_index, message.ident, to_node)
+        message.hop += 1
+        server.in_service = None
+        server.busy_stat.update(self._now, 0.0)
+        server.queue_stat.update(self._now, server.total_present())
+        self._enqueue(message)
+        self._wake_blocked(from_node)
+        self._try_admit_backlog()
+        self._try_start(server)
+
+    def _deliver(self, server: _Server, message: Message, last_node: str) -> None:
+        class_index = message.class_index
+        message.delivered = self._now
+        self._state.on_exit(last_node)
+        self._touch_node(last_node)
+        self._emit(
+            EventKind.DELIVER, class_index, message.ident, message.path[-1]
+        )
+        server.in_service = None
+        server.busy_stat.update(self._now, 0.0)
+        server.queue_stat.update(self._now, server.total_present())
+        if self._measuring:
+            self._delivered[class_index] += 1
+            self._class_delay[class_index].record(message.network_delay())
+            self._class_total_delay[class_index].record(message.total_delay())
+            self._class_source_wait[class_index].record(message.source_wait())
+        if self._ack_delay > 0:
+            transit = self._streams.exponential(("ack", class_index), self._ack_delay)
+            self._schedule(self._now + transit, _ACK, index=class_index)
+        else:
+            self._handle_ack(class_index)
+        self._wake_blocked(last_node)
+        self._try_admit_backlog()
+        self._try_start(server)
+
+    def _handle_ack(self, class_index: int) -> None:
+        """The acknowledgement reached the source: recycle the window slot."""
+        self._state.on_ack(class_index)
+        self._emit(
+            EventKind.ACK, class_index, place=self._classes[class_index].source
+        )
+        if self._source_model == "closed":
+            # The slot re-enters through the source server (the reentrant
+            # queue of the closed model).
+            recycled = self._new_message(class_index, created=self._now)
+            self._source_queue[class_index].append(recycled)
+            self._try_start_source(class_index)
+        self._try_admit_backlog()
+
+    def _wake_blocked(self, node: str) -> None:
+        """Space freed at ``node``: resume channels blocked on it (FIFO)."""
+        waiters = self._blocked_waiters[node]
+        while waiters and self._state.node_has_space(node):
+            server = self._servers[waiters.popleft()]
+            if server.blocked_on != node or server.in_service is None:
+                continue
+            server.blocked_on = None
+            message = server.in_service
+            self._emit(
+                EventKind.UNBLOCK, message.class_index, message.ident, server.name
+            )
+            plan = self._plans[message.class_index][message.hop]
+            self._advance(server, message, plan.from_node, plan.to_node)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _touch_node(self, node: str) -> None:
+        self._node_stats[node].update(
+            self._now, float(self._state.node_occupancy(node))
+        )
+
+    def _reset_statistics(self) -> None:
+        self._measuring = True
+        self._measure_start = self._now
+        for stat in self._class_delay:
+            stat.reset()
+        for stat in self._class_total_delay:
+            stat.reset()
+        for stat in self._class_source_wait:
+            stat.reset()
+        self._delivered = [0 for _ in self._classes]
+        self._offered = [0 for _ in self._classes]
+        for server in self._servers.values():
+            server.queue_stat.advance(self._now)
+            server.queue_stat.reset(self._now)
+            server.busy_stat.advance(self._now)
+            server.busy_stat.reset(self._now)
+        for stat in self._node_stats.values():
+            stat.advance(self._now)
+            stat.reset(self._now)
+
+    def _collect(self, duration: float, warmup: float) -> SimulationResult:
+        elapsed = self._now - self._measure_start
+        if elapsed <= 0:
+            raise SimulationError("no measurement interval elapsed")
+        class_stats = []
+        for k, traffic_class in enumerate(self._classes):
+            mean, half = self._class_delay[k].confidence_interval()
+            class_stats.append(
+                ClassStats(
+                    name=traffic_class.name,
+                    delivered=self._delivered[k],
+                    offered=self._offered[k],
+                    throughput=self._delivered[k] / elapsed,
+                    mean_network_delay=self._class_delay[k].mean,
+                    delay_half_width=half,
+                    mean_total_delay=self._class_total_delay[k].mean,
+                    mean_source_wait=self._class_source_wait[k].mean,
+                )
+            )
+        channel_stats = {}
+        for name, server in self._servers.items():
+            channel_stats[name] = ChannelStats(
+                name=name,
+                utilization=server.busy_stat.mean(self._now),
+                mean_queue_length=server.queue_stat.mean(self._now),
+            )
+        node_occupancy = {
+            node: stat.mean(self._now) for node, stat in self._node_stats.items()
+        }
+        blocked = tuple(
+            sorted(
+                name
+                for name, server in self._servers.items()
+                if server.blocked_on is not None
+            )
+        )
+        return SimulationResult(
+            duration=duration,
+            warmup=warmup,
+            measured_time=elapsed,
+            classes=tuple(class_stats),
+            channels=channel_stats,
+            node_occupancy=node_occupancy,
+            source_model=self._source_model,
+            blocked_channels=blocked,
+        )
+
+
+def simulate(
+    topology: Topology,
+    classes: Sequence[TrafficClass],
+    flow_control: FlowControlConfig,
+    duration: float = 2_000.0,
+    warmup: float = 200.0,
+    source_model: str = "closed",
+    seed: int = 0,
+    ack_delay: float = 0.0,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`NetworkSimulator`."""
+    simulator = NetworkSimulator(
+        topology,
+        classes,
+        flow_control,
+        source_model=source_model,
+        seed=seed,
+        ack_delay=ack_delay,
+    )
+    return simulator.run(duration, warmup)

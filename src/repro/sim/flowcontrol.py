@@ -1,0 +1,184 @@
+"""Flow-control mechanisms for the simulator (thesis Chapter 2).
+
+Three mechanisms, freely combinable (§2.3 argues all three matter):
+
+* **End-to-end windows** (§2.2.1) — at most ``E_r`` unacknowledged
+  messages per class; arrivals beyond that wait at the source host.
+* **Local buffer limits** (§2.2.2) — at most ``K_i`` messages stored at
+  switching node ``i``; upstream channels block until space frees.
+* **Isarithmic permits** (§2.2.3) — at most ``I`` messages in the whole
+  subnet; a message entering must acquire a permit, released on delivery.
+
+:class:`FlowControlConfig` is the immutable user-facing description;
+:class:`FlowControlState` is the engine's mutable counter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+
+__all__ = ["FlowControlConfig", "FlowControlState"]
+
+
+@dataclass(frozen=True)
+class FlowControlConfig:
+    """Which flow controls are active, and their limits.
+
+    Parameters
+    ----------
+    windows:
+        Per-class end-to-end windows ``E_r``; ``None`` disables end-to-end
+        control entirely (an uncontrolled network — the congestion-collapse
+        demonstration of Fig. 2.1).
+    node_buffer_limits:
+        Either a single limit applied to every switching node, a mapping
+        from node name to limit, or ``None`` for unlimited buffers.
+        A message in transit occupies one buffer slot at its current node.
+    isarithmic_permits:
+        Total messages allowed in the subnet, or ``None`` to disable
+        global control.
+    """
+
+    windows: Optional[Tuple[int, ...]] = None
+    node_buffer_limits: Optional[Union[int, Mapping[str, int]]] = None
+    isarithmic_permits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.windows is not None:
+            if any(w < 1 for w in self.windows):
+                raise SimulationError("end-to-end windows must be >= 1")
+        if isinstance(self.node_buffer_limits, int):
+            if self.node_buffer_limits < 1:
+                raise SimulationError("node buffer limits must be >= 1")
+        elif self.node_buffer_limits is not None:
+            for node, limit in self.node_buffer_limits.items():
+                if limit < 1:
+                    raise SimulationError(
+                        f"node {node!r}: buffer limit must be >= 1, got {limit}"
+                    )
+        if self.isarithmic_permits is not None and self.isarithmic_permits < 1:
+            raise SimulationError("isarithmic permit count must be >= 1")
+
+    @classmethod
+    def end_to_end(cls, windows: Sequence[int]) -> "FlowControlConfig":
+        """Pure end-to-end window control (the WINDIM setting)."""
+        return cls(windows=tuple(int(w) for w in windows))
+
+    @classmethod
+    def uncontrolled(cls) -> "FlowControlConfig":
+        """No flow control at all."""
+        return cls()
+
+    def node_limit(self, node: str) -> Optional[int]:
+        """Buffer limit at ``node`` (``None`` = unlimited)."""
+        if self.node_buffer_limits is None:
+            return None
+        if isinstance(self.node_buffer_limits, int):
+            return self.node_buffer_limits
+        return self.node_buffer_limits.get(node)
+
+
+class FlowControlState:
+    """Mutable flow-control counters for one simulation run.
+
+    The engine calls the hooks below at admission, node transit and
+    delivery; the state answers pure feasibility queries.
+    """
+
+    def __init__(self, config: FlowControlConfig, num_classes: int, nodes: Sequence[str]):
+        if config.windows is not None and len(config.windows) != num_classes:
+            raise SimulationError(
+                f"got {len(config.windows)} windows for {num_classes} classes"
+            )
+        self._config = config
+        self._credits: Optional[list] = (
+            list(config.windows) if config.windows is not None else None
+        )
+        self._permits = config.isarithmic_permits
+        self._occupancy: Dict[str, int] = {node: 0 for node in nodes}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def window_open(self, class_index: int) -> bool:
+        """True when class may admit another message (credit available)."""
+        if self._credits is None:
+            return True
+        return self._credits[class_index] > 0
+
+    def permit_available(self) -> bool:
+        """True when the isarithmic pool has a free permit."""
+        return self._permits is None or self._permits > 0
+
+    def node_has_space(self, node: str) -> bool:
+        """True when ``node`` can store one more message."""
+        limit = self._config.node_limit(node)
+        if limit is None:
+            return True
+        return self._occupancy[node] < limit
+
+    def can_admit(self, class_index: int, source_node: str) -> bool:
+        """All admission conditions at once."""
+        return (
+            self.window_open(class_index)
+            and self.permit_available()
+            and self.node_has_space(source_node)
+        )
+
+    def node_occupancy(self, node: str) -> int:
+        """Messages currently stored at ``node``."""
+        return self._occupancy[node]
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def on_admit(self, class_index: int, source_node: str) -> None:
+        """A message entered the network at ``source_node``."""
+        if self._credits is not None:
+            if self._credits[class_index] <= 0:
+                raise SimulationError(
+                    f"admission without window credit for class {class_index}"
+                )
+            self._credits[class_index] -= 1
+        if self._permits is not None:
+            if self._permits <= 0:
+                raise SimulationError("admission without an isarithmic permit")
+            self._permits -= 1
+        self._enter_node(source_node)
+
+    def on_hop(self, from_node: str, to_node: str) -> None:
+        """A message moved between switching nodes."""
+        self._enter_node(to_node)
+        self._leave_node(from_node)
+
+    def on_deliver(self, class_index: int, last_node: str) -> None:
+        """A message left the network with an instantaneous acknowledgement.
+
+        Equivalent to :meth:`on_exit` immediately followed by
+        :meth:`on_ack`; simulations with acknowledgement delay call the
+        two halves separately.
+        """
+        self.on_exit(last_node)
+        self.on_ack(class_index)
+
+    def on_exit(self, last_node: str) -> None:
+        """The delivered message freed its buffer slot at ``last_node``."""
+        self._leave_node(last_node)
+
+    def on_ack(self, class_index: int) -> None:
+        """The acknowledgement reached the source: release credit/permit."""
+        if self._credits is not None:
+            self._credits[class_index] += 1
+        if self._permits is not None:
+            self._permits += 1
+
+    def _enter_node(self, node: str) -> None:
+        self._occupancy[node] += 1
+
+    def _leave_node(self, node: str) -> None:
+        if self._occupancy[node] <= 0:
+            raise SimulationError(f"occupancy underflow at node {node!r}")
+        self._occupancy[node] -= 1

@@ -1,0 +1,66 @@
+"""Message records flowing through the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Message"]
+
+
+@dataclass
+class Message:
+    """One store-and-forward message.
+
+    Timestamps trace the message's life:
+
+    * ``created`` — Poisson arrival at the source host.
+    * ``admitted`` — passed flow control and entered the first channel
+      queue (``created == admitted`` when admission was immediate; the
+      difference is the source-throttling wait).
+    * ``delivered`` — handed to the destination host.
+
+    ``hop`` indexes the class path: the message currently waits for / is in
+    transmission over the channel from ``path[hop]`` to ``path[hop + 1]``.
+    """
+
+    ident: int
+    class_index: int
+    path: Tuple[str, ...]
+    created: float
+    admitted: Optional[float] = None
+    delivered: Optional[float] = None
+    hop: int = 0
+
+    @property
+    def current_node(self) -> str:
+        """Node the message currently resides at."""
+        return self.path[self.hop]
+
+    @property
+    def next_node(self) -> str:
+        """Node the message is heading to on its current hop."""
+        return self.path[self.hop + 1]
+
+    @property
+    def at_last_hop(self) -> bool:
+        """True while traversing the final channel of the path."""
+        return self.hop == len(self.path) - 2
+
+    def network_delay(self) -> float:
+        """Admission-to-delivery time (the thesis network delay)."""
+        if self.admitted is None or self.delivered is None:
+            raise ValueError("message has not completed its journey")
+        return self.delivered - self.admitted
+
+    def total_delay(self) -> float:
+        """Creation-to-delivery time, including source throttling."""
+        if self.delivered is None:
+            raise ValueError("message has not been delivered")
+        return self.delivered - self.created
+
+    def source_wait(self) -> float:
+        """Time spent throttled at the source host."""
+        if self.admitted is None:
+            raise ValueError("message has not been admitted")
+        return self.admitted - self.created

@@ -1,0 +1,130 @@
+"""Result records for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ClassStats", "ChannelStats", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Measured per-class statistics.
+
+    Attributes
+    ----------
+    delivered / offered:
+        Messages delivered / generated during the measurement interval
+        (``offered`` is only meaningful for the Poisson source model).
+    throughput:
+        Delivered messages per second.
+    mean_network_delay:
+        Mean admission-to-delivery time (the thesis network delay), with a
+        95% batch-means half-width in ``delay_half_width``.
+    mean_total_delay:
+        Mean creation-to-delivery time including source throttling
+        (Poisson model only; equals the network delay for closed sources).
+    mean_source_wait:
+        Mean throttling wait at the source host.
+    """
+
+    name: str
+    delivered: int
+    offered: int
+    throughput: float
+    mean_network_delay: float
+    delay_half_width: float
+    mean_total_delay: float
+    mean_source_wait: float
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """Measured per-channel-queue statistics."""
+
+    name: str
+    utilization: float
+    mean_queue_length: float
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything measured by one simulation run."""
+
+    duration: float
+    warmup: float
+    measured_time: float
+    classes: Tuple[ClassStats, ...]
+    channels: Dict[str, ChannelStats]
+    node_occupancy: Dict[str, float]
+    source_model: str
+    #: Channels still blocked on downstream buffer space when the run
+    #: ended.  A non-empty tuple together with near-zero throughput is the
+    #: §2.1 store-and-forward deadlock signature.
+    blocked_channels: Tuple[str, ...] = ()
+
+    @property
+    def network_throughput(self) -> float:
+        """Total delivered messages per second."""
+        return sum(c.throughput for c in self.classes)
+
+    @property
+    def mean_network_delay(self) -> float:
+        """Throughput-weighted mean network delay (matches the MVA metric)."""
+        total = self.network_throughput
+        if total <= 0:
+            return float("inf")
+        weighted = sum(
+            c.throughput * c.mean_network_delay
+            for c in self.classes
+            if c.delivered > 0
+        )
+        return weighted / total
+
+    @property
+    def power(self) -> float:
+        """Measured network power ``lambda / T``."""
+        delay = self.mean_network_delay
+        if delay <= 0 or delay == float("inf"):
+            return 0.0
+        return self.network_throughput / delay
+
+    @property
+    def appears_deadlocked(self) -> bool:
+        """Heuristic deadlock flag: blocked channels and (near-)zero flow.
+
+        A transiently blocked channel at the sampling instant is normal;
+        blocked channels *with no deliveries at all* during measurement is
+        the congestion-collapse end state of Fig. 2.1.
+        """
+        return bool(self.blocked_channels) and self.network_throughput == 0.0
+
+    def class_by_name(self, name: str) -> ClassStats:
+        """Look a class's statistics up by name."""
+        for stats in self.classes:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"simulation ({self.source_model} sources, "
+            f"{self.measured_time:.0f}s measured after {self.warmup:.0f}s warmup)"
+        ]
+        for stats in self.classes:
+            lines.append(
+                f"  {stats.name}: throughput {stats.throughput:.3f} msg/s, "
+                f"network delay {stats.mean_network_delay * 1e3:.2f} "
+                f"± {stats.delay_half_width * 1e3:.2f} ms "
+                f"({stats.delivered} delivered)"
+            )
+        lines.append(
+            f"  network throughput = {self.network_throughput:.3f} msg/s"
+        )
+        lines.append(
+            f"  avg network delay  = {self.mean_network_delay * 1e3:.2f} ms"
+        )
+        lines.append(f"  power              = {self.power:.2f}")
+        return "\n".join(lines)

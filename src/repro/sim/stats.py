@@ -1,0 +1,157 @@
+"""Statistics collectors for the discrete-event simulator.
+
+Two estimator kinds cover everything the simulator reports:
+
+* :class:`TallyStatistic` — sample means over discrete observations
+  (message delays), with batch-means confidence intervals to account for
+  autocorrelation in the delay sequence.
+* :class:`TimeWeightedStatistic` — time averages of piecewise-constant
+  processes (queue lengths, busy servers).
+
+Both support a warm-up reset so transient start-up bias can be discarded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["TallyStatistic", "TimeWeightedStatistic", "batch_means"]
+
+#: Student-t 97.5% quantiles for small degrees of freedom, then normal.
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def _t_quantile(dof: int) -> float:
+    if dof <= 0:
+        return float("inf")
+    keys = sorted(_T_975)
+    for key in keys:
+        if dof <= key:
+            return _T_975[key]
+    return 1.96
+
+
+def batch_means(
+    samples: List[float], num_batches: int = 20
+) -> Tuple[float, float]:
+    """Mean and 95% half-width by the method of batch means.
+
+    Consecutive samples are grouped into ``num_batches`` equal batches;
+    the batch averages are treated as (approximately) independent.
+
+    Returns ``(mean, half_width)``; the half-width is ``inf`` when there
+    are fewer than two full batches.
+    """
+    n = len(samples)
+    if n == 0:
+        return float("nan"), float("inf")
+    mean = sum(samples) / n
+    batch_size = n // num_batches
+    if batch_size < 1:
+        return mean, float("inf")
+    used = batch_size * num_batches
+    means = []
+    for b in range(num_batches):
+        chunk = samples[b * batch_size : (b + 1) * batch_size]
+        means.append(sum(chunk) / batch_size)
+    grand = sum(means) / num_batches
+    if num_batches < 2:
+        return mean, float("inf")
+    var = sum((m - grand) ** 2 for m in means) / (num_batches - 1)
+    half = _t_quantile(num_batches - 1) * math.sqrt(var / num_batches)
+    return mean, half
+
+
+@dataclass
+class TallyStatistic:
+    """Sample-mean estimator over discrete observations."""
+
+    keep_samples: bool = True
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (``nan`` with no observations)."""
+        if self.count == 0:
+            return float("nan")
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        if self.count < 2:
+            return float("nan")
+        return (self.total_sq - self.total**2 / self.count) / (self.count - 1)
+
+    def confidence_interval(self, num_batches: int = 20) -> Tuple[float, float]:
+        """``(mean, 95% half-width)`` via batch means (needs kept samples)."""
+        if not self.keep_samples:
+            raise SimulationError(
+                "confidence intervals need keep_samples=True"
+            )
+        return batch_means(self.samples, num_batches)
+
+    def reset(self) -> None:
+        """Discard all observations (warm-up truncation)."""
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.samples.clear()
+
+
+@dataclass
+class TimeWeightedStatistic:
+    """Time-average estimator of a piecewise-constant process."""
+
+    current_value: float = 0.0
+    last_update: float = 0.0
+    weighted_total: float = 0.0
+    start_time: float = 0.0
+
+    def update(self, now: float, new_value: float) -> None:
+        """The process jumps to ``new_value`` at time ``now``."""
+        if now < self.last_update:
+            raise SimulationError(
+                f"time went backwards: {now} < {self.last_update}"
+            )
+        self.weighted_total += self.current_value * (now - self.last_update)
+        self.current_value = new_value
+        self.last_update = now
+
+    def advance(self, now: float) -> None:
+        """Accumulate up to ``now`` without changing the value."""
+        self.update(now, self.current_value)
+
+    def mean(self, now: float) -> float:
+        """Time average over ``[start_time, now]``."""
+        elapsed = now - self.start_time
+        if elapsed <= 0:
+            return self.current_value
+        pending = self.current_value * (now - self.last_update)
+        return (self.weighted_total + pending) / elapsed
+
+    def reset(self, now: float) -> None:
+        """Restart accumulation at ``now`` keeping the current value."""
+        self.weighted_total = 0.0
+        self.last_update = now
+        self.start_time = now

@@ -1,0 +1,96 @@
+"""Event tracing for the simulator.
+
+An optional observer interface: attach a :class:`TraceCollector` (or any
+callable) to a :class:`~repro.sim.engine.NetworkSimulator` and receive a
+typed :class:`TraceEvent` for every admission, hop, blocking episode,
+delivery and acknowledgement.  Used for debugging models, teaching the
+flow-control mechanics, and asserting fine-grained behaviour in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["EventKind", "TraceEvent", "TraceCollector"]
+
+
+class EventKind(enum.Enum):
+    """The observable simulator transitions."""
+
+    ADMIT = "admit"          # message passed flow control at its source
+    THROTTLE = "throttle"    # message held back at the source host
+    HOP = "hop"              # message moved one node forward
+    BLOCK = "block"          # channel blocked on downstream buffer space
+    UNBLOCK = "unblock"      # blocked channel resumed
+    DELIVER = "deliver"      # message handed to the destination host
+    ACK = "ack"              # acknowledgement reached the source
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed transition.
+
+    Attributes
+    ----------
+    time:
+        Simulation clock at the transition.
+    kind:
+        The transition type.
+    class_index:
+        Traffic class involved (-1 when not applicable).
+    message_id:
+        Message identity (-1 for channel-level events).
+    place:
+        Node or channel-queue name where the event happened.
+    """
+
+    time: float
+    kind: EventKind
+    class_index: int = -1
+    message_id: int = -1
+    place: str = ""
+
+
+class TraceCollector:
+    """Observer that records events, optionally filtered by kind.
+
+    Parameters
+    ----------
+    kinds:
+        Event kinds to keep (``None`` keeps everything).
+    limit:
+        Hard cap on stored events (oldest kept); guards long runs.
+    """
+
+    def __init__(
+        self,
+        kinds: Optional[set] = None,
+        limit: int = 1_000_000,
+    ):
+        self.kinds = kinds
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> List[TraceEvent]:
+        """All recorded events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def message_history(self, message_id: int) -> List[TraceEvent]:
+        """The life of one message, in time order."""
+        return [e for e in self.events if e.message_id == message_id]
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self.events.clear()
+        self.dropped = 0

@@ -1,0 +1,139 @@
+"""Common result record produced by every network solver.
+
+Exact solvers (:mod:`repro.exact`), the approximate MVA solvers
+(:mod:`repro.mva`) and the discrete-event simulator (:mod:`repro.sim`) all
+report a :class:`NetworkSolution`, so downstream code (power metric, WINDIM,
+benchmarks, comparisons) is solver-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.queueing.network import ClosedNetwork
+
+__all__ = ["NetworkSolution"]
+
+
+@dataclass(frozen=True)
+class NetworkSolution:
+    """Steady-state performance measures of a closed multichain network.
+
+    Attributes
+    ----------
+    network:
+        The solved network (with the populations that were solved for).
+    throughputs:
+        ``(R,)`` — cycle throughput ``lambda_r`` of each chain (cycles/s).
+        For WINDIM networks this equals the class message throughput.
+    queue_lengths:
+        ``(R, L)`` — mean number of chain-``r`` customers at station ``i``
+        (including any in service).
+    waiting_times:
+        ``(R, L)`` — mean time a chain-``r`` customer spends per *cycle* at
+        station ``i`` (queueing + service, summed over its visits there);
+        zero where the chain does not visit.
+    method:
+        Name of the solver that produced this solution.
+    iterations:
+        Iteration count for iterative solvers (0 for direct ones).
+    converged:
+        False only when an iterative solver stopped at its budget; direct
+        solvers always set True.
+    extras:
+        Free-form solver diagnostics (e.g. normalisation constant).
+    """
+
+    network: ClosedNetwork
+    throughputs: np.ndarray
+    queue_lengths: np.ndarray
+    waiting_times: np.ndarray
+    method: str
+    iterations: int = 0
+    converged: bool = True
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # derived measures
+    # ------------------------------------------------------------------
+    @property
+    def network_throughput(self) -> float:
+        """Total network throughput ``lambda = sum_r lambda_r`` (msg/s)."""
+        return float(self.throughputs.sum())
+
+    def chain_delay(self, chain: int) -> float:
+        """Mean network delay of chain ``chain`` (seconds).
+
+        By Little's law over the chain's non-source stations:
+        ``T_r = sum_{i in V(r)} N_ir / lambda_r``.
+        """
+        lam = self.throughputs[chain]
+        if lam <= 0:
+            return float("inf")
+        mask = self.network.delay_mask()[chain]
+        return float(self.queue_lengths[chain, mask].sum() / lam)
+
+    @property
+    def chain_delays(self) -> np.ndarray:
+        """``(R,)`` mean network delay of each chain (seconds)."""
+        return np.asarray(
+            [self.chain_delay(r) for r in range(self.network.num_chains)]
+        )
+
+    @property
+    def mean_network_delay(self) -> float:
+        """Throughput-weighted mean network delay ``T`` (seconds).
+
+        ``T = sum_r sum_{i in V(r)} N_ir / sum_r lambda_r`` — Little's law
+        over all non-source queues, matching the thesis APL program ``FCT``
+        (line [105]: ``D <- (+/NMCLS) / +/LMBDA``).
+        """
+        lam = self.network_throughput
+        if lam <= 0:
+            return float("inf")
+        mask = self.network.delay_mask()
+        return float(self.queue_lengths[mask].sum() / lam)
+
+    def station_queue_length(self, station: int) -> float:
+        """Total mean queue length at ``station`` over all chains."""
+        return float(self.queue_lengths[:, station].sum())
+
+    def utilization(self, station: int) -> float:
+        """Utilisation of ``station``: ``sum_r lambda_r * demand_ri``.
+
+        Meaningful for single-server fixed-rate stations, where it equals
+        the probability the server is busy.
+        """
+        demand = self.network.demands[:, station]
+        return float(np.dot(self.throughputs, demand))
+
+    @property
+    def utilizations(self) -> np.ndarray:
+        """``(L,)`` utilisation of each station."""
+        return self.network.demands.T @ self.throughputs
+
+    def total_customers(self) -> float:
+        """Total mean customer count; should equal the total population."""
+        return float(self.queue_lengths.sum())
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (mirrors the APL ``FCT`` output)."""
+        lines = [f"solution by {self.method}"]
+        lines.append(f"  windows            = {self.network.populations.tolist()}")
+        lines.append(
+            "  class throughputs  = "
+            + ", ".join(f"{x:.4f}" for x in self.throughputs)
+        )
+        lines.append(
+            "  class delays       = "
+            + ", ".join(f"{x:.5f}" for x in self.chain_delays)
+        )
+        lines.append(f"  network throughput = {self.network_throughput:.4f}")
+        lines.append(f"  avg network delay  = {self.mean_network_delay:.5f}")
+        delay = self.mean_network_delay
+        power = self.network_throughput / delay if delay > 0 else 0.0
+        lines.append(f"  power              = {power:.2f}")
+        return "\n".join(lines)

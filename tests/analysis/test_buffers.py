@@ -1,0 +1,54 @@
+"""Unit tests for buffer dimensioning."""
+
+import pytest
+
+from repro.analysis.buffers import recommend_buffers
+from repro.errors import ModelError
+from repro.netmodel.examples import canadian_two_class
+
+
+class TestRecommendations:
+    @pytest.fixture(scope="class")
+    def recommendations(self):
+        net = canadian_two_class(18.0, 18.0, windows=(4, 4))
+        return net, recommend_buffers(net, overflow_probability=1e-3)
+
+    def test_every_fixed_rate_station_covered(self, recommendations):
+        net, recs = recommendations
+        assert set(recs) == set(net.station_names)
+
+    def test_buffer_never_exceeds_hard_bound(self, recommendations):
+        _net, recs = recommendations
+        for rec in recs.values():
+            assert rec.buffer_size <= rec.hard_bound
+
+    def test_achieved_overflow_below_target(self, recommendations):
+        _net, recs = recommendations
+        for rec in recs.values():
+            assert rec.overflow_probability <= 1e-3 + 1e-12
+
+    def test_shared_trunks_need_more_than_private_tails(self, recommendations):
+        _net, recs = recommendations
+        # Trunks carry both windows (hard bound 8); tails only one.
+        assert recs["ch2"].hard_bound == 8
+        assert recs["ch6"].hard_bound == 4
+        assert recs["ch2"].buffer_size >= recs["ch6"].buffer_size
+
+    def test_looser_target_needs_less_buffer(self):
+        net = canadian_two_class(18.0, 18.0, windows=(4, 4))
+        tight = recommend_buffers(net, 1e-4)
+        loose = recommend_buffers(net, 1e-1)
+        for name in tight:
+            assert loose[name].buffer_size <= tight[name].buffer_size
+
+    def test_station_filter(self):
+        net = canadian_two_class(18.0, 18.0, windows=(3, 3))
+        recs = recommend_buffers(net, 1e-3, stations=("ch1",))
+        assert set(recs) == {"ch1"}
+
+    def test_bad_probability_rejected(self):
+        net = canadian_two_class(18.0, 18.0, windows=(2, 2))
+        with pytest.raises(ModelError):
+            recommend_buffers(net, 0.0)
+        with pytest.raises(ModelError):
+            recommend_buffers(net, 1.0)

@@ -1,0 +1,40 @@
+"""Unit tests for solver comparison metrics."""
+
+import pytest
+
+from repro.analysis.compare import compare_solutions, compare_solvers
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.schweitzer import solve_schweitzer
+
+
+class TestCompareSolutions:
+    def test_self_comparison_is_zero(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        comparison = compare_solutions(solution, solution)
+        assert comparison.throughput_error == 0.0
+        assert comparison.delay_error == 0.0
+        assert comparison.power_error == 0.0
+        assert comparison.max_queue_length_error == 0.0
+
+    def test_heuristic_errors_are_small(self, two_class_net):
+        exact = solve_mva_exact(two_class_net)
+        heuristic = solve_mva_heuristic(two_class_net)
+        comparison = compare_solutions(exact, heuristic)
+        assert comparison.throughput_error < 0.05
+        assert comparison.power_error < 0.05
+        assert "mva-heuristic" in comparison.summary()
+
+    def test_compare_solvers_dict(self, two_class_net):
+        comparisons = compare_solvers(
+            two_class_net,
+            solve_mva_exact,
+            {
+                "heuristic": solve_mva_heuristic,
+                "schweitzer": solve_schweitzer,
+            },
+        )
+        assert set(comparisons) == {"heuristic", "schweitzer"}
+        for comparison in comparisons.values():
+            assert comparison.reference_method == "mva-exact"
+            assert comparison.throughput_error < 0.10

@@ -1,0 +1,57 @@
+"""Unit tests for simulation-based isarithmic dimensioning."""
+
+import pytest
+
+from repro.analysis.isarithmic import dimension_isarithmic
+from repro.errors import SearchError
+from repro.netmodel.topology import Channel, Topology
+from repro.netmodel.traffic import TrafficClass
+
+
+def tandem():
+    topo = Topology(
+        ["a", "b", "c"],
+        [Channel("ab", "a", "b", 50_000.0), Channel("bc", "b", "c", 50_000.0)],
+    )
+    classes = [TrafficClass("t", ("a", "b", "c"), 60.0)]  # overload
+    return topo, classes
+
+
+class TestDimensioning:
+    @pytest.fixture(scope="class")
+    def result(self):
+        topo, classes = tandem()
+        return dimension_isarithmic(
+            topo, classes, max_permits=16, duration=300.0, warmup=30.0, seed=3
+        )
+
+    def test_best_is_argmax_of_evaluations(self, result):
+        best_by_table = max(
+            result.evaluations, key=lambda p: result.evaluations[p][2]
+        )
+        assert result.evaluations[result.best_permits][2] == pytest.approx(
+            result.evaluations[best_by_table][2]
+        )
+
+    def test_optimum_is_interior_and_moderate(self, result):
+        """For a 2-hop saturated path the power-optimal circulation level
+        is small (the Kleinrock w* = p intuition transfers to permits)."""
+        assert 1 <= result.best_permits <= 6
+
+    def test_neighbors_of_best_evaluated(self, result):
+        # The hill-climb must have probed at least one neighbour.
+        assert (
+            result.best_permits - 1 in result.evaluations
+            or result.best_permits + 1 in result.evaluations
+        )
+
+    def test_table_rows_sorted(self, result):
+        rows = result.table_rows()
+        permits = [row[0] for row in rows]
+        assert permits == sorted(permits)
+        assert all(len(row) == 4 for row in rows)
+
+    def test_bad_range_rejected(self):
+        topo, classes = tandem()
+        with pytest.raises(SearchError):
+            dimension_isarithmic(topo, classes, max_permits=0)

@@ -1,0 +1,36 @@
+"""Unit tests for window sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import window_sensitivity
+from repro.netmodel.examples import canadian_two_class
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        nominal = (18.0, 18.0)
+        drifts = [(18.0, 18.0), (12.0, 24.0), (27.0, 9.0), (30.0, 30.0)]
+        return window_sensitivity(canadian_two_class, nominal, drifts)
+
+    def test_design_windows_shape(self, study):
+        design, _points = study
+        assert len(design) == 2
+
+    def test_zero_drift_loses_nothing(self, study):
+        _design, points = study
+        at_nominal = points[0]
+        assert at_nominal.power_loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_reoptimized_never_worse(self, study):
+        _design, points = study
+        for point in points:
+            assert point.reoptimized_power >= point.designed_power - 1e-9
+            assert 0.0 <= point.power_loss < 1.0
+
+    def test_moderate_skew_is_cheap(self, study):
+        """The thesis insensitivity claim: designing for symmetric load and
+        operating at 2x skew costs only a few percent of power."""
+        _design, points = study
+        skewed = points[1]
+        assert skewed.power_loss < 0.05

@@ -1,0 +1,62 @@
+"""Unit tests for parameter sweeps."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    optimal_window_sweep,
+    power_curve,
+    window_grid_power,
+)
+from repro.netmodel.examples import canadian_two_class
+from repro.search.space import IntegerBox
+
+
+class TestOptimalWindowSweep:
+    def test_sweep_shape_and_content(self):
+        points = optimal_window_sweep(
+            canadian_two_class, [(12.5, 12.5), (50.0, 50.0)]
+        )
+        assert len(points) == 2
+        assert points[0].rates == (12.5, 12.5)
+        assert points[0].total_rate == 25.0
+        assert len(points[0].windows) == 2
+        assert points[0].power > 0
+
+    def test_windows_shrink_with_load(self):
+        points = optimal_window_sweep(
+            canadian_two_class, [(12.5, 12.5), (75.0, 75.0)]
+        )
+        assert sum(points[1].windows) < sum(points[0].windows)
+
+
+class TestPowerCurve:
+    def test_curve_length_and_monotone_light_load(self):
+        rates = [(5.0, 5.0), (10.0, 10.0), (15.0, 15.0)]
+        curve = power_curve(canadian_two_class, rates, windows=(3, 3))
+        assert len(curve) == 3
+        powers = [p for _rates, p in curve]
+        # Below saturation more load means more power.
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_exact_solver_option(self):
+        curve = power_curve(
+            canadian_two_class, [(20.0, 20.0)], windows=(2, 2), solver="mva-exact"
+        )
+        assert curve[0][1] > 0
+
+
+class TestWindowGridPower:
+    def test_grid_covers_space(self):
+        net = canadian_two_class(18.0, 18.0)
+        space = IntegerBox.windows(2, 3)
+        grid = window_grid_power(net, space)
+        assert len(grid) == 9
+        assert all(p > 0 for p in grid.values())
+
+    def test_grid_peak_matches_windim_region(self):
+        net = canadian_two_class(50.0, 50.0)
+        space = IntegerBox.windows(2, 6)
+        grid = window_grid_power(net, space, solver="mva-exact")
+        best = max(grid, key=grid.get)
+        # Table 4.7 says small windows (around 2-3) win at this load.
+        assert max(best) <= 4

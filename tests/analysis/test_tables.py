@@ -1,0 +1,50 @@
+"""Unit tests for table rendering (ASCII and CSV)."""
+
+import pytest
+
+from repro.analysis.tables import render_csv, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "bbb" in lines[0]
+        assert "3.25" not in lines[0]
+
+    def test_title_line(self):
+        text = render_table(["x"], [[1]], title="Table 4.7")
+        assert text.splitlines()[0] == "Table 4.7"
+
+    def test_float_precision(self):
+        text = render_table(["x"], [[1.23456]], precision=3)
+        assert "1.235" in text
+
+    def test_strings_pass_through(self):
+        text = render_table(["windows"], [["5 5"]])
+        assert "5 5" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderCsv:
+    def test_round_trips_through_csv_reader(self):
+        import csv
+        import io
+
+        text = render_csv(["x", "label"], [[1.5, "a b"], [2, "c,d"]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["x", "label"]
+        assert rows[1] == ["1.5", "a b"]
+        assert rows[2] == ["2", "c,d"]
+
+    def test_full_precision_floats(self):
+        text = render_csv(["x"], [[0.123456789012345]])
+        assert "0.123456789012345" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_csv(["a", "b"], [[1]])

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmodel.examples import (
+    canadian_four_class,
+    canadian_topology,
+    canadian_two_class,
+    tandem_network,
+    two_class_traffic,
+)
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+@pytest.fixture
+def two_class_net() -> ClosedNetwork:
+    """The thesis 2-class network at moderate symmetric load."""
+    return canadian_two_class(18.0, 18.0, windows=(4, 4))
+
+
+@pytest.fixture
+def four_class_net() -> ClosedNetwork:
+    """The thesis 4-class network at the first Table 4.12 load point."""
+    return canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(1, 1, 1, 4))
+
+
+@pytest.fixture
+def tiny_two_chain_net() -> ClosedNetwork:
+    """Two chains sharing one middle queue — small enough for the CTMC."""
+    stations = [
+        Station.fcfs("a"),
+        Station.fcfs("shared"),
+        Station.fcfs("b"),
+    ]
+    chains = [
+        ClosedChain.from_route(
+            "c1", ["a", "shared"], [0.10, 0.05], window=2, source_station="a"
+        ),
+        ClosedChain.from_route(
+            "c2", ["b", "shared"], [0.08, 0.05], window=2, source_station="b"
+        ),
+    ]
+    return ClosedNetwork.build(stations, chains)
+
+
+@pytest.fixture
+def single_chain_cycle() -> ClosedNetwork:
+    """A 3-queue single-chain cycle (source + two links)."""
+    stations = [Station.fcfs("src"), Station.fcfs("l1"), Station.fcfs("l2")]
+    chain = ClosedChain.from_route(
+        "flow", ["src", "l1", "l2"], [0.05, 0.02, 0.04], window=3,
+        source_station="src",
+    )
+    return ClosedNetwork.build(stations, [chain])

@@ -1,0 +1,80 @@
+"""Unit tests for capacity-constrained WINDIM (§2.3)."""
+
+import pytest
+
+from repro.core.constraints import StationCapacityConstraint, constrained_windim
+from repro.core.windim import windim
+from repro.errors import ModelError, SearchError
+from repro.netmodel.examples import canadian_two_class
+
+
+class TestConstraintObject:
+    def test_station_load_sums_visiting_windows(self):
+        net = canadian_two_class(18.0, 18.0)
+        constraint = StationCapacityConstraint({"ch2": 5})
+        # ch2 is a shared trunk: both windows count.
+        assert constraint.station_load(net, (3, 4), "ch2") == 7
+        # ch6 carries only class 1.
+        assert constraint.station_load(net, (3, 4), "ch6") == 3
+
+    def test_feasibility_and_violations(self):
+        net = canadian_two_class(18.0, 18.0)
+        constraint = StationCapacityConstraint({"ch2": 5, "ch6": 3})
+        assert constraint.is_feasible(net, (2, 3))
+        assert not constraint.is_feasible(net, (4, 4))
+        violations = constraint.violations(net, (4, 4))
+        assert violations == {"ch2": (8, 5), "ch6": (4, 3)}
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            StationCapacityConstraint({"ch2": 0})
+
+
+class TestConstrainedWindim:
+    def test_unconstrained_limit_matches_plain_windim(self):
+        net = canadian_two_class(18.0, 18.0)
+        loose = StationCapacityConstraint({"ch2": 100})
+        constrained = constrained_windim(net, loose)
+        plain = windim(net)
+        assert constrained.windows == plain.windows
+        assert constrained.power == pytest.approx(plain.power)
+
+    def test_tight_constraint_respected(self):
+        net = canadian_two_class(12.5, 12.5)  # light load wants big windows
+        tight = StationCapacityConstraint({"ch2": 4})  # shared: E1+E2 <= 4
+        result = constrained_windim(net, tight)
+        assert sum(result.windows) <= 4
+        assert result.power > 0
+
+    def test_constrained_power_never_exceeds_unconstrained(self):
+        net = canadian_two_class(12.5, 12.5)
+        tight = StationCapacityConstraint({"ch2": 4})
+        constrained = constrained_windim(net, tight)
+        plain = windim(net)
+        assert constrained.power <= plain.power + 1e-9
+
+    def test_infeasible_hop_start_falls_back_to_unit(self):
+        net = canadian_two_class(18.0, 18.0)
+        tight = StationCapacityConstraint({"ch2": 3})  # hops (4,4) infeasible
+        result = constrained_windim(net, tight)
+        assert result.initial_windows == (1, 1)
+        assert sum(result.windows) <= 3
+
+    def test_totally_infeasible_raises(self):
+        net = canadian_two_class(18.0, 18.0)
+        impossible = StationCapacityConstraint({"ch2": 1})  # needs >= 2
+        with pytest.raises(SearchError):
+            constrained_windim(net, impossible)
+
+    def test_explicit_infeasible_start_rejected(self):
+        net = canadian_two_class(18.0, 18.0)
+        tight = StationCapacityConstraint({"ch2": 4})
+        with pytest.raises(SearchError):
+            constrained_windim(net, tight, start=(4, 4))
+
+    def test_unknown_station_rejected(self):
+        net = canadian_two_class(18.0, 18.0)
+        with pytest.raises(ModelError):
+            constrained_windim(
+                net, StationCapacityConstraint({"ghost": 5})
+            )

@@ -1,0 +1,41 @@
+"""Unit tests for initial window strategies."""
+
+import pytest
+
+from repro.core.initializers import (
+    INITIAL_WINDOW_STRATEGIES,
+    demand_balance_windows,
+    initial_windows,
+    unit_windows,
+)
+from repro.errors import ModelError
+from repro.netmodel.examples import canadian_four_class, canadian_two_class
+
+
+class TestStrategies:
+    def test_hops_matches_kleinrock(self, two_class_net):
+        assert initial_windows(two_class_net, "hops") == (4, 4)
+
+    def test_unit(self, two_class_net):
+        assert initial_windows(two_class_net, "unit") == (1, 1)
+        assert unit_windows(two_class_net) == (1, 1)
+
+    def test_demand_balance_scales_with_route_length(self):
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0)
+        windows = initial_windows(net, "demand-balance")
+        # Class 4 has the shortest (cheapest) route -> smallest window.
+        assert windows[3] == min(windows)
+        assert all(w >= 1 for w in windows)
+
+    def test_demand_balance_symmetric_chains_equal(self, two_class_net):
+        windows = demand_balance_windows(two_class_net)
+        assert windows[0] == windows[1]
+
+    def test_all_strategies_registered(self, two_class_net):
+        for strategy in INITIAL_WINDOW_STRATEGIES:
+            windows = initial_windows(two_class_net, strategy)
+            assert len(windows) == 2
+
+    def test_unknown_strategy_rejected(self, two_class_net):
+        with pytest.raises(ModelError):
+            initial_windows(two_class_net, "chaos")

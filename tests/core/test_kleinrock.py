@@ -1,0 +1,75 @@
+"""Unit tests for the Kleinrock p-hop window model."""
+
+import pytest
+
+from repro.core.kleinrock import (
+    hop_count_windows,
+    kleinrock_delay,
+    kleinrock_power,
+    kleinrock_throughput,
+    kleinrock_window_for_throughput,
+    optimal_window,
+)
+from repro.errors import ModelError
+from repro.netmodel.examples import canadian_four_class, canadian_two_class
+
+
+class TestClosedForms:
+    def test_delay_formula(self):
+        assert kleinrock_delay(25.0, 50.0, 4) == pytest.approx(4 / 25.0)
+
+    def test_delay_diverges_at_capacity(self):
+        assert kleinrock_delay(50.0, 50.0, 4) == float("inf")
+
+    def test_throughput_window_roundtrip(self):
+        lam = kleinrock_throughput(6.0, 50.0, 4)
+        assert kleinrock_window_for_throughput(lam, 50.0, 4) == pytest.approx(6.0)
+
+    def test_window_equals_hops_gives_half_capacity(self):
+        # At w = p the sustained throughput is exactly mu/2 — the power
+        # optimum (eq. 4.23).
+        assert kleinrock_throughput(4.0, 50.0, 4) == pytest.approx(25.0)
+
+    def test_power_maximised_at_hop_count(self):
+        powers = {w: kleinrock_power(w, 50.0, 5) for w in range(1, 20)}
+        best = max(powers, key=powers.get)
+        assert best == 5
+        assert optimal_window(5) == 5
+
+    def test_power_symmetric_factor(self):
+        # P(w) = lam (mu - lam) / p with lam = w mu/(p+w).
+        w, mu, p = 3.0, 40.0, 6
+        lam = kleinrock_throughput(w, mu, p)
+        assert kleinrock_power(w, mu, p) == pytest.approx(lam * (mu - lam) / p)
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ModelError):
+            kleinrock_delay(1.0, 0.0, 3)
+
+    def test_bad_hops(self):
+        with pytest.raises(ModelError):
+            kleinrock_throughput(1.0, 10.0, 0)
+
+    def test_bad_throughput_range(self):
+        with pytest.raises(ModelError):
+            kleinrock_window_for_throughput(10.0, 10.0, 3)
+
+    def test_negative_window(self):
+        with pytest.raises(ModelError):
+            kleinrock_throughput(-1.0, 10.0, 3)
+
+    def test_optimal_window_requires_positive_hops(self):
+        with pytest.raises(ModelError):
+            optimal_window(0)
+
+
+class TestHopCountWindows:
+    def test_two_class_hops(self):
+        net = canadian_two_class(10.0, 10.0)
+        assert hop_count_windows(net) == (4, 4)
+
+    def test_four_class_hops_match_thesis_4431(self):
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0)
+        assert hop_count_windows(net) == (4, 4, 3, 1)

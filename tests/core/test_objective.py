@@ -1,0 +1,79 @@
+"""Unit tests for the window objective function."""
+
+import pytest
+
+from repro.core.objective import SOLVERS, WindowObjective, resolve_solver
+from repro.errors import ModelError
+from repro.netmodel.examples import canadian_two_class
+
+
+@pytest.fixture
+def objective(two_class_net):
+    return WindowObjective(two_class_net)
+
+
+class TestResolveSolver:
+    def test_known_names(self):
+        for name in SOLVERS:
+            assert callable(resolve_solver(name))
+
+    def test_callable_passthrough(self):
+        marker = lambda net: None  # noqa: E731
+        assert resolve_solver(marker) is marker
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ModelError):
+            resolve_solver("quantum")
+
+
+class TestEvaluation:
+    def test_returns_inverse_power(self, two_class_net, objective):
+        from repro.core.power import inverse_power
+        from repro.mva.heuristic import solve_mva_heuristic
+
+        value = objective((4, 4))
+        direct = inverse_power(
+            solve_mva_heuristic(two_class_net.with_populations([4, 4]))
+        )
+        assert value == pytest.approx(direct)
+
+    def test_wrong_window_count_rejected(self, objective):
+        with pytest.raises(ModelError):
+            objective((4,))
+
+    def test_negative_window_rejected(self, objective):
+        with pytest.raises(ModelError):
+            objective((4, -1))
+
+    def test_zero_windows_are_inf(self, objective):
+        assert objective((0, 0)) == float("inf")
+
+    def test_evaluation_counter(self, objective):
+        objective((2, 2))
+        objective((3, 3))
+        assert objective.evaluations == 2
+
+    def test_solver_failure_maps_to_inf(self, two_class_net):
+        from repro.errors import SolverError
+
+        def failing(_net):
+            raise SolverError("boom")
+
+        objective = WindowObjective(two_class_net, failing)
+        assert objective((2, 2)) == float("inf")
+
+
+class TestSolutionAccess:
+    def test_solution_cached(self, objective):
+        objective((3, 3))
+        solution = objective.solution((3, 3))
+        assert solution.network.populations.tolist() == [3, 3]
+
+    def test_solution_solves_on_demand(self, objective):
+        solution = objective.solution((2, 5))
+        assert solution.network.populations.tolist() == [2, 5]
+
+    def test_exact_solver_objective_close_to_heuristic(self, two_class_net):
+        heuristic = WindowObjective(two_class_net, "mva-heuristic")
+        exact = WindowObjective(two_class_net, "mva-exact")
+        assert heuristic((4, 4)) == pytest.approx(exact((4, 4)), rel=0.05)

@@ -1,0 +1,73 @@
+"""Unit tests for the network power criterion."""
+
+import numpy as np
+import pytest
+
+from repro.core.power import inverse_power, network_power, power_report
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.netmodel.examples import canadian_two_class
+from repro.solution import NetworkSolution
+
+
+class TestNetworkPower:
+    def test_power_is_throughput_over_delay(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        power = network_power(solution)
+        assert power == pytest.approx(
+            solution.network_throughput / solution.mean_network_delay
+        )
+
+    def test_delay_excludes_source_queues(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        mask = two_class_net.delay_mask()
+        expected_delay = solution.queue_lengths[mask].sum() / solution.network_throughput
+        assert solution.mean_network_delay == pytest.approx(expected_delay)
+        # Including source queues, by Little over the whole population,
+        # would give a strictly larger delay.
+        total_delay = solution.queue_lengths.sum() / solution.network_throughput
+        assert total_delay > expected_delay
+
+    def test_zero_throughput_gives_zero_power(self, two_class_net):
+        solution = solve_mva_exact(two_class_net.with_populations([0, 0]))
+        assert network_power(solution) == 0.0
+
+    def test_inverse_power_reciprocal(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        assert inverse_power(solution) == pytest.approx(
+            1.0 / network_power(solution)
+        )
+
+    def test_inverse_power_degenerate_is_inf(self, two_class_net):
+        solution = solve_mva_exact(two_class_net.with_populations([0, 0]))
+        assert inverse_power(solution) == float("inf")
+
+
+class TestPowerReport:
+    def test_report_fields_consistent(self, two_class_net):
+        solution = solve_mva_heuristic(two_class_net)
+        report = power_report(solution)
+        assert report.throughput == pytest.approx(solution.network_throughput)
+        assert report.delay == pytest.approx(solution.mean_network_delay)
+        assert report.power == pytest.approx(network_power(solution))
+        assert len(report.class_throughputs) == 2
+        assert len(report.class_delays) == 2
+
+    def test_summary_mentions_numbers(self, two_class_net):
+        report = power_report(solve_mva_heuristic(two_class_net))
+        text = report.summary()
+        assert "power=" in text
+        assert "msg/s" in text
+
+
+class TestPowerShape:
+    def test_power_has_interior_maximum_in_window(self):
+        """Fig. 4.9's qualitative claim: power rises then falls (or
+        saturates) as the window grows at fixed load."""
+        powers = []
+        for window in range(1, 15):
+            net = canadian_two_class(25.0, 25.0, windows=(window, window))
+            powers.append(network_power(solve_mva_exact(net)))
+        best = int(np.argmax(powers))
+        assert 0 < best < 13  # interior maximum
+        assert powers[-1] < powers[best]  # oversized windows hurt

@@ -1,0 +1,96 @@
+"""Unit tests for Norton (flow-equivalent) aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SolverError
+from repro.exact.aggregation import aggregate_single_chain, flow_equivalent_rates
+from repro.exact.gordon_newell import solve_gordon_newell
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+def cycle(demands=(0.1, 0.05, 0.2, 0.08), window=5):
+    stations = [Station.fcfs(f"q{i}") for i in range(len(demands))]
+    chain = ClosedChain.from_route(
+        "c", [s.name for s in stations], list(demands), window=window
+    )
+    return ClosedNetwork.build(stations, [chain])
+
+
+class TestFlowEquivalentRates:
+    def test_rates_match_subnetwork_throughput(self):
+        net = cycle()
+        rates = flow_equivalent_rates(net, ["q1", "q2"], 4)
+        from repro.exact.buzen import buzen
+
+        scale = 0.2
+        reference = buzen(np.array([0.05, 0.2]) / scale, 4)
+        for k in range(1, 5):
+            assert rates[k - 1] == pytest.approx(
+                reference.throughput(k) / scale, rel=1e-10
+            )
+
+    def test_rates_nondecreasing(self):
+        net = cycle()
+        rates = flow_equivalent_rates(net, ["q0", "q1"], 6)
+        assert np.all(np.diff(rates) >= -1e-12)
+
+    def test_unknown_station_rejected(self):
+        with pytest.raises(ModelError):
+            flow_equivalent_rates(cycle(), ["ghost"], 3)
+
+    def test_multichain_rejected(self, tiny_two_chain_net):
+        with pytest.raises(SolverError):
+            flow_equivalent_rates(tiny_two_chain_net, ["shared"], 2)
+
+
+class TestNortonTheorem:
+    @pytest.mark.parametrize(
+        "subnetwork", [["q1", "q2"], ["q0"], ["q0", "q1", "q2"]]
+    )
+    def test_throughput_preserved_exactly(self, subnetwork):
+        net = cycle()
+        original = solve_gordon_newell(net)
+        reduced = solve_gordon_newell(aggregate_single_chain(net, subnetwork))
+        assert reduced.throughputs[0] == pytest.approx(
+            original.throughputs[0], rel=1e-10
+        )
+
+    def test_kept_station_queue_lengths_preserved(self):
+        net = cycle()
+        original = solve_gordon_newell(net)
+        aggregated = aggregate_single_chain(net, ["q1", "q2"])
+        reduced = solve_gordon_newell(aggregated)
+        for name in ("q0", "q3"):
+            assert reduced.queue_lengths[0, aggregated.station_id(name)] == (
+                pytest.approx(
+                    original.queue_lengths[0, net.station_id(name)], rel=1e-9
+                )
+            )
+
+    def test_population_conserved_in_reduced_network(self):
+        net = cycle(window=6)
+        reduced = solve_gordon_newell(aggregate_single_chain(net, ["q2", "q3"]))
+        assert reduced.queue_lengths.sum() == pytest.approx(6.0, rel=1e-9)
+
+    def test_fes_station_has_rate_multipliers(self):
+        aggregated = aggregate_single_chain(cycle(), ["q1", "q2"])
+        fes = aggregated.stations[aggregated.station_id("fes")]
+        assert fes.rate_multipliers is not None
+        assert len(fes.rate_multipliers) == 5  # the window size
+
+    def test_source_inside_subnetwork_dropped(self):
+        stations = [Station.fcfs("src"), Station.fcfs("a"), Station.fcfs("b")]
+        chain = ClosedChain.from_route(
+            "c", ["src", "a", "b"], [0.1, 0.05, 0.08], window=3,
+            source_station="src",
+        )
+        net = ClosedNetwork.build(stations, [chain])
+        aggregated = aggregate_single_chain(net, ["src", "a"])
+        assert aggregated.chains[0].source_station is None
+
+    def test_empty_subnetwork_rejected(self):
+        with pytest.raises(ModelError):
+            aggregate_single_chain(cycle(), [])

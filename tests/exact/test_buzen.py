@@ -1,0 +1,123 @@
+"""Unit tests for Buzen's single-chain convolution algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SolverError
+from repro.exact.buzen import buzen, buzen_stations
+from repro.queueing.station import Station
+
+
+class TestNormalizationConstants:
+    def test_single_fixed_rate_station(self):
+        # One station: G(k) = rho^k.
+        result = buzen([0.5], 4)
+        np.testing.assert_allclose(result.constants, [1, 0.5, 0.25, 0.125, 0.0625])
+
+    def test_two_station_constants_by_hand(self):
+        # G(k) = sum_{i=0..k} rho1^i rho2^(k-i)
+        rho1, rho2 = 0.4, 0.6
+        result = buzen([rho1, rho2], 3)
+        expected = [
+            1.0,
+            rho1 + rho2,
+            rho1**2 + rho1 * rho2 + rho2**2,
+            rho1**3 + rho1**2 * rho2 + rho1 * rho2**2 + rho2**3,
+        ]
+        np.testing.assert_allclose(result.constants, expected)
+
+    def test_station_order_irrelevant(self):
+        a = buzen([0.3, 0.7, 0.5], 5).constants
+        b = buzen([0.5, 0.3, 0.7], 5).constants
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            buzen([[0.1]], 2)  # not 1-D
+        with pytest.raises(ModelError):
+            buzen([-0.1], 2)
+        with pytest.raises(ModelError):
+            buzen([0.1], -1)
+
+
+class TestDerivedMeasures:
+    def test_balanced_network_throughput(self):
+        # p identical fixed-rate queues, demand s: lambda(D) = D/(s(p+D-1)).
+        p, s, d = 3, 0.2, 5
+        result = buzen([s] * p, d)
+        assert result.throughput() == pytest.approx(d / (s * (p + d - 1)))
+
+    def test_balanced_network_queue_lengths(self):
+        # Symmetric: N_i = D / p.
+        p, d = 4, 6
+        result = buzen([0.1] * p, d)
+        for station in range(p):
+            assert result.mean_queue_length(station) == pytest.approx(d / p)
+
+    def test_utilization_is_demand_times_throughput(self):
+        result = buzen([0.2, 0.3], 4)
+        lam = result.throughput()
+        assert result.utilization(0) == pytest.approx(0.2 * lam)
+        assert result.utilization(1) == pytest.approx(0.3 * lam)
+
+    def test_queue_lengths_sum_to_population(self):
+        demands = [0.15, 0.3, 0.08]
+        for d in (1, 3, 6):
+            result = buzen(demands, d)
+            total = sum(result.mean_queue_length(i) for i in range(3))
+            assert total == pytest.approx(d)
+
+    def test_queue_length_distribution_is_pmf(self):
+        result = buzen([0.2, 0.4], 5)
+        pmf = result.queue_length_distribution(1)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+        mean = float(np.dot(np.arange(6), pmf))
+        assert mean == pytest.approx(result.mean_queue_length(1))
+
+    def test_zero_population_throughput_zero(self):
+        assert buzen([0.5], 0).throughput() == 0.0
+
+
+class TestGeneralStations:
+    def test_delay_station_changes_constants(self):
+        fixed = buzen([0.5, 0.5], 3)
+        from repro.queueing.capacity import infinite_server_coefficients
+
+        delayed = buzen([0.5, 0.5], 3, [None, infinite_server_coefficients(3)])
+        assert not np.allclose(fixed.constants, delayed.constants)
+
+    def test_buzen_stations_dispatches_types(self):
+        stations = [Station.fcfs("q"), Station.delay("think")]
+        result = buzen_stations([0.5, 1.0], 4, stations)
+        assert result.fixed_rate[0]
+        assert not result.fixed_rate[1]
+
+    def test_per_station_measures_require_fixed_rate(self):
+        stations = [Station.fcfs("q"), Station.delay("think")]
+        result = buzen_stations([0.5, 1.0], 4, stations)
+        with pytest.raises(SolverError):
+            result.mean_queue_length(1)
+
+    def test_machine_repairman_against_closed_form(self):
+        # D machines (IS station, mean 1/lam think) + 1 repairman
+        # (fixed-rate, mean 1/mu): classic M/M/1//D.  Utilisation of the
+        # repairman must satisfy the finite-source Erlang formula.
+        think, repair, d = 2.0, 0.5, 4
+        from repro.queueing.capacity import infinite_server_coefficients
+
+        result = buzen(
+            [repair, think], d, [None, infinite_server_coefficients(d)]
+        )
+        lam = result.throughput()
+        # Cross-check against direct state enumeration of M/M/1//D.
+        import math
+
+        # pi(k) ~ (D!/(D-k)!) (repair/think)^k for k customers at repairman.
+        weights = [
+            math.factorial(d) / math.factorial(d - k) * (repair / think) ** k
+            for k in range(d + 1)
+        ]
+        total = sum(weights)
+        busy = 1.0 - weights[0] / total
+        assert repair * lam == pytest.approx(busy, rel=1e-12)

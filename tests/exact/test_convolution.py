@@ -1,0 +1,111 @@
+"""Unit tests for the multichain convolution algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.exact.buzen import buzen
+from repro.exact.convolution import normalization_constants, solve_convolution
+from repro.exact.mva_exact import solve_mva_exact
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+def shared_queue_network(windows=(2, 3)):
+    stations = [Station.fcfs("s1"), Station.fcfs("s2"), Station.fcfs("m")]
+    chains = [
+        ClosedChain.from_route(
+            "c1", ["s1", "m"], [0.1, 0.04], window=windows[0], source_station="s1"
+        ),
+        ClosedChain.from_route(
+            "c2", ["s2", "m"], [0.07, 0.04], window=windows[1], source_station="s2"
+        ),
+    ]
+    return ClosedNetwork.build(stations, chains)
+
+
+class TestAgainstExactMva:
+    @pytest.mark.parametrize("windows", [(1, 1), (2, 3), (4, 4), (1, 5)])
+    def test_throughputs_agree(self, windows):
+        net = shared_queue_network(windows)
+        conv = solve_convolution(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(conv.throughputs, mva.throughputs, rtol=1e-9)
+
+    @pytest.mark.parametrize("windows", [(2, 3), (3, 3)])
+    def test_queue_lengths_agree(self, windows):
+        net = shared_queue_network(windows)
+        conv = solve_convolution(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(
+            conv.queue_lengths, mva.queue_lengths, atol=1e-9
+        )
+
+    def test_thesis_network_agrees(self, two_class_net):
+        conv = solve_convolution(two_class_net)
+        mva = solve_mva_exact(two_class_net)
+        np.testing.assert_allclose(conv.throughputs, mva.throughputs, rtol=1e-9)
+        np.testing.assert_allclose(
+            conv.queue_lengths, mva.queue_lengths, atol=1e-8
+        )
+
+
+class TestSingleChainReduction:
+    def test_matches_buzen(self):
+        demands = [0.1, 0.25, 0.05]
+        stations = [Station.fcfs(f"q{i}") for i in range(3)]
+        chain = ClosedChain.from_route("c", ["q0", "q1", "q2"], demands, window=6)
+        net = ClosedNetwork.build(stations, [chain])
+        conv = solve_convolution(net)
+        reference = buzen(demands, 6)
+        assert conv.throughputs[0] == pytest.approx(reference.throughput(), rel=1e-10)
+
+
+class TestNormalizationConstants:
+    def test_lattice_shape(self):
+        net = shared_queue_network((2, 3))
+        g, scale = normalization_constants(net)
+        assert g.shape == (3, 4)
+        assert g[0, 0] == pytest.approx(1.0)
+
+    def test_all_positive(self):
+        net = shared_queue_network((3, 3))
+        g, _ = normalization_constants(net)
+        assert np.all(g > 0)
+
+    def test_scaling_cancels_in_throughput(self):
+        net = shared_queue_network((2, 2))
+        default = solve_convolution(net)
+        g, scale = normalization_constants(net, scale=np.array([1.0, 1.0]))
+        target = (2, 2)
+        lam0 = g[1, 2] / g[target]
+        assert lam0 == pytest.approx(default.throughputs[0], rel=1e-9)
+
+
+class TestDelayStations:
+    def test_mixed_delay_fixed_agrees_with_mva(self):
+        stations = [Station.fcfs("q"), Station.delay("think"), Station.fcfs("r")]
+        chains = [
+            ClosedChain.from_route("c1", ["q", "think"], [0.1, 0.6], window=3),
+            ClosedChain.from_route("c2", ["r", "think", "q"], [0.2, 0.6, 0.1], window=2),
+        ]
+        net = ClosedNetwork.build(stations, chains)
+        conv = solve_convolution(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(conv.throughputs, mva.throughputs, rtol=1e-9)
+        np.testing.assert_allclose(conv.queue_lengths, mva.queue_lengths, atol=1e-9)
+
+
+class TestGuards:
+    def test_multiserver_rejected(self):
+        stations = [Station.fcfs("q", servers=3)]
+        chain = ClosedChain.from_route("c", ["q"], [0.1], window=1)
+        net = ClosedNetwork.build(stations, [chain])
+        with pytest.raises(SolverError):
+            solve_convolution(net)
+
+    def test_huge_lattice_rejected(self):
+        net = shared_queue_network((1, 1)).with_populations([3000, 3000])
+        with pytest.raises(SolverError):
+            solve_convolution(net)

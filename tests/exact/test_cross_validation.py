@@ -1,0 +1,79 @@
+"""Cross-validation: every exact solver agrees on shared model classes.
+
+The strongest correctness evidence in the suite: the CTMC global-balance
+solver knows nothing about product forms, convolution nothing about MVA,
+yet all three must coincide on product-form networks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exact.convolution import solve_convolution
+from repro.exact.ctmc import solve_ctmc
+from repro.exact.gordon_newell import solve_gordon_newell
+from repro.exact.mva_exact import solve_mva_exact
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+def three_chain_network():
+    stations = [
+        Station.fcfs("s1"),
+        Station.fcfs("s2"),
+        Station.fcfs("s3"),
+        Station.fcfs("m1"),
+        Station.fcfs("m2"),
+    ]
+    chains = [
+        ClosedChain.from_route("c1", ["s1", "m1"], [0.09, 0.03], window=2),
+        ClosedChain.from_route("c2", ["s2", "m1", "m2"], [0.12, 0.03, 0.05], window=2),
+        ClosedChain.from_route("c3", ["s3", "m2"], [0.06, 0.05], window=1),
+    ]
+    return ClosedNetwork.build(stations, chains)
+
+
+ALL_MULTICHAIN_SOLVERS = [solve_mva_exact, solve_convolution, solve_ctmc]
+
+
+class TestThreeWayAgreement:
+    @pytest.mark.parametrize("solver", ALL_MULTICHAIN_SOLVERS[1:])
+    def test_three_chain_agreement(self, solver):
+        net = three_chain_network()
+        reference = solve_mva_exact(net)
+        candidate = solver(net)
+        np.testing.assert_allclose(
+            candidate.throughputs, reference.throughputs, rtol=1e-8
+        )
+        np.testing.assert_allclose(
+            candidate.queue_lengths, reference.queue_lengths, atol=1e-8
+        )
+
+    @pytest.mark.parametrize("solver", ALL_MULTICHAIN_SOLVERS[1:])
+    def test_tiny_two_chain_agreement(self, tiny_two_chain_net, solver):
+        reference = solve_mva_exact(tiny_two_chain_net)
+        candidate = solver(tiny_two_chain_net)
+        np.testing.assert_allclose(
+            candidate.throughputs, reference.throughputs, rtol=1e-8
+        )
+
+    def test_single_chain_four_way(self, single_chain_cycle):
+        solutions = [
+            solve_mva_exact(single_chain_cycle),
+            solve_convolution(single_chain_cycle),
+            solve_ctmc(single_chain_cycle),
+            solve_gordon_newell(single_chain_cycle),
+        ]
+        reference = solutions[0]
+        for candidate in solutions[1:]:
+            np.testing.assert_allclose(
+                candidate.throughputs, reference.throughputs, rtol=1e-8
+            )
+            np.testing.assert_allclose(
+                candidate.queue_lengths, reference.queue_lengths, atol=1e-8
+            )
+
+    def test_thesis_network_exact_pair(self, two_class_net):
+        conv = solve_convolution(two_class_net)
+        mva = solve_mva_exact(two_class_net)
+        np.testing.assert_allclose(conv.throughputs, mva.throughputs, rtol=1e-9)

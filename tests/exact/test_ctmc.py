@@ -1,0 +1,82 @@
+"""Unit tests for the global-balance CTMC ground-truth solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.exact.buzen import buzen
+from repro.exact.ctmc import solve_ctmc
+from repro.exact.mva_exact import solve_mva_exact
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+def single_chain_net(demands, window):
+    stations = [Station.fcfs(f"q{i}") for i in range(len(demands))]
+    chain = ClosedChain.from_route(
+        "c", [s.name for s in stations], demands, window=window
+    )
+    return ClosedNetwork.build(stations, [chain])
+
+
+class TestSingleChain:
+    def test_two_queue_cycle_matches_buzen(self):
+        net = single_chain_net([0.2, 0.35], 3)
+        ctmc = solve_ctmc(net)
+        reference = buzen([0.2, 0.35], 3)
+        assert ctmc.throughputs[0] == pytest.approx(reference.throughput(), rel=1e-9)
+        for i in range(2):
+            assert ctmc.queue_lengths[0, i] == pytest.approx(
+                reference.mean_queue_length(i), rel=1e-9
+            )
+
+    def test_three_queue_cycle_matches_exact_mva(self):
+        net = single_chain_net([0.1, 0.3, 0.05], 4)
+        ctmc = solve_ctmc(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(ctmc.throughputs, mva.throughputs, rtol=1e-9)
+        np.testing.assert_allclose(ctmc.queue_lengths, mva.queue_lengths, atol=1e-9)
+
+
+class TestMultichain:
+    def test_two_chain_shared_queue_matches_product_form(self, tiny_two_chain_net):
+        ctmc = solve_ctmc(tiny_two_chain_net)
+        mva = solve_mva_exact(tiny_two_chain_net)
+        np.testing.assert_allclose(ctmc.throughputs, mva.throughputs, rtol=1e-8)
+        np.testing.assert_allclose(ctmc.queue_lengths, mva.queue_lengths, atol=1e-8)
+
+    def test_populations_conserved(self, tiny_two_chain_net):
+        ctmc = solve_ctmc(tiny_two_chain_net)
+        np.testing.assert_allclose(
+            ctmc.queue_lengths.sum(axis=1),
+            tiny_two_chain_net.populations,
+            rtol=1e-9,
+        )
+
+    def test_delay_station_supported(self):
+        stations = [Station.fcfs("q"), Station.delay("think")]
+        chain = ClosedChain.from_route("c", ["q", "think"], [0.3, 1.0], window=3)
+        net = ClosedNetwork.build(stations, [chain])
+        ctmc = solve_ctmc(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(ctmc.throughputs, mva.throughputs, rtol=1e-9)
+
+
+class TestGuards:
+    def test_revisiting_route_rejected(self):
+        stations = [Station.fcfs("a"), Station.fcfs("b")]
+        chain = ClosedChain(
+            name="loop",
+            visits=("a", "b", "a"),
+            service_times=(0.1, 0.1, 0.1),
+            population=1,
+        )
+        net = ClosedNetwork.build(stations, [chain])
+        with pytest.raises(SolverError):
+            solve_ctmc(net)
+
+    def test_state_space_guard(self):
+        net = single_chain_net([0.1] * 10, 1).with_populations([60])
+        with pytest.raises(SolverError):
+            solve_ctmc(net)

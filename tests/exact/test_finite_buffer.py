@@ -1,0 +1,85 @@
+"""Unit tests for M/M/m/K finite-buffer queues."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.exact.finite_buffer import solve_mmmk
+from repro.exact.semiclosed import solve_semiclosed
+
+
+class TestMM1K:
+    def test_distribution_geometric_truncated(self):
+        lam, mu, capacity = 4.0, 5.0, 3
+        result = solve_mmmk(lam, mu, capacity)
+        rho = lam / mu
+        weights = np.array([rho**k for k in range(capacity + 1)])
+        np.testing.assert_allclose(
+            result.distribution, weights / weights.sum(), rtol=1e-12
+        )
+
+    def test_blocking_probability_known_value(self):
+        # M/M/1/1 (pure loss): blocking = rho/(1+rho) (Erlang-B, 1 server).
+        result = solve_mmmk(5.0, 10.0, 1)
+        assert result.blocking_probability == pytest.approx(0.5 / 1.5)
+
+    def test_carried_plus_lost_equals_offered(self):
+        result = solve_mmmk(8.0, 5.0, 6)
+        lost = 8.0 * result.blocking_probability
+        assert result.carried_rate + lost == pytest.approx(8.0)
+
+    def test_converges_to_mm1_for_large_buffers(self):
+        lam, mu = 4.0, 5.0
+        result = solve_mmmk(lam, mu, 200)
+        rho = lam / mu
+        assert result.mean_customers == pytest.approx(rho / (1 - rho), rel=1e-6)
+        assert result.blocking_probability < 1e-15
+
+    def test_overloaded_queue_fills_buffer(self):
+        result = solve_mmmk(50.0, 5.0, 4)
+        assert result.mean_customers > 3.5
+        assert result.blocking_probability > 0.8
+
+    def test_matches_semiclosed_single_station(self):
+        """An M/M/1/K is a single-station semiclosed chain with H+ = K."""
+        lam, mu, capacity = 6.0, 10.0, 5
+        direct = solve_mmmk(lam, mu, capacity)
+        via_semiclosed = solve_semiclosed([1.0 / mu], lam, 0, capacity)
+        assert via_semiclosed.acceptance_probability == pytest.approx(
+            1.0 - direct.blocking_probability, rel=1e-10
+        )
+        assert via_semiclosed.throughput == pytest.approx(
+            direct.carried_rate, rel=1e-10
+        )
+        assert via_semiclosed.mean_population == pytest.approx(
+            direct.mean_customers, rel=1e-10
+        )
+
+
+class TestMMmK:
+    def test_multiserver_blocking_below_single_server(self):
+        single = solve_mmmk(8.0, 5.0, 4, servers=1)
+        double = solve_mmmk(8.0, 5.0, 4, servers=2)
+        assert double.blocking_probability < single.blocking_probability
+
+    def test_pure_loss_erlang_b(self):
+        # M/M/m/m is the Erlang-B system: B(m, a) via the recurrence.
+        lam, mu, m = 12.0, 5.0, 3
+        a = lam / mu
+        b = 1.0
+        for k in range(1, m + 1):
+            b = a * b / (k + a * b)
+        result = solve_mmmk(lam, mu, m, servers=m)
+        assert result.blocking_probability == pytest.approx(b, rel=1e-12)
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ModelError):
+            solve_mmmk(0.0, 1.0, 2)
+        with pytest.raises(ModelError):
+            solve_mmmk(1.0, 0.0, 2)
+        with pytest.raises(ModelError):
+            solve_mmmk(1.0, 1.0, 1, servers=2)
+        with pytest.raises(ModelError):
+            solve_mmmk(1.0, 1.0, 2, servers=0)

@@ -1,0 +1,67 @@
+"""Unit tests for the Gordon–Newell single-chain solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.exact.gordon_newell import solve_gordon_newell
+from repro.exact.mva_exact import solve_mva_exact
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+def cycle(demands, window, station_types=None):
+    if station_types is None:
+        stations = [Station.fcfs(f"q{i}") for i in range(len(demands))]
+    else:
+        stations = station_types
+    chain = ClosedChain.from_route(
+        "c", [s.name for s in stations], demands, window=window
+    )
+    return ClosedNetwork.build(stations, [chain])
+
+
+class TestFixedRateNetworks:
+    def test_matches_exact_mva(self):
+        net = cycle([0.1, 0.4, 0.07], 5)
+        gn = solve_gordon_newell(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(gn.throughputs, mva.throughputs, rtol=1e-10)
+        np.testing.assert_allclose(gn.queue_lengths, mva.queue_lengths, atol=1e-9)
+
+    def test_large_population_is_stable_numerically(self):
+        net = cycle([0.02, 0.05, 0.02], 200)
+        gn = solve_gordon_newell(net)
+        # Bottleneck-bound throughput: 1/0.05 = 20.
+        assert gn.throughputs[0] == pytest.approx(20.0, rel=1e-6)
+
+    def test_population_conserved(self):
+        net = cycle([0.3, 0.1], 7)
+        gn = solve_gordon_newell(net)
+        assert gn.queue_lengths.sum() == pytest.approx(7.0)
+
+
+class TestGeneralStations:
+    def test_multiserver_station(self):
+        stations = [Station.fcfs("q", servers=2), Station.fcfs("r")]
+        net = cycle([0.4, 0.1], 4, stations)
+        gn = solve_gordon_newell(net)
+        # Sanity: population conserved, throughput above the 1-server case.
+        assert gn.queue_lengths.sum() == pytest.approx(4.0, rel=1e-9)
+        single = solve_gordon_newell(cycle([0.4, 0.1], 4))
+        assert gn.throughputs[0] > single.throughputs[0]
+
+    def test_delay_station_against_mva(self):
+        stations = [Station.fcfs("q"), Station.delay("think")]
+        net = cycle([0.25, 1.5], 6, stations)
+        gn = solve_gordon_newell(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(gn.throughputs, mva.throughputs, rtol=1e-10)
+        np.testing.assert_allclose(gn.queue_lengths, mva.queue_lengths, atol=1e-9)
+
+
+class TestGuards:
+    def test_multichain_rejected(self, tiny_two_chain_net):
+        with pytest.raises(SolverError):
+            solve_gordon_newell(tiny_two_chain_net)

@@ -1,0 +1,73 @@
+"""Unit tests for the open Jackson network solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, StabilityError
+from repro.exact.jackson import solve_jackson
+
+
+class TestSingleQueue:
+    def test_mm1_closed_forms(self):
+        result = solve_jackson(np.zeros((1, 1)), [4.0], [10.0])
+        station = result.stations[0]
+        rho = 0.4
+        assert station.utilization == pytest.approx(rho)
+        assert station.mean_queue_length == pytest.approx(rho / (1 - rho))
+        assert station.mean_sojourn_time == pytest.approx(1.0 / (10.0 - 4.0))
+
+    def test_mm2_erlang_c(self):
+        result = solve_jackson(np.zeros((1, 1)), [3.0], [2.0], servers=[2])
+        station = result.stations[0]
+        # M/M/2 with lambda=3, mu=2: a=1.5, rho=0.75.
+        a, m = 1.5, 2
+        p0 = 1.0 / (1 + a + a**2 / (2 * (1 - 0.75)))
+        erlang_c = (a**2 / (2 * (1 - 0.75))) * p0
+        expected = a + erlang_c * 0.75 / (1 - 0.75)
+        assert station.mean_queue_length == pytest.approx(expected, rel=1e-9)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            solve_jackson(np.zeros((1, 1)), [10.0], [10.0])
+
+
+class TestTandem:
+    def test_tandem_delay_adds_up(self):
+        # Two queues in series, both M/M/1 at the same arrival rate.
+        routing = np.array([[0.0, 1.0], [0.0, 0.0]])
+        result = solve_jackson(routing, [2.0, 0.0], [5.0, 4.0])
+        t1 = 1.0 / (5.0 - 2.0)
+        t2 = 1.0 / (4.0 - 2.0)
+        assert result.mean_network_delay == pytest.approx(t1 + t2)
+
+    def test_total_customers_by_little(self):
+        routing = np.array([[0.0, 1.0], [0.0, 0.0]])
+        result = solve_jackson(routing, [2.0, 0.0], [5.0, 4.0])
+        assert result.mean_customers == pytest.approx(
+            2.0 * result.mean_network_delay
+        )
+
+
+class TestFeedback:
+    def test_feedback_queue(self):
+        # M/M/1 with Bernoulli feedback p: effective lambda = gamma/(1-p).
+        routing = np.array([[0.25]])
+        result = solve_jackson(routing, [3.0], [8.0])
+        assert result.arrival_rates[0] == pytest.approx(4.0)
+        assert result.stations[0].utilization == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_service_rate_shape(self):
+        with pytest.raises(ModelError):
+            solve_jackson(np.zeros((2, 2)), [1.0, 1.0], [2.0])
+
+    def test_nonpositive_service_rates(self):
+        with pytest.raises(ModelError):
+            solve_jackson(np.zeros((1, 1)), [1.0], [0.0])
+
+    def test_idle_station_reports_zero(self):
+        routing = np.zeros((2, 2))
+        result = solve_jackson(routing, [2.0, 0.0], [5.0, 5.0])
+        assert result.stations[1].mean_queue_length == 0.0
+        assert result.stations[1].utilization == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for exact marginal queue-length distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.exact.buzen import buzen
+from repro.exact.convolution import normalization_constants
+from repro.exact.marginals import (
+    complement_constants,
+    station_composition_distribution,
+    station_queue_distribution,
+)
+from repro.exact.mva_exact import solve_mva_exact
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+class TestComplementConstants:
+    def test_reconvolving_recovers_full_lattice(self, tiny_two_chain_net):
+        net = tiny_two_chain_net
+        g, scale = normalization_constants(net)
+        station = net.station_id("shared")
+        g_minus, _ = complement_constants(net, station, g, scale)
+        scaled = net.demands[:, station] / scale
+        # g = g_minus convolved with the station's fixed-rate series.
+        rebuilt = g_minus.copy()
+        it = np.nditer(rebuilt, flags=["multi_index"], op_flags=["readwrite"])
+        for cell in it:
+            index = it.multi_index
+            total = float(cell)
+            for w in range(net.num_chains):
+                if index[w] > 0:
+                    predecessor = list(index)
+                    predecessor[w] -= 1
+                    total += scaled[w] * rebuilt[tuple(predecessor)]
+            cell[...] = total
+        np.testing.assert_allclose(rebuilt, g, rtol=1e-9)
+
+    def test_is_station_rejected(self):
+        stations = [Station.fcfs("q"), Station.delay("d")]
+        chain = ClosedChain.from_route("c", ["q", "d"], [0.1, 1.0], window=2)
+        net = ClosedNetwork.build(stations, [chain])
+        with pytest.raises(SolverError):
+            complement_constants(net, net.station_id("d"))
+
+
+class TestDistributions:
+    def test_pmf_normalised_and_matches_mean(self, two_class_net):
+        exact = solve_mva_exact(two_class_net)
+        for name in ("ch1", "ch2", "ch6", "src:class1"):
+            station = two_class_net.station_id(name)
+            pmf = station_queue_distribution(two_class_net, station)
+            assert pmf.sum() == pytest.approx(1.0, rel=1e-9)
+            mean = float(np.dot(np.arange(pmf.shape[0]), pmf))
+            assert mean == pytest.approx(
+                exact.station_queue_length(station), rel=1e-8
+            )
+
+    def test_single_chain_matches_buzen_pmf(self, single_chain_cycle):
+        net = single_chain_cycle
+        station = net.station_id("l1")
+        pmf = station_queue_distribution(net, station)
+        demands = net.demands[0]
+        scale = demands.max()
+        reference = buzen(demands / scale, int(net.populations[0]))
+        expected = reference.queue_length_distribution(station)
+        np.testing.assert_allclose(pmf[: expected.shape[0]], expected, atol=1e-10)
+
+    def test_composition_marginalises_consistently(self, tiny_two_chain_net):
+        net = tiny_two_chain_net
+        station = net.station_id("shared")
+        composition = station_composition_distribution(net, station)
+        exact = solve_mva_exact(net)
+        # Per-chain means from the composition pmf match exact MVA.
+        for r in range(net.num_chains):
+            mean_r = sum(m[r] * p for m, p in composition.items())
+            assert mean_r == pytest.approx(
+                exact.queue_lengths[r, station], rel=1e-8
+            )
+
+    def test_probabilities_nonnegative(self, two_class_net):
+        station = two_class_net.station_id("ch3")
+        composition = station_composition_distribution(two_class_net, station)
+        assert all(p >= -1e-12 for p in composition.values())
+
+    def test_window_bounds_respected(self, tiny_two_chain_net):
+        """No probability mass beyond each chain's window at any station."""
+        net = tiny_two_chain_net
+        station = net.station_id("shared")
+        composition = station_composition_distribution(net, station)
+        for m, p in composition.items():
+            if any(
+                m[r] > net.populations[r] for r in range(net.num_chains)
+            ):
+                assert p == pytest.approx(0.0, abs=1e-12)

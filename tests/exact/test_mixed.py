@@ -1,0 +1,111 @@
+"""Unit tests for mixed open/closed networks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, StabilityError
+from repro.exact.mixed import solve_mixed
+from repro.exact.mva_exact import solve_mva_exact
+from repro.queueing.chain import ClosedChain, OpenChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+def make_parts(open_rate=2.0, window=3):
+    stations = [Station.fcfs("shared"), Station.fcfs("own")]
+    closed = [
+        ClosedChain.from_route(
+            "closed", ["own", "shared"], [0.1, 0.05], window=window
+        )
+    ]
+    opened = [
+        OpenChain(
+            name="open",
+            visits=("shared",),
+            service_times=(0.05,),
+            arrival_rate=open_rate,
+        )
+    ]
+    return stations, closed, opened
+
+
+class TestReduction:
+    def test_no_open_chains_equals_closed_solution(self):
+        stations, closed, _ = make_parts()
+        mixed = solve_mixed(stations, closed, [])
+        pure = solve_mva_exact(ClosedNetwork.build(stations, closed))
+        np.testing.assert_allclose(
+            mixed.closed.throughputs, pure.throughputs, rtol=1e-10
+        )
+
+    def test_open_load_slows_closed_chain(self):
+        stations, closed, opened = make_parts(open_rate=6.0)
+        with_open = solve_mixed(stations, closed, opened)
+        without = solve_mixed(stations, closed, [])
+        assert (
+            with_open.closed.throughputs[0] < without.closed.throughputs[0]
+        )
+
+    def test_closed_demand_inflation_factor(self):
+        # rho0 = 2.0 * 0.05 = 0.1 at the shared queue; the closed chain's
+        # demand there must be 0.05 / 0.9.
+        stations, closed, opened = make_parts(open_rate=2.0)
+        mixed = solve_mixed(stations, closed, opened)
+        net = mixed.closed.network
+        shared = net.station_id("shared")
+        assert net.demands[0, shared] == pytest.approx(0.05 / 0.9)
+
+    def test_open_queue_lengths_against_mm1_when_closed_idle(self):
+        # With a zero-population closed chain the shared queue is an M/M/1.
+        stations, closed, opened = make_parts(open_rate=4.0)
+        closed = [closed[0].with_population(0)]
+        mixed = solve_mixed(stations, closed, opened)
+        rho = 4.0 * 0.05
+        assert mixed.open_queue_lengths[0, 0] == pytest.approx(rho / (1 - rho))
+
+    def test_open_chain_delay_by_little(self):
+        stations, closed, opened = make_parts(open_rate=3.0)
+        mixed = solve_mixed(stations, closed, opened)
+        expected = mixed.open_queue_lengths[0].sum() / 3.0
+        assert mixed.open_chain_delay(0) == pytest.approx(expected)
+
+
+class TestStability:
+    def test_saturating_open_chain_rejected(self):
+        stations, closed, opened = make_parts(open_rate=25.0)  # rho0 = 1.25
+        with pytest.raises(StabilityError):
+            solve_mixed(stations, closed, opened)
+
+    def test_delay_station_never_saturates(self):
+        stations = [Station.delay("think"), Station.fcfs("own")]
+        closed = [
+            ClosedChain.from_route("c", ["own", "think"], [0.1, 2.0], window=2)
+        ]
+        opened = [
+            OpenChain(
+                name="o",
+                visits=("think",),
+                service_times=(2.0,),
+                arrival_rate=100.0,
+            )
+        ]
+        mixed = solve_mixed(stations, closed, opened)
+        # IS open-chain mean population = rho (Poisson), regardless of load.
+        assert mixed.open_queue_lengths[0, 0] == pytest.approx(200.0)
+
+
+class TestValidation:
+    def test_unknown_station_rejected(self):
+        stations, closed, _ = make_parts()
+        bad_open = [
+            OpenChain(
+                name="o", visits=("ghost",), service_times=(0.1,), arrival_rate=1.0
+            )
+        ]
+        with pytest.raises(ModelError):
+            solve_mixed(stations, closed, bad_open)
+
+    def test_requires_closed_chain(self):
+        stations, _closed, opened = make_parts()
+        with pytest.raises(ModelError):
+            solve_mixed(stations, [], opened)

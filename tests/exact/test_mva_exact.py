@@ -1,0 +1,128 @@
+"""Unit tests for exact multichain MVA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.exact.buzen import buzen
+from repro.exact.mva_exact import solve_mva_exact
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+def single_chain_network(demands, window):
+    stations = [Station.fcfs(f"q{i}") for i in range(len(demands))]
+    chain = ClosedChain.from_route(
+        "c", [s.name for s in stations], demands, window=window
+    )
+    return ClosedNetwork.build(stations, [chain])
+
+
+class TestSingleChainAgainstBuzen:
+    @pytest.mark.parametrize("window", [1, 2, 5, 9])
+    def test_throughput_matches_convolution(self, window):
+        demands = [0.12, 0.05, 0.3, 0.08]
+        solution = solve_mva_exact(single_chain_network(demands, window))
+        reference = buzen(demands, window)
+        assert solution.throughputs[0] == pytest.approx(
+            reference.throughput(), rel=1e-12
+        )
+
+    def test_queue_lengths_match_convolution(self):
+        demands = [0.12, 0.05, 0.3]
+        solution = solve_mva_exact(single_chain_network(demands, 6))
+        reference = buzen(demands, 6)
+        for i in range(3):
+            assert solution.queue_lengths[0, i] == pytest.approx(
+                reference.mean_queue_length(i), rel=1e-10
+            )
+
+
+class TestMultichainProperties:
+    def test_queue_lengths_sum_to_populations(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        per_chain = solution.queue_lengths.sum(axis=1)
+        np.testing.assert_allclose(per_chain, two_class_net.populations)
+
+    def test_littles_law_per_chain(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        for r in range(two_class_net.num_chains):
+            cycle_time = solution.waiting_times[r].sum()
+            assert solution.throughputs[r] * cycle_time == pytest.approx(
+                two_class_net.populations[r], rel=1e-12
+            )
+
+    def test_symmetric_network_symmetric_solution(self):
+        from repro.netmodel.examples import canadian_two_class
+
+        net = canadian_two_class(20.0, 20.0, windows=(3, 3))
+        solution = solve_mva_exact(net)
+        assert solution.throughputs[0] == pytest.approx(
+            solution.throughputs[1], rel=1e-12
+        )
+
+    def test_utilizations_below_one(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        assert np.all(solution.utilizations <= 1.0 + 1e-9)
+
+    def test_zero_population_chain_is_inert(self, two_class_net):
+        net = two_class_net.with_populations([0, 4])
+        solution = solve_mva_exact(net)
+        assert solution.throughputs[0] == 0.0
+        assert solution.queue_lengths[0].sum() == 0.0
+        # Remaining chain behaves as a single-chain network.
+        alone = solve_mva_exact(two_class_net.with_populations([0, 4]))
+        assert alone.throughputs[1] == pytest.approx(solution.throughputs[1])
+
+    def test_throughput_monotone_in_window(self, two_class_net):
+        lam_small = solve_mva_exact(
+            two_class_net.with_populations([2, 2])
+        ).throughputs.sum()
+        lam_large = solve_mva_exact(
+            two_class_net.with_populations([5, 5])
+        ).throughputs.sum()
+        assert lam_large > lam_small
+
+
+class TestDelayStations:
+    def test_delay_station_waiting_time_is_demand(self):
+        stations = [Station.fcfs("q"), Station.delay("think")]
+        chain = ClosedChain.from_route("c", ["q", "think"], [0.1, 1.0], window=5)
+        net = ClosedNetwork.build(stations, [chain])
+        solution = solve_mva_exact(net)
+        think = net.station_id("think")
+        assert solution.waiting_times[0, think] == pytest.approx(1.0)
+
+    def test_matches_machine_repairman(self):
+        # Same model as the Buzen machine-repairman test.
+        from repro.exact.buzen import buzen
+        from repro.queueing.capacity import infinite_server_coefficients
+
+        stations = [Station.fcfs("repair"), Station.delay("think")]
+        chain = ClosedChain.from_route(
+            "m", ["repair", "think"], [0.5, 2.0], window=4
+        )
+        net = ClosedNetwork.build(stations, [chain])
+        solution = solve_mva_exact(net)
+        reference = buzen(
+            [0.5, 2.0], 4, [None, infinite_server_coefficients(4)]
+        )
+        assert solution.throughputs[0] == pytest.approx(
+            reference.throughput(), rel=1e-12
+        )
+
+
+class TestGuards:
+    def test_large_lattice_rejected(self):
+        net = single_chain_network([0.1], 1)
+        big = net.with_populations([10_000_000])
+        with pytest.raises(SolverError):
+            solve_mva_exact(big)
+
+    def test_multiserver_rejected(self):
+        stations = [Station.fcfs("q", servers=2)]
+        chain = ClosedChain.from_route("c", ["q"], [0.1], window=2)
+        net = ClosedNetwork.build(stations, [chain])
+        with pytest.raises(SolverError):
+            solve_mva_exact(net)

@@ -1,0 +1,98 @@
+"""Unit tests for multiclass open product-form networks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, StabilityError
+from repro.exact.open_multiclass import (
+    open_view_of_network,
+    solve_open_multiclass,
+)
+from repro.netmodel.examples import canadian_topology, two_class_traffic
+from repro.queueing.station import Discipline, Station
+
+
+class TestSolveOpenMulticlass:
+    def test_single_class_single_station_is_mm1(self):
+        result = solve_open_multiclass(
+            ["q"], [Station.fcfs("q")], np.array([[0.05]]), [10.0]
+        )
+        rho = 0.5
+        assert result.utilizations[0] == pytest.approx(rho)
+        assert result.queue_lengths[0, 0] == pytest.approx(rho / (1 - rho))
+        assert result.class_delays[0] == pytest.approx(0.05 / (1 - rho))
+
+    def test_two_classes_share_capacity(self):
+        demands = np.array([[0.04], [0.02]])
+        result = solve_open_multiclass(
+            ["q"], [Station.fcfs("q")], demands, [10.0, 10.0]
+        )
+        rho_total = 0.4 + 0.2
+        # Per-class queue lengths split proportionally to per-class rho.
+        assert result.queue_lengths[0, 0] == pytest.approx(0.4 / (1 - rho_total))
+        assert result.queue_lengths[1, 0] == pytest.approx(0.2 / (1 - rho_total))
+
+    def test_is_station_poisson_law(self):
+        result = solve_open_multiclass(
+            ["think"], [Station.delay("think")], np.array([[2.0]]), [3.0]
+        )
+        assert result.queue_lengths[0, 0] == pytest.approx(6.0)
+        assert result.class_delays[0] == pytest.approx(2.0)
+
+    def test_instability_raises(self):
+        with pytest.raises(StabilityError):
+            solve_open_multiclass(
+                ["q"], [Station.fcfs("q")], np.array([[0.05]]), [25.0]
+            )
+
+    def test_multiserver_rejected(self):
+        with pytest.raises(ModelError):
+            solve_open_multiclass(
+                ["q"], [Station.fcfs("q", servers=2)], np.array([[0.01]]), [1.0]
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ModelError):
+            solve_open_multiclass(
+                ["q"], [Station.fcfs("q")], np.array([[0.01]]), [1.0, 2.0]
+            )
+
+
+class TestOpenViewOfNetwork:
+    def test_canadian_two_class_light_load(self):
+        result = open_view_of_network(
+            canadian_topology(), two_class_traffic(10.0, 10.0)
+        )
+        # Shared trunks carry both classes: rho = (10+10)*0.02 = 0.4.
+        trunk = result.station_names.index("ch1")
+        assert result.utilizations[trunk] == pytest.approx(0.4)
+        # Tail channels carry one class: rho = 10*0.04 = 0.4 too.
+        tail = result.station_names.index("ch6")
+        assert result.utilizations[tail] == pytest.approx(0.4)
+
+    def test_open_delay_below_closed_delay_at_light_load(self):
+        """With generous windows and light load, the closed (windowed)
+        network's delay approaches the open prediction from above."""
+        from repro.exact.mva_exact import solve_mva_exact
+        from repro.netmodel.examples import canadian_two_class
+
+        open_result = open_view_of_network(
+            canadian_topology(), two_class_traffic(5.0, 5.0)
+        )
+        closed = solve_mva_exact(canadian_two_class(5.0, 5.0, windows=(12, 12)))
+        assert closed.mean_network_delay == pytest.approx(
+            open_result.mean_network_delay, rel=0.1
+        )
+
+    def test_saturated_load_unstable(self):
+        with pytest.raises(StabilityError):
+            open_view_of_network(
+                canadian_topology(), two_class_traffic(30.0, 30.0)
+            )
+
+    def test_power_defined(self):
+        result = open_view_of_network(
+            canadian_topology(), two_class_traffic(10.0, 10.0)
+        )
+        assert result.power > 0
+        assert result.network_throughput == pytest.approx(20.0)

@@ -1,0 +1,114 @@
+"""Processor-sharing stations with class-dependent service times.
+
+Thesis Chapter 5: "WINDIM can be readily extended to analyse networks with
+LCFSPR, PS, IS or other work-conserving queue disciplines."  For
+single-server fixed-rate stations the product-form solution of PS (and
+LCFS-PR) has the same mean-value equations as FCFS, but *allows
+class-dependent mean service times*.  These tests cross-validate that
+extension: exact MVA and the CTMC (whose proportional-completion rates are
+exactly PS semantics) must agree on PS networks that FCFS product form
+would forbid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exact.ctmc import solve_ctmc
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.linearizer import solve_linearizer
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Discipline, Station
+
+
+def ps_network(windows=(2, 2)):
+    """Two chains sharing a PS station with *different* service times."""
+    stations = [
+        Station.fcfs("s1"),
+        Station.fcfs("s2"),
+        Station("shared", discipline=Discipline.PS),
+    ]
+    chains = [
+        ClosedChain.from_route(
+            "c1", ["s1", "shared"], [0.10, 0.03], window=windows[0],
+            source_station="s1",
+        ),
+        ClosedChain.from_route(
+            "c2", ["s2", "shared"], [0.08, 0.06], window=windows[1],
+            source_station="s2",
+        ),
+    ]
+    return ClosedNetwork.build(stations, chains)
+
+
+class TestPsProductForm:
+    @pytest.mark.parametrize("windows", [(1, 1), (2, 2), (3, 1), (2, 4)])
+    def test_exact_mva_matches_ctmc(self, windows):
+        net = ps_network(windows)
+        mva = solve_mva_exact(net)
+        ctmc = solve_ctmc(net)
+        np.testing.assert_allclose(mva.throughputs, ctmc.throughputs, rtol=1e-8)
+        np.testing.assert_allclose(
+            mva.queue_lengths, ctmc.queue_lengths, atol=1e-8
+        )
+
+    def test_class_dependent_service_allowed_at_ps(self):
+        # The strict FCFS check must not fire for PS stations.
+        net = ps_network()
+        shared = net.station_id("shared")
+        assert net.demands[0, shared] != net.demands[1, shared]
+
+    def test_fcfs_station_with_same_times_equivalent_to_ps(self):
+        """When service times happen to be equal, FCFS and PS single-server
+        stations have identical product-form solutions."""
+        def build(discipline):
+            stations = [
+                Station.fcfs("s1"),
+                Station.fcfs("s2"),
+                Station("shared", discipline=discipline),
+            ]
+            chains = [
+                ClosedChain.from_route(
+                    "c1", ["s1", "shared"], [0.10, 0.04], window=2
+                ),
+                ClosedChain.from_route(
+                    "c2", ["s2", "shared"], [0.08, 0.04], window=2
+                ),
+            ]
+            return ClosedNetwork.build(stations, chains)
+
+        fcfs = solve_mva_exact(build(Discipline.FCFS))
+        ps = solve_mva_exact(build(Discipline.PS))
+        np.testing.assert_allclose(fcfs.throughputs, ps.throughputs, rtol=1e-12)
+
+
+class TestApproximateSolversOnPs:
+    def test_heuristic_tracks_exact_on_ps(self):
+        net = ps_network((3, 3))
+        exact = solve_mva_exact(net)
+        heuristic = solve_mva_heuristic(net)
+        np.testing.assert_allclose(
+            heuristic.throughputs, exact.throughputs, rtol=0.1
+        )
+
+    def test_linearizer_tracks_exact_on_ps(self):
+        net = ps_network((3, 3))
+        exact = solve_mva_exact(net)
+        linearizer = solve_linearizer(net)
+        np.testing.assert_allclose(
+            linearizer.throughputs, exact.throughputs, rtol=0.02
+        )
+
+    def test_lcfs_pr_same_as_ps(self):
+        stations = [
+            Station.fcfs("s1"),
+            Station("shared", discipline=Discipline.LCFS_PR),
+        ]
+        chains = [
+            ClosedChain.from_route("c1", ["s1", "shared"], [0.1, 0.05], window=3)
+        ]
+        net = ClosedNetwork.build(stations, chains)
+        mva = solve_mva_exact(net)
+        ctmc = solve_ctmc(net)
+        np.testing.assert_allclose(mva.throughputs, ctmc.throughputs, rtol=1e-9)

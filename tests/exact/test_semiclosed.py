@@ -1,0 +1,92 @@
+"""Unit tests for semiclosed chains (Georganas extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.exact.buzen import buzen
+from repro.exact.semiclosed import solve_semiclosed
+
+
+DEMANDS = [0.05, 0.02, 0.04]
+
+
+class TestDegenerateCases:
+    def test_closed_case_matches_buzen(self):
+        # H- = H+ pins the population: must equal the closed network.
+        result = solve_semiclosed(DEMANDS, 10.0, 3, 3)
+        scale = max(DEMANDS)
+        reference = buzen(np.asarray(DEMANDS) / scale, 3)
+        assert result.throughput == pytest.approx(
+            reference.throughput() / scale, rel=1e-12
+        )
+        assert result.acceptance_probability == pytest.approx(0.0)
+        assert result.mean_population == pytest.approx(3.0)
+
+    def test_window_one_is_mm1_with_loss_shape(self):
+        # Single station, H- = 0, H+ = 1: an M/M/1/1 loss system.
+        service = 0.1
+        lam = 5.0
+        result = solve_semiclosed([service], lam, 0, 1)
+        rho = lam * service
+        blocking = rho / (1 + rho)  # Erlang-B with one server
+        assert 1 - result.acceptance_probability == pytest.approx(blocking)
+        assert result.throughput == pytest.approx(lam * (1 - blocking))
+
+
+class TestFlowBalance:
+    @pytest.mark.parametrize("window", [1, 2, 4, 8])
+    def test_throughput_equals_accepted_arrivals(self, window):
+        """With H- = 0 the chain is a window-limited open system: at
+        stationarity the departure rate equals the accepted arrival rate."""
+        result = solve_semiclosed(DEMANDS, 12.0, 0, window)
+        assert result.throughput == pytest.approx(
+            result.effective_arrival_rate, rel=1e-9
+        )
+
+    def test_acceptance_decreases_with_load(self):
+        low = solve_semiclosed(DEMANDS, 5.0, 0, 3)
+        high = solve_semiclosed(DEMANDS, 50.0, 0, 3)
+        assert high.acceptance_probability < low.acceptance_probability
+
+    def test_larger_window_admits_more(self):
+        small = solve_semiclosed(DEMANDS, 30.0, 0, 2)
+        large = solve_semiclosed(DEMANDS, 30.0, 0, 8)
+        assert large.throughput > small.throughput
+
+    def test_queue_lengths_sum_to_mean_population(self):
+        result = solve_semiclosed(DEMANDS, 15.0, 1, 6)
+        assert result.mean_queue_lengths.sum() == pytest.approx(
+            result.mean_population, rel=1e-9
+        )
+
+    def test_mean_delay_by_little(self):
+        result = solve_semiclosed(DEMANDS, 15.0, 0, 5)
+        assert result.mean_delay == pytest.approx(
+            result.mean_population / result.throughput
+        )
+
+
+class TestLowerBound:
+    def test_h_min_floors_population(self):
+        result = solve_semiclosed(DEMANDS, 1.0, 2, 6)
+        assert result.population_pmf[:2].sum() == 0.0
+        assert result.mean_population >= 2.0
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ModelError):
+            solve_semiclosed(DEMANDS, 1.0, 3, 2)
+        with pytest.raises(ModelError):
+            solve_semiclosed(DEMANDS, 1.0, 0, 0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ModelError):
+            solve_semiclosed(DEMANDS, 0.0, 0, 2)
+
+    def test_bad_demands(self):
+        with pytest.raises(ModelError):
+            solve_semiclosed([], 1.0, 0, 2)
+        with pytest.raises(ModelError):
+            solve_semiclosed([-0.1], 1.0, 0, 2)

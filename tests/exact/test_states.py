@@ -1,0 +1,69 @@
+"""Unit tests for state-space enumeration."""
+
+import pytest
+
+from repro.exact.states import (
+    compositions,
+    lattice_size,
+    population_vectors,
+    population_vectors_by_total,
+)
+
+
+class TestLatticeSize:
+    def test_matches_product(self):
+        assert lattice_size([2, 3]) == 12
+        assert lattice_size([0]) == 1
+        assert lattice_size([]) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lattice_size([-1])
+
+
+class TestPopulationVectors:
+    def test_enumerates_full_lattice(self):
+        vectors = list(population_vectors([1, 2]))
+        assert len(vectors) == 6
+        assert (0, 0) in vectors
+        assert (1, 2) in vectors
+
+    def test_by_total_order_is_nondecreasing(self):
+        totals = [sum(v) for v in population_vectors_by_total([2, 2, 1])]
+        assert totals == sorted(totals)
+
+    def test_by_total_covers_lattice(self):
+        assert set(population_vectors_by_total([2, 2])) == set(
+            population_vectors([2, 2])
+        )
+
+    def test_predecessors_precede(self):
+        order = {v: i for i, v in enumerate(population_vectors_by_total([2, 3]))}
+        for vector, position in order.items():
+            for axis in range(2):
+                if vector[axis] > 0:
+                    predecessor = list(vector)
+                    predecessor[axis] -= 1
+                    assert order[tuple(predecessor)] < position
+
+
+class TestCompositions:
+    def test_counts_match_stars_and_bars(self):
+        # C(total + parts - 1, parts - 1)
+        assert len(list(compositions(3, 2))) == 4
+        assert len(list(compositions(4, 3))) == 15
+
+    def test_all_sum_to_total(self):
+        for combo in compositions(5, 3):
+            assert sum(combo) == 5
+
+    def test_zero_parts(self):
+        assert list(compositions(0, 0)) == [()]
+        assert list(compositions(2, 0)) == []
+
+    def test_single_part(self):
+        assert list(compositions(7, 1)) == [(7,)]
+
+    def test_negative_parts_rejected(self):
+        with pytest.raises(ValueError):
+            list(compositions(1, -1))

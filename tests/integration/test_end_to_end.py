@@ -1,0 +1,67 @@
+"""End-to-end pipeline tests crossing all subsystems."""
+
+import pytest
+
+from repro.analysis.compare import compare_solutions
+from repro.core.windim import windim
+from repro.exact.mva_exact import solve_mva_exact
+from repro.netmodel.builder import build_closed_network
+from repro.netmodel.examples import canadian_topology, two_class_traffic
+from repro.netmodel.generator import random_network
+from repro.sim.engine import simulate
+from repro.sim.flowcontrol import FlowControlConfig
+
+
+class TestDimensionThenSimulate:
+    def test_windim_windows_perform_well_in_simulation(self):
+        """Dimension with WINDIM (analytic), then check by independent
+        simulation that the chosen windows beat clearly bad ones."""
+        rates = (25.0, 25.0)
+        result = windim(canadian_two_class_net(*rates))
+        topo = canadian_topology()
+        classes = list(two_class_traffic(*rates))
+
+        chosen = simulate(
+            topo, classes, FlowControlConfig.end_to_end(result.windows),
+            duration=1_500.0, warmup=150.0, seed=21,
+        )
+        oversized = simulate(
+            topo, classes, FlowControlConfig.end_to_end((15, 15)),
+            duration=1_500.0, warmup=150.0, seed=21,
+        )
+        assert chosen.power > oversized.power
+
+    def test_simulated_power_close_to_predicted(self):
+        rates = (18.0, 18.0)
+        result = windim(canadian_two_class_net(*rates), solver="mva-exact")
+        measured = simulate(
+            canadian_topology(),
+            list(two_class_traffic(*rates)),
+            FlowControlConfig.end_to_end(result.windows),
+            duration=2_000.0, warmup=200.0, seed=22,
+        )
+        assert measured.power == pytest.approx(result.power, rel=0.05)
+
+
+class TestRandomNetworksRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_windim_on_random_networks(self, seed):
+        net = random_network(num_nodes=6, num_classes=3, seed=seed)
+        result = windim(net, max_window=16)
+        assert all(1 <= w <= 16 for w in result.windows)
+        assert result.power > 0
+
+    def test_heuristic_vs_exact_on_random_network(self):
+        net = random_network(num_nodes=5, num_classes=2, seed=7, windows=(3, 3))
+        from repro.mva.heuristic import solve_mva_heuristic
+
+        comparison = compare_solutions(
+            solve_mva_exact(net), solve_mva_heuristic(net)
+        )
+        assert comparison.throughput_error < 0.1
+
+
+def canadian_two_class_net(s1, s2):
+    from repro.netmodel.examples import canadian_two_class
+
+    return canadian_two_class(s1, s2)

@@ -1,0 +1,141 @@
+"""Integration tests pinning the thesis's qualitative results (§4.5).
+
+These are the claims EXPERIMENTS.md records; absolute numbers differ from
+the microfiche tables (topology reconstruction, see DESIGN.md), but every
+directional finding must reproduce.
+"""
+
+import pytest
+
+from repro.core.kleinrock import hop_count_windows
+from repro.core.objective import WindowObjective
+from repro.core.power import network_power
+from repro.core.windim import windim
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.netmodel.examples import canadian_four_class, canadian_two_class
+
+
+TABLE_4_7_RATES = [12.5, 15.5, 18.0, 20.0, 22.5, 25.0, 37.5, 50.0, 62.5, 75.0]
+
+
+class TestTable47Claims:
+    """Symmetric loadings on the 2-class network."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {
+            s: windim(canadian_two_class(s, s)) for s in TABLE_4_7_RATES
+        }
+
+    def test_symmetric_loads_give_symmetric_windows(self, sweep):
+        for result in sweep.values():
+            assert result.windows[0] == result.windows[1]
+
+    def test_windows_nonincreasing_with_load(self, sweep):
+        window_sums = [sum(sweep[s].windows) for s in TABLE_4_7_RATES]
+        assert all(a >= b for a, b in zip(window_sums, window_sums[1:]))
+
+    def test_window_range_matches_thesis(self, sweep):
+        # Thesis: 5 -> 2 over this load range; we accept the same band.
+        assert sweep[TABLE_4_7_RATES[0]].windows[0] >= 3
+        assert sweep[TABLE_4_7_RATES[-1]].windows[0] <= 3
+
+    def test_power_increasing_with_load(self, sweep):
+        powers = [sweep[s].power for s in TABLE_4_7_RATES]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_power_magnitude_band(self, sweep):
+        # Thesis reports 159..196; the reconstructed topology lands in the
+        # same hundred-ish band.
+        assert 100 < sweep[TABLE_4_7_RATES[0]].power < 220
+        assert 120 < sweep[TABLE_4_7_RATES[-1]].power < 260
+
+
+class TestTable48Claims:
+    """Dissimilar loadings on the 2-class network."""
+
+    def test_windows_insensitive_to_moderate_skew(self):
+        balanced = windim(canadian_two_class(12.5, 12.5))
+        skewed = windim(canadian_two_class(5.0, 20.0))  # ratio 4
+        assert abs(sum(balanced.windows) - sum(skewed.windows)) <= 2
+
+    def test_power_degrades_with_skew(self):
+        total = 25.0
+        powers = []
+        for s1 in (12.5, 10.0, 7.0, 5.0):
+            result = windim(canadian_two_class(s1, total - s1))
+            powers.append(result.power)
+        assert all(a >= b - 1e-9 for a, b in zip(powers, powers[1:]))
+        assert powers[-1] < powers[0]
+
+
+class TestFig49Claims:
+    """Power vs load for fixed windows."""
+
+    def test_large_windows_rise_then_fall(self):
+        powers = []
+        for s in [5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 80.0]:
+            net = canadian_two_class(s, s, windows=(7, 7))
+            powers.append(network_power(solve_mva_heuristic(net)))
+        peak = max(range(len(powers)), key=powers.__getitem__)
+        assert 0 < peak < len(powers) - 1
+        assert powers[-1] < powers[peak]
+
+    def test_small_windows_monotone_to_plateau(self):
+        powers = []
+        for s in [5.0, 10.0, 20.0, 40.0, 80.0, 160.0]:
+            net = canadian_two_class(s, s, windows=(2, 2))
+            powers.append(network_power(solve_mva_heuristic(net)))
+        assert all(b >= a - 1e-6 for a, b in zip(powers, powers[1:]))
+
+    def test_oversized_windows_never_beat_moderate_at_high_load(self):
+        s = 60.0
+        moderate = network_power(
+            solve_mva_heuristic(canadian_two_class(s, s, windows=(3, 3)))
+        )
+        oversized = network_power(
+            solve_mva_heuristic(canadian_two_class(s, s, windows=(10, 10)))
+        )
+        assert oversized < moderate
+
+
+TABLE_4_12_RATES = [
+    (6.0, 6.0, 6.0, 12.0),
+    (9.957, 4.419, 7.656, 7.968),
+    (17.61, 3.56, 3.0, 5.83),
+    (12.5, 12.5, 12.5, 25.0),
+    (21.24, 9.86, 18.85, 12.55),
+    (20.0, 20.0, 20.0, 40.0),
+]
+
+
+class TestTable412Claims:
+    """The 4-class network: optimal windows beat Kleinrock's hop rule."""
+
+    @pytest.mark.parametrize("rates", TABLE_4_12_RATES)
+    def test_optimal_power_beats_hop_count_windows(self, rates):
+        net = canadian_four_class(*rates)
+        result = windim(net)
+        objective = WindowObjective(net)
+        hop_value = objective(hop_count_windows(net))
+        p_hops = 1.0 / hop_value
+        assert result.power >= p_hops - 1e-9
+
+    def test_first_row_reproduces_thesis_windows(self):
+        """Thesis Table 4.12 row 1: rates (6,6,6,12) -> E_op = (1,1,1,4)."""
+        result = windim(canadian_four_class(6.0, 6.0, 6.0, 12.0))
+        assert result.windows == (1, 1, 1, 4)
+
+    def test_hop_rule_markedly_suboptimal_with_interaction(self):
+        """P_op / P_4431 > 1.2 at the thesis's first row (they report
+        352/279 ~ 1.26)."""
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0)
+        result = windim(net)
+        objective = WindowObjective(net)
+        p_hops = 1.0 / objective((4, 4, 3, 1))
+        assert result.power / p_hops > 1.15
+
+    def test_power_grows_with_total_traffic(self):
+        low = windim(canadian_four_class(6.0, 6.0, 6.0, 12.0))
+        high = windim(canadian_four_class(20.0, 20.0, 20.0, 40.0))
+        assert high.power > low.power

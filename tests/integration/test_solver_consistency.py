@@ -1,0 +1,77 @@
+"""Cross-solver consistency on the thesis networks themselves.
+
+The cross-validation suite uses small synthetic networks; these tests pin
+the same three-way agreement on the actual Canadian models, plus solver
+consistency through the named-solver registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import SOLVERS
+from repro.exact.convolution import solve_convolution
+from repro.exact.mva_exact import solve_mva_exact
+from repro.netmodel.examples import canadian_four_class, canadian_two_class
+
+
+class TestThesisNetworkAgreement:
+    @pytest.mark.parametrize("windows", [(1, 1), (3, 3), (5, 2)])
+    def test_two_class_convolution_vs_mva(self, windows):
+        net = canadian_two_class(20.0, 15.0, windows=windows)
+        conv = solve_convolution(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(conv.throughputs, mva.throughputs, rtol=1e-8)
+        np.testing.assert_allclose(
+            conv.queue_lengths, mva.queue_lengths, atol=1e-8
+        )
+
+    def test_four_class_convolution_vs_mva(self):
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(1, 1, 1, 4))
+        conv = solve_convolution(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(conv.throughputs, mva.throughputs, rtol=1e-8)
+
+    def test_all_named_solvers_agree_on_direction(self):
+        """Every registered solver must rank window settings the same way
+        on a clear-cut comparison (good vs clearly oversized windows)."""
+        from repro.core.power import network_power
+
+        good = canadian_two_class(50.0, 50.0, windows=(3, 3))
+        oversized = canadian_two_class(50.0, 50.0, windows=(12, 12))
+        for name, solver in SOLVERS.items():
+            p_good = network_power(solver(good))
+            p_oversized = network_power(solver(oversized))
+            assert p_good > p_oversized, name
+
+    def test_approximate_solvers_bounded_error_on_four_class(self):
+        net = canadian_four_class(12.5, 12.5, 12.5, 25.0, windows=(2, 2, 2, 3))
+        exact = solve_mva_exact(net)
+        for name in ("mva-heuristic", "schweitzer", "linearizer"):
+            approx = SOLVERS[name](net)
+            np.testing.assert_allclose(
+                approx.throughputs, exact.throughputs, rtol=0.12,
+                err_msg=name,
+            )
+
+
+class TestPowerMetricConsistency:
+    def test_power_identical_across_exact_solvers(self):
+        from repro.core.power import network_power
+
+        net = canadian_two_class(25.0, 25.0, windows=(4, 4))
+        p_conv = network_power(solve_convolution(net))
+        p_mva = network_power(solve_mva_exact(net))
+        assert p_conv == pytest.approx(p_mva, rel=1e-9)
+
+    def test_bounds_bracket_every_chain_throughput(self):
+        from repro.mva.bounds import balanced_job_bounds
+
+        net = canadian_two_class(18.0, 18.0, windows=(4, 4))
+        solution = solve_mva_exact(net)
+        # Bound each chain in isolation (other chain's load ignored), so
+        # only the upper bound is guaranteed: interaction can only slow a
+        # chain down relative to its isolated bound.
+        for r in range(2):
+            demands = net.demands[r][net.demands[r] > 0]
+            bounds = balanced_job_bounds(demands, int(net.populations[r]))
+            assert solution.throughputs[r] <= bounds.upper + 1e-9

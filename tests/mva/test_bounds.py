@@ -1,0 +1,77 @@
+"""Unit tests for asymptotic and balanced-job bounds."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mva.bounds import (
+    asymptotic_bounds,
+    balanced_job_bounds,
+    saturation_population,
+)
+from repro.mva.single_chain import solve_single_chain
+
+
+DEMANDS = [0.05, 0.02, 0.04, 0.01]
+
+
+class TestBracketing:
+    @pytest.mark.parametrize("population", [1, 2, 5, 10, 40])
+    def test_asymptotic_bounds_bracket_exact(self, population):
+        exact = solve_single_chain(DEMANDS, population).throughputs[population]
+        bounds = asymptotic_bounds(DEMANDS, population)
+        assert bounds.contains(exact)
+
+    @pytest.mark.parametrize("population", [1, 2, 5, 10, 40])
+    def test_balanced_job_bounds_bracket_exact(self, population):
+        exact = solve_single_chain(DEMANDS, population).throughputs[population]
+        bounds = balanced_job_bounds(DEMANDS, population)
+        assert bounds.contains(exact)
+
+    @pytest.mark.parametrize("population", [2, 5, 10])
+    def test_balanced_tighter_than_asymptotic(self, population):
+        asym = asymptotic_bounds(DEMANDS, population)
+        bjb = balanced_job_bounds(DEMANDS, population)
+        assert bjb.lower >= asym.lower - 1e-12
+        assert bjb.upper <= asym.upper + 1e-12
+
+    def test_exact_at_population_one(self):
+        bounds = asymptotic_bounds(DEMANDS, 1)
+        exact = 1.0 / sum(DEMANDS)
+        assert bounds.lower == pytest.approx(exact)
+        assert bounds.upper == pytest.approx(exact)
+
+    def test_upper_bound_converges_to_bottleneck(self):
+        bounds = asymptotic_bounds(DEMANDS, 10_000)
+        assert bounds.upper == pytest.approx(1.0 / max(DEMANDS))
+        assert bounds.lower == pytest.approx(1.0 / max(DEMANDS), rel=1e-2)
+
+
+class TestSaturationPopulation:
+    def test_balanced_chain_knee_is_hop_count(self):
+        # p identical hops: D* = p (Kleinrock's w* = p).
+        assert saturation_population([0.02] * 5) == pytest.approx(5.0)
+
+    def test_general_knee(self):
+        assert saturation_population(DEMANDS) == pytest.approx(
+            sum(DEMANDS) / max(DEMANDS)
+        )
+
+
+class TestValidation:
+    def test_empty_demands(self):
+        with pytest.raises(ModelError):
+            asymptotic_bounds([], 1)
+
+    def test_zero_population(self):
+        with pytest.raises(ModelError):
+            balanced_job_bounds(DEMANDS, 0)
+
+    def test_negative_demand(self):
+        with pytest.raises(ModelError):
+            asymptotic_bounds([-0.1, 0.2], 1)
+
+    def test_zero_demand_stations_ignored_in_balanced(self):
+        full = balanced_job_bounds([0.05, 0.02], 4)
+        padded = balanced_job_bounds([0.05, 0.0, 0.02, 0.0], 4)
+        assert padded.lower == pytest.approx(full.lower)
+        assert padded.upper == pytest.approx(full.upper)

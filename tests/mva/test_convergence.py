@@ -1,0 +1,62 @@
+"""Unit tests for iteration control."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ModelError
+from repro.mva.convergence import IterationControl
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        control = IterationControl()
+        assert control.tolerance > 0
+
+    def test_nonpositive_tolerance_rejected(self):
+        with pytest.raises(ModelError):
+            IterationControl(tolerance=0.0)
+
+    def test_bad_iteration_budget_rejected(self):
+        with pytest.raises(ModelError):
+            IterationControl(max_iterations=0)
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(ModelError):
+            IterationControl(damping=0.0)
+        with pytest.raises(ModelError):
+            IterationControl(damping=1.5)
+
+
+class TestResidual:
+    def test_euclidean_norm(self):
+        control = IterationControl()
+        assert control.residual(np.array([3.0, 0.0]), np.array([0.0, 4.0])) == 5.0
+
+    def test_has_converged(self):
+        control = IterationControl(tolerance=1e-3)
+        assert control.has_converged(np.array([1.0]), np.array([1.0 + 1e-4]))
+        assert not control.has_converged(np.array([1.0]), np.array([1.01]))
+
+
+class TestDamping:
+    def test_full_damping_returns_proposed(self):
+        control = IterationControl(damping=1.0)
+        proposed = np.array([2.0])
+        assert control.apply_damping(proposed, np.array([0.0])) is proposed
+
+    def test_partial_damping_blends(self):
+        control = IterationControl(damping=0.25)
+        result = control.apply_damping(np.array([4.0]), np.array([0.0]))
+        assert result[0] == pytest.approx(1.0)
+
+
+class TestExhaustion:
+    def test_silent_by_default(self):
+        IterationControl().on_exhausted("solver", 10, 0.5)
+
+    def test_raises_when_configured(self):
+        control = IterationControl(raise_on_failure=True)
+        with pytest.raises(ConvergenceError) as excinfo:
+            control.on_exhausted("solver", 10, 0.5)
+        assert excinfo.value.iterations == 10
+        assert excinfo.value.residual == 0.5

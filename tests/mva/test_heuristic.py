@@ -1,0 +1,150 @@
+"""Unit tests for the thesis §4.2 multichain MVA heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ModelError
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.convergence import IterationControl
+from repro.mva.heuristic import initial_queue_lengths, solve_mva_heuristic
+from repro.netmodel.examples import canadian_four_class, canadian_two_class
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+class TestInitialQueueLengths:
+    def test_balanced_spreads_population(self, two_class_net):
+        init = initial_queue_lengths(two_class_net, "balanced")
+        np.testing.assert_allclose(
+            init.sum(axis=1), two_class_net.populations.astype(float)
+        )
+        # Each chain visits 5 queues (source + 4 channels): D/5 apiece.
+        visited = two_class_net.visited_stations(0)
+        assert init[0, visited[0]] == pytest.approx(4 / 5)
+
+    def test_bottleneck_concentrates_population(self, two_class_net):
+        init = initial_queue_lengths(two_class_net, "bottleneck")
+        for r in range(two_class_net.num_chains):
+            row = init[r]
+            assert row.max() == pytest.approx(
+                float(two_class_net.populations[r])
+            )
+            assert np.count_nonzero(row) == 1
+
+    def test_unknown_strategy_rejected(self, two_class_net):
+        with pytest.raises(ModelError):
+            initial_queue_lengths(two_class_net, "magic")
+
+
+class TestSingleChainExactness:
+    def test_single_chain_matches_exact(self, single_chain_cycle):
+        """With one chain, sigma equals the exact decrement and the
+        heuristic fixed point is the exact MVA solution."""
+        heuristic = solve_mva_heuristic(single_chain_cycle)
+        exact = solve_mva_exact(single_chain_cycle)
+        np.testing.assert_allclose(
+            heuristic.throughputs, exact.throughputs, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            heuristic.queue_lengths, exact.queue_lengths, atol=1e-5
+        )
+
+
+class TestMultichainAccuracy:
+    @pytest.mark.parametrize(
+        "windows", [(2, 2), (4, 4), (3, 5)]
+    )
+    def test_two_class_within_a_few_percent_of_exact(self, windows):
+        net = canadian_two_class(18.0, 18.0, windows=windows)
+        heuristic = solve_mva_heuristic(net)
+        exact = solve_mva_exact(net)
+        np.testing.assert_allclose(
+            heuristic.throughputs, exact.throughputs, rtol=0.05
+        )
+
+    def test_four_class_within_ten_percent_of_exact(self):
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(2, 2, 2, 4))
+        heuristic = solve_mva_heuristic(net)
+        exact = solve_mva_exact(net)
+        np.testing.assert_allclose(
+            heuristic.throughputs, exact.throughputs, rtol=0.10
+        )
+
+    def test_population_conservation(self, two_class_net):
+        solution = solve_mva_heuristic(two_class_net)
+        np.testing.assert_allclose(
+            solution.queue_lengths.sum(axis=1),
+            two_class_net.populations.astype(float),
+            rtol=1e-6,
+        )
+
+    def test_littles_law_per_chain(self, two_class_net):
+        solution = solve_mva_heuristic(two_class_net)
+        for r in range(two_class_net.num_chains):
+            assert solution.throughputs[r] * solution.waiting_times[
+                r
+            ].sum() == pytest.approx(float(two_class_net.populations[r]), rel=1e-9)
+
+    def test_symmetric_loads_symmetric_solution(self):
+        net = canadian_two_class(25.0, 25.0, windows=(3, 3))
+        solution = solve_mva_heuristic(net)
+        assert solution.throughputs[0] == pytest.approx(
+            solution.throughputs[1], rel=1e-9
+        )
+
+    def test_initializers_reach_same_fixed_point(self, two_class_net):
+        balanced = solve_mva_heuristic(two_class_net, initializer="balanced")
+        bottleneck = solve_mva_heuristic(two_class_net, initializer="bottleneck")
+        np.testing.assert_allclose(
+            balanced.throughputs, bottleneck.throughputs, rtol=1e-6
+        )
+
+
+class TestIterationBehaviour:
+    def test_converges_and_reports(self, two_class_net):
+        solution = solve_mva_heuristic(two_class_net)
+        assert solution.converged
+        assert solution.iterations >= 1
+        assert solution.extras["residual"] < 1e-8
+
+    def test_budget_exhaustion_flags_not_converged(self, two_class_net):
+        control = IterationControl(max_iterations=1, tolerance=1e-14)
+        solution = solve_mva_heuristic(two_class_net, control=control)
+        assert not solution.converged
+
+    def test_budget_exhaustion_raises_when_asked(self, two_class_net):
+        control = IterationControl(
+            max_iterations=1, tolerance=1e-14, raise_on_failure=True
+        )
+        with pytest.raises(ConvergenceError):
+            solve_mva_heuristic(two_class_net, control=control)
+
+    def test_damping_reaches_same_answer(self, two_class_net):
+        plain = solve_mva_heuristic(two_class_net)
+        damped = solve_mva_heuristic(
+            two_class_net, control=IterationControl(damping=0.5)
+        )
+        np.testing.assert_allclose(
+            plain.throughputs, damped.throughputs, rtol=1e-5
+        )
+
+    def test_zero_population_chain_ignored(self, two_class_net):
+        net = two_class_net.with_populations([0, 3])
+        solution = solve_mva_heuristic(net)
+        assert solution.throughputs[0] == 0.0
+        assert solution.queue_lengths[0].sum() == 0.0
+
+
+class TestDelayStations:
+    def test_delay_station_waiting_is_demand(self):
+        stations = [Station.fcfs("q"), Station.delay("think")]
+        chains = [
+            ClosedChain.from_route("c1", ["q", "think"], [0.1, 1.0], window=3),
+            ClosedChain.from_route("c2", ["q", "think"], [0.1, 2.0], window=2),
+        ]
+        net = ClosedNetwork.build(stations, chains, strict_fcfs=True)
+        solution = solve_mva_heuristic(net)
+        think = net.station_id("think")
+        assert solution.waiting_times[0, think] == pytest.approx(1.0)
+        assert solution.waiting_times[1, think] == pytest.approx(2.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the Linearizer AMVA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.linearizer import solve_linearizer
+from repro.mva.schweitzer import solve_schweitzer
+from repro.netmodel.examples import canadian_four_class, canadian_two_class
+
+
+class TestAccuracy:
+    def test_single_chain_is_near_exact(self, single_chain_cycle):
+        linearizer = solve_linearizer(single_chain_cycle)
+        exact = solve_mva_exact(single_chain_cycle)
+        np.testing.assert_allclose(
+            linearizer.throughputs, exact.throughputs, rtol=2e-3
+        )
+
+    def test_population_conservation(self, two_class_net):
+        solution = solve_linearizer(two_class_net)
+        np.testing.assert_allclose(
+            solution.queue_lengths.sum(axis=1),
+            two_class_net.populations.astype(float),
+            rtol=1e-6,
+        )
+
+    def test_beats_schweitzer_on_multichain(self, two_class_net):
+        exact = solve_mva_exact(two_class_net).throughputs
+        linearizer = solve_linearizer(two_class_net).throughputs
+        schweitzer = solve_schweitzer(two_class_net).throughputs
+        err_lin = np.abs(linearizer - exact).max()
+        err_sch = np.abs(schweitzer - exact).max()
+        assert err_lin < err_sch
+
+    def test_beats_thesis_heuristic_on_two_class(self, two_class_net):
+        exact = solve_mva_exact(two_class_net).throughputs
+        linearizer = solve_linearizer(two_class_net).throughputs
+        heuristic = solve_mva_heuristic(two_class_net).throughputs
+        assert np.abs(linearizer - exact).max() < np.abs(heuristic - exact).max()
+
+    def test_four_class_within_two_percent(self):
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(2, 2, 2, 4))
+        exact = solve_mva_exact(net)
+        linearizer = solve_linearizer(net)
+        np.testing.assert_allclose(
+            linearizer.throughputs, exact.throughputs, rtol=0.02
+        )
+
+
+class TestBehaviour:
+    def test_zero_refinements_is_schweitzer_like(self, two_class_net):
+        base = solve_linearizer(two_class_net, refinements=0)
+        schweitzer = solve_schweitzer(two_class_net)
+        np.testing.assert_allclose(
+            base.throughputs, schweitzer.throughputs, rtol=1e-4
+        )
+
+    def test_negative_refinements_rejected(self, two_class_net):
+        with pytest.raises(ModelError):
+            solve_linearizer(two_class_net, refinements=-1)
+
+    def test_zero_population_chain(self, two_class_net):
+        net = two_class_net.with_populations([0, 3])
+        solution = solve_linearizer(net)
+        assert solution.throughputs[0] == 0.0
+        assert solution.throughputs[1] > 0
+
+    def test_method_name_and_convergence(self, two_class_net):
+        solution = solve_linearizer(two_class_net)
+        assert solution.method == "linearizer"
+        assert solution.converged
+
+    def test_registered_as_named_solver(self, two_class_net):
+        from repro.core.objective import SOLVERS
+
+        solution = SOLVERS["linearizer"](two_class_net)
+        assert solution.method == "linearizer"

@@ -1,0 +1,53 @@
+"""Unit tests for the Schweitzer–Bard AMVA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.convergence import IterationControl
+from repro.mva.schweitzer import solve_schweitzer
+from repro.netmodel.examples import canadian_two_class
+
+
+class TestAccuracy:
+    def test_single_chain_close_to_exact(self, single_chain_cycle):
+        approx = solve_schweitzer(single_chain_cycle)
+        exact = solve_mva_exact(single_chain_cycle)
+        np.testing.assert_allclose(approx.throughputs, exact.throughputs, rtol=0.05)
+
+    def test_two_class_close_to_exact(self, two_class_net):
+        approx = solve_schweitzer(two_class_net)
+        exact = solve_mva_exact(two_class_net)
+        np.testing.assert_allclose(approx.throughputs, exact.throughputs, rtol=0.08)
+
+    def test_population_conservation(self, two_class_net):
+        solution = solve_schweitzer(two_class_net)
+        np.testing.assert_allclose(
+            solution.queue_lengths.sum(axis=1),
+            two_class_net.populations.astype(float),
+            rtol=1e-6,
+        )
+
+    def test_window_one_chain_sees_empty_network_share(self):
+        # With D_r = 1 the own-chain term vanishes entirely.
+        net = canadian_two_class(20.0, 20.0, windows=(1, 1))
+        solution = solve_schweitzer(net)
+        assert solution.converged
+        assert np.all(solution.throughputs > 0)
+
+
+class TestIterationBehaviour:
+    def test_converged_flag(self, two_class_net):
+        assert solve_schweitzer(two_class_net).converged
+
+    def test_budget_flag(self, two_class_net):
+        control = IterationControl(max_iterations=1, tolerance=1e-15)
+        assert not solve_schweitzer(two_class_net, control=control).converged
+
+    def test_method_name(self, two_class_net):
+        assert solve_schweitzer(two_class_net).method == "schweitzer"
+
+    def test_zero_population_chain(self, two_class_net):
+        net = two_class_net.with_populations([3, 0])
+        solution = solve_schweitzer(net)
+        assert solution.throughputs[1] == 0.0

@@ -1,0 +1,108 @@
+"""Unit tests for the single-chain MVA recursion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.exact.buzen import buzen
+from repro.mva.single_chain import solve_single_chain
+
+
+class TestRecursion:
+    def test_population_zero_is_empty(self):
+        trace = solve_single_chain([0.1, 0.2], 0)
+        assert trace.population == 0
+        assert trace.throughputs[0] == 0.0
+        np.testing.assert_array_equal(trace.queue_lengths[0], [0.0, 0.0])
+
+    def test_one_customer_no_queueing(self):
+        demands = [0.1, 0.3]
+        trace = solve_single_chain(demands, 1)
+        assert trace.throughputs[1] == pytest.approx(1.0 / 0.4)
+        np.testing.assert_allclose(trace.waiting_times[1], demands)
+
+    def test_balanced_closed_form(self):
+        # p identical queues: lambda(D) = D / (s (p + D - 1)).
+        p, s = 4, 0.25
+        trace = solve_single_chain([s] * p, 6)
+        for d in range(1, 7):
+            assert trace.throughputs[d] == pytest.approx(d / (s * (p + d - 1)))
+
+    @pytest.mark.parametrize("population", [1, 3, 8])
+    def test_matches_buzen(self, population):
+        demands = [0.07, 0.21, 0.14, 0.02]
+        trace = solve_single_chain(demands, population)
+        reference = buzen(demands, population)
+        assert trace.throughputs[population] == pytest.approx(
+            reference.throughput(), rel=1e-12
+        )
+        for i in range(len(demands)):
+            assert trace.queue_lengths[population, i] == pytest.approx(
+                reference.mean_queue_length(i), rel=1e-10
+            )
+
+    def test_queue_lengths_sum_to_population(self):
+        trace = solve_single_chain([0.1, 0.4, 0.2], 5)
+        for d in range(6):
+            assert trace.queue_lengths[d].sum() == pytest.approx(float(d))
+
+    def test_throughput_saturates_at_bottleneck(self):
+        demands = [0.1, 0.5, 0.2]
+        trace = solve_single_chain(demands, 60)
+        assert trace.throughputs[60] == pytest.approx(2.0, rel=1e-3)
+
+    def test_zero_demand_station_stays_empty(self):
+        trace = solve_single_chain([0.0, 0.2], 4)
+        assert trace.queue_lengths[4, 0] == 0.0
+
+
+class TestDelayStations:
+    def test_delay_station_waiting_is_demand(self):
+        trace = solve_single_chain(
+            [0.1, 1.0], 5, delay_station=[False, True]
+        )
+        for d in range(1, 6):
+            assert trace.waiting_times[d, 1] == pytest.approx(1.0)
+
+    def test_pure_delay_network_poisson_limit(self):
+        # All-IS network: lambda = D / total demand exactly.
+        trace = solve_single_chain([0.5, 1.5], 7, delay_station=[True, True])
+        assert trace.throughputs[7] == pytest.approx(7 / 2.0)
+
+
+class TestIncrement:
+    def test_increment_sums_to_one(self):
+        trace = solve_single_chain([0.1, 0.4, 0.2], 5)
+        for d in range(1, 6):
+            assert trace.increment(d).sum() == pytest.approx(1.0)
+
+    def test_increment_at_zero_is_zero(self):
+        trace = solve_single_chain([0.1], 3)
+        np.testing.assert_array_equal(trace.increment(0), [0.0])
+
+    def test_increment_default_uses_full_population(self):
+        trace = solve_single_chain([0.1, 0.2], 4)
+        np.testing.assert_allclose(trace.increment(), trace.increment(4))
+
+    def test_increment_out_of_range(self):
+        trace = solve_single_chain([0.1], 2)
+        with pytest.raises(ValueError):
+            trace.increment(3)
+
+
+class TestValidation:
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ModelError):
+            solve_single_chain([-0.1], 2)
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ModelError):
+            solve_single_chain([0.1], -1)
+
+    def test_bad_mask_shape_rejected(self):
+        with pytest.raises(ModelError):
+            solve_single_chain([0.1, 0.2], 2, delay_station=[True])
+
+    def test_two_dimensional_demands_rejected(self):
+        with pytest.raises(ModelError):
+            solve_single_chain([[0.1], [0.2]], 2)

@@ -1,0 +1,93 @@
+"""Unit tests for the topology → queueing-model builder."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.netmodel.builder import build_closed_network, source_station_name
+from repro.netmodel.topology import Channel, Duplex, Topology
+from repro.netmodel.traffic import TrafficClass
+
+
+def topo():
+    return Topology(
+        ["a", "b", "c"],
+        [
+            Channel("ab", "a", "b", 50_000.0),
+            Channel("bc", "b", "c", 25_000.0),
+        ],
+    )
+
+
+def traffic(rate=10.0, window=None):
+    return TrafficClass(
+        name="t1", path=("a", "b", "c"), arrival_rate=rate, window=window
+    )
+
+
+class TestStructure:
+    def test_stations_are_channels_plus_sources(self):
+        net = build_closed_network(topo(), [traffic()])
+        assert set(net.station_names) == {"src:t1", "ab", "bc"}
+
+    def test_chain_starts_at_source(self):
+        net = build_closed_network(topo(), [traffic()])
+        chain = net.chains[0]
+        assert chain.visits[0] == source_station_name(traffic())
+        assert chain.source_station == "src:t1"
+
+    def test_service_times(self):
+        net = build_closed_network(topo(), [traffic(rate=8.0)])
+        chain = net.chains[0]
+        assert chain.service_times[0] == pytest.approx(1 / 8.0)   # source
+        assert chain.service_times[1] == pytest.approx(0.02)      # 50 kbps
+        assert chain.service_times[2] == pytest.approx(0.04)      # 25 kbps
+
+    def test_default_window_is_hop_count(self):
+        net = build_closed_network(topo(), [traffic()])
+        assert net.populations[0] == 2
+
+    def test_class_window_attribute_respected(self):
+        net = build_closed_network(topo(), [traffic(window=6)])
+        assert net.populations[0] == 6
+
+    def test_override_beats_class_window(self):
+        net = build_closed_network(topo(), [traffic(window=6)], windows=[3])
+        assert net.populations[0] == 3
+
+    def test_half_duplex_sharing(self):
+        """Opposite-direction classes over a half-duplex channel share one
+        queue — the chain-coupling mechanism of the thesis examples."""
+        forward = TrafficClass("f", ("a", "b"), 5.0)
+        backward = TrafficClass("b", ("b", "a"), 5.0)
+        net = build_closed_network(topo(), [forward, backward])
+        ab = net.station_id("ab")
+        assert set(net.visiting_chains(ab)) == {0, 1}
+
+    def test_full_duplex_separation(self):
+        full = Topology(
+            ["a", "b"], [Channel("ab", "a", "b", 50_000.0, Duplex.FULL)]
+        )
+        forward = TrafficClass("f", ("a", "b"), 5.0)
+        backward = TrafficClass("b", ("b", "a"), 5.0)
+        net = build_closed_network(full, [forward, backward])
+        # Two direction queues plus two sources.
+        assert net.num_stations == 4
+
+
+class TestValidation:
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ModelError):
+            build_closed_network(topo(), [])
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(ModelError):
+            build_closed_network(topo(), [traffic(), traffic()])
+
+    def test_path_not_in_topology_rejected(self):
+        bad = TrafficClass("t1", ("a", "c"), 10.0)
+        with pytest.raises(ModelError):
+            build_closed_network(topo(), [bad])
+
+    def test_window_override_length_checked(self):
+        with pytest.raises(ModelError):
+            build_closed_network(topo(), [traffic()], windows=[1, 2])

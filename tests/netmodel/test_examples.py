@@ -1,0 +1,104 @@
+"""Unit tests for the canonical thesis networks."""
+
+import pytest
+
+from repro.netmodel.examples import (
+    arpanet_fragment,
+    canadian_four_class,
+    canadian_topology,
+    canadian_two_class,
+    tandem_network,
+)
+
+
+class TestCanadianTopology:
+    def test_node_and_channel_counts(self):
+        topo = canadian_topology()
+        assert len(topo.nodes) == 6
+        assert len(topo.channels) == 7
+
+    def test_capacity_split_five_trunk_two_tail(self):
+        topo = canadian_topology()
+        trunks = [c for c in topo.channels if c.capacity_bps == 50_000.0]
+        tails = [c for c in topo.channels if c.capacity_bps == 25_000.0]
+        assert len(trunks) == 5
+        assert len(tails) == 2
+
+    def test_connected(self):
+        assert canadian_topology().is_connected()
+
+
+class TestTwoClassNetwork:
+    def test_model_shape_matches_fig_4_6(self):
+        """Fig. 4.6: 2 chains, 9 queues (but only used channels become
+        stations here — 6 channel queues + 2 sources)."""
+        net = canadian_two_class(18.0, 18.0)
+        assert net.num_chains == 2
+        # Each class: 4 hops + source.
+        for chain in net.chains:
+            assert len(chain.visits) == 5
+            assert chain.hop_count == 4
+
+    def test_trunk_channels_shared(self):
+        net = canadian_two_class(18.0, 18.0)
+        shared = [
+            i
+            for i in range(net.num_stations)
+            if len(net.visiting_chains(i)) == 2
+        ]
+        assert len(shared) == 3  # ch1, ch2, ch3
+
+    def test_service_times(self):
+        net = canadian_two_class(20.0, 10.0)
+        chain1 = net.chains[0]
+        # source, trunk, trunk, trunk, tail.
+        assert chain1.service_times[0] == pytest.approx(0.05)
+        assert chain1.service_times[1] == pytest.approx(0.02)
+        assert chain1.service_times[4] == pytest.approx(0.04)
+
+    def test_window_overrides(self):
+        net = canadian_two_class(20.0, 10.0, windows=(2, 7))
+        assert net.populations.tolist() == [2, 7]
+
+
+class TestFourClassNetwork:
+    def test_model_shape_matches_fig_4_11(self):
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0)
+        assert net.num_chains == 4
+        # 6 used channel queues + 4 sources = 10 stations (ch5 unused).
+        assert net.num_stations == 10
+
+    def test_hop_counts_are_4431(self):
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0)
+        assert tuple(c.hop_count for c in net.chains) == (4, 4, 3, 1)
+
+    def test_class3_and_class1_share_trunk(self):
+        net = canadian_four_class(6.0, 6.0, 6.0, 12.0)
+        ch1 = net.station_id("ch1")
+        visiting = set(net.visiting_chains(ch1))
+        assert {0, 1, 2}.issubset(visiting)
+
+
+class TestOtherExamples:
+    def test_arpanet_fragment_builds(self):
+        net = arpanet_fragment()
+        assert net.num_chains == 4
+        assert net.total_population() > 0
+
+    def test_arpanet_rate_validation(self):
+        with pytest.raises(Exception):
+            arpanet_fragment(rates=(1.0, 2.0))
+
+    def test_tandem_network(self):
+        net = tandem_network(hops=5, arrival_rate=10.0)
+        assert net.num_chains == 1
+        assert net.chains[0].hop_count == 5
+        assert net.populations[0] == 5  # defaults to hop count
+
+    def test_tandem_window_override(self):
+        net = tandem_network(hops=3, arrival_rate=10.0, window=9)
+        assert net.populations[0] == 9
+
+    def test_tandem_bad_hops(self):
+        with pytest.raises(Exception):
+            tandem_network(hops=0, arrival_rate=1.0)

@@ -1,0 +1,74 @@
+"""Unit tests for random topology/workload generators."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.netmodel.generator import (
+    line_topology,
+    random_mesh_topology,
+    random_network,
+    random_traffic_classes,
+    ring_topology,
+)
+
+
+class TestFixedShapes:
+    def test_ring(self):
+        topo = ring_topology(5)
+        assert len(topo.nodes) == 5
+        assert len(topo.channels) == 5
+        assert topo.is_connected()
+        assert len(topo.neighbors("n0")) == 2
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ModelError):
+            ring_topology(2)
+
+    def test_line(self):
+        topo = line_topology(4)
+        assert len(topo.channels) == 3
+        assert topo.is_connected()
+        assert len(topo.neighbors("n0")) == 1
+
+
+class TestRandomMesh:
+    def test_connected_for_many_seeds(self):
+        for seed in range(20):
+            topo = random_mesh_topology(7, extra_edges=2, seed=seed)
+            assert topo.is_connected()
+
+    def test_edge_count(self):
+        topo = random_mesh_topology(6, extra_edges=3, seed=1)
+        assert len(topo.channels) == 5 + 3
+
+    def test_extra_edges_clipped_to_complete_graph(self):
+        topo = random_mesh_topology(3, extra_edges=100, seed=0)
+        assert len(topo.channels) == 3  # K3
+
+    def test_deterministic_given_seed(self):
+        a = random_mesh_topology(8, seed=42)
+        b = random_mesh_topology(8, seed=42)
+        assert [c.name for c in a.channels] == [c.name for c in b.channels]
+        assert [c.endpoints for c in a.channels] == [c.endpoints for c in b.channels]
+
+
+class TestRandomTraffic:
+    def test_classes_have_valid_paths(self):
+        topo = random_mesh_topology(8, seed=3)
+        for traffic in random_traffic_classes(topo, 5, seed=3):
+            topo.validate_path(traffic.path)
+
+    def test_rates_in_range(self):
+        topo = ring_topology(6)
+        for traffic in random_traffic_classes(
+            topo, 4, rate_range=(2.0, 3.0), seed=9
+        ):
+            assert 2.0 <= traffic.arrival_rate <= 3.0
+
+    def test_random_network_is_solvable(self):
+        from repro.mva.heuristic import solve_mva_heuristic
+
+        net = random_network(num_nodes=6, num_classes=3, seed=11)
+        solution = solve_mva_heuristic(net)
+        assert solution.converged
+        assert solution.network_throughput > 0

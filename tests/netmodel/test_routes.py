@@ -1,0 +1,60 @@
+"""Unit tests for shortest-path routing."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.netmodel.routes import route_all_pairs, shortest_path
+from repro.netmodel.topology import Channel, Topology
+
+
+def diamond():
+    # a - b - d  (fast on top), a - c - d (slow bottom), plus direct a-d slowest.
+    return Topology(
+        ["a", "b", "c", "d"],
+        [
+            Channel("ab", "a", "b", 50_000.0),
+            Channel("bd", "b", "d", 50_000.0),
+            Channel("ac", "a", "c", 10_000.0),
+            Channel("cd", "c", "d", 10_000.0),
+            Channel("ad", "a", "d", 5_000.0),
+        ],
+    )
+
+
+class TestShortestPath:
+    def test_hops_prefers_direct_link(self):
+        assert shortest_path(diamond(), "a", "d", metric="hops") == ["a", "d"]
+
+    def test_delay_prefers_fast_two_hop(self):
+        path = shortest_path(diamond(), "a", "d", metric="delay")
+        assert path == ["a", "b", "d"]
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ModelError):
+            shortest_path(diamond(), "a", "a")
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ModelError):
+            shortest_path(diamond(), "a", "zz")
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ModelError):
+            shortest_path(diamond(), "a", "d", metric="cost")
+
+    def test_disconnected_rejected(self):
+        topo = Topology(["a", "b", "c"], [Channel("ab", "a", "b", 1000.0)])
+        with pytest.raises(ModelError):
+            shortest_path(topo, "a", "c")
+
+
+class TestAllPairs:
+    def test_covers_every_ordered_pair(self):
+        routes = route_all_pairs(diamond())
+        assert len(routes) == 4 * 3
+        assert routes[("a", "d")][0] == "a"
+        assert routes[("a", "d")][-1] == "d"
+
+    def test_paths_are_valid(self):
+        topo = diamond()
+        for path in route_all_pairs(topo).values():
+            topo.validate_path(path)

@@ -1,0 +1,129 @@
+"""Unit tests for the JSON network-spec loader."""
+
+import json
+
+import pytest
+
+from repro.errors import ModelError
+from repro.netmodel.spec import load_spec, network_from_spec, parse_spec
+
+
+def valid_spec():
+    return {
+        "nodes": ["A", "B", "C"],
+        "channels": [
+            {"name": "ab", "between": ["A", "B"], "capacity_bps": 50000},
+            {
+                "name": "bc",
+                "between": ["B", "C"],
+                "capacity_bps": 25000,
+                "duplex": "full",
+            },
+        ],
+        "classes": [
+            {
+                "name": "flow1",
+                "path": ["A", "B", "C"],
+                "arrival_rate": 18.0,
+                "window": 4,
+            }
+        ],
+    }
+
+
+class TestParseSpec:
+    def test_valid_spec_parses(self):
+        topology, classes = parse_spec(valid_spec())
+        assert topology.nodes == ("A", "B", "C")
+        assert len(topology.channels) == 2
+        assert classes[0].window == 4
+        assert classes[0].path == ("A", "B", "C")
+
+    def test_defaults_applied(self):
+        spec = valid_spec()
+        del spec["classes"][0]["window"]
+        _topology, classes = parse_spec(spec)
+        assert classes[0].window is None
+        assert classes[0].mean_message_bits == 1000.0
+
+    def test_shortest_path_routing(self):
+        spec = valid_spec()
+        spec["classes"][0] = {
+            "name": "auto",
+            "route": "shortest",
+            "source": "A",
+            "destination": "C",
+            "arrival_rate": 5.0,
+        }
+        _topology, classes = parse_spec(spec)
+        assert classes[0].path == ("A", "B", "C")
+
+    def test_missing_keys_rejected(self):
+        for key in ("nodes", "channels", "classes"):
+            spec = valid_spec()
+            del spec[key]
+            with pytest.raises(ModelError):
+                parse_spec(spec)
+
+    def test_bad_duplex_rejected(self):
+        spec = valid_spec()
+        spec["channels"][0]["duplex"] = "quarter"
+        with pytest.raises(ModelError):
+            parse_spec(spec)
+
+    def test_bad_between_rejected(self):
+        spec = valid_spec()
+        spec["channels"][0]["between"] = ["A"]
+        with pytest.raises(ModelError):
+            parse_spec(spec)
+
+    def test_class_without_path_or_route_rejected(self):
+        spec = valid_spec()
+        spec["classes"][0] = {"name": "x", "arrival_rate": 1.0}
+        with pytest.raises(ModelError):
+            parse_spec(spec)
+
+    def test_empty_classes_rejected(self):
+        spec = valid_spec()
+        spec["classes"] = []
+        with pytest.raises(ModelError):
+            parse_spec(spec)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ModelError):
+            parse_spec(["not", "a", "dict"])
+
+
+class TestLoadSpec:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(valid_spec()))
+        topology, classes = load_spec(path)
+        assert len(classes) == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_spec(tmp_path / "ghost.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ModelError):
+            load_spec(path)
+
+
+class TestNetworkFromSpec:
+    def test_builds_solvable_network(self):
+        network = network_from_spec(valid_spec())
+        assert network.num_chains == 1
+        assert network.populations[0] == 4
+        from repro.mva.heuristic import solve_mva_heuristic
+
+        solution = solve_mva_heuristic(network)
+        assert solution.network_throughput > 0
+
+    def test_accepts_path(self, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(valid_spec()))
+        network = network_from_spec(path)
+        assert network.num_chains == 1

@@ -1,0 +1,99 @@
+"""Unit tests for topologies and channels."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.netmodel.topology import Channel, Duplex, Topology
+
+
+def small_topology():
+    return Topology(
+        ["a", "b", "c"],
+        [
+            Channel("ab", "a", "b", 50_000.0),
+            Channel("bc", "b", "c", 25_000.0, Duplex.FULL),
+        ],
+    )
+
+
+class TestChannel:
+    def test_half_duplex_single_queue_name(self):
+        channel = Channel("ab", "a", "b", 50_000.0)
+        assert channel.queue_name("a", "b") == "ab"
+        assert channel.queue_name("b", "a") == "ab"
+
+    def test_full_duplex_per_direction_queues(self):
+        channel = Channel("ab", "a", "b", 50_000.0, Duplex.FULL)
+        assert channel.queue_name("a", "b") != channel.queue_name("b", "a")
+
+    def test_queue_name_wrong_nodes_rejected(self):
+        channel = Channel("ab", "a", "b", 50_000.0)
+        with pytest.raises(ModelError):
+            channel.queue_name("a", "c")
+
+    def test_service_time(self):
+        channel = Channel("ab", "a", "b", 50_000.0)
+        assert channel.service_time(1000.0) == pytest.approx(0.02)
+
+    def test_bad_message_length(self):
+        with pytest.raises(ModelError):
+            Channel("ab", "a", "b", 50_000.0).service_time(0.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            Channel("aa", "a", "a", 1000.0)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            Channel("ab", "a", "b", 0.0)
+
+
+class TestTopology:
+    def test_basic_queries(self):
+        topo = small_topology()
+        assert set(topo.neighbors("b")) == {"a", "c"}
+        assert topo.channel_between("a", "b").name == "ab"
+        assert topo.has_channel("b", "c")
+        assert not topo.has_channel("a", "c")
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ModelError):
+            Topology(["a"], [Channel("ab", "a", "b", 1000.0)])
+
+    def test_duplicate_channel_name_rejected(self):
+        with pytest.raises(ModelError):
+            Topology(
+                ["a", "b", "c"],
+                [
+                    Channel("x", "a", "b", 1000.0),
+                    Channel("x", "b", "c", 1000.0),
+                ],
+            )
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ModelError):
+            Topology(["a", "a"], [])
+
+    def test_validate_path(self):
+        topo = small_topology()
+        topo.validate_path(["a", "b", "c"])
+        with pytest.raises(ModelError):
+            topo.validate_path(["a", "c"])
+        with pytest.raises(ModelError):
+            topo.validate_path(["a"])
+
+    def test_path_channels_in_order(self):
+        topo = small_topology()
+        names = [c.name for c in topo.path_channels(["a", "b", "c"])]
+        assert names == ["ab", "bc"]
+
+    def test_connectivity(self):
+        assert small_topology().is_connected()
+        disconnected = Topology(
+            ["a", "b", "c"], [Channel("ab", "a", "b", 1000.0)]
+        )
+        assert not disconnected.is_connected()
+
+    def test_unknown_node_in_query(self):
+        with pytest.raises(ModelError):
+            small_topology().neighbors("ghost")

@@ -1,0 +1,66 @@
+"""Unit tests for traffic classes."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.netmodel.traffic import TrafficClass
+
+
+def make(**overrides):
+    kwargs = dict(
+        name="c",
+        path=("a", "b", "c"),
+        arrival_rate=10.0,
+        mean_message_bits=1000.0,
+    )
+    kwargs.update(overrides)
+    return TrafficClass(**kwargs)
+
+
+class TestValidation:
+    def test_valid(self):
+        traffic = make()
+        assert traffic.source == "a"
+        assert traffic.destination == "c"
+        assert traffic.hops == 2
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ModelError):
+            make(path=("a",))
+
+    def test_looping_path_rejected(self):
+        with pytest.raises(ModelError):
+            make(path=("a", "b", "a"))
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ModelError):
+            make(arrival_rate=0.0)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ModelError):
+            make(mean_message_bits=-5.0)
+
+    def test_window_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            make(window=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            make(name="")
+
+
+class TestCopies:
+    def test_with_rate(self):
+        traffic = make()
+        faster = traffic.with_rate(20.0)
+        assert faster.arrival_rate == 20.0
+        assert traffic.arrival_rate == 10.0
+        assert faster.path == traffic.path
+
+    def test_with_window(self):
+        traffic = make()
+        windowed = traffic.with_window(7)
+        assert windowed.window == 7
+        assert traffic.window is None
+        cleared = windowed.with_window(None)
+        assert cleared.window is None

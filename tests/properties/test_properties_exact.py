@@ -1,0 +1,105 @@
+"""Property-based tests: exact-solver distribution invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exact.marginals import station_queue_distribution
+from repro.exact.mva_exact import solve_mva_exact
+from repro.exact.semiclosed import solve_semiclosed
+from repro.mva.linearizer import solve_linearizer
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+
+def two_chain_net(d1, d2, shared, p1, p2):
+    stations = [Station.fcfs("a"), Station.fcfs("b"), Station.fcfs("m")]
+    chains = [
+        ClosedChain.from_route("c1", ["a", "m"], [d1, shared], window=p1),
+        ClosedChain.from_route("c2", ["b", "m"], [d2, shared], window=p2),
+    ]
+    return ClosedNetwork.build(stations, chains)
+
+
+class TestMarginalProperties:
+    @given(
+        d1=st.floats(0.05, 0.8),
+        d2=st.floats(0.05, 0.8),
+        shared=st.floats(0.05, 0.8),
+        p1=st.integers(1, 4),
+        p2=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_marginal_pmf_consistent_with_exact_means(
+        self, d1, d2, shared, p1, p2
+    ):
+        net = two_chain_net(d1, d2, shared, p1, p2)
+        exact = solve_mva_exact(net)
+        for station in range(net.num_stations):
+            pmf = station_queue_distribution(net, station)
+            assert pmf.sum() == pytest.approx(1.0, rel=1e-8)
+            assert np.all(pmf >= -1e-12)
+            mean = float(np.dot(np.arange(pmf.shape[0]), pmf))
+            assert mean == pytest.approx(
+                exact.station_queue_length(station), rel=1e-6, abs=1e-9
+            )
+
+    @given(
+        d1=st.floats(0.05, 0.8),
+        d2=st.floats(0.05, 0.8),
+        shared=st.floats(0.05, 0.8),
+        p1=st.integers(1, 4),
+        p2=st.integers(1, 4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_station_marginal_means_sum_to_population(
+        self, d1, d2, shared, p1, p2
+    ):
+        net = two_chain_net(d1, d2, shared, p1, p2)
+        total = 0.0
+        for station in range(net.num_stations):
+            pmf = station_queue_distribution(net, station)
+            total += float(np.dot(np.arange(pmf.shape[0]), pmf))
+        assert total == pytest.approx(float(p1 + p2), rel=1e-8)
+
+
+class TestSemiclosedProperties:
+    @given(
+        rate=st.floats(1.0, 60.0),
+        h_max=st.integers(1, 10),
+        d0=st.floats(0.01, 0.2),
+        d1=st.floats(0.01, 0.2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_flow_balance_and_pmf(self, rate, h_max, d0, d1):
+        result = solve_semiclosed([d0, d1], rate, 0, h_max)
+        assert result.population_pmf.sum() == pytest.approx(1.0, rel=1e-9)
+        assert result.throughput == pytest.approx(
+            result.effective_arrival_rate, rel=1e-8
+        )
+        assert 0.0 <= result.acceptance_probability <= 1.0
+        assert result.mean_population <= h_max + 1e-9
+
+
+class TestLinearizerProperties:
+    @given(
+        d1=st.floats(0.05, 0.6),
+        d2=st.floats(0.05, 0.6),
+        shared=st.floats(0.05, 0.6),
+        p1=st.integers(1, 4),
+        p2=st.integers(1, 4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_linearizer_within_four_percent_of_exact(
+        self, d1, d2, shared, p1, p2
+    ):
+        # Tiny populations (window 1) are the worst case for every AMVA;
+        # 4% covers them while typical errors are an order of magnitude
+        # smaller (see bench_mva_vs_exact).
+        net = two_chain_net(d1, d2, shared, p1, p2)
+        exact = solve_mva_exact(net)
+        linearizer = solve_linearizer(net)
+        np.testing.assert_allclose(
+            linearizer.throughputs, exact.throughputs, rtol=0.04
+        )

@@ -1,0 +1,129 @@
+"""Property-based tests: MVA invariants on random networks.
+
+The invariants hold for *every* closed product-form network, so hypothesis
+hunts for counterexamples over random demands, populations and station
+counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exact.buzen import buzen
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.single_chain import solve_single_chain
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+demands_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestSingleChainProperties:
+    @given(demands=demands_strategy, population=st.integers(0, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_population_conservation(self, demands, population):
+        trace = solve_single_chain(demands, population)
+        assert trace.queue_lengths[population].sum() == pytest.approx(
+            float(population), rel=1e-9, abs=1e-9
+        )
+
+    @given(demands=demands_strategy, population=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_nondecreasing_in_population(self, demands, population):
+        trace = solve_single_chain(demands, population)
+        lams = trace.throughputs[1 : population + 1]
+        assert np.all(np.diff(lams) >= -1e-12)
+
+    @given(demands=demands_strategy, population=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_below_bottleneck_bound(self, demands, population):
+        trace = solve_single_chain(demands, population)
+        bottleneck = max(demands)
+        assert trace.throughputs[population] <= 1.0 / bottleneck + 1e-9
+
+    @given(demands=demands_strategy, population=st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_buzen_everywhere(self, demands, population):
+        trace = solve_single_chain(demands, population)
+        reference = buzen(np.asarray(demands) / max(demands), population)
+        scaled_throughput = reference.throughput() / max(demands)
+        assert trace.throughputs[population] == pytest.approx(
+            scaled_throughput, rel=1e-9
+        )
+
+    @given(demands=demands_strategy, population=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_increments_form_distribution(self, demands, population):
+        trace = solve_single_chain(demands, population)
+        increment = trace.increment()
+        assert increment.sum() == pytest.approx(1.0, rel=1e-9)
+        assert np.all(increment >= -1e-12)
+
+
+def random_two_chain_network(d1, d2, shared, p1, p2):
+    stations = [Station.fcfs("s1"), Station.fcfs("s2"), Station.fcfs("m")]
+    chains = [
+        ClosedChain.from_route("c1", ["s1", "m"], [d1, shared], window=p1),
+        ClosedChain.from_route("c2", ["s2", "m"], [d2, shared], window=p2),
+    ]
+    return ClosedNetwork.build(stations, chains)
+
+
+class TestMultichainProperties:
+    @given(
+        d1=st.floats(0.02, 1.0),
+        d2=st.floats(0.02, 1.0),
+        shared=st.floats(0.02, 1.0),
+        p1=st.integers(1, 5),
+        p2=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_mva_conserves_population(self, d1, d2, shared, p1, p2):
+        net = random_two_chain_network(d1, d2, shared, p1, p2)
+        solution = solve_mva_exact(net)
+        np.testing.assert_allclose(
+            solution.queue_lengths.sum(axis=1), [p1, p2], rtol=1e-9
+        )
+
+    @given(
+        d1=st.floats(0.02, 1.0),
+        d2=st.floats(0.02, 1.0),
+        shared=st.floats(0.02, 1.0),
+        p1=st.integers(1, 5),
+        p2=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heuristic_conserves_population_and_stays_sane(
+        self, d1, d2, shared, p1, p2
+    ):
+        net = random_two_chain_network(d1, d2, shared, p1, p2)
+        solution = solve_mva_heuristic(net)
+        np.testing.assert_allclose(
+            solution.queue_lengths.sum(axis=1), [p1, p2], rtol=1e-5
+        )
+        assert np.all(solution.throughputs >= 0)
+        # Shared single server cannot exceed unit utilisation.
+        m = net.station_id("m")
+        assert solution.utilization(m) <= 1.0 + 1e-6
+
+    @given(
+        d1=st.floats(0.05, 0.5),
+        d2=st.floats(0.05, 0.5),
+        shared=st.floats(0.05, 0.5),
+        p1=st.integers(1, 4),
+        p2=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_heuristic_tracks_exact(self, d1, d2, shared, p1, p2):
+        net = random_two_chain_network(d1, d2, shared, p1, p2)
+        heuristic = solve_mva_heuristic(net)
+        exact = solve_mva_exact(net)
+        np.testing.assert_allclose(
+            heuristic.throughputs, exact.throughputs, rtol=0.15
+        )

@@ -1,0 +1,93 @@
+"""Property-based tests: queueing-theory invariants across solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exact.buzen import buzen
+from repro.exact.convolution import solve_convolution
+from repro.exact.mva_exact import solve_mva_exact
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.routing import closed_chain_visit_ratios, cyclic_routing_matrix
+from repro.queueing.station import Station
+
+
+class TestBuzenProperties:
+    @given(
+        demands=st.lists(st.floats(0.05, 1.0), min_size=1, max_size=5),
+        population=st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_constants_are_positive_and_increasing_in_population_sense(
+        self, demands, population
+    ):
+        result = buzen(np.asarray(demands) / max(demands), population)
+        assert np.all(result.constants > 0)
+
+    @given(
+        demands=st.lists(st.floats(0.05, 1.0), min_size=2, max_size=5),
+        population=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_scaling_covariance(self, demands, population):
+        """Scaling all demands by k divides throughput by k (time-unit
+        change), leaving queue lengths untouched."""
+        scale = 3.7
+        base = buzen(np.asarray(demands), population)
+        scaled = buzen(np.asarray(demands) * scale, population)
+        assert scaled.throughput() == pytest.approx(
+            base.throughput() / scale, rel=1e-9
+        )
+        for i in range(len(demands)):
+            assert scaled.mean_queue_length(i) == pytest.approx(
+                base.mean_queue_length(i), rel=1e-9
+            )
+
+    @given(
+        demands=st.lists(st.floats(0.05, 1.0), min_size=2, max_size=4),
+        population=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_utilization_ordering_follows_demand(self, demands, population):
+        result = buzen(np.asarray(demands), population)
+        order_by_demand = np.argsort(demands)
+        utils = [result.mean_queue_length(i) for i in range(len(demands))]
+        # Queue lengths are monotone in demand for a closed network.
+        sorted_utils = [utils[i] for i in order_by_demand]
+        assert all(
+            a <= b + 1e-9 for a, b in zip(sorted_utils, sorted_utils[1:])
+        )
+
+
+class TestSolverAgreementProperty:
+    @given(
+        d1=st.floats(0.05, 0.8),
+        d2=st.floats(0.05, 0.8),
+        shared=st.floats(0.05, 0.8),
+        p1=st.integers(1, 4),
+        p2=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_convolution_equals_exact_mva(self, d1, d2, shared, p1, p2):
+        stations = [Station.fcfs("a"), Station.fcfs("b"), Station.fcfs("m")]
+        chains = [
+            ClosedChain.from_route("c1", ["a", "m"], [d1, shared], window=p1),
+            ClosedChain.from_route("c2", ["b", "m"], [d2, shared], window=p2),
+        ]
+        net = ClosedNetwork.build(stations, chains)
+        conv = solve_convolution(net)
+        mva = solve_mva_exact(net)
+        np.testing.assert_allclose(conv.throughputs, mva.throughputs, rtol=1e-7)
+        np.testing.assert_allclose(
+            conv.queue_lengths, mva.queue_lengths, atol=1e-7
+        )
+
+
+class TestRoutingProperties:
+    @given(order=st.permutations(list(range(5))))
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_visit_ratios_all_one(self, order):
+        routing = cyclic_routing_matrix(order)
+        ratios = closed_chain_visit_ratios(routing, reference_station=order[0])
+        np.testing.assert_allclose(ratios, np.ones(5), atol=1e-9)

@@ -1,0 +1,105 @@
+"""Property-based tests: pattern search invariants on random objectives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search.cache import EvaluationCache
+from repro.search.exhaustive import exhaustive_search
+from repro.search.pattern import pattern_search
+from repro.search.space import IntegerBox
+
+
+def separable_convex(weights, center):
+    def objective(point):
+        return sum(
+            w * (x - c) ** 2 for w, x, c in zip(weights, point, center)
+        )
+
+    return objective
+
+
+class TestPatternSearchProperties:
+    @given(
+        weights=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=4),
+        center_seed=st.integers(0, 10_000),
+        start_seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_separable_convex_always_solved(self, weights, center_seed, start_seed):
+        """On separable convex integer objectives, axis exploration alone
+        reaches the global minimum from any start."""
+        dims = len(weights)
+        space = IntegerBox.windows(dims, 15)
+        center = tuple(1 + (center_seed // (i + 1)) % 15 for i in range(dims))
+        start = tuple(1 + (start_seed // (i + 2)) % 15 for i in range(dims))
+        objective = separable_convex(weights, center)
+        result = pattern_search(objective, start, space)
+        assert result.best_point == center
+        assert result.best_value == pytest.approx(0.0)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_axis_local_minimum(self, seed):
+        """Whatever the objective, the returned point admits no improving
+        unit axis move (the definition of pattern-search convergence)."""
+        import random
+
+        rng = random.Random(seed)
+        table = {}
+
+        def noisy(point):
+            if point not in table:
+                table[point] = rng.uniform(0, 100)
+            return table[point]
+
+        space = IntegerBox.windows(2, 6)
+        result = pattern_search(noisy, (3, 3), space)
+        x, y = result.best_point
+        for dx, dy in [(1, 0), (-1, 0), (0, 1), (0, -1)]:
+            neighbor = (x + dx, y + dy)
+            if neighbor in space:
+                assert noisy(neighbor) >= result.best_value
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_never_worse_than_start(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        table = {}
+
+        def noisy(point):
+            if point not in table:
+                table[point] = rng.uniform(0, 100)
+            return table[point]
+
+        space = IntegerBox.windows(3, 5)
+        start = (
+            rng.randint(1, 5),
+            rng.randint(1, 5),
+            rng.randint(1, 5),
+        )
+        result = pattern_search(noisy, start, space)
+        assert result.best_value <= noisy(start)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_cache_consistency(self, seed):
+        """Cache hits + misses equals lookups, and every base point was
+        actually evaluated."""
+        import random
+
+        rng = random.Random(seed)
+        table = {}
+
+        def noisy(point):
+            if point not in table:
+                table[point] = rng.uniform(0, 100)
+            return table[point]
+
+        cache = EvaluationCache(noisy)
+        space = IntegerBox.windows(2, 8)
+        result = pattern_search(noisy, (4, 4), space, cache=cache)
+        assert cache.lookups == cache.hits + cache.misses
+        for point in result.base_points:
+            assert point in cache.values

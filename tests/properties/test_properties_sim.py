@@ -1,0 +1,90 @@
+"""Property-based tests: conservation laws of the simulator.
+
+Short runs over randomised parameters; the invariants (message
+conservation, window bounds, utilisation bounds) must hold for *every*
+configuration, not just the tuned ones.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel.topology import Channel, Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.sim.engine import simulate
+from repro.sim.flowcontrol import FlowControlConfig
+
+
+def tandem(capacity=50_000.0):
+    return Topology(
+        ["a", "b", "c"],
+        [Channel("ab", "a", "b", capacity), Channel("bc", "b", "c", capacity)],
+    )
+
+
+class TestConservation:
+    @given(
+        rate=st.floats(1.0, 80.0),
+        window=st.integers(1, 10),
+        seed=st.integers(0, 1_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_utilization_never_exceeds_one(self, rate, window, seed):
+        result = simulate(
+            tandem(), [TrafficClass("t", ("a", "b", "c"), rate)],
+            FlowControlConfig.end_to_end([window]),
+            duration=120.0, warmup=20.0, seed=seed,
+        )
+        for stats in result.channels.values():
+            assert stats.utilization <= 1.0 + 1e-9
+            assert stats.mean_queue_length >= -1e-9
+
+    @given(
+        rate=st.floats(5.0, 60.0),
+        window=st.integers(1, 8),
+        seed=st.integers(0, 1_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_mean_in_network_bounded_by_window(self, rate, window, seed):
+        """Time-average customers inside the network can never exceed the
+        end-to-end window."""
+        result = simulate(
+            tandem(), [TrafficClass("t", ("a", "b", "c"), rate)],
+            FlowControlConfig.end_to_end([window]),
+            duration=120.0, warmup=20.0, seed=seed,
+        )
+        total_queue = sum(
+            stats.mean_queue_length for stats in result.channels.values()
+        )
+        assert total_queue <= window + 1e-6
+
+    @given(
+        rate=st.floats(5.0, 40.0),
+        seed=st.integers(0, 1_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_poisson_delivered_at_most_offered(self, rate, seed):
+        result = simulate(
+            tandem(), [TrafficClass("t", ("a", "b", "c"), rate)],
+            FlowControlConfig.end_to_end([4]),
+            duration=200.0, warmup=20.0, seed=seed, source_model="poisson",
+        )
+        stats = result.classes[0]
+        # Delivered during measurement cannot exceed offered plus what was
+        # already in flight/backlogged at the warmup cut (at most a few).
+        assert stats.delivered <= stats.offered + 50
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_little_law_holds_in_simulation(self, seed):
+        """N = lambda * T at the network level (closed sources)."""
+        result = simulate(
+            tandem(), [TrafficClass("t", ("a", "b", "c"), 1e5)],
+            FlowControlConfig.end_to_end([4]),
+            duration=400.0, warmup=50.0, seed=seed,
+        )
+        stats = result.classes[0]
+        total_queue = sum(
+            s.mean_queue_length for s in result.channels.values()
+        )
+        predicted = stats.throughput * stats.mean_network_delay
+        assert predicted == pytest.approx(total_queue, rel=0.05)

@@ -1,0 +1,87 @@
+"""Unit tests for capacity functions (Table 3.6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.queueing.capacity import (
+    capacity_coefficients,
+    capacity_function_value,
+    fixed_rate_coefficients,
+    infinite_server_coefficients,
+    multiserver_coefficients,
+)
+from repro.queueing.station import Station
+
+
+class TestCoefficientSequences:
+    def test_fixed_rate_all_ones(self):
+        np.testing.assert_allclose(fixed_rate_coefficients(4), np.ones(5))
+
+    def test_infinite_server_reciprocal_factorials(self):
+        coeffs = infinite_server_coefficients(5)
+        expected = [1 / math.factorial(i) for i in range(6)]
+        np.testing.assert_allclose(coeffs, expected)
+
+    def test_multiserver_matches_mmm_factors(self):
+        coeffs = multiserver_coefficients(2, 4)
+        # a(i) = 1 / prod min(j, 2): 1, 1, 1/2, 1/4, 1/8
+        np.testing.assert_allclose(coeffs, [1.0, 1.0, 0.5, 0.25, 0.125])
+
+    def test_negative_max_customers_rejected(self):
+        with pytest.raises(ModelError):
+            fixed_rate_coefficients(-1)
+        with pytest.raises(ModelError):
+            infinite_server_coefficients(-2)
+
+    def test_station_dispatch(self):
+        np.testing.assert_allclose(
+            capacity_coefficients(Station.fcfs("x"), 3), np.ones(4)
+        )
+        np.testing.assert_allclose(
+            capacity_coefficients(Station.delay("x"), 3),
+            [1.0, 1.0, 0.5, 1.0 / 6.0],
+        )
+        np.testing.assert_allclose(
+            capacity_coefficients(Station.fcfs("x", servers=2), 3),
+            [1.0, 1.0, 0.5, 0.25],
+        )
+
+    def test_explicit_multiplier_dispatch(self):
+        station = Station("x", rate_multipliers=(2.0,))
+        # a(i) = (1/2)^i
+        np.testing.assert_allclose(
+            capacity_coefficients(station, 3), [1.0, 0.5, 0.25, 0.125]
+        )
+
+
+class TestCapacityFunctionValue:
+    def test_fixed_rate_closed_form(self):
+        assert capacity_function_value(Station.fcfs("x"), 0.5) == pytest.approx(2.0)
+
+    def test_fixed_rate_diverges_at_one(self):
+        with pytest.raises(ModelError):
+            capacity_function_value(Station.fcfs("x"), 1.0)
+
+    def test_infinite_server_is_exponential(self):
+        assert capacity_function_value(Station.delay("x"), 1.7) == pytest.approx(
+            math.exp(1.7)
+        )
+
+    def test_multiserver_series_matches_erlang(self):
+        # C(x) for m=2: sum x^i / (prod min(j,2)) = 1 + x + x^2/2 + x^3/4 ...
+        station = Station.fcfs("x", servers=2)
+        x = 0.8
+        expected = sum(
+            x**i / np.prod([min(j, 2) for j in range(1, i + 1)])
+            for i in range(0, 60)
+        )
+        assert capacity_function_value(station, x) == pytest.approx(
+            expected, rel=1e-10
+        )
+
+    def test_series_diverges_at_saturation(self):
+        with pytest.raises(ModelError):
+            capacity_function_value(Station.fcfs("x", servers=2), 2.0)

@@ -1,0 +1,113 @@
+"""Unit tests for routing matrices and traffic equations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SolverError
+from repro.queueing.routing import (
+    closed_chain_visit_ratios,
+    cyclic_routing_matrix,
+    open_chain_arrival_rates,
+    validate_routing_matrix,
+)
+
+
+class TestValidateRoutingMatrix:
+    def test_valid_substochastic(self):
+        validate_routing_matrix(np.array([[0.0, 0.5], [0.2, 0.0]]))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ModelError):
+            validate_routing_matrix(np.zeros((2, 3)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            validate_routing_matrix(np.array([[-0.1, 0.5], [0.0, 0.0]]))
+
+    def test_row_sum_above_one_rejected(self):
+        with pytest.raises(ModelError):
+            validate_routing_matrix(np.array([[0.6, 0.6], [0.0, 0.0]]))
+
+    def test_closed_requires_stochastic_rows(self):
+        with pytest.raises(ModelError):
+            validate_routing_matrix(
+                np.array([[0.0, 0.9], [1.0, 0.0]]), allow_exit=False
+            )
+
+
+class TestOpenTrafficEquations:
+    def test_tandem_rates_propagate(self):
+        # a -> b -> exit; external arrivals only at a.
+        routing = np.array([[0.0, 1.0], [0.0, 0.0]])
+        rates = open_chain_arrival_rates(routing, [5.0, 0.0])
+        np.testing.assert_allclose(rates, [5.0, 5.0])
+
+    def test_feedback_amplifies_rate(self):
+        # Single queue, customers return with probability 1/2:
+        # lambda = gamma / (1 - 0.5).
+        routing = np.array([[0.5]])
+        rates = open_chain_arrival_rates(routing, [3.0])
+        np.testing.assert_allclose(rates, [6.0])
+
+    def test_jackson_example_conservation(self):
+        routing = np.array(
+            [[0.0, 0.7, 0.2], [0.3, 0.0, 0.5], [0.0, 0.0, 0.0]]
+        )
+        gamma = np.array([1.0, 2.0, 0.0])
+        rates = open_chain_arrival_rates(routing, gamma)
+        # Flow balance: lambda = gamma + lambda @ routing.
+        np.testing.assert_allclose(rates, gamma + rates @ routing)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            open_chain_arrival_rates(np.zeros((2, 2)), [1.0])
+
+    def test_no_exit_is_singular(self):
+        routing = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(SolverError):
+            open_chain_arrival_rates(routing, [1.0, 0.0])
+
+
+class TestClosedVisitRatios:
+    def test_cycle_has_equal_ratios(self):
+        routing = cyclic_routing_matrix([0, 1, 2])
+        ratios = closed_chain_visit_ratios(routing)
+        np.testing.assert_allclose(ratios, [1.0, 1.0, 1.0])
+
+    def test_probabilistic_split(self):
+        # 0 -> {1 w.p. 0.75, 2 w.p. 0.25}; both return to 0.
+        routing = np.array(
+            [[0.0, 0.75, 0.25], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]
+        )
+        ratios = closed_chain_visit_ratios(routing, reference_station=0)
+        np.testing.assert_allclose(ratios, [1.0, 0.75, 0.25])
+
+    def test_reference_station_pins_ratio(self):
+        routing = cyclic_routing_matrix([0, 1])
+        ratios = closed_chain_visit_ratios(routing, reference_station=1)
+        assert ratios[1] == pytest.approx(1.0)
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ModelError):
+            closed_chain_visit_ratios(cyclic_routing_matrix([0, 1]), 5)
+
+
+class TestCyclicRoutingMatrix:
+    def test_cycle_structure(self):
+        routing = cyclic_routing_matrix([0, 2, 1])
+        assert routing[0, 2] == 1.0
+        assert routing[2, 1] == 1.0
+        assert routing[1, 0] == 1.0
+
+    def test_off_route_stations_self_loop(self):
+        routing = cyclic_routing_matrix([0, 1], num_stations=4)
+        assert routing[2, 2] == 1.0
+        assert routing[3, 3] == 1.0
+
+    def test_duplicate_station_rejected(self):
+        with pytest.raises(ModelError):
+            cyclic_routing_matrix([0, 1, 0])
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ModelError):
+            cyclic_routing_matrix([])

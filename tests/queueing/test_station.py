@@ -1,0 +1,95 @@
+"""Unit tests for stations and disciplines."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.queueing.station import Discipline, Station, validate_unique_names
+
+
+class TestStationConstruction:
+    def test_defaults_are_fcfs_single_server(self):
+        station = Station("link")
+        assert station.discipline is Discipline.FCFS
+        assert station.servers == 1
+        assert station.rate_multipliers is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Station("")
+
+    def test_nonpositive_servers_rejected(self):
+        with pytest.raises(ModelError):
+            Station("x", servers=0)
+
+    def test_empty_rate_multipliers_rejected(self):
+        with pytest.raises(ModelError):
+            Station("x", rate_multipliers=())
+
+    def test_nonpositive_rate_multiplier_rejected(self):
+        with pytest.raises(ModelError):
+            Station("x", rate_multipliers=(1.0, 0.0))
+
+    def test_fcfs_convenience_constructor(self):
+        station = Station.fcfs("q", servers=3)
+        assert station.discipline is Discipline.FCFS
+        assert station.servers == 3
+
+    def test_delay_convenience_constructor(self):
+        station = Station.delay("think")
+        assert station.is_delay
+        assert station.discipline is Discipline.IS
+
+
+class TestRateMultiplier:
+    def test_zero_customers_zero_rate(self):
+        assert Station("x").rate_multiplier(0) == 0.0
+
+    def test_single_server_is_constant(self):
+        station = Station("x")
+        assert station.rate_multiplier(1) == 1.0
+        assert station.rate_multiplier(10) == 1.0
+
+    def test_multi_server_ramps_then_saturates(self):
+        station = Station("x", servers=3)
+        assert station.rate_multiplier(1) == 1.0
+        assert station.rate_multiplier(2) == 2.0
+        assert station.rate_multiplier(3) == 3.0
+        assert station.rate_multiplier(7) == 3.0
+
+    def test_infinite_server_is_linear(self):
+        station = Station.delay("x")
+        assert station.rate_multiplier(5) == 5.0
+        assert station.rate_multiplier(17) == 17.0
+
+    def test_explicit_multipliers_override(self):
+        station = Station("x", rate_multipliers=(1.0, 1.5, 2.0))
+        assert station.rate_multiplier(1) == 1.0
+        assert station.rate_multiplier(2) == 1.5
+        assert station.rate_multiplier(3) == 2.0
+        assert station.rate_multiplier(9) == 2.0
+
+    def test_negative_customers_rejected(self):
+        with pytest.raises(ValueError):
+            Station("x").rate_multiplier(-1)
+
+
+class TestDisciplineProperties:
+    def test_is_station_is_not_queueing(self):
+        assert not Discipline.IS.is_queueing
+        assert Discipline.FCFS.is_queueing
+        assert Discipline.PS.is_queueing
+
+    def test_only_fcfs_forbids_class_dependent_service(self):
+        assert not Discipline.FCFS.allows_class_dependent_service
+        assert Discipline.PS.allows_class_dependent_service
+        assert Discipline.LCFS_PR.allows_class_dependent_service
+        assert Discipline.IS.allows_class_dependent_service
+
+
+class TestUniqueNames:
+    def test_accepts_distinct(self):
+        validate_unique_names([Station("a"), Station("b")])
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(ModelError):
+            validate_unique_names([Station("a"), Station("a")])

@@ -1,0 +1,73 @@
+"""Unit tests for the evaluation cache (APL FLOC)."""
+
+from repro.search.cache import EvaluationCache
+
+
+def quadratic(point):
+    return (point[0] - 3) ** 2 + (point[1] + 1) ** 2
+
+
+class TestMemoisation:
+    def test_first_call_is_miss(self):
+        cache = EvaluationCache(quadratic)
+        value = cache((3, -1))
+        assert value == 0.0
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_repeat_call_is_hit(self):
+        calls = []
+
+        def counting(point):
+            calls.append(point)
+            return 1.0
+
+        cache = EvaluationCache(counting)
+        cache((1, 1))
+        cache((1, 1))
+        cache((1, 1))
+        assert len(calls) == 1
+        assert cache.hits == 2
+        assert cache.evaluations == 1
+        assert cache.lookups == 3
+
+    def test_point_coerced_to_int_tuple(self):
+        cache = EvaluationCache(quadratic)
+        cache((3.0, -1.0))
+        assert cache((3, -1)) == 0.0
+        assert cache.misses == 1
+
+    def test_history_records_distinct_points_in_order(self):
+        cache = EvaluationCache(quadratic)
+        cache((0, 0))
+        cache((1, 0))
+        cache((0, 0))
+        assert [p for p, _v in cache.history] == [(0, 0), (1, 0)]
+
+
+class TestBest:
+    def test_best_of_empty(self):
+        point, value = EvaluationCache(quadratic).best()
+        assert point is None
+        assert value == float("inf")
+
+    def test_best_tracks_minimum(self):
+        cache = EvaluationCache(quadratic)
+        cache((0, 0))
+        cache((3, -1))
+        cache((5, 5))
+        point, value = cache.best()
+        assert point == (3, -1)
+        assert value == 0.0
+
+
+class TestClear:
+    def test_clear_resets_everything(self):
+        cache = EvaluationCache(quadratic)
+        cache((0, 0))
+        cache((0, 0))
+        cache.clear()
+        assert cache.hits == 0
+        assert cache.misses == 0
+        assert cache.history == []
+        assert cache.best()[0] is None

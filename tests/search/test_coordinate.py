@@ -1,0 +1,54 @@
+"""Unit tests for coordinate descent."""
+
+from repro.search.coordinate import coordinate_descent
+from repro.search.exhaustive import exhaustive_search
+from repro.search.pattern import pattern_search
+from repro.search.space import IntegerBox
+
+
+def sphere(point):
+    return sum((x - 5) ** 2 for x in point)
+
+
+def ridge(point):
+    x, y = point
+    return (x - y) ** 2 * 10 + (x - 15) ** 2
+
+
+class TestConvergence:
+    def test_finds_separable_minimum(self):
+        space = IntegerBox.windows(2, 20)
+        result = coordinate_descent(sphere, (1, 1), space)
+        assert result.best_point == (5, 5)
+
+    def test_ridge_descends_to_axis_local_minimum(self):
+        # Unit coordinate moves cannot ride the diagonal valley, so the
+        # guarantee is local optimality, not the global minimum.
+        space = IntegerBox.windows(2, 30)
+        result = coordinate_descent(ridge, (1, 1), space)
+        x, y = result.best_point
+        for dx, dy in [(1, 0), (-1, 0), (0, 1), (0, -1)]:
+            neighbor = (x + dx, y + dy)
+            if neighbor in space:
+                assert ridge(neighbor) >= result.best_value
+
+    def test_matches_exhaustive_on_convex(self):
+        space = IntegerBox.windows(2, 12)
+        cd = coordinate_descent(sphere, (12, 1), space)
+        ex = exhaustive_search(sphere, space)
+        assert cd.best_value == ex.best_value
+
+
+class TestComparisonWithPattern:
+    def test_pattern_search_cheaper_on_ridge(self):
+        """The pattern (acceleration) move pays off on diagonal valleys."""
+        space = IntegerBox.windows(2, 60)
+
+        def long_ridge(point):
+            x, y = point
+            return (x - y) ** 2 * 10 + (x - 55) ** 2
+
+        cd = coordinate_descent(long_ridge, (1, 1), space)
+        ps = pattern_search(long_ridge, (1, 1), space)
+        assert ps.best_value <= cd.best_value
+        assert ps.evaluations <= cd.evaluations

@@ -1,0 +1,34 @@
+"""Unit tests for exhaustive grid search."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search.exhaustive import exhaustive_search
+from repro.search.space import IntegerBox
+
+
+def bumpy(point):
+    # Deliberately multimodal on integers.
+    x, y = point
+    return (x % 3) + (y % 4) + 0.01 * (x + y)
+
+
+class TestGlobalOptimality:
+    def test_evaluates_whole_space(self):
+        space = IntegerBox.windows(2, 6)
+        result = exhaustive_search(bumpy, space)
+        assert result.evaluations == space.size()
+
+    def test_finds_global_minimum(self):
+        space = IntegerBox.windows(2, 6)
+        result = exhaustive_search(bumpy, space)
+        expected = min(space.points(), key=bumpy)
+        assert result.best_point == expected
+
+    def test_guard_rail(self):
+        with pytest.raises(SearchError):
+            exhaustive_search(bumpy, IntegerBox.windows(2, 2000), max_points=100)
+
+    def test_method_label(self):
+        result = exhaustive_search(bumpy, IntegerBox.windows(2, 2))
+        assert result.method == "exhaustive"

@@ -1,0 +1,74 @@
+"""Unit tests for integer search spaces."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search.space import IntegerBox
+
+
+class TestConstruction:
+    def test_windows_factory(self):
+        space = IntegerBox.windows(3, max_window=10)
+        assert space.dimensions == 3
+        assert space.lower == (1, 1, 1)
+        assert space.upper == (10, 10, 10)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(SearchError):
+            IntegerBox(lower=(1,), upper=(2, 3))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SearchError):
+            IntegerBox(lower=(5,), upper=(4,))
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(SearchError):
+            IntegerBox(lower=(), upper=())
+
+    def test_bad_windows_args_rejected(self):
+        with pytest.raises(SearchError):
+            IntegerBox.windows(0)
+        with pytest.raises(SearchError):
+            IntegerBox.windows(2, max_window=0)
+
+
+class TestMembershipAndClipping:
+    def test_contains(self):
+        space = IntegerBox.windows(2, 5)
+        assert (1, 5) in space
+        assert (0, 3) not in space
+        assert (3, 6) not in space
+        assert (3,) not in space  # wrong dimension
+
+    def test_clip(self):
+        space = IntegerBox.windows(2, 5)
+        assert space.clip((0, 9)) == (1, 5)
+        assert space.clip((3, 3)) == (3, 3)
+
+    def test_clip_wrong_dimension_rejected(self):
+        with pytest.raises(SearchError):
+            IntegerBox.windows(2, 5).clip((1,))
+
+
+class TestEnumeration:
+    def test_size(self):
+        assert IntegerBox.windows(2, 4).size() == 16
+        assert IntegerBox(lower=(0, 2), upper=(1, 4)).size() == 6
+
+    def test_points_cover_space(self):
+        space = IntegerBox(lower=(1, 1), upper=(2, 3))
+        points = set(space.points())
+        assert len(points) == 6
+        assert (2, 3) in points
+        assert all(p in space for p in points)
+
+    def test_axis_neighbors_respect_bounds(self):
+        space = IntegerBox.windows(2, 3)
+        neighbors = set(space.axis_neighbors((1, 2), step=1, axis=0))
+        assert neighbors == {(2, 2)}  # (0, 2) is outside
+        neighbors = set(space.axis_neighbors((2, 2), step=1, axis=1))
+        assert neighbors == {(2, 3), (2, 1)}
+
+    def test_axis_neighbors_bad_step(self):
+        with pytest.raises(SearchError):
+            list(IntegerBox.windows(1, 3).axis_neighbors((1,), step=0, axis=0))

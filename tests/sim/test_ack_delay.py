@@ -1,0 +1,86 @@
+"""Unit tests for acknowledgement-delay modelling in the simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netmodel.topology import Channel, Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.sim.engine import NetworkSimulator, simulate
+from repro.sim.flowcontrol import FlowControlConfig
+
+
+def line():
+    return Topology(
+        ["a", "b", "c"],
+        [Channel("ab", "a", "b", 50_000.0), Channel("bc", "b", "c", 50_000.0)],
+    )
+
+
+def one_class(rate=1e5):
+    return [TrafficClass("t", ("a", "b", "c"), rate)]
+
+
+class TestAckDelay:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(
+                line(), one_class(), FlowControlConfig.end_to_end([2]),
+                ack_delay=-1.0,
+            )
+
+    def test_zero_delay_unchanged(self):
+        base = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([3]),
+            duration=300.0, warmup=30.0, seed=4,
+        )
+        explicit = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([3]),
+            duration=300.0, warmup=30.0, seed=4, ack_delay=0.0,
+        )
+        assert base.classes[0].delivered == explicit.classes[0].delivered
+
+    def test_ack_delay_reduces_window_limited_throughput(self):
+        """A saturated window-limited flow slows down by the ack transit.
+        The exact reference: the cyclic chain gains an infinite-server
+        "ack stage" of demand 0.05 s, so throughput equals the exact MVA
+        solution of [0.02 FCFS, 0.02 FCFS, 0.05 IS] at population 3."""
+        from repro.mva.single_chain import solve_single_chain
+
+        instant = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([3]),
+            duration=1_000.0, warmup=100.0, seed=5,
+        )
+        delayed = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([3]),
+            duration=1_000.0, warmup=100.0, seed=5, ack_delay=0.05,
+        )
+        assert delayed.classes[0].throughput < instant.classes[0].throughput
+        reference = solve_single_chain(
+            [0.02, 0.02, 0.05], 3, delay_station=[False, False, True]
+        ).throughputs[3]
+        assert delayed.classes[0].throughput == pytest.approx(
+            reference, rel=0.05
+        )
+
+    def test_ack_delay_harmless_when_window_slack(self):
+        """At light load with a generous window the ack path is off the
+        critical path: throughput still equals the offered rate."""
+        result = simulate(
+            line(), [TrafficClass("t", ("a", "b", "c"), 5.0)],
+            FlowControlConfig.end_to_end([20]),
+            duration=2_000.0, warmup=200.0, seed=6,
+            source_model="poisson", ack_delay=0.05,
+        )
+        assert result.classes[0].throughput == pytest.approx(5.0, rel=0.05)
+
+    def test_network_delay_excludes_ack_transit(self):
+        """Measured network delay is admission->delivery; the ack transit
+        throttles admission but must not inflate the delay statistic."""
+        delayed = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([1]),
+            duration=1_000.0, warmup=100.0, seed=7, ack_delay=0.2,
+        )
+        # With window 1 the sole message never queues: delay = 2 hops.
+        assert delayed.classes[0].mean_network_delay == pytest.approx(
+            0.04, rel=0.1
+        )

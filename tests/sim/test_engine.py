@@ -1,0 +1,205 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netmodel.examples import canadian_topology, two_class_traffic
+from repro.netmodel.topology import Channel, Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.sim.engine import NetworkSimulator, simulate
+from repro.sim.flowcontrol import FlowControlConfig
+
+
+def line():
+    return Topology(
+        ["a", "b", "c"],
+        [Channel("ab", "a", "b", 50_000.0), Channel("bc", "b", "c", 50_000.0)],
+    )
+
+
+def one_class(rate=10.0):
+    return [TrafficClass("t", ("a", "b", "c"), rate)]
+
+
+class TestConstruction:
+    def test_bad_source_model(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(
+                line(), one_class(), FlowControlConfig(), source_model="open"
+            )
+
+    def test_closed_requires_windows(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(
+                line(), one_class(), FlowControlConfig(), source_model="closed"
+            )
+
+    def test_no_classes_rejected(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(line(), [], FlowControlConfig())
+
+    def test_bad_run_parameters(self):
+        sim = NetworkSimulator(
+            line(), one_class(), FlowControlConfig.end_to_end([2])
+        )
+        with pytest.raises(SimulationError):
+            sim.run(0.0)
+        with pytest.raises(SimulationError):
+            sim.run(10.0, warmup=10.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([2]),
+            duration=200.0, warmup=20.0, seed=5,
+        )
+        b = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([2]),
+            duration=200.0, warmup=20.0, seed=5,
+        )
+        assert a.classes[0].delivered == b.classes[0].delivered
+        assert a.classes[0].mean_network_delay == b.classes[0].mean_network_delay
+
+    def test_different_seed_different_result(self):
+        a = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([2]),
+            duration=200.0, warmup=20.0, seed=5,
+        )
+        b = simulate(
+            line(), one_class(), FlowControlConfig.end_to_end([2]),
+            duration=200.0, warmup=20.0, seed=6,
+        )
+        assert a.classes[0].delivered != b.classes[0].delivered
+
+
+class TestClosedSourceModel:
+    def test_window_bounds_customers_in_flight(self):
+        # With window 1, at most one message is in the network at a time,
+        # so the mean network delay equals the sum of free-flow service
+        # times of the two 20 ms hops plus nothing else.
+        result = simulate(
+            line(), one_class(rate=1e6), FlowControlConfig.end_to_end([1]),
+            duration=2_000.0, warmup=100.0, seed=1,
+        )
+        assert result.classes[0].mean_network_delay == pytest.approx(
+            0.04, rel=0.05
+        )
+
+    def test_saturated_source_hits_bottleneck_rate(self):
+        # Huge windows + huge arrival rate: the 50 kbps channels carry at
+        # most 50 msg/s of 1000-bit messages.
+        result = simulate(
+            line(), one_class(rate=1e6), FlowControlConfig.end_to_end([30]),
+            duration=2_000.0, warmup=200.0, seed=2,
+        )
+        assert result.classes[0].throughput == pytest.approx(50.0, rel=0.05)
+
+
+class TestPoissonSourceModel:
+    def test_light_load_throughput_equals_offered(self):
+        result = simulate(
+            line(), one_class(rate=5.0), FlowControlConfig.end_to_end([4]),
+            duration=4_000.0, warmup=400.0, source_model="poisson", seed=3,
+        )
+        assert result.classes[0].throughput == pytest.approx(5.0, rel=0.05)
+
+    def test_uncontrolled_open_network_matches_jackson(self):
+        # Two-hop open tandem at rho = 0.5: per-hop sojourn 1/(mu - lam).
+        result = simulate(
+            line(), one_class(rate=25.0), FlowControlConfig.uncontrolled(),
+            duration=4_000.0, warmup=400.0, source_model="poisson", seed=4,
+        )
+        expected = 2.0 / (50.0 - 25.0)
+        assert result.classes[0].mean_network_delay == pytest.approx(
+            expected, rel=0.08
+        )
+
+    def test_window_throttles_offered_overload(self):
+        # Offered 80 msg/s > capacity: the source saturates and the
+        # delivered rate is the closed-chain throughput of a 2-queue cycle
+        # with window 3: D/(s(p+D-1)) = 3/(0.02*4) = 37.5 msg/s.  The
+        # network delay stays bounded by the window while the host backlog
+        # absorbs the overload.
+        result = simulate(
+            line(), one_class(rate=80.0), FlowControlConfig.end_to_end([3]),
+            duration=1_000.0, warmup=100.0, source_model="poisson", seed=5,
+        )
+        stats = result.classes[0]
+        assert stats.throughput == pytest.approx(37.5, rel=0.05)
+        assert stats.mean_network_delay < 0.2
+        assert stats.mean_source_wait > stats.mean_network_delay
+
+
+class TestLocalFlowControl:
+    def test_buffer_limit_caps_node_occupancy(self):
+        config = FlowControlConfig(windows=(20,), node_buffer_limits=2)
+        sim = NetworkSimulator(line(), one_class(rate=1e5), config, seed=6)
+        result = sim.run(500.0, warmup=50.0)
+        for node, occupancy in result.node_occupancy.items():
+            assert occupancy <= 2.0 + 1e-9
+
+    def test_blocking_reduces_throughput(self):
+        open_buffers = simulate(
+            line(), one_class(rate=1e5), FlowControlConfig(windows=(20,)),
+            duration=500.0, warmup=50.0, seed=7,
+        )
+        tight = simulate(
+            line(), one_class(rate=1e5),
+            FlowControlConfig(windows=(20,), node_buffer_limits=1),
+            duration=500.0, warmup=50.0, seed=7,
+        )
+        assert tight.classes[0].throughput < open_buffers.classes[0].throughput
+
+
+class TestDeadlockDetection:
+    def test_collapse_reports_blocked_channels(self):
+        """The §2.1 deadlock: opposing flows over shared half-duplex
+        channels with tight buffers lock up, and the result says so."""
+        from repro.netmodel.examples import canadian_topology, two_class_traffic
+
+        result = simulate(
+            canadian_topology(),
+            list(two_class_traffic(30.0, 30.0)),
+            FlowControlConfig(node_buffer_limits=6),
+            duration=300.0, warmup=100.0, source_model="poisson", seed=10,
+        )
+        assert result.appears_deadlocked
+        assert len(result.blocked_channels) >= 1
+        assert result.network_throughput == 0.0
+
+    def test_healthy_run_reports_no_deadlock(self):
+        result = simulate(
+            line(), one_class(rate=10.0), FlowControlConfig.end_to_end([4]),
+            duration=200.0, warmup=20.0, seed=11,
+        )
+        assert not result.appears_deadlocked
+        assert result.blocked_channels == ()
+
+
+class TestIsarithmicControl:
+    def test_permits_bound_total_population(self):
+        config = FlowControlConfig(windows=(10, 10), isarithmic_permits=3)
+        topo = canadian_topology()
+        result = simulate(
+            topo, list(two_class_traffic(30.0, 30.0)), config,
+            duration=500.0, warmup=50.0, seed=8,
+        )
+        total_in_network = sum(result.node_occupancy.values())
+        assert total_in_network <= 3.0 + 1e-9
+
+
+class TestHalfDuplexCoupling:
+    def test_opposite_directions_share_capacity(self):
+        # One class per direction over a single half-duplex channel:
+        # combined throughput is limited by the single 50 msg/s server.
+        topo = Topology(["a", "b"], [Channel("ab", "a", "b", 50_000.0)])
+        classes = [
+            TrafficClass("fwd", ("a", "b"), 1e5),
+            TrafficClass("bwd", ("b", "a"), 1e5),
+        ]
+        result = simulate(
+            topo, classes, FlowControlConfig.end_to_end([5, 5]),
+            duration=1_000.0, warmup=100.0, seed=9,
+        )
+        assert result.network_throughput == pytest.approx(50.0, rel=0.05)

@@ -1,0 +1,133 @@
+"""Unit tests for flow-control configuration and state."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.flowcontrol import FlowControlConfig, FlowControlState
+
+
+NODES = ("a", "b", "c")
+
+
+class TestConfig:
+    def test_end_to_end_factory(self):
+        config = FlowControlConfig.end_to_end([3, 5])
+        assert config.windows == (3, 5)
+        assert config.node_buffer_limits is None
+        assert config.isarithmic_permits is None
+
+    def test_uncontrolled_factory(self):
+        config = FlowControlConfig.uncontrolled()
+        assert config.windows is None
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowControlConfig(windows=(0,))
+
+    def test_bad_buffer_limit_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowControlConfig(node_buffer_limits=0)
+        with pytest.raises(SimulationError):
+            FlowControlConfig(node_buffer_limits={"a": 0})
+
+    def test_bad_permits_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowControlConfig(isarithmic_permits=0)
+
+    def test_node_limit_lookup(self):
+        uniform = FlowControlConfig(node_buffer_limits=4)
+        assert uniform.node_limit("a") == 4
+        per_node = FlowControlConfig(node_buffer_limits={"a": 2})
+        assert per_node.node_limit("a") == 2
+        assert per_node.node_limit("b") is None
+        assert FlowControlConfig().node_limit("a") is None
+
+
+class TestWindowCredits:
+    def test_credits_deplete_and_restore(self):
+        state = FlowControlState(FlowControlConfig(windows=(2,)), 1, NODES)
+        assert state.window_open(0)
+        state.on_admit(0, "a")
+        state.on_admit(0, "a")
+        assert not state.window_open(0)
+        state.on_deliver(0, "a")
+        state.on_deliver(0, "a")
+        assert state.window_open(0)
+
+    def test_over_admission_rejected(self):
+        state = FlowControlState(FlowControlConfig(windows=(1,)), 1, NODES)
+        state.on_admit(0, "a")
+        with pytest.raises(SimulationError):
+            state.on_admit(0, "a")
+
+    def test_window_count_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowControlState(FlowControlConfig(windows=(1,)), 2, NODES)
+
+    def test_no_windows_always_open(self):
+        state = FlowControlState(FlowControlConfig(), 3, NODES)
+        assert state.window_open(2)
+
+
+class TestPermits:
+    def test_permit_pool(self):
+        state = FlowControlState(
+            FlowControlConfig(isarithmic_permits=2), 2, NODES
+        )
+        state.on_admit(0, "a")
+        state.on_admit(1, "b")
+        assert not state.permit_available()
+        state.on_deliver(0, "a")
+        assert state.permit_available()
+
+    def test_permits_shared_across_classes(self):
+        state = FlowControlState(
+            FlowControlConfig(isarithmic_permits=1), 2, NODES
+        )
+        state.on_admit(0, "a")
+        assert not state.can_admit(1, "b")
+
+
+class TestNodeBuffers:
+    def test_occupancy_tracking(self):
+        state = FlowControlState(
+            FlowControlConfig(node_buffer_limits=2), 1, NODES
+        )
+        state.on_admit(0, "a")
+        assert state.node_occupancy("a") == 1
+        state.on_hop("a", "b")
+        assert state.node_occupancy("a") == 0
+        assert state.node_occupancy("b") == 1
+        state.on_deliver(0, "b")
+        assert state.node_occupancy("b") == 0
+
+    def test_space_checks(self):
+        state = FlowControlState(
+            FlowControlConfig(node_buffer_limits=1), 1, NODES
+        )
+        state.on_admit(0, "a")
+        assert not state.node_has_space("a")
+        assert not state.can_admit(0, "a")
+        assert state.node_has_space("b")
+
+    def test_occupancy_underflow_detected(self):
+        state = FlowControlState(FlowControlConfig(), 1, NODES)
+        with pytest.raises(SimulationError):
+            state.on_hop("a", "b")
+
+
+class TestCombined:
+    def test_all_three_mechanisms_together(self):
+        config = FlowControlConfig(
+            windows=(2, 2), node_buffer_limits=3, isarithmic_permits=3
+        )
+        state = FlowControlState(config, 2, NODES)
+        state.on_admit(0, "a")
+        state.on_admit(0, "a")
+        state.on_admit(1, "b")
+        # Windows: class 0 exhausted; permits exhausted too.
+        assert not state.can_admit(0, "a")
+        assert not state.can_admit(1, "b")
+        state.on_deliver(0, "a")
+        assert state.can_admit(0, "a")
+        assert state.can_admit(1, "b")

@@ -1,0 +1,50 @@
+"""Unit tests for message records."""
+
+import pytest
+
+from repro.sim.messages import Message
+
+
+def make_message(**overrides):
+    kwargs = dict(
+        ident=1,
+        class_index=0,
+        path=("a", "b", "c"),
+        created=1.0,
+    )
+    kwargs.update(overrides)
+    return Message(**kwargs)
+
+
+class TestNavigation:
+    def test_initial_position(self):
+        message = make_message()
+        assert message.current_node == "a"
+        assert message.next_node == "b"
+        assert not message.at_last_hop
+
+    def test_last_hop(self):
+        message = make_message()
+        message.hop = 1
+        assert message.current_node == "b"
+        assert message.next_node == "c"
+        assert message.at_last_hop
+
+
+class TestTimestamps:
+    def test_delays(self):
+        message = make_message()
+        message.admitted = 1.5
+        message.delivered = 2.0
+        assert message.source_wait() == pytest.approx(0.5)
+        assert message.network_delay() == pytest.approx(0.5)
+        assert message.total_delay() == pytest.approx(1.0)
+
+    def test_incomplete_journey_raises(self):
+        message = make_message()
+        with pytest.raises(ValueError):
+            message.network_delay()
+        with pytest.raises(ValueError):
+            message.total_delay()
+        with pytest.raises(ValueError):
+            message.source_wait()

@@ -1,0 +1,66 @@
+"""Unit tests for simulation result records."""
+
+import pytest
+
+from repro.sim.results import ChannelStats, ClassStats, SimulationResult
+
+
+def class_stats(name="c1", throughput=10.0, delay=0.1, delivered=100):
+    return ClassStats(
+        name=name,
+        delivered=delivered,
+        offered=delivered + 5,
+        throughput=throughput,
+        mean_network_delay=delay,
+        delay_half_width=0.01,
+        mean_total_delay=delay + 0.05,
+        mean_source_wait=0.05,
+    )
+
+
+def make_result(classes):
+    return SimulationResult(
+        duration=100.0,
+        warmup=10.0,
+        measured_time=90.0,
+        classes=tuple(classes),
+        channels={"ch": ChannelStats("ch", 0.5, 1.2)},
+        node_occupancy={"a": 0.7},
+        source_model="closed",
+    )
+
+
+class TestAggregates:
+    def test_network_throughput_sums(self):
+        result = make_result(
+            [class_stats("a", 10.0), class_stats("b", 5.0)]
+        )
+        assert result.network_throughput == pytest.approx(15.0)
+
+    def test_mean_delay_weighted_by_throughput(self):
+        result = make_result(
+            [class_stats("a", 10.0, 0.1), class_stats("b", 30.0, 0.3)]
+        )
+        expected = (10 * 0.1 + 30 * 0.3) / 40
+        assert result.mean_network_delay == pytest.approx(expected)
+
+    def test_power(self):
+        result = make_result([class_stats("a", 20.0, 0.2)])
+        assert result.power == pytest.approx(100.0)
+
+    def test_zero_throughput_power(self):
+        result = make_result([class_stats("a", 0.0, 0.1, delivered=0)])
+        assert result.mean_network_delay == float("inf")
+        assert result.power == 0.0
+
+    def test_class_lookup(self):
+        result = make_result([class_stats("x"), class_stats("y")])
+        assert result.class_by_name("y").name == "y"
+        with pytest.raises(KeyError):
+            result.class_by_name("z")
+
+    def test_summary_lines(self):
+        text = make_result([class_stats("a")]).summary()
+        assert "closed sources" in text
+        assert "power" in text
+        assert "a:" in text

@@ -1,0 +1,101 @@
+"""Unit tests for simulation statistics collectors."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.stats import TallyStatistic, TimeWeightedStatistic, batch_means
+
+
+class TestTally:
+    def test_mean_and_variance(self):
+        tally = TallyStatistic()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            tally.record(value)
+        assert tally.mean == pytest.approx(2.5)
+        assert tally.variance == pytest.approx(5.0 / 3.0)
+
+    def test_empty_mean_is_nan(self):
+        import math
+
+        assert math.isnan(TallyStatistic().mean)
+
+    def test_reset(self):
+        tally = TallyStatistic()
+        tally.record(5.0)
+        tally.reset()
+        assert tally.count == 0
+        assert tally.samples == []
+
+    def test_confidence_interval_requires_samples(self):
+        tally = TallyStatistic(keep_samples=False)
+        tally.record(1.0)
+        with pytest.raises(SimulationError):
+            tally.confidence_interval()
+
+    def test_confidence_interval_shrinks_with_data(self):
+        import random
+
+        rng = random.Random(1)
+        small = TallyStatistic()
+        large = TallyStatistic()
+        for i in range(100):
+            small.record(rng.gauss(0, 1))
+        for i in range(10_000):
+            large.record(rng.gauss(0, 1))
+        _, half_small = small.confidence_interval()
+        _, half_large = large.confidence_interval()
+        assert half_large < half_small
+
+
+class TestBatchMeans:
+    def test_constant_series_zero_width(self):
+        mean, half = batch_means([2.0] * 100)
+        assert mean == 2.0
+        assert half == pytest.approx(0.0)
+
+    def test_too_few_samples_infinite_width(self):
+        _, half = batch_means([1.0, 2.0], num_batches=20)
+        assert half == float("inf")
+
+    def test_empty(self):
+        import math
+
+        mean, half = batch_means([])
+        assert math.isnan(mean)
+        assert half == float("inf")
+
+    def test_mean_matches_sample_mean(self):
+        samples = [float(i % 7) for i in range(1000)]
+        mean, _ = batch_means(samples)
+        assert mean == pytest.approx(sum(samples) / len(samples))
+
+
+class TestTimeWeighted:
+    def test_rectangle_average(self):
+        stat = TimeWeightedStatistic()
+        stat.update(0.0, 2.0)   # value 2 on [0, 4)
+        stat.update(4.0, 6.0)   # value 6 on [4, 8)
+        assert stat.mean(8.0) == pytest.approx(4.0)
+
+    def test_pending_interval_counted(self):
+        stat = TimeWeightedStatistic()
+        stat.update(0.0, 1.0)
+        assert stat.mean(10.0) == pytest.approx(1.0)
+
+    def test_time_backwards_rejected(self):
+        stat = TimeWeightedStatistic()
+        stat.update(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            stat.update(4.0, 2.0)
+
+    def test_reset_keeps_value(self):
+        stat = TimeWeightedStatistic()
+        stat.update(0.0, 3.0)
+        stat.advance(10.0)
+        stat.reset(10.0)
+        assert stat.mean(20.0) == pytest.approx(3.0)
+
+    def test_mean_before_any_time_elapsed(self):
+        stat = TimeWeightedStatistic()
+        stat.update(0.0, 7.0)
+        assert stat.mean(0.0) == 7.0

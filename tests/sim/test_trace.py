@@ -1,0 +1,100 @@
+"""Unit tests for simulator event tracing."""
+
+import pytest
+
+from repro.netmodel.topology import Channel, Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.sim.engine import NetworkSimulator
+from repro.sim.flowcontrol import FlowControlConfig
+from repro.sim.trace import EventKind, TraceCollector, TraceEvent
+
+
+def line():
+    return Topology(
+        ["a", "b", "c"],
+        [Channel("ab", "a", "b", 50_000.0), Channel("bc", "b", "c", 50_000.0)],
+    )
+
+
+def run_traced(collector, duration=50.0, config=None, **kwargs):
+    config = config or FlowControlConfig.end_to_end([2])
+    simulator = NetworkSimulator(
+        line(),
+        [TrafficClass("t", ("a", "b", "c"), 1e4)],
+        config,
+        observer=collector,
+        seed=1,
+        **kwargs,
+    )
+    simulator.run(duration, warmup=0.0)
+    return collector
+
+
+class TestEventFlow:
+    def test_every_delivery_has_matching_admit_and_hops(self):
+        collector = run_traced(TraceCollector())
+        deliveries = collector.of_kind(EventKind.DELIVER)
+        assert deliveries, "no deliveries traced"
+        for delivery in deliveries[:20]:
+            history = collector.message_history(delivery.message_id)
+            kinds = [e.kind for e in history]
+            assert kinds[0] == EventKind.ADMIT
+            assert kinds.count(EventKind.HOP) == 1  # a->b internal hop only
+            assert kinds[-1] == EventKind.DELIVER
+            times = [e.time for e in history]
+            assert times == sorted(times)
+
+    def test_acks_equal_deliveries(self):
+        collector = run_traced(TraceCollector())
+        assert len(collector.of_kind(EventKind.ACK)) == len(
+            collector.of_kind(EventKind.DELIVER)
+        )
+
+    def test_blocking_events_on_tight_buffers(self):
+        config = FlowControlConfig(windows=(10,), node_buffer_limits=1)
+        collector = run_traced(TraceCollector(), config=config)
+        blocks = collector.of_kind(EventKind.BLOCK)
+        unblocks = collector.of_kind(EventKind.UNBLOCK)
+        assert blocks, "expected blocking with 1-slot buffers"
+        # Every unblock follows some block on the same channel.
+        assert len(unblocks) <= len(blocks)
+
+    def test_no_observer_changes_results(self):
+        from repro.sim.engine import simulate
+
+        plain = simulate(
+            line(), [TrafficClass("t", ("a", "b", "c"), 1e4)],
+            FlowControlConfig.end_to_end([2]),
+            duration=100.0, warmup=10.0, seed=9,
+        )
+        collector = TraceCollector()
+        simulator = NetworkSimulator(
+            line(), [TrafficClass("t", ("a", "b", "c"), 1e4)],
+            FlowControlConfig.end_to_end([2]),
+            observer=collector, seed=9,
+        )
+        traced = simulator.run(100.0, warmup=10.0)
+        assert traced.classes[0].delivered == plain.classes[0].delivered
+
+
+class TestCollector:
+    def test_kind_filter(self):
+        collector = run_traced(TraceCollector(kinds={EventKind.DELIVER}))
+        assert collector.events
+        assert all(e.kind is EventKind.DELIVER for e in collector.events)
+
+    def test_limit_and_dropped(self):
+        collector = run_traced(TraceCollector(limit=10))
+        assert len(collector.events) == 10
+        assert collector.dropped > 0
+
+    def test_clear(self):
+        collector = run_traced(TraceCollector())
+        collector.clear()
+        assert collector.events == []
+        assert collector.dropped == 0
+
+    def test_event_record_fields(self):
+        event = TraceEvent(1.0, EventKind.ADMIT, 0, 5, "a")
+        assert event.time == 1.0
+        assert event.place == "a"

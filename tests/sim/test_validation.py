@@ -1,0 +1,94 @@
+"""Simulation-vs-analysis validation: the closed-source simulator must
+reproduce the exact MVA solution of the same model within confidence
+intervals.  This is the strongest end-to-end check in the suite — the two
+implementations share no code beyond the network description."""
+
+import pytest
+
+from repro.core.power import network_power
+from repro.exact.mva_exact import solve_mva_exact
+from repro.netmodel.examples import (
+    canadian_four_class,
+    canadian_topology,
+    canadian_two_class,
+    four_class_traffic,
+    two_class_traffic,
+)
+from repro.sim.engine import simulate
+from repro.sim.flowcontrol import FlowControlConfig
+
+
+DURATION = 3_000.0
+WARMUP = 300.0
+
+
+class TestTwoClassAgreement:
+    @pytest.mark.parametrize("windows", [(2, 2), (4, 4)])
+    def test_throughput_and_delay(self, windows):
+        rates = (18.0, 18.0)
+        analytic = solve_mva_exact(canadian_two_class(*rates, windows=windows))
+        measured = simulate(
+            canadian_topology(),
+            list(two_class_traffic(*rates)),
+            FlowControlConfig.end_to_end(windows),
+            duration=DURATION,
+            warmup=WARMUP,
+            seed=11,
+        )
+        for r, stats in enumerate(measured.classes):
+            assert stats.throughput == pytest.approx(
+                analytic.throughputs[r], rel=0.03
+            )
+            assert stats.mean_network_delay == pytest.approx(
+                analytic.chain_delay(r), rel=0.03
+            )
+
+    def test_power_agreement(self):
+        rates = (25.0, 25.0)
+        windows = (3, 3)
+        analytic = solve_mva_exact(canadian_two_class(*rates, windows=windows))
+        measured = simulate(
+            canadian_topology(),
+            list(two_class_traffic(*rates)),
+            FlowControlConfig.end_to_end(windows),
+            duration=DURATION,
+            warmup=WARMUP,
+            seed=12,
+        )
+        assert measured.power == pytest.approx(network_power(analytic), rel=0.04)
+
+    def test_channel_utilizations(self):
+        rates = (18.0, 18.0)
+        windows = (4, 4)
+        net = canadian_two_class(*rates, windows=windows)
+        analytic = solve_mva_exact(net)
+        measured = simulate(
+            canadian_topology(),
+            list(two_class_traffic(*rates)),
+            FlowControlConfig.end_to_end(windows),
+            duration=DURATION,
+            warmup=WARMUP,
+            seed=13,
+        )
+        for name, channel_stats in measured.channels.items():
+            expected = analytic.utilization(net.station_id(name))
+            assert channel_stats.utilization == pytest.approx(expected, abs=0.02)
+
+
+class TestFourClassAgreement:
+    def test_throughputs(self):
+        rates = (6.0, 6.0, 6.0, 12.0)
+        windows = (1, 1, 1, 4)
+        analytic = solve_mva_exact(canadian_four_class(*rates, windows=windows))
+        measured = simulate(
+            canadian_topology(),
+            list(four_class_traffic(*rates)),
+            FlowControlConfig.end_to_end(windows),
+            duration=DURATION,
+            warmup=WARMUP,
+            seed=14,
+        )
+        for r, stats in enumerate(measured.classes):
+            assert stats.throughput == pytest.approx(
+                analytic.throughputs[r], rel=0.05
+            )

@@ -1,0 +1,61 @@
+"""Warm-up (transient truncation) behaviour of the simulator."""
+
+import pytest
+
+from repro.netmodel.topology import Channel, Topology
+from repro.netmodel.traffic import TrafficClass
+from repro.sim.engine import simulate
+from repro.sim.flowcontrol import FlowControlConfig
+
+
+def line():
+    return Topology(
+        ["a", "b", "c"],
+        [Channel("ab", "a", "b", 50_000.0), Channel("bc", "b", "c", 50_000.0)],
+    )
+
+
+CLASSES = [TrafficClass("t", ("a", "b", "c"), 1e5)]
+
+
+class TestWarmup:
+    def test_measured_time_excludes_warmup(self):
+        result = simulate(
+            line(), CLASSES, FlowControlConfig.end_to_end([3]),
+            duration=500.0, warmup=100.0, seed=1,
+        )
+        assert result.measured_time == pytest.approx(400.0, rel=1e-6)
+
+    def test_delivered_counts_only_measurement_interval(self):
+        short = simulate(
+            line(), CLASSES, FlowControlConfig.end_to_end([3]),
+            duration=200.0, warmup=100.0, seed=1,
+        )
+        long = simulate(
+            line(), CLASSES, FlowControlConfig.end_to_end([3]),
+            duration=300.0, warmup=100.0, seed=1,
+        )
+        # Twice the measurement window, roughly twice the deliveries —
+        # and identical prefixes because the seed is shared.
+        assert long.classes[0].delivered > 1.8 * short.classes[0].delivered
+
+    def test_throughput_insensitive_to_warmup_length(self):
+        a = simulate(
+            line(), CLASSES, FlowControlConfig.end_to_end([3]),
+            duration=1_000.0, warmup=50.0, seed=2,
+        )
+        b = simulate(
+            line(), CLASSES, FlowControlConfig.end_to_end([3]),
+            duration=1_000.0, warmup=400.0, seed=2,
+        )
+        assert a.classes[0].throughput == pytest.approx(
+            b.classes[0].throughput, rel=0.03
+        )
+
+    def test_zero_warmup_allowed(self):
+        result = simulate(
+            line(), CLASSES, FlowControlConfig.end_to_end([2]),
+            duration=100.0, warmup=0.0, seed=3,
+        )
+        assert result.measured_time == pytest.approx(100.0, rel=1e-6)
+        assert result.classes[0].delivered > 0

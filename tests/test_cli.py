@@ -1,0 +1,171 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(
+            ["solve", "--rates", "18", "18"]
+        )
+        assert args.network == "canadian2"
+        assert args.solver == "mva-heuristic"
+
+
+class TestSolve(object):
+    def test_solve_prints_windows(self, capsys):
+        code = main(["solve", "--network", "canadian2", "--rates", "25", "25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal windows" in out
+        assert "power" in out
+
+    def test_wrong_rate_count_is_error(self, capsys):
+        code = main(["solve", "--network", "canadian2", "--rates", "25"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_evaluate_prints_solution(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--network", "canadian2",
+                "--rates", "18", "18",
+                "--windows", "4", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "network throughput" in out
+        assert "power=" in out
+
+    def test_window_count_checked(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--network", "canadian2",
+                "--rates", "18", "18",
+                "--windows", "4",
+            ]
+        )
+        assert code == 2
+
+
+class TestSweep:
+    def test_sweep_renders_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--network", "canadian2",
+                "--rates-list", "20,20;60,60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal windows" in out
+        assert out.count("\n") >= 4
+
+    def test_bad_rate_vector_is_error(self, capsys):
+        code = main(
+            ["sweep", "--network", "canadian2", "--rates-list", "20;60,60"]
+        )
+        assert code == 2
+
+
+class TestSpecFile:
+    def test_solve_from_spec(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "nodes": ["A", "B", "C"],
+            "channels": [
+                {"between": ["A", "B"], "capacity_bps": 50000},
+                {"between": ["B", "C"], "capacity_bps": 50000},
+            ],
+            "classes": [
+                {"path": ["A", "B", "C"], "arrival_rate": 20.0}
+            ],
+        }
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(spec))
+        code = main(["solve", "--spec", str(path)])
+        assert code == 0
+        assert "optimal windows" in capsys.readouterr().out
+
+    def test_spec_and_rates_conflict(self, tmp_path, capsys):
+        path = tmp_path / "net.json"
+        path.write_text("{}")
+        code = main(["solve", "--spec", str(path), "--rates", "1"])
+        assert code == 2
+
+    def test_missing_rates_without_spec(self, capsys):
+        code = main(["solve", "--network", "canadian2"])
+        assert code == 2
+
+
+class TestBuffers:
+    def test_buffers_prints_table(self, capsys):
+        code = main(
+            [
+                "buffers",
+                "--network", "canadian2",
+                "--rates", "18", "18",
+                "--windows", "3", "3",
+                "--target", "1e-3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hard bound" in out
+        assert "ch1" in out
+
+    def test_buffers_window_count_checked(self, capsys):
+        code = main(
+            [
+                "buffers",
+                "--network", "canadian2",
+                "--rates", "18", "18",
+                "--windows", "3",
+            ]
+        )
+        assert code == 2
+
+
+class TestMultistart:
+    def test_multistart_prints_summary(self, capsys):
+        code = main(
+            [
+                "multistart",
+                "--network", "canadian2",
+                "--rates", "25", "25",
+                "--max-window", "8",
+            ]
+        )
+        assert code == 0
+        assert "optimal windows" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_prints_summary(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--network", "canadian2",
+                "--rates", "18", "18",
+                "--windows", "3", "3",
+                "--duration", "200",
+                "--warmup", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "network throughput" in out
+        assert "closed sources" in out

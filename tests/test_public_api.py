@@ -1,0 +1,27 @@
+"""The public API surface: everything in ``repro.__all__`` importable and
+the README quickstart working verbatim."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart(self):
+        network = repro.canadian_two_class(s1=18.0, s2=18.0)
+        result = repro.windim(network)
+        assert result.power > 0
+        assert "WINDIM" in result.summary()
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.ModelError, repro.ReproError)
+        assert issubclass(repro.SolverError, repro.ReproError)
+        assert issubclass(repro.ConvergenceError, repro.SolverError)
+        assert issubclass(repro.StabilityError, repro.SolverError)
+        assert issubclass(repro.SearchError, repro.ReproError)
+        assert issubclass(repro.SimulationError, repro.ReproError)

@@ -1,0 +1,68 @@
+"""Unit tests for the NetworkSolution record."""
+
+import numpy as np
+import pytest
+
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.heuristic import solve_mva_heuristic
+
+
+class TestDerivedMeasures:
+    def test_network_throughput_is_sum(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        assert solution.network_throughput == pytest.approx(
+            float(solution.throughputs.sum())
+        )
+
+    def test_chain_delay_by_little(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        mask = two_class_net.delay_mask()
+        for r in range(2):
+            expected = solution.queue_lengths[r, mask[r]].sum() / solution.throughputs[r]
+            assert solution.chain_delay(r) == pytest.approx(expected)
+
+    def test_chain_delays_vector(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        np.testing.assert_allclose(
+            solution.chain_delays,
+            [solution.chain_delay(0), solution.chain_delay(1)],
+        )
+
+    def test_mean_network_delay_weighted(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        lam = solution.network_throughput
+        weighted = sum(
+            solution.throughputs[r] * solution.chain_delay(r) for r in range(2)
+        )
+        assert solution.mean_network_delay == pytest.approx(weighted / lam)
+
+    def test_zero_throughput_delay_is_inf(self, two_class_net):
+        solution = solve_mva_exact(two_class_net.with_populations([0, 0]))
+        assert solution.mean_network_delay == float("inf")
+        assert solution.chain_delay(0) == float("inf")
+
+    def test_total_customers_equals_population(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        assert solution.total_customers() == pytest.approx(
+            float(two_class_net.total_population())
+        )
+
+    def test_utilizations_vector_matches_scalar(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        for i in range(two_class_net.num_stations):
+            assert solution.utilizations[i] == pytest.approx(
+                solution.utilization(i)
+            )
+
+    def test_station_queue_length(self, two_class_net):
+        solution = solve_mva_exact(two_class_net)
+        station = two_class_net.station_id("ch2")
+        assert solution.station_queue_length(station) == pytest.approx(
+            float(solution.queue_lengths[:, station].sum())
+        )
+
+    def test_summary_contains_key_lines(self, two_class_net):
+        text = solve_mva_heuristic(two_class_net).summary()
+        assert "windows" in text
+        assert "network throughput" in text
+        assert "power" in text
