@@ -14,6 +14,9 @@ Subcommands
     Recommend per-queue buffer sizes for given windows (thesis §2.3).
 ``multistart``
     WINDIM from multiple starting points (global-gap mitigation).
+``verify``
+    Differential verification: fuzz random networks through every
+    applicable solver pair and replay the golden thesis fixtures.
 
 Examples
 --------
@@ -23,6 +26,8 @@ Examples
     windim evaluate --network canadian4 --rates 6 6 6 12 --windows 1 1 1 4
     windim sweep --network canadian2 --rates "12.5,12.5;25,25;50,50"
     windim simulate --network canadian2 --rates 18 18 --windows 4 4 --seed 3
+    windim verify --seed 0 --cases 25
+    windim verify --record-golden
 """
 
 from __future__ import annotations
@@ -211,6 +216,52 @@ def _cmd_multistart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        generate_cases,
+        record_fixtures,
+        run_differential,
+        verify_fixtures,
+    )
+
+    if args.record_golden:
+        for path in record_fixtures(args.golden_dir):
+            print(f"recorded {path}")
+        return 0
+
+    if args.cases < 0:
+        print(f"windim verify: --cases must be >= 0, got {args.cases}", file=sys.stderr)
+        return 2
+    if args.cases == 0 and not args.golden:
+        print("nothing to do: --cases 0 and no --golden", file=sys.stderr)
+        return 0
+
+    ok = True
+    if args.cases > 0:
+        cases = generate_cases(args.seed, args.cases)
+        report = run_differential(cases, include_simulation=args.sim)
+        print(report.summary())
+        if args.json:
+            from pathlib import Path
+
+            Path(args.json).write_text(report.to_json() + "\n")
+            print(f"report written to {args.json}")
+        ok = ok and report.ok
+
+    if args.golden:
+        results = verify_fixtures(args.golden_dir)
+        failed = {name: issues for name, issues in results.items() if issues}
+        print(
+            f"golden fixtures: {len(results) - len(failed)}/{len(results)} match"
+        )
+        for name, issues in failed.items():
+            for issue in issues:
+                print(f"  !! {name}: {issue}")
+        ok = ok and not failed
+
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -319,6 +370,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(multistart)
     multistart.add_argument("--max-window", type=int, default=32)
     multistart.set_defaults(handler=_cmd_multistart)
+
+    verify = sub.add_parser(
+        "verify", help="cross-solver differential verification"
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, help="master fuzz seed (default 0)"
+    )
+    verify.add_argument(
+        "--cases",
+        type=int,
+        default=25,
+        help="number of fuzzed networks to check (0 = skip fuzzing)",
+    )
+    verify.add_argument(
+        "--sim",
+        action="store_true",
+        help="also validate the discrete-event simulator (slow)",
+    )
+    verify.add_argument(
+        "--golden",
+        action="store_true",
+        help="also replay the golden thesis fixtures",
+    )
+    verify.add_argument(
+        "--record-golden",
+        action="store_true",
+        help="(re)record the golden fixtures instead of verifying",
+    )
+    verify.add_argument(
+        "--golden-dir",
+        default=None,
+        help="golden fixture directory (default: tests/golden)",
+    )
+    verify.add_argument(
+        "--json", default=None, help="write the JSON report to this path"
+    )
+    verify.set_defaults(handler=_cmd_verify)
 
     return parser
 

@@ -36,6 +36,8 @@ __all__ = [
     "canadian_topology",
     "canadian_two_class",
     "canadian_four_class",
+    "arpanet_topology",
+    "arpanet_traffic",
     "arpanet_fragment",
     "tandem_network",
 ]
@@ -145,17 +147,8 @@ def four_class_traffic(
     )
 
 
-def arpanet_fragment(
-    rates: Optional[Sequence[float]] = None,
-    windows: Optional[Sequence[int]] = None,
-) -> ClosedNetwork:
-    """An ARPANET-like 8-node fragment with four cross-country classes.
-
-    A richer playground than the thesis examples (Fig. 2.3 motivates it):
-    eight IMP sites joined by 50 kbit/s full-duplex trunks, four traffic
-    classes crossing the network in both directions.  Used by examples and
-    scalability benchmarks; not a thesis experiment.
-    """
+def arpanet_topology() -> Topology:
+    """The 8-node ARPANET-like fragment: 50 kbit/s full-duplex trunks."""
     nodes = ("SRI", "UCLA", "UTAH", "ILL", "MIT", "BBN", "HARV", "CMU")
     channels = (
         Channel("sri-ucla", "SRI", "UCLA", 50_000.0, Duplex.FULL),
@@ -168,12 +161,18 @@ def arpanet_fragment(
         Channel("harv-cmu", "HARV", "CMU", 50_000.0, Duplex.FULL),
         Channel("cmu-ill", "CMU", "ILL", 50_000.0, Duplex.FULL),
     )
-    topology = Topology(nodes, channels)
+    return Topology(nodes, channels)
+
+
+def arpanet_traffic(
+    rates: Optional[Sequence[float]] = None,
+) -> Tuple[TrafficClass, ...]:
+    """The four cross-country ARPANET traffic classes."""
     if rates is None:
         rates = (8.0, 8.0, 6.0, 6.0)
     if len(rates) != 4:
-        raise ModelError(f"arpanet_fragment expects 4 rates, got {len(rates)}")
-    classes = (
+        raise ModelError(f"arpanet traffic expects 4 rates, got {len(rates)}")
+    return (
         TrafficClass(
             "west-east",
             ("SRI", "UTAH", "ILL", "MIT", "BBN"),
@@ -195,7 +194,20 @@ def arpanet_fragment(
             rates[3],
         ),
     )
-    return build_closed_network(topology, classes, windows)
+
+
+def arpanet_fragment(
+    rates: Optional[Sequence[float]] = None,
+    windows: Optional[Sequence[int]] = None,
+) -> ClosedNetwork:
+    """An ARPANET-like 8-node fragment with four cross-country classes.
+
+    A richer playground than the thesis examples (Fig. 2.3 motivates it):
+    eight IMP sites joined by 50 kbit/s full-duplex trunks, four traffic
+    classes crossing the network in both directions.  Used by examples and
+    scalability benchmarks; not a thesis experiment.
+    """
+    return build_closed_network(arpanet_topology(), arpanet_traffic(rates), windows)
 
 
 def tandem_network(

@@ -18,6 +18,20 @@ __all__ = ["EvaluationCache"]
 Point = Tuple[int, ...]
 
 
+def _integral_key(point: Point) -> Tuple[int, ...]:
+    """Normalise a point to a tuple of ints, rejecting fractional values."""
+    key = []
+    for x in point:
+        i = int(x)
+        if i != x:
+            raise ValueError(
+                f"non-integral coordinate {x!r} in point {tuple(point)!r}; "
+                "window vectors must be integer-valued"
+            )
+        key.append(i)
+    return tuple(key)
+
+
 @dataclass
 class EvaluationCache:
     """Memoising wrapper around an objective function.
@@ -43,8 +57,15 @@ class EvaluationCache:
     history: List[Tuple[Point, float]] = field(default_factory=list)
 
     def __call__(self, point: Point) -> float:
-        """Evaluate ``point``, reusing a previous result when available."""
-        key = tuple(int(x) for x in point)
+        """Evaluate ``point``, reusing a previous result when available.
+
+        Coordinates must be integral (Python ints, numpy integer scalars,
+        or integer-valued floats).  A fractional coordinate is rejected
+        rather than silently truncated: truncation would cache the value
+        of a *different* window vector under the requested key and
+        corrupt every later lookup of the truncated point.
+        """
+        key = _integral_key(point)
         if key in self.values:
             self.hits += 1
             return self.values[key]

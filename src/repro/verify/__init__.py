@@ -1,0 +1,84 @@
+"""Differential-verification oracle (cross-solver fuzzing + golden fixtures).
+
+The thesis argument rests on redundant solvers agreeing: the §4.2 MVA
+heuristic must track the exact product-form solutions closely enough to
+drive the WINDIM search, and the simulator must validate both.  This
+package turns that redundancy into tooling:
+
+* :mod:`repro.verify.oracle` — every throughput/delay backend behind one
+  uniform :class:`~repro.verify.oracle.SolverSpec` interface.
+* :mod:`repro.verify.fuzz` — seeded random closed networks bounded so the
+  exact solvers stay tractable.
+* :mod:`repro.verify.differential` — runs all applicable solver pairs with
+  per-pair tolerance policies.
+* :mod:`repro.verify.report` — structured discrepancy reports.
+* :mod:`repro.verify.golden` — JSON regression fixtures for the thesis
+  networks with record/replay.
+
+CLI: ``windim verify --seed N --cases K``.
+"""
+
+from repro.verify.differential import (
+    TolerancePolicy,
+    check_case,
+    check_pair,
+    run_differential,
+)
+from repro.verify.fuzz import FuzzConfig, generate_case, generate_cases
+from repro.verify.golden import (
+    GoldenCase,
+    compare_fixture,
+    compute_fixture,
+    default_golden_dir,
+    golden_case_names,
+    golden_cases,
+    load_fixture,
+    record_fixtures,
+    verify_fixtures,
+)
+from repro.verify.oracle import (
+    SolverKind,
+    SolverOutput,
+    SolverSpec,
+    VerifyCase,
+    applicable_solvers,
+    ctmc_state_count,
+    get_solver,
+    registry,
+    simulation_spec,
+    solver_names,
+)
+from repro.verify.report import CaseReport, DifferentialReport, Discrepancy, PairResult
+
+__all__ = [
+    "TolerancePolicy",
+    "check_case",
+    "check_pair",
+    "run_differential",
+    "FuzzConfig",
+    "generate_case",
+    "generate_cases",
+    "GoldenCase",
+    "compare_fixture",
+    "compute_fixture",
+    "default_golden_dir",
+    "golden_case_names",
+    "golden_cases",
+    "load_fixture",
+    "record_fixtures",
+    "verify_fixtures",
+    "SolverKind",
+    "SolverOutput",
+    "SolverSpec",
+    "VerifyCase",
+    "applicable_solvers",
+    "ctmc_state_count",
+    "get_solver",
+    "registry",
+    "simulation_spec",
+    "solver_names",
+    "CaseReport",
+    "DifferentialReport",
+    "Discrepancy",
+    "PairResult",
+]

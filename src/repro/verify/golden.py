@@ -1,0 +1,297 @@
+"""Golden regression fixtures for the thesis networks.
+
+Records every registered backend's outputs on the canonical thesis
+networks (the Table 4.7/4.8 two-class loadings, the Table 4.12 four-class
+row, the Fig. 4.9 fixed-window points, the Kleinrock tandem and the
+ARPANET fragment) as JSON files under ``tests/golden/``.  The regression
+tests replay the solvers and compare against the stored numbers, so any
+future refactor of the MVA kernels, the convolution recursion or the
+simulator's analytic counterparts has a fixed oracle.
+
+Record mode (``windim verify --record-golden`` or
+``REPRO_GOLDEN_RECORD=1`` in the test suite) regenerates the files;
+replay mode is the default.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.verify.oracle import VerifyCase, get_solver
+
+__all__ = [
+    "GoldenCase",
+    "golden_cases",
+    "golden_case_names",
+    "default_golden_dir",
+    "fixture_path",
+    "compute_fixture",
+    "record_fixtures",
+    "load_fixture",
+    "compare_fixture",
+    "verify_fixtures",
+]
+
+#: Relative tolerance for replay comparisons.  Loose enough to survive
+#: numpy/BLAS differences across the CI matrix, tight enough that any
+#: real algorithmic change trips it.
+GOLDEN_RTOL = 1e-6
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One thesis network pinned as a regression fixture."""
+
+    name: str
+    description: str
+    build: Callable[[], VerifyCase]
+    solvers: Tuple[str, ...]
+
+
+def _canadian2(label: str, s1: float, s2: float, windows: Tuple[int, int]):
+    def build() -> VerifyCase:
+        from repro.netmodel.examples import canadian_two_class
+
+        return VerifyCase.from_network(label, canadian_two_class(s1, s2, windows))
+
+    return build
+
+
+def _canadian4(label: str, rates: Tuple[float, ...], windows: Tuple[int, ...]):
+    def build() -> VerifyCase:
+        from repro.netmodel.examples import canadian_four_class
+
+        return VerifyCase.from_network(label, canadian_four_class(*rates, windows))
+
+    return build
+
+
+def _tandem(label: str, hops: int, rate: float, window: int):
+    def build() -> VerifyCase:
+        from repro.netmodel.examples import tandem_network
+
+        return VerifyCase.from_network(label, tandem_network(hops, rate, window=window))
+
+    return build
+
+
+def _arpanet(label: str, rates: Tuple[float, ...], windows: Tuple[int, ...]):
+    def build() -> VerifyCase:
+        from repro.netmodel.examples import arpanet_fragment
+
+        return VerifyCase.from_network(label, arpanet_fragment(rates, windows))
+
+    return build
+
+
+_ANALYTIC = ("convolution", "mva-exact", "mva-heuristic", "schweitzer", "linearizer")
+
+_GOLDEN_CASES: Tuple[GoldenCase, ...] = (
+    GoldenCase(
+        name="table47_light",
+        description="2-class Canadian network, Table 4.7 light load (12.5, 12.5), windows (5, 5)",
+        build=_canadian2("table47_light", 12.5, 12.5, (5, 5)),
+        solvers=_ANALYTIC,
+    ),
+    GoldenCase(
+        name="table47_moderate",
+        description="2-class Canadian network, Table 4.7 moderate load (18, 18), windows (4, 4)",
+        build=_canadian2("table47_moderate", 18.0, 18.0, (4, 4)),
+        solvers=_ANALYTIC,
+    ),
+    GoldenCase(
+        name="table47_heavy",
+        description="2-class Canadian network, Table 4.7 heavy load (50, 50), windows (2, 2)",
+        build=_canadian2("table47_heavy", 50.0, 50.0, (2, 2)),
+        solvers=_ANALYTIC,
+    ),
+    GoldenCase(
+        name="table48_skewed",
+        description="2-class Canadian network, Table 4.8 skewed load (5, 20), windows (4, 4)",
+        build=_canadian2("table48_skewed", 5.0, 20.0, (4, 4)),
+        solvers=_ANALYTIC,
+    ),
+    GoldenCase(
+        name="fig49_large_window",
+        description="2-class Canadian network, Fig. 4.9 large-window curve at (25, 25), windows (7, 7)",
+        build=_canadian2("fig49_large_window", 25.0, 25.0, (7, 7)),
+        solvers=_ANALYTIC,
+    ),
+    GoldenCase(
+        name="table412_row1",
+        description="4-class Canadian network, Table 4.12 row 1: rates (6, 6, 6, 12), optimal windows (1, 1, 1, 4)",
+        build=_canadian4("table412_row1", (6.0, 6.0, 6.0, 12.0), (1, 1, 1, 4)),
+        solvers=_ANALYTIC,
+    ),
+    GoldenCase(
+        name="tandem4_kleinrock",
+        description="Kleinrock 4-hop tandem at 20 msg/s, window 3 (single chain: full exact stack)",
+        build=_tandem("tandem4_kleinrock", 4, 20.0, 3),
+        solvers=_ANALYTIC + ("gordon-newell", "buzen", "ctmc"),
+    ),
+    GoldenCase(
+        name="arpanet_default",
+        description="ARPANET 8-node fragment, default rates (8, 8, 6, 6), windows (2, 2, 2, 2)",
+        build=_arpanet("arpanet_default", (8.0, 8.0, 6.0, 6.0), (2, 2, 2, 2)),
+        solvers=_ANALYTIC,
+    ),
+)
+
+
+def golden_cases() -> Tuple[GoldenCase, ...]:
+    """All pinned thesis cases, in fixture order."""
+    return _GOLDEN_CASES
+
+
+def golden_case_names() -> Tuple[str, ...]:
+    """Names of all pinned cases (the fixture file stems)."""
+    return tuple(case.name for case in _GOLDEN_CASES)
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden`` of the working tree this module lives in."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def fixture_path(directory: Path, name: str) -> Path:
+    """Path of the JSON fixture for case ``name``."""
+    return Path(directory) / f"{name}.json"
+
+
+def _case_by_name(name: str) -> GoldenCase:
+    for case in _GOLDEN_CASES:
+        if case.name == name:
+            return case
+    raise KeyError(f"unknown golden case {name!r}")
+
+
+def compute_fixture(case: GoldenCase) -> Dict[str, object]:
+    """Run every pinned solver on the case and build the fixture payload."""
+    verify_case = case.build()
+    network = verify_case.network
+    solvers: Dict[str, Dict[str, object]] = {}
+    for solver_name in case.solvers:
+        output = get_solver(solver_name).solve(verify_case)
+        delay = output.mean_network_delay
+        throughput = float(output.throughputs.sum())
+        solvers[solver_name] = {
+            "throughputs": [float(x) for x in output.throughputs],
+            "chain_delays": [float(x) for x in output.chain_delays],
+            "mean_network_delay": float(delay),
+            "network_throughput": throughput,
+            "power": throughput / delay if delay > 0 else 0.0,
+        }
+    return {
+        "case": case.name,
+        "description": case.description,
+        "chains": list(network.chain_names),
+        "windows": [int(p) for p in network.populations],
+        "solvers": solvers,
+    }
+
+
+def record_fixtures(
+    directory: Optional[Path] = None,
+    names: Optional[Sequence[str]] = None,
+) -> List[Path]:
+    """Write (or rewrite) the JSON fixtures; returns the paths written."""
+    directory = Path(directory) if directory is not None else default_golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    chosen = names if names is not None else golden_case_names()
+    written: List[Path] = []
+    for name in chosen:
+        case = _case_by_name(name)
+        payload = compute_fixture(case)
+        path = fixture_path(directory, name)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def load_fixture(directory: Path, name: str) -> Dict[str, object]:
+    """Load one stored fixture (raises ``FileNotFoundError`` if missing)."""
+    return json.loads(fixture_path(directory, name).read_text())
+
+
+def _compare_values(
+    metric: str, stored: object, computed: object, rtol: float, mismatches: List[str]
+) -> None:
+    stored_arr = np.atleast_1d(np.asarray(stored, dtype=float))
+    computed_arr = np.atleast_1d(np.asarray(computed, dtype=float))
+    if stored_arr.shape != computed_arr.shape:
+        mismatches.append(
+            f"{metric}: shape {computed_arr.shape} != stored {stored_arr.shape}"
+        )
+        return
+    denom = np.maximum(np.abs(stored_arr), 1e-12)
+    errors = np.abs(computed_arr - stored_arr) / denom
+    worst = int(np.argmax(errors))
+    if errors[worst] > rtol:
+        mismatches.append(
+            f"{metric}[{worst}]: computed {computed_arr[worst]!r} vs stored "
+            f"{stored_arr[worst]!r} (rel err {errors[worst]:.3g} > {rtol:g})"
+        )
+
+
+def compare_fixture(
+    case: GoldenCase,
+    stored: Dict[str, object],
+    rtol: float = GOLDEN_RTOL,
+) -> List[str]:
+    """Re-run the case's solvers and diff against a stored fixture.
+
+    Returns a list of human-readable mismatch descriptions (empty when the
+    replay matches).
+    """
+    computed = compute_fixture(case)
+    mismatches: List[str] = []
+    stored_solvers = stored.get("solvers", {})
+    for solver_name, computed_metrics in computed["solvers"].items():
+        stored_metrics = stored_solvers.get(solver_name)
+        if stored_metrics is None:
+            mismatches.append(f"{solver_name}: missing from stored fixture")
+            continue
+        for metric, value in computed_metrics.items():
+            if metric not in stored_metrics:
+                mismatches.append(f"{solver_name}.{metric}: missing from stored fixture")
+                continue
+            _compare_values(
+                f"{solver_name}.{metric}", stored_metrics[metric], value, rtol, mismatches
+            )
+    if list(stored.get("windows", [])) != list(computed["windows"]):
+        mismatches.append(
+            f"windows: computed {computed['windows']} vs stored {stored.get('windows')}"
+        )
+    return mismatches
+
+
+def verify_fixtures(
+    directory: Optional[Path] = None,
+    names: Optional[Sequence[str]] = None,
+    rtol: float = GOLDEN_RTOL,
+) -> Dict[str, List[str]]:
+    """Replay every pinned case against its stored fixture.
+
+    Returns ``{case name: [mismatch descriptions]}``; a missing fixture
+    file is reported as a single ``"fixture missing"`` entry.
+    """
+    directory = Path(directory) if directory is not None else default_golden_dir()
+    chosen = names if names is not None else golden_case_names()
+    results: Dict[str, List[str]] = {}
+    for name in chosen:
+        case = _case_by_name(name)
+        try:
+            stored = load_fixture(directory, name)
+        except FileNotFoundError:
+            results[name] = [
+                f"fixture missing: {fixture_path(directory, name)} "
+                "(regenerate with `windim verify --record-golden`)"
+            ]
+            continue
+        results[name] = compare_fixture(case, stored, rtol)
+    return results

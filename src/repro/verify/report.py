@@ -1,0 +1,213 @@
+"""Structured reports produced by the differential checker.
+
+Every cross-solver comparison yields a :class:`PairResult` (one solver pair
+on one network instance); pair results roll up into per-case
+:class:`CaseReport` records and finally a :class:`DifferentialReport`, which
+is what ``windim verify`` prints and what the fuzz tests assert on.  All
+records serialise to plain dictionaries (:meth:`DifferentialReport.to_dict`)
+so CI can archive discrepancy reports as JSON artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Discrepancy", "PairResult", "CaseReport", "DifferentialReport"]
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One metric on one solver pair exceeding its tolerance.
+
+    Attributes
+    ----------
+    case:
+        Label of the network instance (e.g. ``"fuzz-03"``).
+    reference / candidate:
+        Solver names; the reference is the higher-precedence (more exact)
+        side of the pair.
+    metric:
+        Which measure disagreed (e.g. ``"throughput[class2]"``).
+    reference_value / candidate_value:
+        The two numbers.
+    error:
+        The error as measured by the pair's policy (relative error for
+        analytic pairs, normalised CI distance for simulation pairs).
+    tolerance:
+        The bound ``error`` was checked against.
+    """
+
+    case: str
+    reference: str
+    candidate: str
+    metric: str
+    reference_value: float
+    candidate_value: float
+    error: float
+    tolerance: float
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.case}: {self.candidate} vs {self.reference} on "
+            f"{self.metric}: {self.candidate_value:.6g} vs "
+            f"{self.reference_value:.6g} (error {self.error:.3g} > "
+            f"tol {self.tolerance:.3g})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form for JSON serialisation."""
+        return {
+            "case": self.case,
+            "reference": self.reference,
+            "candidate": self.candidate,
+            "metric": self.metric,
+            "reference_value": self.reference_value,
+            "candidate_value": self.candidate_value,
+            "error": self.error,
+            "tolerance": self.tolerance,
+        }
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """Outcome of checking one solver pair on one network instance.
+
+    ``max_error`` is the worst error over all compared metrics (also kept
+    when the pair passes, so tolerance bands can be calibrated from green
+    runs).
+    """
+
+    case: str
+    reference: str
+    candidate: str
+    policy: str
+    max_error: float
+    tolerance: float
+    discrepancies: Tuple[Discrepancy, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every metric stayed within tolerance."""
+        return not self.discrepancies
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form for JSON serialisation."""
+        return {
+            "case": self.case,
+            "reference": self.reference,
+            "candidate": self.candidate,
+            "policy": self.policy,
+            "max_error": self.max_error,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "discrepancies": [d.to_dict() for d in self.discrepancies],
+        }
+
+
+@dataclass(frozen=True)
+class CaseReport:
+    """All pair results for one network instance.
+
+    ``skipped`` records solvers that declined the instance and why (e.g.
+    the CTMC on a state space that is too large) — the fuzz tests assert
+    that exact solvers are exercised often enough to mean something.
+    """
+
+    case: str
+    solvers: Tuple[str, ...]
+    skipped: Tuple[Tuple[str, str], ...]
+    pairs: Tuple[PairResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every pair on this case passed."""
+        return all(p.ok for p in self.pairs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form for JSON serialisation."""
+        return {
+            "case": self.case,
+            "solvers": list(self.solvers),
+            "skipped": [list(s) for s in self.skipped],
+            "pairs": [p.to_dict() for p in self.pairs],
+        }
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Roll-up over a whole differential-verification run."""
+
+    cases: Tuple[CaseReport, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when no pair on any case exceeded its tolerance."""
+        return all(c.ok for c in self.cases)
+
+    @property
+    def num_cases(self) -> int:
+        """Number of network instances checked."""
+        return len(self.cases)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of solver-pair comparisons performed."""
+        return sum(len(c.pairs) for c in self.cases)
+
+    @property
+    def discrepancies(self) -> List[Discrepancy]:
+        """All discrepancies across all cases, flattened."""
+        found: List[Discrepancy] = []
+        for case in self.cases:
+            for pair in case.pairs:
+                found.extend(pair.discrepancies)
+        return found
+
+    def worst_pairs(self, limit: int = 5) -> List[PairResult]:
+        """The ``limit`` pairs with the largest error/tolerance ratio."""
+        ranked = sorted(
+            (p for c in self.cases for p in c.pairs),
+            key=lambda p: p.max_error / p.tolerance if p.tolerance > 0 else 0.0,
+            reverse=True,
+        )
+        return ranked[:limit]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form for JSON serialisation."""
+        return {
+            "ok": self.ok,
+            "num_cases": self.num_cases,
+            "num_pairs": self.num_pairs,
+            "num_discrepancies": len(self.discrepancies),
+            "cases": [c.to_dict() for c in self.cases],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON document for archiving as a CI artefact."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (what ``windim verify`` prints)."""
+        lines = [
+            f"differential verification: {self.num_cases} cases, "
+            f"{self.num_pairs} solver pairs, "
+            f"{len(self.discrepancies)} discrepancies"
+        ]
+        for case in self.cases:
+            status = "ok" if case.ok else "FAIL"
+            solvers = ", ".join(case.solvers)
+            lines.append(f"  [{status}] {case.case}: {solvers}")
+            for solver, reason in case.skipped:
+                lines.append(f"         skipped {solver}: {reason}")
+            for pair in case.pairs:
+                if not pair.ok:
+                    for disc in pair.discrepancies:
+                        lines.append(f"    !! {disc.summary()}")
+        if self.ok:
+            lines.append("all solver pairs agree within tolerance")
+        else:
+            lines.append("DISCREPANCIES FOUND - see lines marked !!")
+        return "\n".join(lines)

@@ -12,6 +12,9 @@ from repro.sim.engine import simulate
 from repro.sim.flowcontrol import FlowControlConfig
 
 
+pytestmark = pytest.mark.slow
+
+
 class TestDimensionThenSimulate:
     def test_windim_windows_perform_well_in_simulation(self):
         """Dimension with WINDIM (analytic), then check by independent

@@ -109,6 +109,7 @@ TABLE_4_12_RATES = [
 ]
 
 
+@pytest.mark.slow
 class TestTable412Claims:
     """The 4-class network: optimal windows beat Kleinrock's hop rule."""
 

@@ -1,0 +1,67 @@
+"""Property tests: the §4.2 heuristic respects the throughput bounds.
+
+Whatever the random network, chain ``r``'s throughput can never exceed the
+asymptotic envelope ``min(E_r / T_r, 1 / d_max,r)`` computed from its own
+demand vector (:mod:`repro.mva.bounds`) — the bound holds regardless of
+interference from other chains, so any violation is a solver bug, not an
+approximation error.  Networks are drawn through the same seeded fuzzer
+the differential oracle uses, with hypothesis supplying the seeds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mva.bounds import asymptotic_bounds, balanced_job_bounds
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.verify.fuzz import FuzzConfig, generate_cases
+
+#: The heuristic iterates to a throughput-norm tolerance, so allow the
+#: bounds to be grazed by a hair more than that.
+SLACK = 1e-6
+
+SINGLE_CHAIN = FuzzConfig(max_classes=1)
+
+
+def _fuzz_network(seed: int, config: FuzzConfig = None):
+    return next(iter(generate_cases(seed, 1, config))).network
+
+
+class TestMultichainBounds:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_throughput_never_exceeds_asymptotic_upper_bound(self, seed):
+        network = _fuzz_network(seed)
+        solution = solve_mva_heuristic(network)
+        for r in range(network.num_chains):
+            bounds = asymptotic_bounds(
+                network.demands[r], int(network.populations[r])
+            )
+            assert solution.throughputs[r] <= bounds.upper * (1 + SLACK), (
+                f"chain {r}: throughput {solution.throughputs[r]} exceeds "
+                f"asymptotic upper bound {bounds.upper} (seed {seed})"
+            )
+
+
+class TestSingleChainBounds:
+    """With one chain the heuristic is exact MVA, so both sides must hold."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_throughput_inside_asymptotic_envelope(self, seed):
+        network = _fuzz_network(seed, SINGLE_CHAIN)
+        solution = solve_mva_heuristic(network)
+        bounds = asymptotic_bounds(network.demands[0], int(network.populations[0]))
+        throughput = float(solution.throughputs[0])
+        assert bounds.lower * (1 - SLACK) <= throughput <= bounds.upper * (1 + SLACK)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_balanced_job_bounds_tighter_and_respected(self, seed):
+        network = _fuzz_network(seed, SINGLE_CHAIN)
+        solution = solve_mva_heuristic(network)
+        population = int(network.populations[0])
+        asym = asymptotic_bounds(network.demands[0], population)
+        balanced = balanced_job_bounds(network.demands[0], population)
+        assert balanced.upper <= asym.upper * (1 + SLACK)
+        assert balanced.lower >= asym.lower * (1 - SLACK)
+        assert float(solution.throughputs[0]) <= balanced.upper * (1 + SLACK)

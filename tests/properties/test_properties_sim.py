@@ -14,6 +14,9 @@ from repro.sim.engine import simulate
 from repro.sim.flowcontrol import FlowControlConfig
 
 
+pytestmark = pytest.mark.slow
+
+
 def tandem(capacity=50_000.0):
     return Topology(
         ["a", "b", "c"],

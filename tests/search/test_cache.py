@@ -1,5 +1,8 @@
 """Unit tests for the evaluation cache (APL FLOC)."""
 
+import numpy as np
+import pytest
+
 from repro.search.cache import EvaluationCache
 
 
@@ -36,6 +39,23 @@ class TestMemoisation:
         cache((3.0, -1.0))
         assert cache((3, -1)) == 0.0
         assert cache.misses == 1
+
+    def test_numpy_integer_coordinates_accepted(self):
+        cache = EvaluationCache(quadratic)
+        cache((np.int64(3), np.int64(-1)))
+        assert cache((3, -1)) == 0.0
+        assert cache.misses == 1
+
+    def test_fractional_coordinate_rejected_not_truncated(self):
+        # Regression: int(3.7) == 3 used to silently cache the value of
+        # (3, -1) under a key the caller never asked for.
+        cache = EvaluationCache(quadratic)
+        with pytest.raises(ValueError, match="non-integral"):
+            cache((3.7, -1.0))
+        assert cache.misses == 0
+        assert cache.values == {}
+        # The honest integer point is unaffected afterwards.
+        assert cache((3, -1)) == 0.0
 
     def test_history_records_distinct_points_in_order(self):
         cache = EvaluationCache(quadratic)

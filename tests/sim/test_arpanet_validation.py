@@ -1,0 +1,57 @@
+"""Simulator vs exact MVA on the ARPANET fragment at three window vectors.
+
+The batch-means 95% confidence intervals measured by :mod:`repro.sim`
+must cover the exact-MVA per-class delay (with a CI multiplier and a
+small relative slack floor, matching the differential oracle's
+sim-vs-exact policy), and measured throughputs must land within a tight
+relative band.  The two implementations share nothing but the network
+description, so this is an end-to-end validation of both.
+"""
+
+import pytest
+
+from repro.exact.mva_exact import solve_mva_exact
+from repro.netmodel.examples import arpanet_fragment, arpanet_topology, arpanet_traffic
+from repro.sim.engine import simulate
+from repro.sim.flowcontrol import FlowControlConfig
+
+pytestmark = pytest.mark.slow
+
+RATES = (8.0, 8.0, 6.0, 6.0)
+WINDOW_VECTORS = [(1, 1, 1, 1), (2, 2, 2, 2), (4, 3, 3, 2)]
+
+CI_MULTIPLIER = 3.0
+DELAY_REL_SLACK = 0.05
+THROUGHPUT_RTOL = 0.05
+
+
+@pytest.mark.parametrize("windows", WINDOW_VECTORS)
+def test_confidence_intervals_cover_exact_mva(windows):
+    exact = solve_mva_exact(arpanet_fragment(RATES, windows))
+    classes = arpanet_traffic(RATES)
+    result = simulate(
+        arpanet_topology(),
+        classes,
+        FlowControlConfig.end_to_end(list(windows)),
+        duration=4_000.0,
+        warmup=400.0,
+        source_model="closed",
+        seed=42,
+    )
+    for r, traffic_class in enumerate(classes):
+        stats = result.class_by_name(traffic_class.name)
+        exact_delay = exact.chain_delay(r)
+        allowed = max(
+            CI_MULTIPLIER * stats.delay_half_width,
+            DELAY_REL_SLACK * exact_delay,
+        )
+        assert abs(stats.mean_network_delay - exact_delay) <= allowed, (
+            f"{traffic_class.name} at windows {windows}: simulated delay "
+            f"{stats.mean_network_delay:.6f} vs exact {exact_delay:.6f} "
+            f"(half-width {stats.delay_half_width:.6f})"
+        )
+        exact_tp = float(exact.throughputs[r])
+        assert stats.throughput == pytest.approx(exact_tp, rel=THROUGHPUT_RTOL), (
+            f"{traffic_class.name} at windows {windows}: simulated throughput "
+            f"{stats.throughput:.4f} vs exact {exact_tp:.4f}"
+        )

@@ -18,6 +18,9 @@ from repro.sim.engine import simulate
 from repro.sim.flowcontrol import FlowControlConfig
 
 
+pytestmark = pytest.mark.slow
+
+
 DURATION = 3_000.0
 WARMUP = 300.0
 

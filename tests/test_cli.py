@@ -169,3 +169,47 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "network throughput" in out
         assert "closed sources" in out
+
+
+class TestVerify:
+    def test_verify_fuzz_slice(self, capsys):
+        code = main(["verify", "--seed", "0", "--cases", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "differential verification: 3 cases" in out
+        assert "all solver pairs agree" in out
+
+    def test_verify_json_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["verify", "--seed", "0", "--cases", "2", "--json", str(report_path)]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["num_cases"] == 2
+
+    def test_verify_golden_replay(self, capsys):
+        code = main(["verify", "--cases", "0", "--golden"])
+        assert code == 0
+        assert "golden fixtures: 8/8 match" in capsys.readouterr().out
+
+    def test_record_golden_to_custom_dir(self, tmp_path, capsys):
+        code = main(
+            ["verify", "--record-golden", "--golden-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert len(list(tmp_path.glob("*.json"))) == 8
+
+    def test_missing_fixture_fails_replay(self, tmp_path, capsys):
+        main(["verify", "--record-golden", "--golden-dir", str(tmp_path)])
+        (tmp_path / "table412_row1.json").unlink()
+        code = main(
+            ["verify", "--cases", "0", "--golden", "--golden-dir", str(tmp_path)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "7/8 match" in out
+        assert "fixture missing" in out

@@ -1,0 +1,145 @@
+"""Differential checker: fast deterministic slice + slow deep sweep.
+
+The fast tests pin the acceptance property (seed 0 agrees across all
+solver pairs) and prove the checker actually *detects* disagreement by
+feeding it corrupted outputs; the ``slow``-marked sweep is the deep fuzz
+campaign CI runs separately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.verify.differential import TolerancePolicy, check_pair, run_differential
+from repro.verify.fuzz import generate_cases
+from repro.verify.oracle import SolverKind, SolverOutput, VerifyCase, get_solver
+from repro.netmodel.examples import tandem_network
+
+
+def _corrupt(output: SolverOutput, name: str, kind: SolverKind, factor: float):
+    return SolverOutput(
+        solver=name,
+        kind=kind,
+        throughputs=output.throughputs * factor,
+        chain_delays=output.chain_delays * factor,
+        mean_network_delay=output.mean_network_delay * factor,
+        queue_lengths=(
+            None if output.queue_lengths is None else output.queue_lengths * factor
+        ),
+    )
+
+
+class TestFastSlice:
+    """The deterministic acceptance slice (seed 0)."""
+
+    def test_seed0_no_discrepancies(self):
+        report = run_differential(generate_cases(0, 10))
+        assert report.ok, report.summary()
+        assert report.num_cases == 10
+        assert report.num_pairs > 0
+
+    def test_exact_pairs_agree_to_machine_precision(self):
+        report = run_differential(generate_cases(0, 10))
+        for case in report.cases:
+            for pair in case.pairs:
+                if pair.policy == "exact-exact":
+                    assert pair.max_error < 1e-10, pair
+
+    def test_report_roundtrips_to_json(self):
+        import json
+
+        report = run_differential(generate_cases(0, 3))
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert payload["num_cases"] == 3
+
+
+class TestDetection:
+    """A checker that cannot fail is worthless - prove it catches bugs."""
+
+    @pytest.fixture
+    def case_and_reference(self):
+        case = VerifyCase.from_network(
+            "tandem4", tandem_network(4, 20.0, window=3)
+        )
+        return case, get_solver("convolution").solve(case)
+
+    def test_corrupted_exact_solver_is_caught(self, case_and_reference):
+        case, reference = case_and_reference
+        broken = _corrupt(reference, "broken-exact", SolverKind.EXACT, 1.0 + 1e-6)
+        result = check_pair(case, reference, broken)
+        assert not result.ok
+        assert any("throughput" in d.metric for d in result.discrepancies)
+
+    def test_corrupted_approximation_is_caught(self, case_and_reference):
+        case, reference = case_and_reference
+        broken = _corrupt(
+            reference, "broken-approx", SolverKind.APPROXIMATE, 1.5
+        )
+        result = check_pair(case, reference, broken)
+        assert not result.ok
+
+    def test_approximation_within_band_passes(self, case_and_reference):
+        case, reference = case_and_reference
+        close = _corrupt(reference, "close-approx", SolverKind.APPROXIMATE, 1.02)
+        assert check_pair(case, reference, close).ok
+
+    def test_simulation_outside_ci_is_caught(self, case_and_reference):
+        case, reference = case_and_reference
+        sim = SolverOutput(
+            solver="simulation",
+            kind=SolverKind.SIMULATION,
+            throughputs=reference.throughputs.copy(),
+            chain_delays=reference.chain_delays * 2.0,
+            mean_network_delay=reference.mean_network_delay * 2.0,
+            delay_half_widths=np.full_like(reference.chain_delays, 1e-6),
+        )
+        result = check_pair(case, reference, sim)
+        assert not result.ok
+        assert result.policy == "sim-exact"
+
+    def test_simulation_inside_ci_passes(self, case_and_reference):
+        case, reference = case_and_reference
+        wobble = reference.chain_delays * 1.01
+        sim = SolverOutput(
+            solver="simulation",
+            kind=SolverKind.SIMULATION,
+            throughputs=reference.throughputs * 1.005,
+            chain_delays=wobble,
+            mean_network_delay=reference.mean_network_delay * 1.01,
+            delay_half_widths=np.abs(wobble - reference.chain_delays),
+        )
+        assert check_pair(case, reference, sim).ok
+
+    def test_tightened_policy_flags_heuristic(self):
+        # With a near-zero band even the real heuristic must trip, showing
+        # tolerances are actually applied per pair kind.
+        case = next(iter(generate_cases(0, 1)))
+        reference = get_solver("convolution").solve(case)
+        heuristic = get_solver("mva-heuristic").solve(case)
+        strict = TolerancePolicy(
+            approx_throughput_rtol=1e-12, approx_delay_rtol=1e-12
+        )
+        assert not check_pair(case, reference, heuristic, strict).ok
+
+
+@pytest.mark.slow
+class TestDeepSweep:
+    """The fuzz campaign proper (run by the CI `slow` job)."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_analytic_sweep(self, seed):
+        report = run_differential(generate_cases(seed, 50))
+        assert report.ok, report.summary()
+
+    def test_simulator_coverage_sweep(self):
+        report = run_differential(
+            generate_cases(0, 6), include_simulation=True
+        )
+        assert report.ok, report.summary()
+        sim_pairs = [
+            p
+            for c in report.cases
+            for p in c.pairs
+            if p.policy == "sim-exact"
+        ]
+        assert len(sim_pairs) == 6

@@ -1,0 +1,66 @@
+"""Fuzzer determinism and tractability bounds."""
+
+import numpy as np
+import pytest
+
+from repro.exact.states import lattice_size
+from repro.verify.fuzz import FuzzConfig, generate_cases
+from repro.verify.oracle import CTMC_STATE_LIMIT, ctmc_state_count
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases(self):
+        first = list(generate_cases(7, 5))
+        second = list(generate_cases(7, 5))
+        for a, b in zip(first, second):
+            assert a.label == b.label
+            np.testing.assert_array_equal(a.network.demands, b.network.demands)
+            np.testing.assert_array_equal(
+                a.network.populations, b.network.populations
+            )
+
+    def test_case_i_independent_of_count(self):
+        short = list(generate_cases(3, 2))
+        long = list(generate_cases(3, 6))
+        for a, b in zip(short, long):
+            np.testing.assert_array_equal(a.network.demands, b.network.demands)
+
+    def test_different_seeds_differ(self):
+        a = next(iter(generate_cases(0, 1)))
+        b = next(iter(generate_cases(1, 1)))
+        assert (
+            a.network.demands.shape != b.network.demands.shape
+            or not np.array_equal(a.network.demands, b.network.demands)
+        )
+
+
+class TestBounds:
+    def test_lattice_stays_tractable(self):
+        config = FuzzConfig()
+        for case in generate_cases(11, 30, config):
+            windows = [int(p) for p in case.network.populations]
+            assert lattice_size(windows) <= config.max_lattice
+            assert max(windows) <= config.max_window
+            assert case.network.is_fixed_rate()
+
+    def test_cases_carry_simulation_description(self):
+        for case in generate_cases(5, 10):
+            assert case.can_simulate
+            assert len(case.classes) == case.network.num_chains
+
+    def test_ctmc_frequently_applicable(self):
+        # The point of the bounds: the ground-truth solver must get a vote
+        # on a meaningful share of instances.
+        cases = list(generate_cases(0, 30))
+        tractable = sum(
+            1 for c in cases if ctmc_state_count(c.network) <= CTMC_STATE_LIMIT
+        )
+        assert tractable >= len(cases) // 3
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzConfig(min_nodes=5, max_nodes=3)
+        with pytest.raises(ValueError):
+            FuzzConfig(max_window=0)
+        with pytest.raises(ValueError):
+            list(generate_cases(0, -1))

@@ -1,0 +1,51 @@
+"""Golden-fixture regression tests (record/replay).
+
+Replay mode (default): each pinned thesis network is re-solved and
+compared against its JSON fixture under ``tests/golden/`` — exactly one
+test fails per missing or stale fixture.  Record mode
+(``REPRO_GOLDEN_RECORD=1``) regenerates the fixture before comparing, so
+a legitimate numerical change is blessed by re-running the suite once
+with the variable set (or via ``windim verify --record-golden``).
+"""
+
+import os
+
+import pytest
+
+from repro.verify.golden import (
+    default_golden_dir,
+    golden_case_names,
+    golden_cases,
+    record_fixtures,
+    verify_fixtures,
+)
+
+RECORD = os.environ.get("REPRO_GOLDEN_RECORD") == "1"
+
+
+class TestGoldenLayer:
+    def test_case_names_unique_and_stable(self):
+        names = golden_case_names()
+        assert len(names) == len(set(names))
+        # The thesis anchors must stay pinned; extending the list is fine.
+        assert {
+            "table47_moderate",
+            "table48_skewed",
+            "fig49_large_window",
+            "table412_row1",
+            "tandem4_kleinrock",
+        } <= set(names)
+
+    def test_every_case_pins_an_exact_and_the_heuristic(self):
+        for case in golden_cases():
+            assert "mva-heuristic" in case.solvers
+            assert {"convolution", "mva-exact"} & set(case.solvers)
+
+
+@pytest.mark.parametrize("name", golden_case_names())
+def test_golden_fixture_matches(name):
+    directory = default_golden_dir()
+    if RECORD:
+        record_fixtures(directory, [name])
+    results = verify_fixtures(directory, [name])
+    assert results[name] == [], "\n".join(results[name])

@@ -1,0 +1,90 @@
+"""Solver-registry sanity: names, applicability, uniform outputs."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel.examples import canadian_two_class, tandem_network
+from repro.verify.oracle import (
+    SolverKind,
+    VerifyCase,
+    applicable_solvers,
+    ctmc_state_count,
+    get_solver,
+    registry,
+    solver_names,
+)
+
+
+EXPECTED_BACKENDS = {
+    "convolution",
+    "mva-exact",
+    "ctmc",
+    "gordon-newell",
+    "buzen",
+    "mva-heuristic",
+    "schweitzer",
+    "linearizer",
+    "simulation",
+}
+
+
+class TestRegistry:
+    def test_every_backend_registered(self):
+        assert set(solver_names()) == EXPECTED_BACKENDS
+
+    def test_exact_solvers_precede_approximations(self):
+        names = list(solver_names())
+        kinds = [registry()[n].kind for n in names]
+        first_non_exact = kinds.index(SolverKind.APPROXIMATE)
+        assert all(k is SolverKind.EXACT for k in kinds[:first_non_exact])
+
+    def test_get_solver_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_solver("no-such-solver")
+
+
+class TestApplicability:
+    def test_single_chain_solvers_reject_multichain(self):
+        case = VerifyCase.from_network(
+            "2class", canadian_two_class(18.0, 18.0, windows=(4, 4))
+        )
+        assert get_solver("gordon-newell").applicability(case) is not None
+        assert get_solver("buzen").applicability(case) is not None
+        assert get_solver("convolution").applicability(case) is None
+
+    def test_simulation_needs_physical_description(self):
+        case = VerifyCase.from_network("tandem", tandem_network(3, 20.0, window=2))
+        assert not case.can_simulate
+        assert get_solver("simulation").applicability(case) is not None
+
+    def test_partition_covers_registry(self):
+        case = VerifyCase.from_network("tandem", tandem_network(3, 20.0, window=2))
+        applicable, skipped = applicable_solvers(case)
+        assert {s.name for s in applicable} | {n for n, _ in skipped} == (
+            EXPECTED_BACKENDS
+        )
+
+    def test_ctmc_state_count_single_chain(self):
+        # 1 chain, window 2 over 4 distinct stations: C(2+3, 3) = 10.
+        network = tandem_network(3, 20.0, window=2)
+        assert ctmc_state_count(network) == 10
+
+
+class TestUniformOutputs:
+    def test_outputs_share_shapes(self):
+        network = tandem_network(4, 20.0, window=3)
+        case = VerifyCase.from_network("tandem4", network)
+        for name in ("convolution", "gordon-newell", "buzen", "mva-heuristic"):
+            output = get_solver(name).solve(case)
+            assert output.throughputs.shape == (1,)
+            assert output.chain_delays.shape == (1,)
+            assert np.isfinite(output.mean_network_delay)
+
+    def test_buzen_agrees_with_gordon_newell(self):
+        case = VerifyCase.from_network(
+            "tandem4", tandem_network(4, 20.0, window=3)
+        )
+        buzen = get_solver("buzen").solve(case)
+        gn = get_solver("gordon-newell").solve(case)
+        np.testing.assert_allclose(buzen.throughputs, gn.throughputs, rtol=1e-12)
+        np.testing.assert_allclose(buzen.queue_lengths, gn.queue_lengths, rtol=1e-10)
