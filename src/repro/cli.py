@@ -2,8 +2,12 @@
 
 Subcommands
 -----------
-``solve``
+``solve`` (alias ``run``)
     Run the WINDIM dimensioning algorithm on a named example network.
+    Supports the resilience runtime: ``--resilient`` (retry/escalation
+    ladder), ``--deadline`` (graceful best-so-far on expiry) and
+    ``--checkpoint PATH`` / ``--resume`` (crash-safe checkpointing; a
+    SIGINT/SIGTERM flushes a final checkpoint before exiting 130).
 ``evaluate``
     Solve a network at explicit window settings and print the power report.
 ``sweep``
@@ -23,6 +27,8 @@ Examples
 ::
 
     windim solve --network canadian2 --rates 18 18
+    windim run --network canadian2 --rates 18 18 --resilient \
+        --checkpoint run.ckpt --resume --deadline 300
     windim evaluate --network canadian4 --rates 6 6 6 12 --windows 1 1 1 4
     windim sweep --network canadian2 --rates "12.5,12.5;25,25;50,50"
     windim simulate --network canadian2 --rates 18 18 --windows 4 4 --seed 3
@@ -88,6 +94,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         solver=args.solver,
         max_window=args.max_window,
         start=args.start,
+        max_evaluations=args.max_evaluations,
+        resilient=args.resilient,
+        max_seconds=args.deadline,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        handle_signals=args.checkpoint is not None,
     )
     print(result.summary())
     return 0
@@ -296,7 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="performance solver",
         )
 
-    solve = sub.add_parser("solve", help="run WINDIM")
+    solve = sub.add_parser(
+        "solve",
+        aliases=["run"],
+        help="run WINDIM (alias: run)",
+    )
     add_common(solve)
     solve.add_argument("--max-window", type=int, default=32)
     solve.add_argument(
@@ -305,6 +322,44 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="initial windows (default: hop counts)",
+    )
+    solve.add_argument(
+        "--max-evaluations",
+        type=int,
+        default=10_000,
+        help="cap on fresh objective evaluations",
+    )
+    solve.add_argument(
+        "--resilient",
+        action="store_true",
+        help="wrap the solver in the retry/escalation ladder",
+    )
+    solve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the best-so-far windows are "
+        "reported instead of hanging",
+    )
+    solve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write atomic JSON checkpoints of the search state here "
+        "(also flushed on SIGINT/SIGTERM)",
+    )
+    solve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="fresh evaluations between periodic checkpoints",
+    )
+    solve.add_argument(
+        "--resume",
+        action="store_true",
+        help="seed the evaluation cache from --checkpoint before searching",
     )
     solve.set_defaults(handler=_cmd_solve)
 
@@ -420,6 +475,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt as exc:
+        # A checkpointed solve flushes its state before unwinding here;
+        # tell the operator where to pick the run back up.
+        detail = str(exc)
+        message = "interrupted"
+        if detail:
+            message += f": {detail}"
+        if getattr(args, "checkpoint", None):
+            message += f" (resume with --checkpoint {args.checkpoint} --resume)"
+        print(message, file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -52,6 +52,12 @@ def _linearizer_solver(network: ClosedNetwork) -> NetworkSolution:
     return solve_linearizer(network)
 
 
+def _resilient_solver(network: ClosedNetwork) -> NetworkSolution:
+    from repro.resilience.ladder import solve_resilient
+
+    return solve_resilient(network, "mva-heuristic")
+
+
 #: Named solvers accepted by :func:`resolve_solver` and the CLI.
 SOLVERS: Dict[str, Solver] = {
     "mva-heuristic": _heuristic_solver,
@@ -59,6 +65,7 @@ SOLVERS: Dict[str, Solver] = {
     "convolution": _convolution_solver,
     "schweitzer": _schweitzer_solver,
     "linearizer": _linearizer_solver,
+    "resilient": _resilient_solver,
 }
 
 

@@ -9,19 +9,34 @@ network so as to maximise network power ``P = lambda/T``:
 3. Minimise ``F`` by integer Hooke–Jeeves pattern search, starting from
    the Kleinrock hop-count windows, with memoised evaluations.
 
-:func:`windim` is the top-level entry point of the whole library.
+:func:`windim` is the top-level entry point of the whole library.  For
+long-running jobs it carries the resilience runtime end to end: the
+``resilient`` flag wraps the solver in the
+:class:`~repro.resilience.ladder.ResilientSolver` escalation ladder,
+``budget``/``max_seconds`` bound the search (graceful best-so-far instead
+of a hang), and ``checkpoint_path``/``resume`` give crash-safe
+checkpoint/resume of the evaluation cache.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
 from repro.core.initializers import initial_windows
 from repro.core.objective import Solver, WindowObjective
 from repro.core.power import PowerReport, power_report
-from repro.errors import ModelError
+from repro.errors import ModelError, SearchError
 from repro.queueing.network import ClosedNetwork
+from repro.resilience.budget import SearchBudget
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    load_checkpoint,
+    signal_checkpoint_guard,
+)
+from repro.resilience.health import SolveHealth
+from repro.resilience.ladder import ResilientSolver
 from repro.search.cache import EvaluationCache
 from repro.search.pattern import pattern_search
 from repro.search.result import SearchResult
@@ -49,6 +64,19 @@ class WindimResult:
         The pattern-search trajectory and evaluation counts.
     initial_windows:
         The starting point that was used.
+    converged:
+        False when the solution at the optimum came from an iterative
+        solver that stopped at its budget — the reported figures are then
+        a last iterate, not a fixed point.
+    status:
+        The search status: ``"completed"`` or ``"budget_exhausted"``
+        (best-so-far under a deadline/evaluation budget).
+    health_log:
+        Per-evaluation :class:`~repro.resilience.health.SolveHealth`
+        records when the run used the resilient ladder (empty otherwise).
+    seeded_evaluations:
+        Cache entries loaded from a resume checkpoint (0 for fresh runs);
+        ``search.evaluations`` counts only fresh solves on top of these.
     """
 
     windows: Tuple[int, ...]
@@ -57,6 +85,10 @@ class WindimResult:
     solution: NetworkSolution
     search: SearchResult
     initial_windows: Tuple[int, ...]
+    converged: bool = True
+    status: str = "completed"
+    health_log: Tuple[SolveHealth, ...] = ()
+    seeded_evaluations: int = 0
 
     def summary(self) -> str:
         """Human-readable multi-line report (mirrors the APL output)."""
@@ -77,6 +109,28 @@ class WindimResult:
             f"  objective evaluations = {self.search.evaluations} "
             f"({self.search.lookups} lookups)"
         )
+        if self.seeded_evaluations:
+            lines.append(
+                f"  resumed from checkpoint: {self.seeded_evaluations} "
+                "evaluations reused"
+            )
+        if self.health_log:
+            retried = sum(1 for h in self.health_log if h.retries > 0)
+            escalated = sum(1 for h in self.health_log if h.escalated)
+            lines.append(
+                f"  resilient solves      = {len(self.health_log)} "
+                f"({retried} retried, {escalated} escalated)"
+            )
+        if self.status != "completed":
+            lines.append(
+                f"  WARNING: search stopped early ({self.status}: "
+                f"{self.search.stop_reason}); windows are best-so-far"
+            )
+        if not self.converged:
+            lines.append(
+                "  WARNING: solver did not converge at the optimum; "
+                "figures are the last iterate"
+            )
         return "\n".join(lines)
 
 
@@ -89,6 +143,13 @@ def windim(
     initial_step: int = 2,
     max_halvings: int = 8,
     max_evaluations: int = 10_000,
+    resilient: bool = False,
+    budget: Optional[SearchBudget] = None,
+    max_seconds: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 25,
+    resume: bool = False,
+    handle_signals: bool = False,
 ) -> WindimResult:
     """Dimension the end-to-end windows of ``network`` for maximum power.
 
@@ -110,6 +171,30 @@ def windim(
     initial_step / max_halvings / max_evaluations:
         Pattern-search knobs; see
         :func:`repro.search.pattern.pattern_search`.
+    resilient:
+        Wrap the solver in the retry/escalation ladder
+        (:class:`~repro.resilience.ladder.ResilientSolver`); the result
+        then carries per-evaluation health records.
+    budget / max_seconds:
+        Search budget.  ``max_seconds`` is shorthand for
+        ``SearchBudget(max_seconds=...)``; passing both is an error.  When
+        the budget runs out the result is the best-so-far vector with
+        ``status="budget_exhausted"`` — the run never hangs.
+    checkpoint_path:
+        When given, the evaluation cache is checkpointed to this file
+        (atomically) every ``checkpoint_every`` fresh evaluations, on
+        completion, and on ``KeyboardInterrupt``.
+    checkpoint_every:
+        Fresh evaluations between periodic checkpoint writes.
+    resume:
+        Load ``checkpoint_path`` (if it exists) before searching; cached
+        evaluations are reused so only new work is paid for.  A missing
+        file starts a fresh run, so crash-loop supervisors can always pass
+        ``resume=True``.
+    handle_signals:
+        Install SIGINT/SIGTERM handlers for the duration of the search
+        that flush a final checkpoint before interrupting (main thread
+        only; requires ``checkpoint_path``).
 
     Returns
     -------
@@ -124,18 +209,83 @@ def windim(
             )
         start_point = tuple(int(w) for w in start)
 
+    if budget is not None and max_seconds is not None:
+        raise SearchError("pass either budget or max_seconds, not both")
+    if max_seconds is not None:
+        budget = SearchBudget(max_seconds=max_seconds)
+
+    resilient_solver: Optional[ResilientSolver] = None
+    if resilient:
+        primary = "mva-heuristic" if solver == "resilient" else solver
+        resilient_solver = ResilientSolver(primary)
+        solver = resilient_solver
+
     objective = WindowObjective(network, solver)
     space = IntegerBox.windows(network.num_chains, max_window)
     cache = EvaluationCache(objective)
-    search = pattern_search(
-        objective,
-        start_point,
-        space,
-        initial_step=initial_step,
-        max_halvings=max_halvings,
-        max_evaluations=max_evaluations,
-        cache=cache,
-    )
+
+    manager: Optional[CheckpointManager] = None
+    seeded = 0
+    if checkpoint_path is not None:
+        solver_label = solver if isinstance(solver, str) else getattr(
+            solver, "primary_name", getattr(solver, "__name__", "custom")
+        )
+        manager = CheckpointManager(
+            checkpoint_path,
+            every=checkpoint_every,
+            meta={
+                "algorithm": "windim/pattern-search",
+                "num_chains": network.num_chains,
+                "max_window": max_window,
+                "solver": str(solver_label),
+                "initial_step": initial_step,
+                "max_halvings": max_halvings,
+                "start": list(start_point),
+            },
+        )
+        if resume and os.path.exists(checkpoint_path):
+            checkpoint = load_checkpoint(checkpoint_path)
+            saved_chains = checkpoint.meta.get("num_chains")
+            if saved_chains is not None and int(saved_chains) != network.num_chains:
+                raise SearchError(
+                    f"checkpoint {checkpoint_path} is for a {saved_chains}-chain "
+                    f"problem; this network has {network.num_chains} chains"
+                )
+            seeded = checkpoint.seed_cache(cache)
+        manager.attach(cache)
+    elif resume:
+        raise SearchError("resume=True requires checkpoint_path")
+    elif handle_signals:
+        raise SearchError("handle_signals=True requires checkpoint_path")
+
+    def run_search() -> SearchResult:
+        return pattern_search(
+            objective,
+            start_point,
+            space,
+            initial_step=initial_step,
+            max_halvings=max_halvings,
+            max_evaluations=max_evaluations,
+            cache=cache,
+            budget=budget,
+            on_evaluation=manager.note_evaluation if manager else None,
+        )
+
+    try:
+        if manager is not None and handle_signals:
+            with signal_checkpoint_guard(manager):
+                search = run_search()
+        else:
+            search = run_search()
+    except KeyboardInterrupt:
+        # Interrupted by a signal (whose handler already flushed) or by a
+        # KeyboardInterrupt raised inside the objective — flush either way
+        # so no completed evaluation is lost, then let the caller see it.
+        if manager is not None:
+            manager.flush()
+        raise
+    if manager is not None:
+        manager.flush()
 
     best = search.best_point
     solution = objective.solution(best)
@@ -147,4 +297,10 @@ def windim(
         solution=solution,
         search=search,
         initial_windows=start_point,
+        converged=solution.converged,
+        status=search.status,
+        health_log=tuple(resilient_solver.health_log)
+        if resilient_solver is not None
+        else (),
+        seeded_evaluations=seeded,
     )

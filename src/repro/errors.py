@@ -46,6 +46,30 @@ class StabilityError(SolverError):
     """An open (sub)network is unstable: some station has utilisation >= 1."""
 
 
+class LadderExhaustedError(SolverError):
+    """Every rung of a resilient escalation ladder failed.
+
+    Attributes
+    ----------
+    health:
+        The :class:`repro.resilience.health.SolveHealth` record describing
+        every attempt that was made, for post-mortem inspection.
+    """
+
+    def __init__(self, message: str, health: object = None):
+        super().__init__(message)
+        self.health = health
+
+
+class ConvergenceWarning(RuntimeWarning):
+    """An iterative solver stopped at its budget and returned the last iterate.
+
+    Emitted (via :mod:`warnings`) when ``IterationControl.raise_on_failure``
+    is False, so a non-converged result is never silently indistinguishable
+    from a converged one.
+    """
+
+
 class SearchError(ReproError):
     """An optimisation run was mis-specified or failed."""
 

@@ -37,17 +37,26 @@ class BuzenResult:
     Attributes
     ----------
     demands:
-        ``(L,)`` relative service demands used.
+        ``(L,)`` relative service demands as given by the caller.
     constants:
-        ``(D+1,)`` normalisation constants ``G(0..D)``.
+        ``(D+1,)`` normalisation constants ``G'(0..D)`` of the *internally
+        scaled* problem with demands ``demands / scale`` (``G'(k) =
+        G(k) / scale^k``).
     fixed_rate:
         ``(L,)`` bool; True where the closed forms for fixed-rate stations
         apply.
+    scale:
+        Demand rescaling factor applied internally to dodge floating-point
+        overflow of the constants (1.0 when none was needed).  All derived
+        measures already undo it: queue lengths, utilisations and marginal
+        pmfs are scale-invariant, and :meth:`throughput` divides the
+        scaled ratio back down.
     """
 
     demands: np.ndarray
     constants: np.ndarray
     fixed_rate: np.ndarray
+    scale: float = 1.0
 
     @property
     def population(self) -> int:
@@ -55,11 +64,15 @@ class BuzenResult:
         return self.constants.shape[0] - 1
 
     def throughput(self, population: Optional[int] = None) -> float:
-        """Chain throughput ``lambda(D) = G(D-1)/G(D)``."""
+        """Chain throughput ``lambda(D) = G(D-1)/G(D)``.
+
+        With internal rescaling, ``G'(D-1)/G'(D) = scale * lambda(D)``,
+        hence the division by :attr:`scale`.
+        """
         d = self.population if population is None else population
         if d == 0:
             return 0.0
-        return float(self.constants[d - 1] / self.constants[d])
+        return float(self.constants[d - 1] / self.constants[d]) / self.scale
 
     def utilization(self, station: int, population: Optional[int] = None) -> float:
         """Utilisation of a fixed-rate station."""
@@ -73,7 +86,9 @@ class BuzenResult:
         """
         self._require_fixed_rate(station)
         d = self.population if population is None else population
-        rho = self.demands[station]
+        # The stored constants belong to the scaled problem, so the scaled
+        # demand must be used with them (the ratio is scale-invariant).
+        rho = self.demands[station] / self.scale
         powers = rho ** np.arange(1, d + 1)
         return float(np.dot(powers, self.constants[d - 1 :: -1][:d]) / self.constants[d])
 
@@ -83,7 +98,7 @@ class BuzenResult:
         """Marginal queue-length pmf ``P(h_n = k)`` of a fixed-rate station."""
         self._require_fixed_rate(station)
         d = self.population if population is None else population
-        rho = self.demands[station]
+        rho = self.demands[station] / self.scale
         pmf = np.empty(d + 1)
         for k in range(d + 1):
             tail = self.constants[d - k]
@@ -119,10 +134,16 @@ def buzen(
         Optional per-station capacity coefficients ``a_n(0..D)``; ``None``
         entries (or omitting the argument entirely) mean fixed-rate.
 
-    Raises
-    ------
-    SolverError
-        On numerical overflow — rescale the demands and retry.
+    Notes
+    -----
+    If the raw constants overflow (or underflow to zero) in floating
+    point, the computation is automatically retried once with demands
+    rescaled by their maximum — the same normalisation
+    :func:`repro.exact.aggregation.flow_equivalent_rates` applies up
+    front.  All :class:`BuzenResult` measures transparently undo the
+    rescaling (see :attr:`BuzenResult.scale`), so callers never observe
+    it.  Only if the *rescaled* run still degenerates is
+    :class:`~repro.errors.SolverError` raised.
     """
     rho = np.asarray(demands, dtype=float)
     if rho.ndim != 1:
@@ -138,32 +159,69 @@ def buzen(
     if len(coefficient_vectors) != num_stations:
         raise ModelError("coefficient_vectors length must match demands")
 
+    constants, fixed_rate = _convolve_constants(
+        rho, population, coefficient_vectors
+    )
+    if _constants_degenerate(constants, population):
+        peak = float(rho.max()) if rho.size else 0.0
+        if peak > 0 and np.isfinite(peak) and peak != 1.0:
+            scaled_constants, fixed_rate = _convolve_constants(
+                rho / peak, population, coefficient_vectors
+            )
+            if not _constants_degenerate(scaled_constants, population):
+                return BuzenResult(
+                    demands=rho,
+                    constants=scaled_constants,
+                    fixed_rate=fixed_rate,
+                    scale=peak,
+                )
+        raise SolverError(
+            "normalisation constants overflowed or vanished even after "
+            "rescaling demands by their maximum; demands degenerate"
+        )
+    return BuzenResult(demands=rho, constants=constants, fixed_rate=fixed_rate)
+
+
+def _convolve_constants(
+    rho: np.ndarray,
+    population: int,
+    coefficient_vectors: Sequence[Optional[np.ndarray]],
+) -> "tuple[np.ndarray, np.ndarray]":
+    """One convolution pass; returns (constants, fixed_rate mask).
+
+    Overflow is expected on the probing pass (it triggers the rescaled
+    retry), so numpy's overflow warnings are silenced here; the caller
+    judges the result via :func:`_constants_degenerate` instead.
+    """
+    num_stations = rho.shape[0]
     constants = np.zeros(population + 1)
     constants[0] = 1.0
     fixed_rate = np.zeros(num_stations, dtype=bool)
-    for n in range(num_stations):
-        coeffs = coefficient_vectors[n]
-        if coeffs is None:
-            fixed_rate[n] = True
-            # In-place fixed-rate recurrence g(k) += rho * g(k-1).
-            for k in range(1, population + 1):
-                constants[k] = constants[k] + rho[n] * constants[k - 1]
-        else:
-            coeffs = np.asarray(coeffs, dtype=float)
-            if coeffs.shape[0] < population + 1:
-                raise ModelError(
-                    f"station {n}: need {population + 1} capacity coefficients, "
-                    f"got {coeffs.shape[0]}"
+    with np.errstate(over="ignore", invalid="ignore"):
+        for n in range(num_stations):
+            coeffs = coefficient_vectors[n]
+            if coeffs is None:
+                fixed_rate[n] = True
+                # In-place fixed-rate recurrence g(k) += rho * g(k-1).
+                for k in range(1, population + 1):
+                    constants[k] = constants[k] + rho[n] * constants[k - 1]
+            else:
+                coeffs = np.asarray(coeffs, dtype=float)
+                if coeffs.shape[0] < population + 1:
+                    raise ModelError(
+                        f"station {n}: need {population + 1} capacity "
+                        f"coefficients, got {coeffs.shape[0]}"
+                    )
+                station_terms = (
+                    coeffs[: population + 1] * rho[n] ** np.arange(population + 1)
                 )
-            station_terms = coeffs[: population + 1] * rho[n] ** np.arange(population + 1)
-            constants = np.convolve(constants, station_terms)[: population + 1]
-    if not np.all(np.isfinite(constants)):
-        raise SolverError(
-            "normalisation constants overflowed; rescale the service demands"
-        )
-    if constants[population] <= 0:
-        raise SolverError("normalisation constant vanished; demands degenerate")
-    return BuzenResult(demands=rho, constants=constants, fixed_rate=fixed_rate)
+                constants = np.convolve(constants, station_terms)[: population + 1]
+    return constants, fixed_rate
+
+
+def _constants_degenerate(constants: np.ndarray, population: int) -> bool:
+    """True when the constants overflowed or the top one vanished."""
+    return not np.all(np.isfinite(constants)) or constants[population] <= 0
 
 
 def buzen_stations(

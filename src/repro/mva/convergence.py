@@ -9,11 +9,12 @@ so every iterative solver in :mod:`repro.mva` behaves consistently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.errors import ConvergenceError, ModelError
+from repro.errors import ConvergenceError, ConvergenceWarning, ModelError
 
 __all__ = ["IterationControl"]
 
@@ -69,7 +70,13 @@ class IterationControl:
         return self.damping * proposed + (1.0 - self.damping) * previous
 
     def on_exhausted(self, solver: str, iterations: int, residual: float) -> None:
-        """Handle budget exhaustion according to ``raise_on_failure``."""
+        """Handle budget exhaustion according to ``raise_on_failure``.
+
+        When not raising, a :class:`~repro.errors.ConvergenceWarning` is
+        emitted so the non-converged iterate is never returned silently;
+        the ``converged=False`` flag on the solution carries the same fact
+        programmatically.
+        """
         if self.raise_on_failure:
             raise ConvergenceError(
                 f"{solver} did not converge within {iterations} iterations "
@@ -77,3 +84,13 @@ class IterationControl:
                 iterations=iterations,
                 residual=residual,
             )
+        warnings.warn(
+            f"{solver} did not converge within its {self.max_iterations}-"
+            "iteration budget; returning the last (non-converged) iterate",
+            ConvergenceWarning,
+            stacklevel=3,
+        )
+
+    def damped(self, damping: float) -> "IterationControl":
+        """A copy of this policy with a different damping factor."""
+        return replace(self, damping=damping)

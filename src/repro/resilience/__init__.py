@@ -1,0 +1,51 @@
+"""Resilient solver runtime (retry ladder, budgets, checkpoint/resume).
+
+Long-running WINDIM jobs must survive three failure modes the bare
+algorithms do not handle:
+
+* a *diverging fixed point* at one window vector — contained by the
+  :class:`~repro.resilience.ladder.ResilientSolver` escalation ladder
+  (damped retries, then algorithm escalation, with structured
+  :class:`~repro.resilience.health.SolveHealth` records);
+* an *unbounded run* — contained by
+  :class:`~repro.resilience.budget.SearchBudget` deadlines and evaluation
+  budgets that degrade a search to best-so-far instead of hanging;
+* a *crash or kill signal* — contained by atomic JSON checkpoints and
+  resume (:mod:`repro.resilience.checkpoint`), wired into
+  ``windim run --checkpoint PATH --resume``.
+"""
+
+from repro.resilience.budget import BudgetExhausted, SearchBudget
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    SearchCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+    signal_checkpoint_guard,
+)
+from repro.resilience.health import AttemptOutcome, SolveAttempt, SolveHealth
+from repro.resilience.ladder import (
+    DEFAULT_DAMPING_SCHEDULE,
+    DEFAULT_ESCALATION,
+    ResilientSolver,
+    solve_resilient,
+)
+
+__all__ = [
+    "AttemptOutcome",
+    "SolveAttempt",
+    "SolveHealth",
+    "ResilientSolver",
+    "solve_resilient",
+    "DEFAULT_DAMPING_SCHEDULE",
+    "DEFAULT_ESCALATION",
+    "SearchBudget",
+    "BudgetExhausted",
+    "CHECKPOINT_VERSION",
+    "SearchCheckpoint",
+    "CheckpointManager",
+    "save_checkpoint",
+    "load_checkpoint",
+    "signal_checkpoint_guard",
+]

@@ -1,0 +1,106 @@
+"""Wall-clock and evaluation budgets for long-running searches.
+
+A WINDIM pattern search evaluates the MVA solver hundreds of times; on a
+pathological network one evaluation can take arbitrarily long, and without
+a deadline the whole dimensioning job hangs.  :class:`SearchBudget` is a
+small policy object threaded through :func:`repro.search.pattern.
+pattern_search` (and :func:`repro.core.windim.windim`): the search checks
+it before every fresh objective evaluation and, when exhausted, returns
+its best-so-far result flagged ``status="budget_exhausted"`` instead of
+continuing.
+
+The check is cooperative — an evaluation already in flight is never
+interrupted (analytic solves cannot be safely preempted), so the real
+stopping time overshoots the deadline by at most one evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import SearchError
+
+__all__ = ["SearchBudget", "BudgetExhausted"]
+
+
+class BudgetExhausted(Exception):
+    """Internal control-flow signal: the budget ran out mid-search.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: it must never
+    escape the search loop that installed the budget (the loop converts it
+    into a graceful best-so-far result).
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class SearchBudget:
+    """Deadline + evaluation-count budget for one search run.
+
+    Parameters
+    ----------
+    max_seconds:
+        Wall-clock allowance measured from construction (or the last
+        :meth:`restart`); None = unlimited.
+    max_evaluations:
+        Allowance of *fresh* objective evaluations (cache hits are free);
+        None = unlimited.
+    clock:
+        Injectable time source (monotonic seconds) for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_seconds: Optional[float] = None,
+        max_evaluations: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_seconds is not None and max_seconds <= 0:
+            raise SearchError(f"max_seconds must be positive, got {max_seconds}")
+        if max_evaluations is not None and max_evaluations < 1:
+            raise SearchError(
+                f"max_evaluations must be >= 1, got {max_evaluations}"
+            )
+        self.max_seconds = max_seconds
+        self.max_evaluations = max_evaluations
+        self._clock = clock
+        self._started = clock()
+
+    def restart(self) -> None:
+        """Restart the wall clock (evaluation allowance is unaffected)."""
+        self._started = self._clock()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction / the last :meth:`restart`."""
+        return self._clock() - self._started
+
+    def exhausted_reason(self, evaluations: int) -> Optional[str]:
+        """Why the budget is spent, or None while allowance remains.
+
+        Parameters
+        ----------
+        evaluations:
+            Fresh objective evaluations performed so far (cache misses).
+        """
+        if self.max_evaluations is not None and evaluations >= self.max_evaluations:
+            return (
+                f"evaluation budget spent ({evaluations} >= "
+                f"{self.max_evaluations})"
+            )
+        if self.max_seconds is not None:
+            elapsed = self.elapsed
+            if elapsed >= self.max_seconds:
+                return (
+                    f"deadline passed ({elapsed:.2f}s >= {self.max_seconds:g}s)"
+                )
+        return None
+
+    def check(self, evaluations: int) -> None:
+        """Raise :class:`BudgetExhausted` when the budget is spent."""
+        reason = self.exhausted_reason(evaluations)
+        if reason is not None:
+            raise BudgetExhausted(reason)

@@ -1,0 +1,283 @@
+"""Crash-safe checkpoint/resume for pattern searches.
+
+The state a WINDIM pattern search accumulates is, almost entirely, its
+:class:`~repro.search.cache.EvaluationCache` — every window vector solved
+so far and its objective value (the APL ``XCMP``/``FXCMP`` arrays).  The
+search itself is deterministic, so *cache + search parameters* is a
+complete checkpoint: a resumed run replays the identical trajectory, pays
+cache hits for everything already solved, and performs fresh evaluations
+only past the interruption point.
+
+Format (JSON, one object):
+
+``version``
+    Schema version (currently 1); mismatches are rejected.
+``meta``
+    Free-form run description (dimensions, solver, knobs); on resume the
+    chain count is validated against the network being solved.
+``evaluations`` / ``best_point`` / ``best_value``
+    Progress snapshot at save time (informational).
+``cache``
+    List of ``[[w1, ..., wR], value]`` pairs — the whole evaluation cache.
+
+Writes are atomic: the JSON is written to a same-directory temp file,
+fsynced, then ``os.replace``-d over the target, so a crash (or SIGKILL)
+mid-write leaves either the previous checkpoint or a complete new one —
+never a torn file.  A truncated/corrupt file found at *load* time (e.g.
+written by a non-atomic foreign tool) is rejected with
+:class:`~repro.errors.SearchError`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import signal
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SearchError
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "SearchCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointManager",
+    "signal_checkpoint_guard",
+]
+
+CHECKPOINT_VERSION = 1
+
+Point = Tuple[int, ...]
+
+
+@dataclass
+class SearchCheckpoint:
+    """In-memory form of one checkpoint file."""
+
+    cache_entries: List[Tuple[Point, float]]
+    best_point: Optional[Point] = None
+    best_value: float = math.inf
+    evaluations: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+    def to_json(self) -> str:
+        """Serialise to the on-disk JSON format."""
+        payload = {
+            "version": self.version,
+            "meta": self.meta,
+            "evaluations": self.evaluations,
+            "best_point": list(self.best_point) if self.best_point else None,
+            "best_value": self.best_value if math.isfinite(self.best_value) else None,
+            "cache": [[list(point), value] for point, value in self.cache_entries],
+        }
+        return json.dumps(payload, indent=None, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str, source: str = "<string>") -> "SearchCheckpoint":
+        """Parse and validate; raises :class:`SearchError` on any defect."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SearchError(
+                f"checkpoint {source} is not valid JSON (truncated or "
+                f"corrupted write?): {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise SearchError(f"checkpoint {source}: top level must be an object")
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise SearchError(
+                f"checkpoint {source}: unsupported version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        raw_cache = payload.get("cache")
+        if not isinstance(raw_cache, list):
+            raise SearchError(f"checkpoint {source}: missing 'cache' list")
+        entries: List[Tuple[Point, float]] = []
+        dimensions: Optional[int] = None
+        for item in raw_cache:
+            try:
+                raw_point, raw_value = item
+                point = tuple(int(x) for x in raw_point)
+                value = float(raw_value)
+            except (TypeError, ValueError) as exc:
+                raise SearchError(
+                    f"checkpoint {source}: malformed cache entry {item!r}"
+                ) from exc
+            if dimensions is None:
+                dimensions = len(point)
+            elif len(point) != dimensions:
+                raise SearchError(
+                    f"checkpoint {source}: inconsistent point dimensions "
+                    f"({len(point)} vs {dimensions})"
+                )
+            entries.append((point, value))
+        best_point = payload.get("best_point")
+        best_value = payload.get("best_value")
+        meta = payload.get("meta") or {}
+        if not isinstance(meta, dict):
+            raise SearchError(f"checkpoint {source}: 'meta' must be an object")
+        return cls(
+            cache_entries=entries,
+            best_point=tuple(int(x) for x in best_point) if best_point else None,
+            best_value=float(best_value) if best_value is not None else math.inf,
+            evaluations=int(payload.get("evaluations") or 0),
+            meta=meta,
+            version=int(version),
+        )
+
+    def seed_cache(self, cache) -> int:
+        """Load the saved entries into an ``EvaluationCache``.
+
+        Entries are inserted directly into ``cache.values`` so they count
+        as neither hits nor misses: the resumed run's ``evaluations``
+        figure then measures *fresh* work only.  Returns the number of
+        entries seeded.
+        """
+        for point, value in self.cache_entries:
+            cache.values[point] = value
+        return len(self.cache_entries)
+
+
+def save_checkpoint(path: str, checkpoint: SearchCheckpoint) -> str:
+    """Atomically write ``checkpoint`` to ``path``; returns the path."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(checkpoint.to_json())
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: str) -> SearchCheckpoint:
+    """Read and validate a checkpoint file.
+
+    Raises
+    ------
+    SearchError
+        When the file is missing, unreadable, truncated, or fails schema
+        validation.
+    """
+    try:
+        with open(path, "r") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SearchError(f"cannot read checkpoint {path}: {exc}") from exc
+    return SearchCheckpoint.from_json(text, source=path)
+
+
+class CheckpointManager:
+    """Periodic checkpointing hook for a running search.
+
+    Wire :meth:`note_evaluation` as the search's per-evaluation callback:
+    every ``every`` fresh evaluations the current cache contents are
+    flushed to ``path`` atomically.  :meth:`flush` forces a write (used on
+    normal completion and from signal handlers).
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location.
+    every:
+        Fresh evaluations between automatic saves (>= 1).
+    meta:
+        Run description stored in the file (validated on resume).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        every: int = 25,
+        meta: Optional[Dict[str, object]] = None,
+    ):
+        if every < 1:
+            raise SearchError(f"checkpoint interval must be >= 1, got {every}")
+        self.path = str(path)
+        self.every = every
+        self.meta = dict(meta or {})
+        self.saves = 0
+        self._cache = None
+        self._since_save = 0
+
+    def attach(self, cache) -> None:
+        """Bind the live :class:`EvaluationCache` snapshots are taken from."""
+        self._cache = cache
+
+    def note_evaluation(self, cache) -> None:
+        """Per-fresh-evaluation hook; saves every ``every`` calls."""
+        self._cache = cache
+        self._since_save += 1
+        if self._since_save >= self.every:
+            self.flush()
+
+    def flush(self) -> Optional[str]:
+        """Write a checkpoint now (no-op before any cache is attached)."""
+        if self._cache is None:
+            return None
+        best_point, best_value = self._cache.best()
+        checkpoint = SearchCheckpoint(
+            cache_entries=list(self._cache.values.items()),
+            best_point=best_point,
+            best_value=best_value,
+            evaluations=self._cache.evaluations,
+            meta=self.meta,
+        )
+        save_checkpoint(self.path, checkpoint)
+        self.saves += 1
+        self._since_save = 0
+        return self.path
+
+
+@contextmanager
+def signal_checkpoint_guard(manager: CheckpointManager) -> Iterator[None]:
+    """Flush a final checkpoint on SIGINT/SIGTERM, then stop normally.
+
+    While the context is active, SIGINT and SIGTERM first flush the
+    manager's current state to disk and then raise ``KeyboardInterrupt``
+    so the interrupted search unwinds through ordinary exception handling
+    (the CLI converts it into exit code 130).  Previous handlers are
+    restored on exit.  Outside the main thread — where Python forbids
+    ``signal.signal`` — the guard degrades to a no-op.
+    """
+    previous = {}
+    signals = (signal.SIGINT, signal.SIGTERM)
+
+    def handler(signum, frame):
+        try:
+            manager.flush()
+        finally:
+            raise KeyboardInterrupt(
+                f"interrupted by signal {signum}; checkpoint flushed to "
+                f"{manager.path}"
+            )
+
+    try:
+        for sig in signals:
+            previous[sig] = signal.signal(sig, handler)
+    except ValueError:  # not the main thread
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        previous = {}
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)

@@ -1,0 +1,165 @@
+"""Structured health records for resilient solves.
+
+A :class:`SolveHealth` record tells the full story of one objective
+evaluation under the escalation ladder: every solver/damping rung that was
+tried, how it failed (or why it was skipped), and which rung finally
+produced the accepted solution.  WINDIM runs evaluate the solver hundreds
+of times, so these records are what turns "one point misbehaved somewhere"
+into an actionable post-mortem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["AttemptOutcome", "SolveAttempt", "SolveHealth"]
+
+
+class AttemptOutcome:
+    """String constants classifying how one ladder rung ended."""
+
+    OK = "ok"
+    NON_CONVERGED = "non-converged"
+    NAN_OUTPUT = "nan-output"
+    ERROR = "error"
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class SolveAttempt:
+    """One rung of the ladder, tried (or skipped) for one network.
+
+    Attributes
+    ----------
+    solver:
+        Backend name (``"mva-heuristic"``, ``"schweitzer"``, ...).
+    damping:
+        Damping factor the rung used (1.0 for undamped / non-iterative).
+    outcome:
+        One of the :class:`AttemptOutcome` constants.
+    detail:
+        Error message or skip reason; empty on success.
+    iterations:
+        Iteration count reported by the solver (0 when unavailable).
+    duration:
+        Wall-clock seconds spent in the rung.
+    """
+
+    solver: str
+    damping: float
+    outcome: str
+    detail: str = ""
+    iterations: int = 0
+    duration: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        """True when this rung produced the accepted solution."""
+        return self.outcome == AttemptOutcome.OK
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "solver": self.solver,
+            "damping": self.damping,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "iterations": self.iterations,
+            "duration": self.duration,
+        }
+
+
+@dataclass
+class SolveHealth:
+    """Everything that happened while resiliently solving one network.
+
+    Attributes
+    ----------
+    windows:
+        The chain populations (window vector) of the solved network.
+    attempts:
+        Every rung tried or skipped, in ladder order.
+    """
+
+    windows: Tuple[int, ...]
+    attempts: List[SolveAttempt] = field(default_factory=list)
+
+    def record(self, attempt: SolveAttempt) -> None:
+        """Append one rung's outcome."""
+        self.attempts.append(attempt)
+
+    @property
+    def succeeded(self) -> bool:
+        """True when some rung produced an accepted solution."""
+        return any(a.succeeded for a in self.attempts)
+
+    @property
+    def final_solver(self) -> Optional[str]:
+        """Name of the rung that succeeded (None when all failed)."""
+        for attempt in self.attempts:
+            if attempt.succeeded:
+                return attempt.solver
+        return None
+
+    @property
+    def retries(self) -> int:
+        """Rungs actually *tried* before the accepted one (skips excluded).
+
+        Zero means the first attempt succeeded; for a fully failed solve
+        this counts every tried rung.
+        """
+        tried = 0
+        for attempt in self.attempts:
+            if attempt.outcome == AttemptOutcome.SKIPPED:
+                continue
+            if attempt.succeeded:
+                return tried
+            tried += 1
+        return tried
+
+    @property
+    def escalated(self) -> bool:
+        """True when the accepted solution came from a non-primary backend.
+
+        The primary backend is the solver of the first attempt; any success
+        under a different name means the ladder had to switch algorithms
+        (not merely re-damp the same one).
+        """
+        if not self.attempts:
+            return False
+        primary = self.attempts[0].solver
+        final = self.final_solver
+        return final is not None and final != primary
+
+    @property
+    def total_duration(self) -> float:
+        """Wall-clock seconds across all rungs."""
+        return math.fsum(a.duration for a in self.attempts)
+
+    def summary(self) -> str:
+        """One line per rung, post-mortem style."""
+        lines = [f"solve health for windows {list(self.windows)}:"]
+        for attempt in self.attempts:
+            line = (
+                f"  {attempt.solver} (damping {attempt.damping:g}): "
+                f"{attempt.outcome}"
+            )
+            if attempt.detail:
+                line += f" — {attempt.detail}"
+            lines.append(line)
+        if not self.succeeded:
+            lines.append("  => every rung failed")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (used by reports and checkpoints)."""
+        return {
+            "windows": list(self.windows),
+            "succeeded": self.succeeded,
+            "final_solver": self.final_solver,
+            "retries": self.retries,
+            "escalated": self.escalated,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }

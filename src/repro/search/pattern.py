@@ -18,7 +18,15 @@ reductions.  Because window sizes are integers, steps are integers here —
 Search suffices" (§4.1).
 
 All evaluations flow through an :class:`~repro.search.cache.EvaluationCache`
-(the APL ``FLOC``), so revisited points are free.
+(the APL ``FLOC``), so revisited points are free.  Two resilience hooks
+thread through the same choke point:
+
+* a :class:`~repro.resilience.budget.SearchBudget` is consulted before
+  every *fresh* evaluation — when spent, the search returns its
+  best-so-far flagged ``status="budget_exhausted"`` instead of running on;
+* an ``on_evaluation`` callback fires after every fresh evaluation, which
+  is where :class:`~repro.resilience.checkpoint.CheckpointManager` takes
+  its periodic snapshots.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.errors import SearchError
+from repro.resilience.budget import BudgetExhausted, SearchBudget
 from repro.search.cache import EvaluationCache
 from repro.search.result import SearchResult
 from repro.search.space import IntegerBox
@@ -34,9 +43,11 @@ __all__ = ["pattern_search"]
 
 Point = Tuple[int, ...]
 
+Evaluator = Callable[[Point], float]
+
 
 def _explore(
-    cache: EvaluationCache,
+    evaluate: Evaluator,
     space: IntegerBox,
     point: Point,
     value: float,
@@ -52,7 +63,7 @@ def _explore(
             candidate_t = tuple(candidate)
             if candidate_t not in space:
                 continue
-            candidate_value = cache(candidate_t)
+            candidate_value = evaluate(candidate_t)
             if candidate_value < current_value:
                 current = candidate
                 current_value = candidate_value
@@ -68,6 +79,8 @@ def pattern_search(
     max_halvings: int = 8,
     max_evaluations: int = 100_000,
     cache: Optional[EvaluationCache] = None,
+    budget: Optional[SearchBudget] = None,
+    on_evaluation: Optional[Callable[[EvaluationCache], None]] = None,
 ) -> SearchResult:
     """Minimise ``objective`` over ``space`` by integer pattern search.
 
@@ -91,7 +104,14 @@ def pattern_search(
         Safety budget of distinct objective evaluations.
     cache:
         Optional pre-populated evaluation cache to share across runs (e.g.
-        across sweep points that revisit the same windows).
+        across sweep points that revisit the same windows, or seeded from
+        a resumed checkpoint).
+    budget:
+        Optional wall-clock/evaluation budget; when it runs out the search
+        returns its best-so-far flagged ``status="budget_exhausted"``.
+    on_evaluation:
+        Called with the cache after every fresh evaluation (checkpointing
+        hook); cache hits do not fire it.
 
     Returns
     -------
@@ -107,38 +127,68 @@ def pattern_search(
     elif cache.objective is not objective:
         raise SearchError("shared cache wraps a different objective")
 
+    def evaluate(point: Point) -> float:
+        fresh = tuple(int(x) for x in point) not in cache.values
+        if fresh:
+            if budget is not None:
+                budget.check(cache.evaluations)
+            if cache.evaluations >= max_evaluations:
+                raise BudgetExhausted(
+                    f"evaluation cap reached ({cache.evaluations} >= "
+                    f"{max_evaluations})"
+                )
+        value = cache(point)
+        if fresh and on_evaluation is not None:
+            on_evaluation(cache)
+        return value
+
     base = space.clip(start)
-    base_value = cache(base)
     trajectory = [base]
     step = initial_step
     halvings = 0
+    status = "completed"
+    stop_reason = ""
+    base_value = float("inf")
 
-    while step >= 1 and halvings <= max_halvings:
-        if cache.evaluations >= max_evaluations:
-            break
-        probe, probe_value = _explore(cache, space, base, base_value, step)
-        if probe_value < base_value:
-            # Pattern phase: ride the established direction.
-            previous = base
-            base, base_value = probe, probe_value
-            trajectory.append(base)
-            while cache.evaluations < max_evaluations:
-                pattern_point = space.clip(
-                    tuple(2 * b - p for b, p in zip(base, previous))
-                )
-                landing_value = cache(pattern_point)
-                probe2, probe2_value = _explore(
-                    cache, space, pattern_point, landing_value, step
-                )
-                if probe2_value < base_value:
-                    previous = base
-                    base, base_value = probe2, probe2_value
-                    trajectory.append(base)
-                else:
-                    break
-        else:
-            step //= 2
-            halvings += 1
+    try:
+        base_value = evaluate(base)
+        while step >= 1 and halvings <= max_halvings:
+            probe, probe_value = _explore(evaluate, space, base, base_value, step)
+            if probe_value < base_value:
+                # Pattern phase: ride the established direction.
+                previous = base
+                base, base_value = probe, probe_value
+                trajectory.append(base)
+                while True:
+                    pattern_point = space.clip(
+                        tuple(2 * b - p for b, p in zip(base, previous))
+                    )
+                    landing_value = evaluate(pattern_point)
+                    probe2, probe2_value = _explore(
+                        evaluate, space, pattern_point, landing_value, step
+                    )
+                    if probe2_value < base_value:
+                        previous = base
+                        base, base_value = probe2, probe2_value
+                        trajectory.append(base)
+                    else:
+                        break
+            else:
+                step //= 2
+                halvings += 1
+    except BudgetExhausted as exc:
+        status = "budget_exhausted"
+        stop_reason = exc.reason
+        # Best-so-far: the cache may hold a better explored-but-not-yet-
+        # accepted point than the current base (or the start may never
+        # have been evaluated at all under a zero budget).
+        cached_best, cached_value = cache.best()
+        if cached_best is None:
+            base_value = float("inf")
+        elif not trajectory or cached_value < base_value:
+            base, base_value = cached_best, cached_value
+            if not trajectory or trajectory[-1] != base:
+                trajectory.append(base)
 
     return SearchResult(
         best_point=base,
@@ -147,4 +197,6 @@ def pattern_search(
         lookups=cache.lookups,
         base_points=trajectory,
         method="pattern-search",
+        status=status,
+        stop_reason=stop_reason,
     )

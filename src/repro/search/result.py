@@ -29,6 +29,13 @@ class SearchResult:
         the search trajectory (thesis Fig. 4.4).
     method:
         Optimiser name.
+    status:
+        ``"completed"`` for a full run; ``"budget_exhausted"`` when a
+        :class:`~repro.resilience.budget.SearchBudget` (or the legacy
+        ``max_evaluations`` cap) stopped the search early — the result is
+        then the best point seen so far, not a certified local optimum.
+    stop_reason:
+        Human-readable cause when ``status != "completed"``.
     """
 
     best_point: Point
@@ -37,11 +44,21 @@ class SearchResult:
     lookups: int
     base_points: List[Point] = field(default_factory=list)
     method: str = ""
+    status: str = "completed"
+    stop_reason: str = ""
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """True when the search stopped on a budget rather than completing."""
+        return self.status == "budget_exhausted"
 
     def summary(self) -> str:
         """One-line human-readable result."""
-        return (
+        line = (
             f"{self.method}: best {list(self.best_point)} "
             f"value {self.best_value:.6g} "
             f"({self.evaluations} evaluations, {self.lookups} lookups)"
         )
+        if self.status != "completed":
+            line += f" [{self.status}: {self.stop_reason}]"
+        return line

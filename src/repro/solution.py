@@ -136,4 +136,9 @@ class NetworkSolution:
         delay = self.mean_network_delay
         power = self.network_throughput / delay if delay > 0 else 0.0
         lines.append(f"  power              = {power:.2f}")
+        if not self.converged:
+            lines.append(
+                f"  WARNING: not converged after {self.iterations} iterations; "
+                "figures are the last iterate"
+            )
         return "\n".join(lines)

@@ -314,6 +314,19 @@ def _solve_linearizer(network: ClosedNetwork) -> NetworkSolution:
     return solve_linearizer(network)
 
 
+def _solve_resilient(network: ClosedNetwork) -> NetworkSolution:
+    """The escalation-ladder runtime over the thesis heuristic.
+
+    Registering it here means every differential sweep also exercises the
+    retry/escalation machinery: its output must stay inside the same
+    approximate tolerance bands as the heuristic it wraps, whichever rung
+    ends up producing the accepted solution.
+    """
+    from repro.resilience.ladder import solve_resilient
+
+    return solve_resilient(network, "mva-heuristic")
+
+
 def simulation_spec(
     duration: float = 4_000.0,
     warmup: float = 400.0,
@@ -383,6 +396,9 @@ def _build_registry() -> Dict[str, SolverSpec]:
         ),
         _network_solver(
             "linearizer", SolverKind.APPROXIMATE, _solve_linearizer, _always
+        ),
+        _network_solver(
+            "resilient", SolverKind.APPROXIMATE, _solve_resilient, _always
         ),
         simulation_spec(),
     ]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConvergenceError, ModelError
+from repro.errors import ConvergenceError, ConvergenceWarning, ModelError
 from repro.mva.convergence import IterationControl
 
 
@@ -51,8 +51,11 @@ class TestDamping:
 
 
 class TestExhaustion:
-    def test_silent_by_default(self):
-        IterationControl().on_exhausted("solver", 10, 0.5)
+    def test_warns_but_does_not_raise_by_default(self):
+        # Non-convergence must never pass silently: the default policy
+        # returns the last iterate but emits a ConvergenceWarning.
+        with pytest.warns(ConvergenceWarning):
+            IterationControl().on_exhausted("solver", 10, 0.5)
 
     def test_raises_when_configured(self):
         control = IterationControl(raise_on_failure=True)

@@ -1,0 +1,160 @@
+"""Deadline/evaluation-budget enforcement in the pattern search and windim."""
+
+import pytest
+
+from repro.core.windim import windim
+from repro.errors import ReproError, SearchError
+from repro.netmodel.examples import canadian_two_class
+from repro.resilience import BudgetExhausted, SearchBudget
+from repro.search.pattern import pattern_search
+from repro.search.space import IntegerBox
+
+SPACE = IntegerBox.windows(2, 10)
+
+
+def _quadratic(point):
+    # Smooth minimisation surface with optimum at (5, 5).
+    return (point[0] - 5.0) ** 2 + (point[1] - 5.0) ** 2
+
+
+class TestSearchBudget:
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            SearchBudget(max_seconds=0.0)
+        with pytest.raises(SearchError):
+            SearchBudget(max_evaluations=0)
+
+    def test_unlimited_budget_never_exhausts(self):
+        budget = SearchBudget()
+        assert budget.exhausted_reason(10**9) is None
+        budget.check(10**9)  # must not raise
+
+    def test_evaluation_cap(self):
+        budget = SearchBudget(max_evaluations=3)
+        assert budget.exhausted_reason(2) is None
+        reason = budget.exhausted_reason(3)
+        assert reason is not None and "evaluation" in reason
+        with pytest.raises(BudgetExhausted):
+            budget.check(3)
+
+    def test_deadline_with_injected_clock(self):
+        ticks = [0.0]
+        budget = SearchBudget(max_seconds=5.0, clock=lambda: ticks[0])
+        assert budget.exhausted_reason(0) is None
+        ticks[0] = 4.9
+        assert budget.exhausted_reason(0) is None
+        ticks[0] = 5.1
+        reason = budget.exhausted_reason(0)
+        assert reason is not None and "deadline" in reason
+        assert budget.elapsed == pytest.approx(5.1)
+
+    def test_restart_resets_the_clock(self):
+        ticks = [0.0]
+        budget = SearchBudget(max_seconds=1.0, clock=lambda: ticks[0])
+        ticks[0] = 2.0
+        assert budget.exhausted_reason(0) is not None
+        budget.restart()
+        assert budget.exhausted_reason(0) is None
+
+    def test_budget_exhausted_is_not_a_repro_error(self):
+        # Deliberate: exhaustion is control flow inside the search, not a
+        # user-facing failure, so generic `except ReproError` handlers in
+        # objectives must not swallow it.
+        assert not issubclass(BudgetExhausted, ReproError)
+        assert BudgetExhausted("x").reason == "x"
+
+
+class TestPatternSearchBudget:
+    def test_deadline_returns_best_so_far(self):
+        ticks = [0.0]
+
+        def timed_objective(point):
+            ticks[0] += 1.0  # each evaluation "costs" one second
+            return _quadratic(point)
+
+        budget = SearchBudget(max_seconds=4.0, clock=lambda: ticks[0])
+        result = pattern_search(timed_objective, [1, 1], SPACE, budget=budget)
+        assert result.status == "budget_exhausted"
+        assert result.budget_exhausted
+        assert "deadline" in result.stop_reason
+        assert result.evaluations == 4
+        # Best-so-far is still a genuinely evaluated point.
+        assert result.best_value == _quadratic(result.best_point)
+        assert "budget_exhausted" in result.summary()
+
+    def test_evaluation_budget_returns_best_so_far(self):
+        budget = SearchBudget(max_evaluations=6)
+        result = pattern_search(_quadratic, [1, 1], SPACE, budget=budget)
+        assert result.status == "budget_exhausted"
+        assert result.evaluations == 6
+
+    def test_spent_budget_returns_before_any_evaluation(self):
+        ticks = [10.0]  # already past the deadline at construction + check
+        budget = SearchBudget(max_seconds=1.0, clock=lambda: ticks.__getitem__(0))
+        ticks[0] = 20.0
+        result = pattern_search(_quadratic, [1, 1], SPACE, budget=budget)
+        assert result.status == "budget_exhausted"
+        assert result.evaluations == 0
+        assert result.best_value == float("inf")
+
+    def test_unbudgeted_run_completes_normally(self):
+        result = pattern_search(_quadratic, [1, 1], SPACE)
+        assert result.status == "completed"
+        assert result.stop_reason == ""
+        assert not result.budget_exhausted
+        assert tuple(result.best_point) == (5, 5)
+
+    def test_budgeted_result_never_better_than_full_run(self):
+        full = pattern_search(_quadratic, [1, 1], SPACE)
+        budget = SearchBudget(max_evaluations=8)
+        partial = pattern_search(_quadratic, [1, 1], SPACE, budget=budget)
+        assert partial.best_value >= full.best_value
+
+
+class TestWindimDeadline:
+    def test_max_seconds_flows_into_result_status(self):
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        result = windim(
+            network, max_window=16, budget=SearchBudget(max_evaluations=3)
+        )
+        assert result.status == "budget_exhausted"
+        assert result.search.evaluations == 3
+        assert "budget_exhausted" in result.summary()
+
+    def test_slow_solver_cannot_hang_a_deadlined_run(self):
+        # A "timing out" solver: each solve costs 10 simulated seconds, so
+        # the 25-second deadline admits at most three evaluations instead
+        # of hanging for the full search.
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        ticks = [0.0]
+
+        from repro.mva.heuristic import solve_mva_heuristic
+
+        def slow_solver(net):
+            ticks[0] += 10.0
+            return solve_mva_heuristic(net)
+
+        result = windim(
+            network,
+            max_window=16,
+            solver=slow_solver,
+            budget=SearchBudget(max_seconds=25.0, clock=lambda: ticks[0]),
+        )
+        assert result.status == "budget_exhausted"
+        assert result.search.evaluations <= 3
+        assert result.windows  # best-so-far result, not an exception
+
+    def test_max_seconds_and_budget_conflict(self):
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        with pytest.raises(SearchError):
+            windim(
+                network,
+                max_window=4,
+                budget=SearchBudget(max_evaluations=5),
+                max_seconds=1.0,
+            )
+
+    def test_completed_run_reports_completed(self):
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        result = windim(network, max_window=16)
+        assert result.status == "completed"

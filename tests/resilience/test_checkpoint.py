@@ -1,0 +1,247 @@
+"""Crash-safe checkpoint/resume: atomic writes, validation, SIGINT recovery."""
+
+import json
+import math
+import os
+import signal
+
+import pytest
+
+from repro.core.windim import windim
+from repro.errors import SearchError
+from repro.netmodel.examples import canadian_two_class
+from repro.resilience import (
+    CheckpointManager,
+    SearchCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+    signal_checkpoint_guard,
+)
+from repro.search.cache import EvaluationCache
+
+
+def _checkpoint():
+    return SearchCheckpoint(
+        cache_entries=[((1, 1), 2.5), ((3, 4), 1.25)],
+        best_point=(3, 4),
+        best_value=1.25,
+        evaluations=2,
+        meta={"num_chains": 2, "solver": "mva-heuristic"},
+    )
+
+
+class TestRoundtrip:
+    def test_save_then_load(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        save_checkpoint(path, _checkpoint())
+        loaded = load_checkpoint(path)
+        assert loaded.cache_entries == [((1, 1), 2.5), ((3, 4), 1.25)]
+        assert loaded.best_point == (3, 4)
+        assert loaded.best_value == 1.25
+        assert loaded.evaluations == 2
+        assert loaded.meta["num_chains"] == 2
+
+    def test_nonfinite_best_value_roundtrips_as_inf(self):
+        ckpt = SearchCheckpoint(cache_entries=[], best_value=math.inf)
+        loaded = SearchCheckpoint.from_json(ckpt.to_json())
+        assert loaded.best_point is None
+        assert loaded.best_value == math.inf
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        for _ in range(3):
+            save_checkpoint(path, _checkpoint())
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["run.ckpt"]
+
+    def test_seed_cache_counts_as_neither_hit_nor_miss(self, tmp_path):
+        cache = EvaluationCache(lambda p: float(sum(p)))
+        seeded = _checkpoint().seed_cache(cache)
+        assert seeded == 2
+        assert cache.evaluations == 0  # fresh-work counter untouched
+        assert cache.hits == 0
+        # Replayed lookups of seeded points are hits, not re-evaluations.
+        assert cache((3, 4)) == 1.25
+        assert cache.hits == 1
+        assert cache.evaluations == 0
+
+
+class TestCorruptionRejected:
+    def test_partial_write_is_rejected(self, tmp_path):
+        # A torn (non-atomic) write: only the first half of the JSON landed.
+        path = tmp_path / "torn.ckpt"
+        text = _checkpoint().to_json()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(SearchError, match="not valid JSON"):
+            load_checkpoint(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SearchError, match="cannot read checkpoint"):
+            load_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_wrong_top_level_type(self):
+        with pytest.raises(SearchError, match="top level"):
+            SearchCheckpoint.from_json("[1,2,3]")
+
+    def test_version_mismatch(self):
+        payload = json.loads(_checkpoint().to_json())
+        payload["version"] = 99
+        with pytest.raises(SearchError, match="unsupported version"):
+            SearchCheckpoint.from_json(json.dumps(payload))
+
+    def test_missing_cache_list(self):
+        with pytest.raises(SearchError, match="missing 'cache'"):
+            SearchCheckpoint.from_json('{"version":1}')
+
+    def test_malformed_cache_entry(self):
+        payload = {"version": 1, "cache": [[[1, 2], "not-a-number"]]}
+        with pytest.raises(SearchError, match="malformed cache entry"):
+            SearchCheckpoint.from_json(json.dumps(payload))
+
+    def test_inconsistent_point_dimensions(self):
+        payload = {"version": 1, "cache": [[[1, 2], 1.0], [[1], 2.0]]}
+        with pytest.raises(SearchError, match="inconsistent point dimensions"):
+            SearchCheckpoint.from_json(json.dumps(payload))
+
+    def test_bad_meta_type(self):
+        payload = {"version": 1, "cache": [], "meta": [1, 2]}
+        with pytest.raises(SearchError, match="'meta' must be an object"):
+            SearchCheckpoint.from_json(json.dumps(payload))
+
+
+class TestCheckpointManager:
+    def test_periodic_saves_every_n_evaluations(self, tmp_path):
+        path = str(tmp_path / "periodic.ckpt")
+        manager = CheckpointManager(path, every=2)
+        cache = EvaluationCache(lambda p: float(sum(p)))
+        for point in [(1, 1), (1, 2), (2, 1), (2, 2), (3, 1)]:
+            cache(point)
+            manager.note_evaluation(cache)
+        assert manager.saves == 2  # after evaluations 2 and 4
+        loaded = load_checkpoint(path)
+        assert len(loaded.cache_entries) == 4
+
+    def test_flush_before_attach_is_noop(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "x.ckpt"))
+        assert manager.flush() is None
+        assert manager.saves == 0
+
+    def test_bad_interval_rejected(self, tmp_path):
+        with pytest.raises(SearchError):
+            CheckpointManager(str(tmp_path / "x.ckpt"), every=0)
+
+    def test_flush_records_best(self, tmp_path):
+        path = str(tmp_path / "best.ckpt")
+        manager = CheckpointManager(path, every=100, meta={"k": "v"})
+        cache = EvaluationCache(lambda p: float(sum(p)))
+        cache((5, 5))
+        cache((1, 1))
+        manager.attach(cache)
+        manager.flush()
+        loaded = load_checkpoint(path)
+        assert loaded.best_point == (1, 1)
+        assert loaded.best_value == 2.0
+        assert loaded.meta == {"k": "v"}
+
+
+class TestSignalGuard:
+    def test_sigint_flushes_then_interrupts(self, tmp_path):
+        path = str(tmp_path / "sig.ckpt")
+        manager = CheckpointManager(path, every=10_000)
+        cache = EvaluationCache(lambda p: float(sum(p)))
+        cache((2, 3))
+        manager.attach(cache)
+        before = signal.getsignal(signal.SIGINT)
+        with pytest.raises(KeyboardInterrupt, match="checkpoint flushed"):
+            with signal_checkpoint_guard(manager):
+                os.kill(os.getpid(), signal.SIGINT)
+        # The handler wrote a final checkpoint before interrupting ...
+        assert load_checkpoint(path).cache_entries == [((2, 3), 5.0)]
+        # ... and the previous handler is back in place.
+        assert signal.getsignal(signal.SIGINT) is before
+
+
+class TestWindimCheckpointing:
+    def test_resume_requires_checkpoint_path(self):
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        with pytest.raises(SearchError, match="requires checkpoint_path"):
+            windim(network, max_window=4, resume=True)
+        with pytest.raises(SearchError, match="requires checkpoint_path"):
+            windim(network, max_window=4, handle_signals=True)
+
+    def test_resume_with_missing_file_starts_fresh(self, tmp_path):
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        path = str(tmp_path / "never-written.ckpt")
+        result = windim(
+            network, max_window=16, checkpoint_path=path, resume=True
+        )
+        assert result.seeded_evaluations == 0
+        assert result.status == "completed"
+        assert os.path.exists(path)  # final flush still happened
+
+    def test_resume_rejects_mismatched_problem(self, tmp_path):
+        path = str(tmp_path / "two-chain.ckpt")
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        windim(network, max_window=8, checkpoint_path=path)
+        from repro.netmodel.examples import canadian_four_class
+
+        other = canadian_four_class(6.0, 6.0, 6.0, 12.0, windows=(1, 1, 1, 4))
+        with pytest.raises(SearchError, match="chain"):
+            windim(other, max_window=8, checkpoint_path=path, resume=True)
+
+    def test_resume_after_completion_pays_zero_fresh_evaluations(self, tmp_path):
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        path = str(tmp_path / "done.ckpt")
+        first = windim(network, max_window=16, checkpoint_path=path)
+        resumed = windim(
+            network, max_window=16, checkpoint_path=path, resume=True
+        )
+        assert resumed.windows == first.windows
+        assert resumed.seeded_evaluations == first.search.evaluations
+        assert resumed.search.evaluations == 0
+
+    def test_sigint_mid_search_then_resume_reaches_same_optimum(self, tmp_path):
+        """The acceptance criterion: kill mid-run, resume, same optimum,
+        strictly fewer fresh evaluations (the rest come from the cache)."""
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        baseline = windim(network, max_window=16)
+        interrupt_after = 7
+        assert baseline.search.evaluations > interrupt_after
+
+        from repro.mva.heuristic import solve_mva_heuristic
+
+        calls = [0]
+
+        def interrupting_solver(net):
+            calls[0] += 1
+            if calls[0] > interrupt_after:
+                os.kill(os.getpid(), signal.SIGINT)  # simulated Ctrl-C
+            return solve_mva_heuristic(net)
+
+        path = str(tmp_path / "killed.ckpt")
+        with pytest.raises(KeyboardInterrupt):
+            windim(
+                network,
+                max_window=16,
+                solver=interrupting_solver,
+                checkpoint_path=path,
+                checkpoint_every=1,
+                handle_signals=True,
+            )
+        # The flushed checkpoint holds exactly the completed evaluations.
+        assert len(load_checkpoint(path).cache_entries) == interrupt_after
+
+        resumed = windim(
+            network,
+            max_window=16,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert resumed.windows == baseline.windows
+        assert resumed.power == pytest.approx(baseline.power)
+        assert resumed.seeded_evaluations == interrupt_after
+        # Strictly fewer fresh evaluations: the replayed prefix is free.
+        assert resumed.search.evaluations < baseline.search.evaluations
+        assert (
+            resumed.search.evaluations + resumed.seeded_evaluations
+            == baseline.search.evaluations
+        )

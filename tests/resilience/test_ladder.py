@@ -1,0 +1,257 @@
+"""Escalation-ladder behaviour: damped retries, backend switching, health."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    LadderExhaustedError,
+    ModelError,
+    SolverError,
+)
+from repro.mva.convergence import IterationControl
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.resilience import (
+    DEFAULT_DAMPING_SCHEDULE,
+    DEFAULT_ESCALATION,
+    AttemptOutcome,
+    ResilientSolver,
+    solve_resilient,
+)
+
+
+class TestHappyPath:
+    def test_first_rung_suffices_on_healthy_network(self, two_class_net):
+        solver = ResilientSolver("mva-heuristic")
+        solution = solver(two_class_net)
+        reference = solve_mva_heuristic(two_class_net)
+        np.testing.assert_allclose(
+            solution.throughputs, reference.throughputs, rtol=1e-9
+        )
+        health = solver.last_health
+        assert health.succeeded
+        assert health.retries == 0
+        assert not health.escalated
+        assert health.final_solver == "mva-heuristic"
+        assert [a.outcome for a in health.attempts] == [AttemptOutcome.OK]
+
+    def test_functional_form(self, two_class_net):
+        solution = solve_resilient(two_class_net)
+        assert solution.converged
+
+    def test_health_statistics_aggregate(self, two_class_net):
+        solver = ResilientSolver("mva-heuristic")
+        for _ in range(3):
+            solver(two_class_net)
+        stats = solver.health_statistics()
+        assert stats["solves"] == 3
+        assert stats["retry_rate"] == 0.0
+        assert stats["failed"] == 0
+
+
+class TestDampingSchedule:
+    def test_flaky_solver_succeeds_on_second_damped_retry(self, two_class_net):
+        attempts = []
+
+        def flaky(network, control=None):
+            attempts.append(control.damping)
+            if control.damping > 0.5 + 1e-12:
+                raise ConvergenceError("injected oscillation", iterations=42)
+            return solve_mva_heuristic(network, control=control)
+
+        solver = ResilientSolver(flaky)
+        solution = solver(two_class_net)
+        assert solution.converged
+        # First rung undamped (failed), second rung damping 0.5 (succeeded).
+        assert attempts == [1.0, 0.5]
+        health = solver.last_health
+        assert health.retries == 1
+        assert not health.escalated  # same backend, just damped
+        assert health.attempts[0].outcome == AttemptOutcome.ERROR
+        assert "injected oscillation" in health.attempts[0].detail
+        assert health.attempts[0].iterations == 42
+        assert health.attempts[1].outcome == AttemptOutcome.OK
+
+    def test_non_converged_solution_triggers_retry(self, two_class_net):
+        calls = []
+
+        def stubborn(network, control=None):
+            calls.append(control.damping)
+            if len(calls) == 1:
+                # Return a non-converged iterate instead of raising.
+                weak = IterationControl(
+                    max_iterations=1, tolerance=1e-15, raise_on_failure=False
+                )
+                import warnings
+
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    return solve_mva_heuristic(network, control=weak)
+            return solve_mva_heuristic(network, control=control)
+
+        solver = ResilientSolver(stubborn)
+        solution = solver(two_class_net)
+        assert solution.converged
+        health = solver.last_health
+        assert health.attempts[0].outcome == AttemptOutcome.NON_CONVERGED
+        assert health.retries == 1
+
+    def test_custom_schedule_respected(self, two_class_net):
+        seen = []
+
+        def failing(network, control=None):
+            seen.append(control.damping)
+            raise ConvergenceError("never")
+
+        solver = ResilientSolver(
+            failing, damping_schedule=(1.0, 0.7, 0.3, 0.1), escalation=()
+        )
+        with pytest.raises(LadderExhaustedError):
+            solver(two_class_net)
+        assert seen == [1.0, 0.7, 0.3, 0.1]
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ModelError):
+            ResilientSolver("mva-heuristic", damping_schedule=())
+
+
+class TestEscalation:
+    def test_dead_primary_escalates_to_first_ladder_backend(self, two_class_net):
+        def dead(network, control=None):
+            raise SolverError("backend down")
+
+        solver = ResilientSolver(dead)
+        solution = solver(two_class_net)
+        assert solution.method == "mva-heuristic"  # first escalation rung
+        health = solver.last_health
+        assert health.escalated
+        assert health.final_solver == "mva-heuristic"
+        # All schedule rungs on the primary failed first.
+        primary_attempts = [a for a in health.attempts if a.solver == "dead"]
+        assert len(primary_attempts) == len(DEFAULT_DAMPING_SCHEDULE)
+        assert all(a.outcome == AttemptOutcome.ERROR for a in primary_attempts)
+
+    def test_escalation_order_is_honoured(self, two_class_net):
+        def dead(network, control=None):
+            raise SolverError("backend down")
+
+        solver = ResilientSolver(dead, escalation=("schweitzer",))
+        solution = solver(two_class_net)
+        assert solution.method == "schweitzer"
+        assert solver.last_health.final_solver == "schweitzer"
+
+    def test_nan_output_treated_as_failure(self, two_class_net):
+        def liar(network, control=None):
+            solution = solve_mva_heuristic(network)
+            return dataclasses.replace(
+                solution, throughputs=np.full_like(solution.throughputs, np.nan)
+            )
+
+        solver = ResilientSolver(liar)
+        solution = solver(two_class_net)
+        assert np.all(np.isfinite(solution.throughputs))
+        assert solver.last_health.attempts[0].outcome == AttemptOutcome.NAN_OUTPUT
+        assert solver.last_health.escalated
+
+    def test_exact_rung_skipped_when_lattice_too_large(self, two_class_net):
+        def dead(network, control=None):
+            raise SolverError("down")
+
+        solver = ResilientSolver(
+            dead, escalation=("mva-exact",), exact_lattice_limit=1
+        )
+        with pytest.raises(LadderExhaustedError) as excinfo:
+            solver(two_class_net)
+        health = excinfo.value.health
+        skipped = [a for a in health.attempts if a.solver == "mva-exact"]
+        assert len(skipped) == 1
+        assert skipped[0].outcome == AttemptOutcome.SKIPPED
+        assert "lattice" in skipped[0].detail
+
+    def test_exact_rung_used_when_tractable(self, tiny_two_chain_net):
+        def dead(network, control=None):
+            raise SolverError("down")
+
+        solver = ResilientSolver(dead, escalation=("mva-exact",))
+        solution = solver(tiny_two_chain_net)
+        assert solution.method == "mva-exact"
+        assert solver.last_health.final_solver == "mva-exact"
+
+    def test_default_escalation_order(self):
+        assert DEFAULT_ESCALATION == (
+            "mva-heuristic",
+            "schweitzer",
+            "linearizer",
+            "mva-exact",
+        )
+
+    def test_ladder_exhausted_carries_health(self, two_class_net):
+        def dead(network, control=None):
+            raise SolverError("down")
+
+        solver = ResilientSolver(dead, escalation=())
+        with pytest.raises(LadderExhaustedError) as excinfo:
+            solver(two_class_net)
+        assert excinfo.value.health is solver.last_health
+        assert not excinfo.value.health.succeeded
+        assert "every rung failed" in excinfo.value.health.summary()
+
+
+class TestNonRetriableFailures:
+    def test_model_error_propagates_immediately(self, two_class_net):
+        calls = []
+
+        def broken_model(network, control=None):
+            calls.append(1)
+            raise ModelError("the model itself is bad")
+
+        solver = ResilientSolver(broken_model)
+        with pytest.raises(ModelError):
+            solver(two_class_net)
+        assert len(calls) == 1  # no retry: retrying cannot fix a bad model
+
+    def test_unexpected_exception_propagates(self, two_class_net):
+        def buggy(network, control=None):
+            raise ZeroDivisionError("genuine bug")
+
+        with pytest.raises(ZeroDivisionError):
+            ResilientSolver(buggy)(two_class_net)
+
+
+class TestNonIterativePrimary:
+    def test_transient_fault_gets_one_retry(self, two_class_net):
+        calls = []
+
+        def transient(network):  # no control kwarg: cannot be damped
+            calls.append(1)
+            if len(calls) == 1:
+                raise SolverError("transient glitch")
+            return solve_mva_heuristic(network)
+
+        solver = ResilientSolver(transient)
+        solution = solver(two_class_net)
+        assert solution.converged
+        assert len(calls) == 2
+        assert solver.last_health.retries == 1
+
+
+class TestHealthRecordCap:
+    def test_log_is_bounded(self, two_class_net):
+        solver = ResilientSolver("mva-heuristic", max_health_records=5)
+        for _ in range(8):
+            solver(two_class_net)
+        assert len(solver.health_log) == 5
+
+
+class TestSolveHealthSerialisation:
+    def test_to_dict_roundtrips_through_json(self, two_class_net):
+        import json
+
+        solver = ResilientSolver("mva-heuristic")
+        solver(two_class_net)
+        payload = json.loads(json.dumps(solver.last_health.to_dict()))
+        assert payload["succeeded"] is True
+        assert payload["final_solver"] == "mva-heuristic"
+        assert payload["attempts"][0]["outcome"] == "ok"

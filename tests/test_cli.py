@@ -32,6 +32,70 @@ class TestSolve(object):
         assert "error" in capsys.readouterr().err
 
 
+class TestResilienceFlags:
+    def test_run_alias_accepted(self, capsys):
+        code = main(["run", "--network", "canadian2", "--rates", "25", "25"])
+        assert code == 0
+        assert "optimal windows" in capsys.readouterr().out
+
+    def test_resilient_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--network", "canadian2",
+                "--rates", "25", "25",
+                "--resilient",
+            ]
+        )
+        assert code == 0
+        assert "resilient solves" in capsys.readouterr().out
+
+    def test_deadline_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "--rates", "18", "18", "--deadline", "30"]
+        )
+        assert args.deadline == 30.0
+        assert args.checkpoint is None
+        assert not args.resume
+
+    def test_checkpoint_and_resume_via_cli(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.ckpt")
+        code = main(
+            [
+                "run",
+                "--network", "canadian2",
+                "--rates", "25", "25",
+                "--checkpoint", path,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "run",
+                "--network", "canadian2",
+                "--rates", "25", "25",
+                "--checkpoint", path,
+                "--resume",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+
+    def test_max_evaluations_budget_reported(self, capsys):
+        code = main(
+            [
+                "run",
+                "--network", "canadian2",
+                "--rates", "25", "25",
+                "--max-evaluations", "3",
+            ]
+        )
+        assert code == 0
+        assert "best-so-far" in capsys.readouterr().out
+
+
 class TestEvaluate:
     def test_evaluate_prints_solution(self, capsys):
         code = main(

@@ -99,6 +99,77 @@ class TestSolverInputPoisoning:
         assert math.isnan(trace.throughputs[2])
 
 
+class TestResilienceLadderInjection:
+    """ISSUE cases: flaky solver, timing-out solver, torn checkpoint."""
+
+    def test_flaky_solver_recovers_on_second_damped_retry(self, two_class_net):
+        from repro.mva.heuristic import solve_mva_heuristic
+        from repro.resilience import AttemptOutcome, ResilientSolver
+
+        def flaky(network, control=None):
+            if control.damping > 0.5:
+                raise SolverError("injected: diverges undamped")
+            return solve_mva_heuristic(network, control=control)
+
+        solver = ResilientSolver(flaky)
+        solution = solver(two_class_net)
+        assert solution.converged
+        health = solver.last_health
+        assert [a.outcome for a in health.attempts] == [
+            AttemptOutcome.ERROR,
+            AttemptOutcome.OK,
+        ]
+        assert health.attempts[1].damping == 0.5
+
+    def test_timing_out_solver_yields_budget_exhausted_not_hang(self):
+        # Every solve "takes" 100 simulated seconds against a 250-second
+        # deadline: the full search would need dozens of evaluations, so
+        # without the budget this run would effectively hang.
+        from repro.core.windim import windim
+        from repro.mva.heuristic import solve_mva_heuristic
+        from repro.resilience import SearchBudget
+
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        ticks = [0.0]
+
+        def glacial(net):
+            ticks[0] += 100.0
+            return solve_mva_heuristic(net)
+
+        result = windim(
+            network,
+            max_window=16,
+            solver=glacial,
+            budget=SearchBudget(max_seconds=250.0, clock=lambda: ticks[0]),
+        )
+        assert result.status == "budget_exhausted"
+        assert result.search.evaluations <= 3
+        assert "deadline" in result.search.stop_reason
+
+    def test_checkpoint_corrupted_mid_write_is_rejected(self, tmp_path):
+        # Simulate a torn write from a crash of a non-atomic writer: the
+        # file holds only a prefix of the JSON.  Resume must fail loudly
+        # with SearchError, never silently start from garbage.
+        from repro.core.windim import windim
+        from repro.errors import SearchError
+        from repro.resilience import SearchCheckpoint
+
+        full = SearchCheckpoint(
+            cache_entries=[((3, 3), 0.5)], meta={"num_chains": 2}
+        ).to_json()
+        path = tmp_path / "torn.ckpt"
+        path.write_text(full[: len(full) - 10])
+
+        network = canadian_two_class(18.0, 18.0, windows=(1, 1))
+        with pytest.raises(SearchError, match="not valid JSON"):
+            windim(
+                network,
+                max_window=8,
+                checkpoint_path=str(path),
+                resume=True,
+            )
+
+
 class TestCliFailurePaths:
     def test_unknown_solver_rejected_by_parser(self, capsys):
         from repro.cli import main

@@ -24,6 +24,7 @@ EXPECTED_BACKENDS = {
     "mva-heuristic",
     "schweitzer",
     "linearizer",
+    "resilient",
     "simulation",
 }
 
