@@ -8,8 +8,9 @@ pytest with ``-s`` to see it) and archives it under
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Sequence
+from typing import Mapping, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -34,3 +35,18 @@ def publish_rows(
 
     publish(name, render_table(headers, rows, title=title, precision=precision))
     (RESULTS_DIR / f"{name}.csv").write_text(render_csv(headers, rows))
+
+
+def publish_json(name: str, payload: Mapping[str, object]) -> pathlib.Path:
+    """Archive a machine-readable benchmark payload to results/<name>.json.
+
+    The perf-regression harness (and CI artifact upload) consumes these —
+    keep payloads flat JSON with explicit units in the key names
+    (``*_seconds``, ``*_per_second``) so downstream diffing needs no
+    schema knowledge.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench] wrote {path}")
+    return path

@@ -4,19 +4,27 @@ optimiser comparison.
 Regenerates a search trajectory on the real power surface (the base-point
 sequence of Fig. 4.4) and compares Hooke–Jeeves against coordinate descent
 and exhaustive search in evaluations-to-solution.
+
+Also the perf-regression anchor for the search stack: emits
+``results/BENCH_pattern_search.json`` with end-to-end window dimensioning
+throughput (evaluations/second) on the ARPANET fragment per solver
+backend, plus the multi-worker speedup reported separately.
 """
+
+import time
 
 import pytest
 
 from repro.analysis.tables import render_table
 from repro.core.objective import WindowObjective
-from repro.netmodel.examples import canadian_two_class
+from repro.core.windim import windim
+from repro.netmodel.examples import arpanet_fragment, canadian_two_class
 from repro.search.coordinate import coordinate_descent
 from repro.search.exhaustive import exhaustive_search
 from repro.search.pattern import pattern_search
 from repro.search.space import IntegerBox
 
-from _util import publish
+from _util import publish, publish_json
 
 
 @pytest.fixture(scope="module")
@@ -60,6 +68,94 @@ def test_trajectory_and_optimizer_comparison(surface):
 
     # And is never worse than coordinate descent here.
     assert pattern.best_value <= coordinate.best_value + 1e-12
+
+
+def _timed_windim(network, repeats, **kwargs):
+    """Best-of-``repeats`` wall time for one windim configuration."""
+    best_seconds = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = windim(network, **kwargs)
+        best_seconds = min(best_seconds, time.perf_counter() - t0)
+    evaluations = result.search.evaluations
+    return {
+        "wall_seconds": best_seconds,
+        "evaluations": evaluations,
+        "evaluations_per_second": evaluations / best_seconds,
+        "best_windows": list(result.windows),
+    }
+
+
+def run_pattern_search_bench(tiny: bool = False) -> dict:
+    """ARPANET pattern-search throughput, scalar vs vectorized vs parallel.
+
+    The single-worker scalar/vectorized pair is the regression signal
+    (same search, same evaluation count — pure kernel speed).  The
+    multi-worker row exercises the speculative ``batch_solve`` prefetch
+    and is reported separately: its evaluation count differs (speculative
+    neighbours) and its speedup depends on pool overhead vs problem size.
+    """
+    if tiny:
+        network = canadian_two_class(18.0, 18.0)
+        start, max_window, repeats, workers = (6, 6), 12, 1, 2
+    else:
+        network = arpanet_fragment((8.0, 8.0, 6.0, 6.0))
+        start, max_window, repeats, workers = (12, 12, 12, 12), 24, 3, 2
+
+    runs = {}
+    for backend in ("scalar", "vectorized"):
+        runs[backend] = dict(
+            _timed_windim(
+                network, repeats, backend=backend, start=start,
+                max_window=max_window,
+            ),
+            backend=backend,
+            workers=1,
+        )
+    runs["parallel"] = dict(
+        _timed_windim(
+            network, repeats, backend="vectorized", start=start,
+            max_window=max_window, workers=workers,
+        ),
+        backend="vectorized",
+        workers=workers,
+    )
+
+    payload = {
+        "bench": "pattern_search",
+        "network": "canadian2" if tiny else "arpanet_fragment",
+        "tiny": tiny,
+        "start": list(start),
+        "max_window": max_window,
+        "repeats": repeats,
+        "runs": runs,
+        "vectorized_speedup_vs_scalar": (
+            runs["vectorized"]["evaluations_per_second"]
+            / runs["scalar"]["evaluations_per_second"]
+        ),
+        "parallel_speedup_vs_serial_vectorized": (
+            runs["parallel"]["evaluations_per_second"]
+            / runs["vectorized"]["evaluations_per_second"]
+        ),
+    }
+    # Tiny (smoke) runs get their own file so they never clobber the real
+    # artifact CI uploads.
+    publish_json("BENCH_pattern_search" + ("_tiny" if tiny else ""), payload)
+    return payload
+
+
+def test_pattern_search_perf_regression():
+    payload = run_pattern_search_bench()
+    runs = payload["runs"]
+    # Both single-worker searches walk the identical trajectory.
+    assert runs["vectorized"]["best_windows"] == runs["scalar"]["best_windows"]
+    assert runs["vectorized"]["evaluations"] == runs["scalar"]["evaluations"]
+    # The vectorized kernels must keep their >= 2x end-to-end win on the
+    # ARPANET dimensioning run (the acceptance bar of the backend work).
+    assert payload["vectorized_speedup_vs_scalar"] >= 2.0
+    # Parallel must find the same optimum; its speed is informational.
+    assert runs["parallel"]["best_windows"] == runs["scalar"]["best_windows"]
 
 
 def test_pattern_search_speed(benchmark, surface):

@@ -1,0 +1,71 @@
+"""Solver kernel backend selection.
+
+Every MVA-family solver in :mod:`repro.mva` and :mod:`repro.exact` ships
+two interchangeable kernel implementations:
+
+``"scalar"``
+    The reference implementation: per-chain Python loops mirroring the
+    thesis recurrences line by line.  Kept verbatim so the vectorized
+    path always has an executable specification to be diffed against
+    (the parity test wall pins agreement to ≤ 1e-8 relative error).
+``"vectorized"``
+    Dense-array kernels that carry the whole per-(station, chain) state
+    as NumPy arrays and replace the per-chain loops with batched
+    elementwise operations.  Numerically it performs the same floating-
+    point operations in the same order, so results agree with the scalar
+    path to machine precision; it is simply much faster when the number
+    of chains or the window sizes grow.
+
+The process-wide default is ``"vectorized"``; it can be overridden per
+call (every solver takes a ``backend=`` keyword), per process via the
+``REPRO_SOLVER_BACKEND`` environment variable, or from the CLI via
+``--solver-backend``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ModelError
+
+__all__ = ["BACKENDS", "DEFAULT_BACKEND", "default_backend", "resolve_backend"]
+
+#: The recognised kernel backends.
+BACKENDS = ("scalar", "vectorized")
+
+#: Library-wide default when neither the call site nor the environment
+#: chooses one.
+DEFAULT_BACKEND = "vectorized"
+
+#: Environment variable consulted by :func:`default_backend`.
+BACKEND_ENV_VAR = "REPRO_SOLVER_BACKEND"
+
+
+def default_backend() -> str:
+    """The backend used when a solver is called with ``backend=None``.
+
+    ``REPRO_SOLVER_BACKEND`` overrides the library default (useful for
+    running an entire test suite or CI job against one kernel family
+    without touching call sites).
+    """
+    chosen = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if not chosen:
+        return DEFAULT_BACKEND
+    if chosen not in BACKENDS:
+        raise ModelError(
+            f"{BACKEND_ENV_VAR}={chosen!r} is not a valid backend; "
+            f"expected one of {BACKENDS}"
+        )
+    return chosen
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate an explicit backend choice (None = process default)."""
+    if backend is None:
+        return default_backend()
+    if backend not in BACKENDS:
+        raise ModelError(
+            f"unknown solver backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend

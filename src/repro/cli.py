@@ -43,6 +43,7 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import render_table
+from repro.backend import BACKENDS, BACKEND_ENV_VAR
 from repro.core.objective import SOLVERS
 from repro.core.power import power_report
 from repro.core.windim import windim
@@ -92,6 +93,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     result = windim(
         network,
         solver=args.solver,
+        backend=args.solver_backend,
+        workers=args.workers,
         max_window=args.max_window,
         start=args.start,
         max_evaluations=args.max_evaluations,
@@ -113,7 +116,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"need {network.num_chains} windows, got {len(args.windows)}"
         )
     solver = SOLVERS[args.solver]
-    solution = solver(network.with_populations(args.windows))
+    solution = solver(
+        network.with_populations(args.windows), backend=args.solver_backend
+    )
     print(solution.summary())
     report = power_report(solution)
     print(report.summary())
@@ -223,7 +228,11 @@ def _cmd_multistart(args: argparse.Namespace) -> int:
 
     network = _network_from_args(args)
     result = windim_multistart(
-        network, solver=args.solver, max_window=args.max_window
+        network,
+        solver=args.solver,
+        backend=args.solver_backend,
+        workers=args.workers,
+        max_window=args.max_window,
     )
     print(result.summary())
     return 0
@@ -308,6 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
             default="mva-heuristic",
             help="performance solver",
         )
+        p.add_argument(
+            "--solver-backend",
+            choices=BACKENDS,
+            default=None,
+            dest="solver_backend",
+            help="solver kernel: vectorized dense arrays (default) or the "
+            "scalar reference loops; also settable via "
+            f"{BACKEND_ENV_VAR}",
+        )
 
     solve = sub.add_parser(
         "solve",
@@ -328,6 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10_000,
         help="cap on fresh objective evaluations",
+    )
+    solve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate each pattern-search neighborhood on a pool of N "
+        "worker processes (default: in-process)",
     )
     solve.add_argument(
         "--resilient",
@@ -424,6 +450,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(multistart)
     multistart.add_argument("--max-window", type=int, default=32)
+    multistart.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="batch-solve seeds and neighborhoods on N worker processes",
+    )
     multistart.set_defaults(handler=_cmd_multistart)
 
     verify = sub.add_parser(

@@ -30,6 +30,8 @@ __all__ = ["windim_multistart"]
 def windim_multistart(
     network: ClosedNetwork,
     solver: Union[str, Solver] = "mva-heuristic",
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
     extra_starts: Optional[Sequence[Sequence[int]]] = None,
     max_window: int = 64,
     initial_step: int = 2,
@@ -43,13 +45,19 @@ def windim_multistart(
     mid-range probe, plus any ``extra_starts``.  All runs share one
     evaluation cache, so overlapping trajectories cost nothing.
 
+    ``backend`` selects the solver kernel and ``workers`` a process-pool
+    size (as in :func:`repro.core.windim.windim`).  With workers, the
+    whole deduplicated seed list is batch-solved up front in one
+    :meth:`~repro.core.objective.WindowObjective.batch_solve` call, and
+    every search's exploratory neighborhoods are prefetched in parallel.
+
     Returns
     -------
     WindimResult
         As :func:`repro.core.windim.windim`; ``search`` is the run that
         produced the winner, with cache-wide evaluation totals.
     """
-    objective = WindowObjective(network, solver)
+    objective = WindowObjective(network, solver, backend=backend, workers=workers)
     space = IntegerBox.windows(network.num_chains, max_window)
     cache = EvaluationCache(objective)
 
@@ -71,19 +79,30 @@ def windim_multistart(
 
     best_search: Optional[SearchResult] = None
     best_start: Tuple[int, ...] = starts[0]
-    for start in dict.fromkeys(starts):  # dedupe, keep order
-        run = pattern_search(
-            objective,
-            start,
-            space,
-            initial_step=initial_step,
-            max_halvings=max_halvings,
-            max_evaluations=max_evaluations,
-            cache=cache,
-        )
-        if best_search is None or run.best_value < best_search.best_value:
-            best_search = run
-            best_start = space.clip(start)
+    unique_starts = [space.clip(s) for s in dict.fromkeys(starts)]
+    try:
+        if objective.parallel:
+            # Warm the shared cache with every seed in one parallel batch.
+            for point, value in zip(
+                unique_starts, objective.batch_solve(unique_starts)
+            ):
+                cache.prime(point, value)
+        for start in dict.fromkeys(unique_starts):
+            run = pattern_search(
+                objective,
+                start,
+                space,
+                initial_step=initial_step,
+                max_halvings=max_halvings,
+                max_evaluations=max_evaluations,
+                cache=cache,
+                prefetch=objective.batch_solve if objective.parallel else None,
+            )
+            if best_search is None or run.best_value < best_search.best_value:
+                best_search = run
+                best_start = start
+    finally:
+        objective.close()
 
     assert best_search is not None
     solution = objective.solution(best_search.best_point)

@@ -5,12 +5,22 @@
 can minimise.  It also remembers the full :class:`~repro.solution.
 NetworkSolution` of the best point seen, so WINDIM can report class
 throughputs and delays without re-solving.
+
+Beyond single evaluations, :meth:`WindowObjective.batch_solve` evaluates a
+whole list of window vectors in one call — a pattern-search neighborhood
+or a multistart seed list — optionally dispatching the solves across a
+``concurrent.futures`` process pool (``workers=N``).  Named solvers and
+:class:`~repro.queueing.network.ClosedNetwork` are picklable, so each
+worker reconstructs the candidate network from ``(solver name, backend,
+network, windows)`` and ships back the full solution.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.backend import resolve_backend
 from repro.core.power import inverse_power
 from repro.errors import ModelError, SolverError
 from repro.queueing.network import ClosedNetwork
@@ -19,46 +29,63 @@ from repro.solution import NetworkSolution
 __all__ = ["WindowObjective", "resolve_solver", "SOLVERS"]
 
 Point = Tuple[int, ...]
-Solver = Callable[[ClosedNetwork], NetworkSolution]
+Solver = Callable[..., NetworkSolution]
 
 
-def _heuristic_solver(network: ClosedNetwork) -> NetworkSolution:
+def _heuristic_solver(
+    network: ClosedNetwork, backend: Optional[str] = None
+) -> NetworkSolution:
     from repro.mva.heuristic import solve_mva_heuristic
 
-    return solve_mva_heuristic(network)
+    return solve_mva_heuristic(network, backend=backend)
 
 
-def _exact_mva_solver(network: ClosedNetwork) -> NetworkSolution:
+def _exact_mva_solver(
+    network: ClosedNetwork, backend: Optional[str] = None
+) -> NetworkSolution:
     from repro.exact.mva_exact import solve_mva_exact
 
-    return solve_mva_exact(network)
+    return solve_mva_exact(network, backend=backend)
 
 
-def _convolution_solver(network: ClosedNetwork) -> NetworkSolution:
+def _convolution_solver(
+    network: ClosedNetwork, backend: Optional[str] = None
+) -> NetworkSolution:
+    # The convolution algorithm has a single kernel; the backend flag is
+    # accepted (and validated) for interface uniformity.
+    resolve_backend(backend)
     from repro.exact.convolution import solve_convolution
 
     return solve_convolution(network)
 
 
-def _schweitzer_solver(network: ClosedNetwork) -> NetworkSolution:
+def _schweitzer_solver(
+    network: ClosedNetwork, backend: Optional[str] = None
+) -> NetworkSolution:
     from repro.mva.schweitzer import solve_schweitzer
 
-    return solve_schweitzer(network)
+    return solve_schweitzer(network, backend=backend)
 
 
-def _linearizer_solver(network: ClosedNetwork) -> NetworkSolution:
+def _linearizer_solver(
+    network: ClosedNetwork, backend: Optional[str] = None
+) -> NetworkSolution:
     from repro.mva.linearizer import solve_linearizer
 
-    return solve_linearizer(network)
+    return solve_linearizer(network, backend=backend)
 
 
-def _resilient_solver(network: ClosedNetwork) -> NetworkSolution:
+def _resilient_solver(
+    network: ClosedNetwork, backend: Optional[str] = None
+) -> NetworkSolution:
     from repro.resilience.ladder import solve_resilient
 
-    return solve_resilient(network, "mva-heuristic")
+    return solve_resilient(network, "mva-heuristic", backend=backend)
 
 
-#: Named solvers accepted by :func:`resolve_solver` and the CLI.
+#: Named solvers accepted by :func:`resolve_solver` and the CLI.  Every
+#: entry takes ``(network, backend=None)``; the backend selects the kernel
+#: implementation (see :mod:`repro.backend`), never the algorithm.
 SOLVERS: Dict[str, Solver] = {
     "mva-heuristic": _heuristic_solver,
     "mva-exact": _exact_mva_solver,
@@ -82,6 +109,29 @@ def resolve_solver(solver: "str | Solver") -> Solver:
         ) from None
 
 
+def _solve_windows(
+    solver_name: str,
+    backend: Optional[str],
+    network: ClosedNetwork,
+    key: Point,
+) -> "Tuple[float, Optional[NetworkSolution]]":
+    """Process-pool work item: solve one window vector from scratch.
+
+    Module-level (hence picklable) and self-contained: a worker only needs
+    the solver *name*, the kernel backend, the template network, and the
+    windows.  Mirrors ``WindowObjective.__call__`` semantics: a
+    ``SolverError`` becomes ``(inf, None)`` so searches route around the
+    point instead of dying.
+    """
+    solver = SOLVERS[solver_name]
+    candidate = network.with_populations(key)
+    try:
+        solution = solver(candidate, backend=backend)
+    except SolverError:
+        return float("inf"), None
+    return inverse_power(solution), solution
+
+
 class WindowObjective:
     """Callable ``windows -> 1/power`` for a fixed network topology.
 
@@ -94,6 +144,16 @@ class WindowObjective:
         Solver name from :data:`SOLVERS` or any
         ``ClosedNetwork -> NetworkSolution`` callable.
         Defaults to the thesis MVA heuristic.
+    backend:
+        Kernel backend forwarded to named solvers (``"scalar"`` /
+        ``"vectorized"``; ``None`` = process default, see
+        :mod:`repro.backend`).  Ignored for custom callables, which own
+        their kernels.
+    workers:
+        When > 1 *and* the solver is a registry name,
+        :meth:`batch_solve` fans its points out over a process pool of
+        this size; single evaluations are unaffected.  ``None``/``0``/
+        ``1`` keeps everything in-process.
 
     Notes
     -----
@@ -102,9 +162,29 @@ class WindowObjective:
     search simply avoids it; genuine model errors still propagate.
     """
 
-    def __init__(self, network: ClosedNetwork, solver: "str | Solver" = "mva-heuristic"):
+    def __init__(
+        self,
+        network: ClosedNetwork,
+        solver: "str | Solver" = "mva-heuristic",
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+    ):
+        if backend is not None:
+            resolve_backend(backend)  # validate eagerly
         self._network = network
+        self._solver_name = solver if isinstance(solver, str) else None
         self._solver = resolve_solver(solver)
+        self._backend = backend
+        self._workers = int(workers) if workers else 0
+        if self._workers < 0:
+            raise ModelError(f"workers must be >= 0, got {workers}")
+        if self._workers > 1 and self._solver_name is None:
+            raise ModelError(
+                "parallel batch evaluation (workers > 1) requires a named "
+                f"solver from {sorted(SOLVERS)}; custom callables may not "
+                "be picklable"
+            )
+        self._pool: Optional[ProcessPoolExecutor] = None
         self._solutions: Dict[Point, NetworkSolution] = {}
         self.evaluations = 0
 
@@ -113,8 +193,17 @@ class WindowObjective:
         """The underlying network template."""
         return self._network
 
-    def __call__(self, windows: Sequence[int]) -> float:
-        """Objective value ``F = 1/P`` at the given window vector."""
+    @property
+    def backend(self) -> Optional[str]:
+        """Kernel backend forwarded to named solvers (None = default)."""
+        return self._backend
+
+    @property
+    def parallel(self) -> bool:
+        """True when :meth:`batch_solve` dispatches to a process pool."""
+        return self._workers > 1 and self._solver_name is not None
+
+    def _key(self, windows: Sequence[int]) -> Point:
         key = tuple(int(w) for w in windows)
         if len(key) != self._network.num_chains:
             raise ModelError(
@@ -122,14 +211,72 @@ class WindowObjective:
             )
         if any(w < 0 for w in key):
             raise ModelError(f"window sizes must be >= 0, got {key}")
+        return key
+
+    def __call__(self, windows: Sequence[int]) -> float:
+        """Objective value ``F = 1/P`` at the given window vector."""
+        key = self._key(windows)
         self.evaluations += 1
         candidate = self._network.with_populations(key)
         try:
-            solution = self._solver(candidate)
+            if self._solver_name is not None:
+                solution = self._solver(candidate, backend=self._backend)
+            else:
+                solution = self._solver(candidate)
         except SolverError:
             return float("inf")
         self._solutions[key] = solution
         return inverse_power(solution)
+
+    def batch_solve(self, batch: Sequence[Sequence[int]]) -> List[float]:
+        """Evaluate a whole batch of window vectors in one call.
+
+        The batch is typically a pattern-search neighborhood or a
+        multistart seed list.  With ``workers > 1`` (and a named solver)
+        the solves run concurrently on a process pool — created lazily on
+        first use and reused across calls; otherwise they run serially
+        in-process.  Either way the full solutions are retained, so
+        :meth:`solution` is free afterwards, and ``evaluations`` grows by
+        ``len(batch)``.
+
+        Returns the objective values in batch order (``inf`` where the
+        solver failed).  Duplicate vectors in one batch are solved once.
+        """
+        keys = [self._key(w) for w in batch]
+        if not keys:
+            return []
+        if not self.parallel:
+            return [self(k) for k in keys]
+
+        unique = list(dict.fromkeys(keys))
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        results = self._pool.map(
+            _solve_windows,
+            [self._solver_name] * len(unique),
+            [self._backend] * len(unique),
+            [self._network] * len(unique),
+            unique,
+        )
+        values: Dict[Point, float] = {}
+        for key, (value, solution) in zip(unique, results):
+            self.evaluations += 1
+            values[key] = value
+            if solution is not None:
+                self._solutions[key] = solution
+        return [values[k] for k in keys]
+
+    def close(self) -> None:
+        """Shut down the process pool (no-op when none was created)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "WindowObjective":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
 
     def solution(self, windows: Sequence[int]) -> NetworkSolution:
         """The full solution at ``windows`` (solving now if needed)."""

@@ -137,6 +137,8 @@ class WindimResult:
 def windim(
     network: ClosedNetwork,
     solver: Union[str, Solver] = "mva-heuristic",
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
     start: Optional[Sequence[int]] = None,
     initial_strategy: str = "hops",
     max_window: int = 64,
@@ -162,6 +164,18 @@ def windim(
         Performance solver used for objective evaluations — the thesis
         uses ``"mva-heuristic"``; ``"mva-exact"``/``"convolution"`` give
         the (expensive) exact variant for comparison.
+    backend:
+        Solver kernel backend (``"scalar"``/``"vectorized"``; ``None`` =
+        process default, see :mod:`repro.backend`).  A kernel choice, not
+        an algorithm choice: checkpoints written under one backend resume
+        cleanly under the other (the parity wall pins them to ≤ 1e-8).
+    workers:
+        When > 1 (named solvers only), each pattern-search neighborhood
+        is batch-evaluated across a process pool of this size via
+        :meth:`~repro.core.objective.WindowObjective.batch_solve`.
+        Speculative neighbors count as evaluations.  Incompatible with
+        ``resilient=True`` (health records are in-process); use
+        ``solver="resilient"`` to combine parallelism with the ladder.
     start:
         Explicit initial window vector; overrides ``initial_strategy``.
     initial_strategy:
@@ -216,11 +230,17 @@ def windim(
 
     resilient_solver: Optional[ResilientSolver] = None
     if resilient:
+        if workers is not None and workers > 1:
+            raise SearchError(
+                "resilient=True collects per-evaluation health records "
+                "in-process and cannot be combined with workers > 1; pass "
+                'solver="resilient" instead to parallelise ladder solves'
+            )
         primary = "mva-heuristic" if solver == "resilient" else solver
-        resilient_solver = ResilientSolver(primary)
+        resilient_solver = ResilientSolver(primary, backend=backend)
         solver = resilient_solver
 
-    objective = WindowObjective(network, solver)
+    objective = WindowObjective(network, solver, backend=backend, workers=workers)
     space = IntegerBox.windows(network.num_chains, max_window)
     cache = EvaluationCache(objective)
 
@@ -238,6 +258,9 @@ def windim(
                 "num_chains": network.num_chains,
                 "max_window": max_window,
                 "solver": str(solver_label),
+                # Informational only: cache entries are backend-agnostic
+                # (kernels agree to <= 1e-8), so resume never checks this.
+                "backend": backend if backend is not None else "default",
                 "initial_step": initial_step,
                 "max_halvings": max_halvings,
                 "start": list(start_point),
@@ -269,6 +292,7 @@ def windim(
             cache=cache,
             budget=budget,
             on_evaluation=manager.note_evaluation if manager else None,
+            prefetch=objective.batch_solve if objective.parallel else None,
         )
 
     try:
@@ -284,6 +308,8 @@ def windim(
         if manager is not None:
             manager.flush()
         raise
+    finally:
+        objective.close()
     if manager is not None:
         manager.flush()
 

@@ -28,13 +28,19 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.errors import ModelError
 from repro.mva.convergence import IterationControl
 from repro.mva.single_chain import solve_single_chain
 from repro.queueing.network import ClosedNetwork
 from repro.solution import NetworkSolution
 
-__all__ = ["solve_mva_heuristic", "initial_queue_lengths"]
+__all__ = [
+    "solve_mva_heuristic",
+    "initial_queue_lengths",
+    "batched_increments",
+    "plan_increments",
+]
 
 #: Supported initialisation strategies for the mean queue lengths (STEP 1).
 INITIALIZERS = ("balanced", "bottleneck")
@@ -67,10 +73,107 @@ def initial_queue_lengths(network: ClosedNetwork, strategy: str = "balanced") ->
     return queue_lengths
 
 
+def plan_increments(
+    alive: np.ndarray,
+    populations: np.ndarray,
+    delay_mask: np.ndarray,
+) -> tuple:
+    """Precompute the loop-invariant state of :func:`batched_increments`.
+
+    ``alive`` marks chains with any positive demand (``alive[r]`` iff
+    chain ``r``'s ``scaled`` row has a positive entry); since scaling by
+    ``1 + others >= 1`` never changes positivity, callers can derive it
+    once from the raw demands and reuse the plan across every fixed-point
+    iteration of a solve.
+    """
+    populations = np.asarray(populations)
+    queueing = (~np.asarray(delay_mask, dtype=bool))[None, :]
+    # Zero-demand chains have zero total wait at every step; offsetting
+    # their denominator by one keeps the division well-defined while
+    # leaving alive chains' denominators bit-for-bit untouched (x + 0.0).
+    dead_offset = np.where(alive, 0.0, 1.0)
+    finish_at = {
+        d: (alive & (populations == d))[:, None]
+        for d in {int(p) for p in populations}
+        if d >= 1
+    }
+    max_population = int(populations.max()) if populations.size else 0
+    return queueing, dead_offset, finish_at, max_population
+
+
+def batched_increments(
+    scaled: np.ndarray,
+    populations: np.ndarray,
+    delay_mask: np.ndarray,
+    plan: Optional[tuple] = None,
+) -> np.ndarray:
+    """Own-chain queue-length increments for *all* chains in one recursion.
+
+    Vectorized equivalent of running :func:`~repro.mva.single_chain.
+    solve_single_chain` once per chain and taking ``trace.increment()``:
+    the single-chain population recursion is advanced for every chain
+    simultaneously on dense ``(R, L)`` state.  Per chain the floating-point
+    operations (and their order) are identical to the scalar recursion, so
+    the result matches ``solve_single_chain`` to the last bit.
+
+    Rows are independent, so no per-step masking is needed: a chain's
+    increment is captured on the step matching its own population and its
+    row simply keeps recursing (unread) until the longest chain finishes.
+
+    Parameters
+    ----------
+    scaled:
+        ``(R, L)`` inflated service demands, one row per chain.
+    populations:
+        ``(R,)`` integer chain populations.
+    delay_mask:
+        ``(L,)`` bool mask of infinite-server stations.
+    plan:
+        Optional loop-invariant state from :func:`plan_increments`;
+        callers iterating on the same network should build it once.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(R, L)`` increments ``sigma_ir = N_i(D_r) - N_i(D_r - 1)``.
+    """
+    if plan is None:
+        plan = plan_increments(scaled.sum(axis=1) > 0, populations, delay_mask)
+    queueing, dead_offset, finish_at, max_population = plan
+    queue = np.zeros_like(scaled)
+    sigma = np.zeros_like(scaled)
+    for d in range(1, max_population + 1):
+        wait = np.where(queueing, scaled * (1.0 + queue), scaled)
+        total_wait = wait.sum(axis=1)
+        rate = d / (total_wait + dead_offset)
+        stepped = rate[:, None] * wait
+        finishing = finish_at.get(d)
+        if finishing is not None:
+            sigma = np.where(finishing, stepped - queue, sigma)
+        queue = stepped
+    return sigma
+
+
+def _scalar_increments(
+    network: ClosedNetwork,
+    scaled_rows: np.ndarray,
+    active: "list[int]",
+    delay_mask: np.ndarray,
+    sigma: np.ndarray,
+) -> None:
+    """Reference per-chain increments via the single-chain recursion."""
+    for r in active:
+        trace = solve_single_chain(
+            scaled_rows[r], int(network.populations[r]), delay_station=delay_mask
+        )
+        sigma[r] = trace.increment()
+
+
 def solve_mva_heuristic(
     network: ClosedNetwork,
     control: Optional[IterationControl] = None,
     initializer: str = "balanced",
+    backend: Optional[str] = None,
 ) -> NetworkSolution:
     """Solve a closed multichain network with the thesis §4.2 heuristic.
 
@@ -85,6 +188,11 @@ def solve_mva_heuristic(
     initializer:
         Queue-length initialisation strategy (``"balanced"`` default, or
         ``"bottleneck"``; thesis §4.2 rules 1 and 2).
+    backend:
+        Kernel implementation: ``"vectorized"`` (dense batched arrays,
+        the default) or ``"scalar"`` (the per-chain reference loops); see
+        :mod:`repro.backend`.  Both produce the same numbers to machine
+        precision.
 
     Returns
     -------
@@ -94,6 +202,7 @@ def solve_mva_heuristic(
     """
     if control is None:
         control = IterationControl()
+    vectorized = resolve_backend(backend) == "vectorized"
 
     demands = network.demands
     num_chains, num_stations = demands.shape
@@ -107,6 +216,24 @@ def solve_mva_heuristic(
     sigma = np.zeros_like(demands)
 
     active = [r for r in range(num_chains) if populations[r] > 0]
+    active_mask = populations > 0
+    # The batched recursion's masks depend only on demand positivity and
+    # the populations, both fixed for the whole solve.
+    plan = (
+        plan_increments(demands.sum(axis=1) > 0, network.populations, delay_mask)
+        if vectorized
+        else None
+    )
+    # Zero-demand detection is iteration-invariant (cycle times depend on
+    # the fixed demands' positivity), so it is checked once up front.
+    visited_demand = np.where(visit_mask, demands, 0.0).sum(axis=1)
+    if np.any(active_mask & (visited_demand <= 0)):
+        bad = int(np.flatnonzero(active_mask & (visited_demand <= 0))[0])
+        raise ModelError(
+            f"chain {network.chains[bad].name!r} has zero total demand"
+        )
+    delay_row = delay_mask[None, :]
+    invisible = ~visit_mask
 
     iterations = 0
     residual = float("inf")
@@ -114,31 +241,28 @@ def solve_mva_heuristic(
         # STEP 2 — own-chain queue-length increments from the isolated
         # single-chain problem with inflated service times.
         total_by_station = queue_lengths.sum(axis=0)
-        sigma[:] = 0.0
-        for r in active:
-            others = total_by_station - queue_lengths[r]
-            scaled = np.where(
-                delay_mask, demands[r], demands[r] * (1.0 + others)
+        others = total_by_station[None, :] - queue_lengths
+        scaled = np.where(delay_row, demands, demands * (1.0 + others))
+        if vectorized:
+            sigma = batched_increments(
+                scaled, network.populations, delay_mask, plan
             )
-            trace = solve_single_chain(
-                scaled, int(network.populations[r]), delay_station=delay_mask
-            )
-            sigma[r] = trace.increment()
+        else:
+            sigma[:] = 0.0
+            _scalar_increments(network, scaled, active, delay_mask, sigma)
 
         # STEP 3 — arrival theorem with N(D - u_r) ~= N(D) - sigma(r-).
-        seen = np.clip(total_by_station[None, :] - sigma, 0.0, None)
-        waiting = np.where(delay_mask[None, :], demands, demands * (1.0 + seen))
-        waiting[~visit_mask] = 0.0
+        seen = np.maximum(total_by_station[None, :] - sigma, 0.0)
+        waiting = np.where(delay_row, demands, demands * (1.0 + seen))
+        waiting[invisible] = 0.0
 
         # STEP 4 — Little's law for chains.
-        new_throughputs = np.zeros(num_chains)
-        for r in active:
-            cycle_time = waiting[r].sum()
-            if cycle_time <= 0:
-                raise ModelError(
-                    f"chain {network.chains[r].name!r} has zero total demand"
-                )
-            new_throughputs[r] = populations[r] / cycle_time
+        cycle_times = waiting.sum(axis=1)
+        new_throughputs = np.where(
+            active_mask,
+            populations / np.where(cycle_times > 0, cycle_times, 1.0),
+            0.0,
+        )
         new_throughputs = control.apply_damping(new_throughputs, throughputs)
 
         # STEP 5 — Little's law for queues.

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.errors import ModelError
 from repro.mva.convergence import IterationControl
 from repro.queueing.network import ClosedNetwork
@@ -34,15 +35,19 @@ __all__ = ["solve_schweitzer"]
 def solve_schweitzer(
     network: ClosedNetwork,
     control: Optional[IterationControl] = None,
+    backend: Optional[str] = None,
 ) -> NetworkSolution:
     """Solve a closed multichain network with Schweitzer–Bard AMVA.
 
     Parameters and return value mirror
     :func:`repro.mva.heuristic.solve_mva_heuristic`; the returned solution
-    has ``method="schweitzer"``.
+    has ``method="schweitzer"``.  ``backend`` selects the batched dense
+    kernel (``"vectorized"``, default) or the per-chain reference loop
+    (``"scalar"``); both agree to machine precision.
     """
     if control is None:
         control = IterationControl()
+    vectorized = resolve_backend(backend) == "vectorized"
 
     demands = network.demands
     num_chains, num_stations = demands.shape
@@ -60,6 +65,7 @@ def solve_schweitzer(
     throughputs = np.zeros(num_chains)
     waiting = np.zeros_like(demands)
     active = [r for r in range(num_chains) if populations[r] > 0]
+    active_mask = populations > 0
 
     # Scaling factor (D_r - 1)/D_r of the own-chain term; zero-population
     # chains never enter the loops below.
@@ -67,23 +73,43 @@ def solve_schweitzer(
     for r in active:
         shrink[r] = (populations[r] - 1.0) / populations[r]
 
+    delay_row = delay_mask[None, :]
+    invisible = ~visit_mask
+    if vectorized:
+        # Zero-demand detection is iteration-invariant (cycle times depend
+        # only on the fixed demands' positivity), so check once up front;
+        # the loop below can then divide unguarded.  Inactive chains get a
+        # unit denominator offset (their numerator is zero anyway), active
+        # chains an exact + 0.0.
+        visited_demand = np.where(visit_mask, demands, 0.0).sum(axis=1)
+        if np.any(active_mask & (visited_demand <= 0)):
+            bad = int(np.flatnonzero(active_mask & (visited_demand <= 0))[0])
+            raise ModelError(
+                f"chain {network.chains[bad].name!r} has zero total demand"
+            )
+        inactive_offset = np.where(active_mask, 0.0, 1.0)
+
     iterations = 0
     residual = float("inf")
     for iterations in range(1, control.max_iterations + 1):
         total_by_station = queue_lengths.sum(axis=0)
         # Arrival-instant estimate: total minus the own-chain share removed.
         seen = total_by_station[None, :] - queue_lengths * (1.0 - shrink[:, None])
-        waiting = np.where(delay_mask[None, :], demands, demands * (1.0 + seen))
-        waiting[~visit_mask] = 0.0
+        waiting = np.where(delay_row, demands, demands * (1.0 + seen))
+        waiting[invisible] = 0.0
 
-        new_throughputs = np.zeros(num_chains)
-        for r in active:
-            cycle_time = waiting[r].sum()
-            if cycle_time <= 0:
-                raise ModelError(
-                    f"chain {network.chains[r].name!r} has zero total demand"
-                )
-            new_throughputs[r] = populations[r] / cycle_time
+        if vectorized:
+            cycle_times = waiting.sum(axis=1)
+            new_throughputs = populations / (cycle_times + inactive_offset)
+        else:
+            new_throughputs = np.zeros(num_chains)
+            for r in active:
+                cycle_time = waiting[r].sum()
+                if cycle_time <= 0:
+                    raise ModelError(
+                        f"chain {network.chains[r].name!r} has zero total demand"
+                    )
+                new_throughputs[r] = populations[r] / cycle_time
         new_throughputs = control.apply_damping(new_throughputs, throughputs)
         queue_lengths = new_throughputs[:, None] * waiting
 

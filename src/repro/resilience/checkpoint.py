@@ -229,15 +229,20 @@ class CheckpointManager:
             self.flush()
 
     def flush(self) -> Optional[str]:
-        """Write a checkpoint now (no-op before any cache is attached)."""
+        """Write a checkpoint now (no-op before any cache is attached).
+
+        The cache state is captured in one atomic ``snapshot()`` so a
+        flush racing concurrent batch inserts always serialises a
+        mutually consistent (entries, best, evaluations) triple.
+        """
         if self._cache is None:
             return None
-        best_point, best_value = self._cache.best()
+        entries, best_point, best_value, evaluations = self._cache.snapshot()
         checkpoint = SearchCheckpoint(
-            cache_entries=list(self._cache.values.items()),
+            cache_entries=entries,
             best_point=best_point,
             best_value=best_value,
-            evaluations=self._cache.evaluations,
+            evaluations=evaluations,
             meta=self.meta,
         )
         save_checkpoint(self.path, checkpoint)

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.errors import (
     ConvergenceWarning,
     LadderExhaustedError,
@@ -101,15 +102,26 @@ def _backend(name: str) -> Solver:
 #: therefore be re-tried under the damping schedule).
 _ITERATIVE_BACKENDS = frozenset({"mva-heuristic", "schweitzer", "linearizer"})
 
+#: Backends whose solve function accepts a kernel ``backend=`` keyword
+#: (see :mod:`repro.backend`); the others own a single kernel.
+_KERNEL_AWARE_BACKENDS = frozenset(
+    {"mva-heuristic", "schweitzer", "linearizer", "mva-exact"}
+)
 
-def _accepts_control(solver: Solver) -> bool:
-    """True when a custom callable takes a ``control`` keyword."""
+
+def _accepts_keyword(solver: Solver, keyword: str) -> bool:
+    """True when a custom callable takes the given keyword argument."""
     import inspect
 
     try:
-        return "control" in inspect.signature(solver).parameters
+        return keyword in inspect.signature(solver).parameters
     except (TypeError, ValueError):
         return False
+
+
+def _accepts_control(solver: Solver) -> bool:
+    """True when a custom callable takes a ``control`` keyword."""
+    return _accepts_keyword(solver, "control")
 
 
 def _exact_applicability(network: ClosedNetwork, limit: int) -> Optional[str]:
@@ -165,6 +177,10 @@ class ResilientSolver:
         the ladder sees them (``raise_on_failure`` is forced True).
     exact_lattice_limit:
         State-space gate for the exact-MVA rung.
+    backend:
+        Kernel backend (``"scalar"``/``"vectorized"``; ``None`` = process
+        default) forwarded to every rung whose solver has dual kernels —
+        the ladder escalates *algorithms*, never silently switches kernel.
     max_health_records:
         Cap on :attr:`health_log` (oldest dropped first) so a very long
         pattern search cannot grow memory without bound.
@@ -183,18 +199,24 @@ class ResilientSolver:
         escalation: Optional[Sequence[str]] = None,
         control: Optional[IterationControl] = None,
         exact_lattice_limit: int = EXACT_LATTICE_LIMIT,
+        backend: Optional[str] = None,
         max_health_records: int = 10_000,
     ):
         if not damping_schedule:
             raise ModelError("damping_schedule must not be empty")
+        if backend is not None:
+            resolve_backend(backend)  # validate eagerly
+        self.backend = backend
         if isinstance(solver, str):
             self.primary_name = solver
             self._primary = _backend(solver)
             self._primary_iterative = solver in _ITERATIVE_BACKENDS
+            self._primary_kernel_aware = solver in _KERNEL_AWARE_BACKENDS
         else:
             self.primary_name = getattr(solver, "__name__", "custom")
             self._primary = solver
             self._primary_iterative = _accepts_control(solver)
+            self._primary_kernel_aware = _accepts_keyword(solver, "backend")
         self.damping_schedule = tuple(float(d) for d in damping_schedule)
         self.escalation = tuple(
             DEFAULT_ESCALATION if escalation is None else escalation
@@ -254,21 +276,22 @@ class ResilientSolver:
         network: ClosedNetwork,
         damping: float,
         iterative: bool,
+        kernel_aware: bool = False,
     ) -> Optional[NetworkSolution]:
         """Run one rung; record the outcome; return the solution if healthy."""
         started = time.perf_counter()
         iterations = 0
+        kwargs: Dict[str, object] = {}
+        if iterative:
+            kwargs["control"] = self._control.damped(damping)
+        if kernel_aware:
+            kwargs["backend"] = self.backend
         try:
             # Non-converged iterates must surface as ConvergenceError here,
             # not as a ConvergenceWarning the ladder cannot catch.
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", ConvergenceWarning)
-                if iterative:
-                    solution = solver(
-                        network, control=self._control.damped(damping)
-                    )
-                else:
-                    solution = solver(network)
+                solution = solver(network, **kwargs)
             iterations = solution.iterations
         except SolverError as exc:
             health.record(
@@ -335,6 +358,7 @@ class ResilientSolver:
                 network,
                 damping,
                 self._primary_iterative,
+                self._primary_kernel_aware,
             )
             if solution is not None:
                 return solution
@@ -362,7 +386,13 @@ class ResilientSolver:
             # undamped iteration is the least promising rung to spend on.
             damping = self.damping_schedule[-1] if iterative else 1.0
             solution = self._attempt(
-                health, name, solver, network, damping, iterative
+                health,
+                name,
+                solver,
+                network,
+                damping,
+                iterative,
+                name in _KERNEL_AWARE_BACKENDS,
             )
             if solution is not None:
                 return solution

@@ -6,10 +6,22 @@ MVA routine ``FCT`` it scans them via ``FLOC`` ("the necessary computations
 were done previously").  :class:`EvaluationCache` is the same idea with a
 dictionary, plus bookkeeping of hit/miss counts used by the benchmarks to
 report how much work memoisation saves the pattern search.
+
+Cache keys are *only* the integer window vectors — deliberately agnostic
+of which solver kernel backend produced the value, so a cache (or resumed
+checkpoint) populated by a ``"scalar"`` run is reused verbatim under
+``"vectorized"`` and vice versa.  The parity test wall pins the two
+backends to ≤ 1e-8 relative error, far inside the tolerance of any
+search decision, which is what makes the sharing sound.
+
+All mutating and reading operations take an internal re-entrant lock, so
+a cache shared by concurrent batch evaluations cannot be corrupted
+(values, history, and counters stay mutually consistent).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -55,6 +67,9 @@ class EvaluationCache:
     hits: int = 0
     misses: int = 0
     history: List[Tuple[Point, float]] = field(default_factory=list)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __call__(self, point: Point) -> float:
         """Evaluate ``point``, reusing a previous result when available.
@@ -66,14 +81,39 @@ class EvaluationCache:
         corrupt every later lookup of the truncated point.
         """
         key = _integral_key(point)
-        if key in self.values:
-            self.hits += 1
-            return self.values[key]
-        self.misses += 1
-        value = float(self.objective(key))
-        self.values[key] = value
-        self.history.append((key, value))
-        return value
+        with self._lock:
+            if key in self.values:
+                self.hits += 1
+                return self.values[key]
+            self.misses += 1
+            value = float(self.objective(key))
+            self.values[key] = value
+            self.history.append((key, value))
+            return value
+
+    def prime(self, point: Point, value: float) -> bool:
+        """Insert an externally computed value as a fresh evaluation.
+
+        The merge half of batch evaluation: results computed elsewhere
+        (e.g. on a process pool by ``WindowObjective.batch_solve``) enter
+        the cache with full bookkeeping — counted as a miss and appended
+        to ``history`` exactly as if :meth:`__call__` had computed them.
+        Returns False (and changes nothing) when the point is already
+        cached, so racing producers cannot double-count.
+        """
+        key = _integral_key(point)
+        with self._lock:
+            if key in self.values:
+                return False
+            self.misses += 1
+            self.values[key] = float(value)
+            self.history.append((key, float(value)))
+            return True
+
+    def __contains__(self, point: Point) -> bool:
+        """True when ``point`` is already cached (no counter updates)."""
+        with self._lock:
+            return _integral_key(point) in self.values
 
     @property
     def evaluations(self) -> int:
@@ -85,16 +125,34 @@ class EvaluationCache:
         """Total number of objective requests (cached or not)."""
         return self.hits + self.misses
 
+    def snapshot(self) -> Tuple[List[Tuple[Point, float]], Optional[Point], float, int]:
+        """Atomic ``(entries, best_point, best_value, evaluations)`` copy.
+
+        Checkpointing reads several fields that must be mutually
+        consistent; taking them in one locked step keeps a flush that
+        races concurrent batch inserts from seeing a half-updated cache
+        (or dying on a dict mutated mid-iteration).
+        """
+        with self._lock:
+            entries = list(self.values.items())
+            if entries:
+                point, value = min(entries, key=lambda item: item[1])
+            else:
+                point, value = None, float("inf")
+            return entries, point, value, self.misses
+
     def best(self) -> Tuple[Optional[Point], float]:
         """The best point seen so far (``(None, inf)`` when empty)."""
-        if not self.values:
-            return None, float("inf")
-        point = min(self.values, key=self.values.get)
-        return point, self.values[point]
+        with self._lock:
+            if not self.values:
+                return None, float("inf")
+            point = min(self.values, key=self.values.get)
+            return point, self.values[point]
 
     def clear(self) -> None:
         """Forget all cached evaluations and statistics."""
-        self.values.clear()
-        self.history.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.values.clear()
+            self.history.clear()
+            self.hits = 0
+            self.misses = 0

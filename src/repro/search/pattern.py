@@ -18,8 +18,12 @@ reductions.  Because window sizes are integers, steps are integers here —
 Search suffices" (§4.1).
 
 All evaluations flow through an :class:`~repro.search.cache.EvaluationCache`
-(the APL ``FLOC``), so revisited points are free.  Two resilience hooks
-thread through the same choke point:
+(the APL ``FLOC``), so revisited points are free.  A ``prefetch`` batch
+evaluator (typically ``WindowObjective.batch_solve`` backed by a process
+pool) may be supplied: before each exploratory sweep the not-yet-cached
+``±step`` neighbours of the base point are evaluated speculatively in one
+batch and merged into the cache, so the sequential sweep then runs on
+cache hits.  Two resilience hooks thread through the same choke point:
 
 * a :class:`~repro.resilience.budget.SearchBudget` is consulted before
   every *fresh* evaluation — when spent, the search returns its
@@ -44,6 +48,8 @@ __all__ = ["pattern_search"]
 Point = Tuple[int, ...]
 
 Evaluator = Callable[[Point], float]
+
+BatchEvaluator = Callable[[Sequence[Point]], Sequence[float]]
 
 
 def _explore(
@@ -81,6 +87,7 @@ def pattern_search(
     cache: Optional[EvaluationCache] = None,
     budget: Optional[SearchBudget] = None,
     on_evaluation: Optional[Callable[[EvaluationCache], None]] = None,
+    prefetch: Optional[BatchEvaluator] = None,
 ) -> SearchResult:
     """Minimise ``objective`` over ``space`` by integer pattern search.
 
@@ -112,6 +119,15 @@ def pattern_search(
     on_evaluation:
         Called with the cache after every fresh evaluation (checkpointing
         hook); cache hits do not fire it.
+    prefetch:
+        Optional batch evaluator (points -> values, order-preserving).
+        When given, the uncached ``±step`` cross around each explored
+        base point is evaluated in one batch beforehand and primed into
+        the cache — this is where ``WindowObjective.batch_solve`` plugs a
+        process pool into the search.  Speculative points count as fresh
+        evaluations (budget, ``max_evaluations``, and ``on_evaluation``
+        all see them); a few may never be consulted by the sweep, which
+        is the price of evaluating them concurrently.
 
     Returns
     -------
@@ -142,6 +158,38 @@ def pattern_search(
             on_evaluation(cache)
         return value
 
+    def prefetch_cross(point: Point) -> None:
+        """Batch-evaluate the uncached ±step cross around ``point``.
+
+        Results are primed into the cache, so the sequential exploratory
+        sweep that follows mostly hits.  Budget and evaluation caps are
+        honoured: the batch is trimmed to the remaining evaluation room
+        and skipped entirely once the budget is spent.
+        """
+        if prefetch is None:
+            return
+        fresh: list = []
+        for axis in range(space.dimensions):
+            for direction in (+1, -1):
+                candidate = list(point)
+                candidate[axis] += direction * step
+                candidate_t = tuple(candidate)
+                if (
+                    candidate_t in space
+                    and candidate_t not in cache.values
+                    and candidate_t not in fresh
+                ):
+                    fresh.append(candidate_t)
+        room = max_evaluations - cache.evaluations
+        fresh = fresh[: max(0, room)]
+        if not fresh:
+            return
+        if budget is not None:
+            budget.check(cache.evaluations)
+        for key, value in zip(fresh, prefetch(fresh)):
+            if cache.prime(key, value) and on_evaluation is not None:
+                on_evaluation(cache)
+
     base = space.clip(start)
     trajectory = [base]
     step = initial_step
@@ -153,6 +201,7 @@ def pattern_search(
     try:
         base_value = evaluate(base)
         while step >= 1 and halvings <= max_halvings:
+            prefetch_cross(base)
             probe, probe_value = _explore(evaluate, space, base, base_value, step)
             if probe_value < base_value:
                 # Pattern phase: ride the established direction.
@@ -164,6 +213,7 @@ def pattern_search(
                         tuple(2 * b - p for b, p in zip(base, previous))
                     )
                     landing_value = evaluate(pattern_point)
+                    prefetch_cross(pattern_point)
                     probe2, probe2_value = _explore(
                         evaluate, space, pattern_point, landing_value, step
                     )

@@ -223,9 +223,19 @@ def _solve_convolution(network: ClosedNetwork) -> NetworkSolution:
 
 
 def _solve_mva_exact(network: ClosedNetwork) -> NetworkSolution:
+    # Pinned to the scalar reference kernel so the registry's
+    # ``mva-exact`` / ``mva-exact-vectorized`` pair is a genuine
+    # differential check between the two kernels, independent of the
+    # process-wide default backend.
     from repro.exact.mva_exact import solve_mva_exact
 
-    return solve_mva_exact(network)
+    return solve_mva_exact(network, backend="scalar")
+
+
+def _solve_mva_exact_vectorized(network: ClosedNetwork) -> NetworkSolution:
+    from repro.exact.mva_exact import solve_mva_exact
+
+    return solve_mva_exact(network, backend="vectorized")
 
 
 def _solve_ctmc(network: ClosedNetwork) -> NetworkSolution:
@@ -297,9 +307,16 @@ def _buzen_applicable(case: VerifyCase) -> Optional[str]:
 
 
 def _solve_heuristic(network: ClosedNetwork) -> NetworkSolution:
+    # Scalar reference kernel (see _solve_mva_exact for the rationale).
     from repro.mva.heuristic import solve_mva_heuristic
 
-    return solve_mva_heuristic(network)
+    return solve_mva_heuristic(network, backend="scalar")
+
+
+def _solve_heuristic_vectorized(network: ClosedNetwork) -> NetworkSolution:
+    from repro.mva.heuristic import solve_mva_heuristic
+
+    return solve_mva_heuristic(network, backend="vectorized")
 
 
 def _solve_schweitzer(network: ClosedNetwork) -> NetworkSolution:
@@ -378,6 +395,12 @@ def _build_registry() -> Dict[str, SolverSpec]:
         _network_solver(
             "mva-exact", SolverKind.EXACT, _solve_mva_exact, _fixed_rate_lattice
         ),
+        _network_solver(
+            "mva-exact-vectorized",
+            SolverKind.EXACT,
+            _solve_mva_exact_vectorized,
+            _fixed_rate_lattice,
+        ),
         _network_solver("ctmc", SolverKind.EXACT, _solve_ctmc, _ctmc_applicable),
         _network_solver(
             "gordon-newell", SolverKind.EXACT, _solve_gordon_newell, _single_chain
@@ -390,6 +413,12 @@ def _build_registry() -> Dict[str, SolverSpec]:
         ),
         _network_solver(
             "mva-heuristic", SolverKind.APPROXIMATE, _solve_heuristic, _always
+        ),
+        _network_solver(
+            "mva-heuristic-vectorized",
+            SolverKind.APPROXIMATE,
+            _solve_heuristic_vectorized,
+            _always,
         ),
         _network_solver(
             "schweitzer", SolverKind.APPROXIMATE, _solve_schweitzer, _always

@@ -1,0 +1,190 @@
+"""Metamorphic properties of the solver family.
+
+Rather than pinning outputs to golden numbers, these tests transform the
+*input* network in a way whose effect on the solution is known exactly,
+and require the solvers to follow:
+
+* **Uniform service scaling** — multiplying every service time by ``c``
+  scales every throughput by ``1/c``, every delay by ``c``, and leaves
+  mean queue lengths unchanged (a pure change of time unit).
+* **Relabelling** — permuting the station list or the chain list permutes
+  the rows/columns of the solution arrays and changes nothing else; in
+  particular network power is invariant.
+* **Window monotonicity** — growing one chain's window never decreases
+  that chain's throughput (exact MVA on the thesis fixture networks).
+
+All hold for every closed product-form network, so hypothesis hunts for
+counterexamples over random topologies, demands, and windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.power import power_report
+from repro.exact.mva_exact import solve_mva_exact
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.netmodel.examples import canadian_four_class, canadian_two_class
+from repro.queueing.chain import ClosedChain
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.station import Station
+
+#: Tolerance for metamorphic comparisons.  The transforms are exact in
+#: real arithmetic; the slack covers reordered floating-point sums and
+#: iterative solvers stopping one sweep apart on the transformed input.
+RTOL = 1e-6
+
+
+@st.composite
+def network_specs(draw):
+    """A random small multichain network (each chain: own source + shared
+    queues), returned as ``(stations, chains)`` so tests can rebuild
+    transformed variants from the same draw."""
+    num_chains = draw(st.integers(1, 3))
+    num_shared = draw(st.integers(1, 3))
+    stations = [Station.fcfs(f"src{r}") for r in range(num_chains)]
+    stations += [Station.fcfs(f"q{i}") for i in range(num_shared)]
+    # Product form requires equal mean service at a shared FCFS queue, so
+    # service times are drawn per *station*; each source queue is private
+    # to its chain and gets its own draw.
+    shared_times = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=0.3),
+            min_size=num_shared,
+            max_size=num_shared,
+        )
+    )
+    chains = []
+    for r in range(num_chains):
+        chosen = draw(
+            st.lists(
+                st.integers(0, num_shared - 1),
+                min_size=1,
+                max_size=num_shared,
+                unique=True,
+            )
+        )
+        route = [f"src{r}"] + [f"q{i}" for i in chosen]
+        times = [draw(st.floats(min_value=0.01, max_value=0.3))]
+        times += [shared_times[i] for i in chosen]
+        window = draw(st.integers(1, 4))
+        chains.append(
+            ClosedChain.from_route(
+                f"c{r}", route, times, window=window, source_station=f"src{r}"
+            )
+        )
+    return stations, chains
+
+
+def _scaled_chains(chains, factor):
+    return [
+        replace(c, service_times=tuple(s * factor for s in c.service_times))
+        for c in chains
+    ]
+
+
+SOLVERS = {"mva-heuristic": solve_mva_heuristic, "mva-exact": solve_mva_exact}
+
+
+class TestServiceScaling:
+    @given(
+        spec=network_specs(),
+        factor=st.floats(min_value=0.25, max_value=4.0),
+        solver=st.sampled_from(sorted(SOLVERS)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_scaling_rescales_throughput_and_delay(
+        self, spec, factor, solver
+    ):
+        stations, chains = spec
+        solve = SOLVERS[solver]
+        base = solve(ClosedNetwork.build(stations, chains))
+        scaled = solve(
+            ClosedNetwork.build(stations, _scaled_chains(chains, factor))
+        )
+        np.testing.assert_allclose(
+            scaled.throughputs,
+            np.asarray(base.throughputs) / factor,
+            rtol=RTOL,
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            scaled.chain_delays,
+            np.asarray(base.chain_delays) * factor,
+            rtol=RTOL,
+            atol=1e-12,
+        )
+        # Queue lengths are dimensionless: a time-unit change can't move
+        # customers around.
+        np.testing.assert_allclose(
+            scaled.queue_lengths, base.queue_lengths, rtol=RTOL, atol=1e-9
+        )
+
+
+class TestRelabelling:
+    @given(
+        spec=network_specs(),
+        seed=st.integers(0, 2**32 - 1),
+        solver=st.sampled_from(sorted(SOLVERS)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_permuting_labels_permutes_outputs(self, spec, seed, solver):
+        stations, chains = spec
+        solve = SOLVERS[solver]
+        rng = np.random.default_rng(seed)
+        station_perm = rng.permutation(len(stations))
+        chain_perm = rng.permutation(len(chains))
+        base = solve(ClosedNetwork.build(stations, chains))
+        permuted = solve(
+            ClosedNetwork.build(
+                [stations[i] for i in station_perm],
+                [chains[r] for r in chain_perm],
+            )
+        )
+        np.testing.assert_allclose(
+            permuted.throughputs,
+            np.asarray(base.throughputs)[chain_perm],
+            rtol=RTOL,
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            permuted.queue_lengths,
+            np.asarray(base.queue_lengths)[np.ix_(chain_perm, station_perm)],
+            rtol=RTOL,
+            atol=1e-9,
+        )
+        assert power_report(permuted).power == pytest.approx(
+            power_report(base).power, rel=RTOL
+        )
+
+
+class TestWindowMonotonicity:
+    """Exact throughput is non-decreasing in a chain's own window."""
+
+    FIXTURES = {
+        "canadian2": lambda: canadian_two_class(18.0, 18.0, windows=(1, 1)),
+        "canadian4": lambda: canadian_four_class(
+            6.0, 6.0, 6.0, 12.0, windows=(1, 1, 1, 1)
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(FIXTURES))
+    def test_growing_one_window_never_hurts_that_chain(self, name):
+        network = self.FIXTURES[name]()
+        base_windows = [2] * network.num_chains
+        for r in range(network.num_chains):
+            previous = -np.inf
+            for w in range(1, 6):
+                windows = list(base_windows)
+                windows[r] = w
+                solution = solve_mva_exact(network.with_populations(windows))
+                throughput = float(solution.throughputs[r])
+                assert throughput >= previous * (1.0 - 1e-12), (
+                    f"{name}: chain {r} throughput dropped when its window "
+                    f"grew to {w}"
+                )
+                previous = throughput

@@ -1,0 +1,150 @@
+"""Parity wall: the scalar and vectorized kernels must agree everywhere.
+
+The vectorized kernels (see :mod:`repro.backend`) are pure performance
+work — they must never change a number.  This wall pins scalar/vectorized
+agreement on throughput, per-chain delay, and network power to
+``PARITY_RTOL = 1e-8`` relative error across
+
+* every golden thesis fixture under ``tests/golden/``, and
+* fifty seeded fuzz networks from :mod:`repro.verify.fuzz` (regenerable
+  individually from ``(FUZZ_SEED, index)``).
+
+The differential-verification oracle covers the same ground end to end
+(``mva-exact`` vs ``mva-exact-vectorized`` as an exact pair at 1e-8);
+this file is the direct, fast, always-on slice of that wall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import BACKENDS
+from repro.core.power import power_report
+from repro.exact.mva_exact import solve_mva_exact
+from repro.exact.states import lattice_size
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.linearizer import solve_linearizer
+from repro.mva.schweitzer import solve_schweitzer
+from repro.verify.fuzz import generate_cases
+from repro.verify.golden import golden_cases
+
+#: Maximum relative error tolerated between the two kernels.  In practice
+#: they are bit-identical (same floating-point operations in the same
+#: order); the tolerance only allows for BLAS/platform variation.
+PARITY_RTOL = 1e-8
+
+#: Absolute floor for comparisons around zero (idle chains, empty queues).
+PARITY_ATOL = 1e-12
+
+#: Master seed of the fuzzed slice of the wall; case ``i`` depends only on
+#: ``(FUZZ_SEED, i)`` so failures reproduce in isolation.
+FUZZ_SEED = 1729
+
+#: Number of fuzzed networks in the wall.
+FUZZ_COUNT = 50
+
+#: Exact MVA is only attempted below this lattice size (same spirit as the
+#: oracle's gate; fuzzed cases are all far below it).
+EXACT_LATTICE_GATE = 10_000
+
+_DUAL_KERNEL_SOLVERS = {
+    "mva-heuristic": solve_mva_heuristic,
+    "schweitzer": solve_schweitzer,
+    "linearizer": solve_linearizer,
+    "mva-exact": solve_mva_exact,
+}
+
+
+def _exact_applicable(network) -> bool:
+    return (
+        network.is_fixed_rate()
+        and lattice_size([int(p) for p in network.populations])
+        <= EXACT_LATTICE_GATE
+    )
+
+
+def _assert_backend_parity(network, label: str) -> None:
+    """Solve ``network`` with every dual-kernel solver under both backends
+    and require throughput/delay/power agreement to ``PARITY_RTOL``."""
+    for name, solve in _DUAL_KERNEL_SOLVERS.items():
+        if name == "mva-exact" and not _exact_applicable(network):
+            continue
+        scalar = solve(network, backend="scalar")
+        vectorized = solve(network, backend="vectorized")
+        for field in ("throughputs", "chain_delays", "queue_lengths"):
+            np.testing.assert_allclose(
+                np.asarray(getattr(vectorized, field), dtype=float),
+                np.asarray(getattr(scalar, field), dtype=float),
+                rtol=PARITY_RTOL,
+                atol=PARITY_ATOL,
+                err_msg=f"{label}: {name} {field} diverges between backends",
+            )
+        power_scalar = power_report(scalar).power
+        power_vectorized = power_report(vectorized).power
+        assert power_vectorized == pytest.approx(
+            power_scalar, rel=PARITY_RTOL, abs=PARITY_ATOL
+        ), f"{label}: {name} power diverges between backends"
+
+
+@pytest.mark.fast
+class TestGoldenParity:
+    """Scalar vs vectorized on every golden thesis fixture."""
+
+    @pytest.mark.parametrize(
+        "case", golden_cases(), ids=lambda c: c.name
+    )
+    def test_golden_fixture_parity(self, case):
+        network = case.build().network
+        _assert_backend_parity(network, case.name)
+
+
+_FUZZ_CASES: list = []
+
+
+def _fuzz_case(index: int):
+    if not _FUZZ_CASES:
+        _FUZZ_CASES.extend(generate_cases(FUZZ_SEED, FUZZ_COUNT))
+    return _FUZZ_CASES[index]
+
+
+class TestFuzzParity:
+    """Scalar vs vectorized on the seeded fuzz population."""
+
+    @pytest.mark.parametrize("index", range(FUZZ_COUNT))
+    def test_fuzz_case_parity(self, index):
+        case = _fuzz_case(index)
+        _assert_backend_parity(case.network, case.label)
+
+
+class TestBackendFlagSemantics:
+    """The flag itself: validation, env override, and default."""
+
+    def test_unknown_backend_rejected(self, two_class_net):
+        from repro.errors import ModelError
+
+        for solve in _DUAL_KERNEL_SOLVERS.values():
+            with pytest.raises(ModelError):
+                solve(two_class_net, backend="simd")
+
+    def test_env_override_selects_backend(self, two_class_net, monkeypatch):
+        from repro.backend import BACKEND_ENV_VAR, default_backend
+
+        for backend in BACKENDS:
+            monkeypatch.setenv(BACKEND_ENV_VAR, backend)
+            assert default_backend() == backend
+            # None must now resolve to the env-selected kernel and still
+            # match the explicitly selected one.
+            implicit = solve_mva_heuristic(two_class_net)
+            explicit = solve_mva_heuristic(two_class_net, backend=backend)
+            np.testing.assert_array_equal(
+                implicit.throughputs, explicit.throughputs
+            )
+
+    def test_env_override_invalid_value(self, monkeypatch):
+        from repro.backend import BACKEND_ENV_VAR, default_backend
+        from repro.errors import ModelError
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(ModelError):
+            default_backend()

@@ -1,0 +1,77 @@
+"""Tier-1 smoke coverage for the perf-regression harness.
+
+The real benchmarks live outside ``testpaths`` and only run when invoked
+explicitly (``pytest benchmarks``), so a broken bench entrypoint would
+otherwise surface long after the change that broke it.  Each JSON-emitting
+bench exposes a ``run_*_bench(tiny=True)`` mode sized for the fast suite;
+this file drives those and checks the emitted payload shape that CI's
+artifact upload and regression diffing rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _benchmarks_importable():
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        yield
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+
+def _check_run(run: dict) -> None:
+    assert run["wall_seconds"] > 0
+    assert run["evaluations"] > 0
+    assert run["evaluations_per_second"] > 0
+    assert run["backend"] in ("scalar", "vectorized")
+    assert run["workers"] >= 1
+
+
+def test_pattern_search_bench_tiny_mode():
+    from bench_pattern_search import run_pattern_search_bench
+
+    payload = run_pattern_search_bench(tiny=True)
+    assert payload["tiny"] is True
+    assert set(payload["runs"]) == {"scalar", "vectorized", "parallel"}
+    for run in payload["runs"].values():
+        _check_run(run)
+    # Same search under every configuration: identical optimum.
+    optima = {tuple(r["best_windows"]) for r in payload["runs"].values()}
+    assert len(optima) == 1
+    assert payload["parallel_speedup_vs_serial_vectorized"] > 0
+
+    emitted = json.loads(
+        (
+            BENCHMARKS_DIR / "results" / "BENCH_pattern_search_tiny.json"
+        ).read_text()
+    )
+    assert emitted["bench"] == "pattern_search"
+    assert emitted["runs"]["scalar"]["workers"] == 1
+
+
+def test_mva_kernels_bench_tiny_mode():
+    from bench_mva_kernels import run_mva_kernels_bench
+
+    payload = run_mva_kernels_bench(tiny=True)
+    assert payload["tiny"] is True
+    assert payload["cells"], "tiny mode must still measure at least one cell"
+    for cell in payload["cells"].values():
+        for backend in ("scalar", "vectorized"):
+            assert cell[backend]["wall_seconds"] > 0
+            assert cell[backend]["ms_per_solve"] > 0
+        assert cell["vectorized_speedup"] > 0
+
+    emitted = json.loads(
+        (BENCHMARKS_DIR / "results" / "BENCH_mva_kernels_tiny.json").read_text()
+    )
+    assert emitted["bench"] == "mva_kernels"
+    assert emitted["workers"] == 1

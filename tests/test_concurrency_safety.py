@@ -1,0 +1,216 @@
+"""Concurrency safety of the shared search state.
+
+Parallel batch evaluation (``WindowObjective.batch_solve`` on a process
+pool) funnels results back into one :class:`EvaluationCache` and, when
+checkpointing, one :class:`CheckpointManager` — both may be hit from the
+search thread and callback contexts concurrently.  These tests hammer the
+two from many threads and require the invariants the search relies on:
+
+* cache values/history/counters stay mutually consistent, each distinct
+  point is evaluated exactly once, racing ``prime`` calls elect a single
+  winner;
+* a checkpoint flush racing concurrent inserts always writes a loadable,
+  internally consistent file;
+* a parallel run interrupted mid-batch resumes from its checkpoint to
+  the same optimum as an uninterrupted serial run;
+* checkpoints are backend-agnostic: a scalar-populated cache is replayed
+  for free under ``--solver-backend vectorized``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.windim import windim
+from repro.errors import SearchError
+from repro.netmodel.examples import canadian_two_class
+from repro.resilience.checkpoint import CheckpointManager, load_checkpoint
+from repro.search.cache import EvaluationCache
+
+THREADS = 8
+
+
+def _run_threads(workers):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestCacheThreadSafety:
+    def test_concurrent_lookups_evaluate_each_point_once(self):
+        calls = []
+        cache = EvaluationCache(lambda p: calls.append(p) or float(sum(p)))
+        points = [(i, i + 1) for i in range(40)]
+
+        def worker(offset):
+            def run():
+                for point in points[offset:] + points[:offset]:
+                    assert cache(point) == float(sum(point))
+
+            return run
+
+        _run_threads([worker(i) for i in range(THREADS)])
+
+        assert len(cache.values) == len(points)
+        assert cache.misses == len(points)
+        assert len(calls) == len(points), "an objective call was duplicated"
+        assert cache.hits == THREADS * len(points) - len(points)
+        assert len(cache.history) == len(points)
+        assert dict(cache.history) == cache.values
+
+    def test_racing_prime_elects_a_single_winner(self):
+        cache = EvaluationCache(lambda p: 0.0)
+        wins = []
+
+        def worker(value):
+            def run():
+                if cache.prime((3, 4), float(value)):
+                    wins.append(value)
+
+            return run
+
+        _run_threads([worker(v) for v in range(THREADS)])
+
+        assert len(wins) == 1
+        assert cache.misses == 1
+        assert cache.values[(3, 4)] == float(wins[0])
+        assert cache.history == [((3, 4), float(wins[0]))]
+
+    def test_mixed_prime_and_call_keep_invariants(self):
+        cache = EvaluationCache(lambda p: float(sum(p)))
+        points = [(i,) for i in range(60)]
+
+        def caller():
+            for point in points:
+                cache(point)
+
+        def primer():
+            for point in points:
+                cache.prime(point, float(sum(point)))
+
+        _run_threads([caller, primer] * (THREADS // 2))
+
+        assert len(cache.values) == len(points)
+        assert cache.misses == len(points)
+        assert len(cache.history) == len(points)
+        assert dict(cache.history) == cache.values
+        assert all(cache.values[p] == float(sum(p)) for p in points)
+
+
+class TestCheckpointFlushConcurrency:
+    def test_flush_racing_batch_inserts_always_writes_valid_files(
+        self, tmp_path
+    ):
+        """Flushes interleaved with ``prime`` bursts must never produce a
+        torn or internally inconsistent checkpoint."""
+        cache = EvaluationCache(lambda p: float(sum(p)))
+        path = str(tmp_path / "race.ckpt")
+        manager = CheckpointManager(path, every=1)
+        manager.attach(cache)
+        errors = []
+        stop = threading.Event()
+
+        def producer():
+            for i in range(500):
+                cache.prime((i, i), float(i))
+            stop.set()
+
+        def flusher():
+            while not stop.is_set():
+                try:
+                    manager.flush()
+                except Exception as exc:  # pragma: no cover - the failure
+                    errors.append(exc)
+                    stop.set()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    load_checkpoint(path)
+                except SearchError as exc:
+                    if "cannot read" not in str(exc):  # missing file is fine
+                        errors.append(exc)
+                        stop.set()
+                except Exception as exc:  # pragma: no cover - the failure
+                    errors.append(exc)
+                    stop.set()
+
+        _run_threads([producer, flusher, flusher, reader])
+        assert not errors
+
+        manager.flush()
+        final = load_checkpoint(path)
+        assert len(final.cache_entries) == 500
+        assert final.evaluations == 500
+        assert dict(final.cache_entries) == cache.values
+
+    def test_snapshot_is_mutually_consistent(self):
+        cache = EvaluationCache(lambda p: float(sum(p)))
+        for i in range(10):
+            cache((i, 0))
+        entries, best_point, best_value, evaluations = cache.snapshot()
+        assert dict(entries) == cache.values
+        assert (best_point, best_value) == cache.best()
+        assert evaluations == cache.evaluations
+
+
+class TestParallelCheckpointResume:
+    NETWORK_ARGS = (18.0, 18.0)
+
+    def test_mid_batch_interrupt_resumes_to_same_optimum(self, tmp_path):
+        """Exhaust the evaluation budget mid-way through a parallel run,
+        then resume from the checkpoint: same optimum as serial."""
+        network = canadian_two_class(*self.NETWORK_ARGS)
+        baseline = windim(network, max_window=16)
+
+        path = str(tmp_path / "parallel.ckpt")
+        cut = 6
+        assert baseline.search.evaluations > cut
+        partial = windim(
+            network,
+            max_window=16,
+            workers=2,
+            checkpoint_path=path,
+            checkpoint_every=1,
+            max_evaluations=cut,
+        )
+        assert partial.status == "budget_exhausted"
+        interrupted = load_checkpoint(path)
+        assert 0 < len(interrupted.cache_entries) <= cut
+
+        resumed = windim(
+            network,
+            max_window=16,
+            workers=2,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert resumed.windows == baseline.windows
+        assert resumed.power == pytest.approx(baseline.power)
+        assert resumed.seeded_evaluations == len(interrupted.cache_entries)
+
+    def test_scalar_checkpoint_replays_free_under_vectorized(self, tmp_path):
+        """Regression: cache keys carry no backend tag, so a checkpoint
+        written by a scalar run must resume for free under the vectorized
+        backend (and land on the same optimum)."""
+        network = canadian_two_class(*self.NETWORK_ARGS)
+        path = str(tmp_path / "scalar.ckpt")
+        scalar = windim(
+            network, max_window=16, backend="scalar", checkpoint_path=path
+        )
+        resumed = windim(
+            network,
+            max_window=16,
+            backend="vectorized",
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert resumed.windows == scalar.windows
+        assert resumed.seeded_evaluations == scalar.search.evaluations
+        assert resumed.search.evaluations == 0, (
+            "a backend-tagged cache key forced re-evaluation"
+        )

@@ -18,10 +18,12 @@ from repro.verify.oracle import (
 EXPECTED_BACKENDS = {
     "convolution",
     "mva-exact",
+    "mva-exact-vectorized",
     "ctmc",
     "gordon-newell",
     "buzen",
     "mva-heuristic",
+    "mva-heuristic-vectorized",
     "schweitzer",
     "linearizer",
     "resilient",
