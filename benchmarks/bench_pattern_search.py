@@ -70,20 +70,31 @@ def test_trajectory_and_optimizer_comparison(surface):
     assert pattern.best_value <= coordinate.best_value + 1e-12
 
 
-def _timed_windim(network, repeats, **kwargs):
-    """Best-of-``repeats`` wall time for one windim configuration."""
-    best_seconds = float("inf")
-    result = None
+def _timed_windim_grid(network, repeats, configurations):
+    """Best-of-``repeats`` wall time for several windim configurations.
+
+    The configurations are *interleaved* within each repeat round rather
+    than timed as sequential blocks, so a transient load spike degrades
+    every configuration's round equally instead of silently skewing the
+    speedup ratios between them.
+    """
+    best = {name: float("inf") for name in configurations}
+    results = {}
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = windim(network, **kwargs)
-        best_seconds = min(best_seconds, time.perf_counter() - t0)
-    evaluations = result.search.evaluations
+        for name, kwargs in configurations.items():
+            t0 = time.perf_counter()
+            results[name] = windim(network, **kwargs)
+            best[name] = min(best[name], time.perf_counter() - t0)
     return {
-        "wall_seconds": best_seconds,
-        "evaluations": evaluations,
-        "evaluations_per_second": evaluations / best_seconds,
-        "best_windows": list(result.windows),
+        name: {
+            "wall_seconds": best[name],
+            "evaluations": results[name].search.evaluations,
+            "evaluations_per_second": (
+                results[name].search.evaluations / best[name]
+            ),
+            "best_windows": list(results[name].windows),
+        }
+        for name in configurations
     }
 
 
@@ -101,26 +112,32 @@ def run_pattern_search_bench(tiny: bool = False) -> dict:
         start, max_window, repeats, workers = (6, 6), 12, 1, 2
     else:
         network = arpanet_fragment((8.0, 8.0, 6.0, 6.0))
-        start, max_window, repeats, workers = (12, 12, 12, 12), 24, 3, 2
+        start, max_window, repeats, workers = (12, 12, 12, 12), 24, 9, 2
 
-    runs = {}
-    for backend in ("scalar", "vectorized"):
-        runs[backend] = dict(
-            _timed_windim(
-                network, repeats, backend=backend, start=start,
-                max_window=max_window,
-            ),
-            backend=backend,
-            workers=1,
-        )
-    runs["parallel"] = dict(
-        _timed_windim(
-            network, repeats, backend="vectorized", start=start,
-            max_window=max_window, workers=workers,
-        ),
-        backend="vectorized",
-        workers=workers,
-    )
+    base = dict(start=start, max_window=max_window)
+    # "reuse" (PR 4) is the same single-worker vectorized search, but
+    # fixed points warm-start from the nearest solved neighbour (with
+    # Aitken acceleration) and bound pruning may skip dominated
+    # candidates — identical optimum by construction, fewer iterations
+    # per solve.
+    configurations = {
+        "scalar": dict(base, backend="scalar"),
+        "vectorized": dict(base, backend="vectorized"),
+        "parallel": dict(base, backend="vectorized", workers=workers),
+        "reuse": dict(base, backend="vectorized", reuse=True),
+    }
+    timed = _timed_windim_grid(network, repeats, configurations)
+    annotations = {
+        "scalar": ("scalar", 1),
+        "vectorized": ("vectorized", 1),
+        "parallel": ("vectorized", workers),
+        "reuse": ("vectorized", 1),
+    }
+    runs = {
+        name: dict(timed[name], backend=annotations[name][0],
+                   workers=annotations[name][1])
+        for name in configurations
+    }
 
     payload = {
         "bench": "pattern_search",
@@ -136,6 +153,10 @@ def run_pattern_search_bench(tiny: bool = False) -> dict:
         ),
         "parallel_speedup_vs_serial_vectorized": (
             runs["parallel"]["evaluations_per_second"]
+            / runs["vectorized"]["evaluations_per_second"]
+        ),
+        "reuse_speedup_vs_serial_vectorized": (
+            runs["reuse"]["evaluations_per_second"]
             / runs["vectorized"]["evaluations_per_second"]
         ),
     }
@@ -156,6 +177,12 @@ def test_pattern_search_perf_regression():
     assert payload["vectorized_speedup_vs_scalar"] >= 2.0
     # Parallel must find the same optimum; its speed is informational.
     assert runs["parallel"]["best_windows"] == runs["scalar"]["best_windows"]
+    # Reuse walks the identical trajectory to the identical optimum and
+    # must clear its >= 1.5x evaluations/sec acceptance bar over the
+    # plain single-worker vectorized run.
+    assert runs["reuse"]["best_windows"] == runs["vectorized"]["best_windows"]
+    assert runs["reuse"]["evaluations"] == runs["vectorized"]["evaluations"]
+    assert payload["reuse_speedup_vs_serial_vectorized"] >= 1.5
 
 
 def test_pattern_search_speed(benchmark, surface):

@@ -1,0 +1,170 @@
+"""CI perf-regression gate over the committed tiny-mode bench baselines.
+
+The full benches (``BENCH_pattern_search.json`` etc.) are artifacts: they
+measure the real ARPANET workload but take long enough that CI only
+uploads them.  This script is the *gate*: it re-runs every JSON-emitting
+bench in tiny mode (seconds, not minutes), loads the committed
+``benchmarks/results/BENCH_*_tiny.json`` baselines — from ``git show
+HEAD:...`` when available, falling back to the checked-out files — and
+fails when a fresh measurement regresses past a generous tolerance.
+
+Tolerances are deliberately loose because shared CI runners are noisy:
+
+* wall-clock throughput (evaluations/second, ms/solve) may degrade up to
+  ``WALL_TOLERANCE``x before failing — this catches order-of-magnitude
+  mistakes (an accidentally quadratic path, a dropped cache), not
+  single-digit-percent drift;
+* iteration counts are deterministic, so warm-started solves get the
+  much tighter ``ITERATION_TOLERANCE``x — more iterations per solve
+  means the reuse engine itself regressed, no noise excuse.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: A fresh wall-clock metric may be this many times slower than baseline.
+WALL_TOLERANCE = 4.0
+#: A fresh (deterministic) iteration count may exceed baseline by this factor.
+ITERATION_TOLERANCE = 1.5
+
+
+def load_baseline(name: str) -> dict:
+    """Committed tiny baseline ``name`` (git HEAD first, then disk).
+
+    Prefers ``git show`` so that a bench run earlier in the same CI job
+    (which rewrites the on-disk tiny files) can never compare fresh
+    numbers against themselves.
+    """
+    rel = f"benchmarks/results/{name}.json"
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{rel}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            check=True,
+            text=True,
+        ).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, FileNotFoundError, OSError):
+        return json.loads((RESULTS_DIR / f"{name}.json").read_text())
+
+
+def compare_metric(
+    label: str, fresh: float, baseline: float, tolerance: float,
+    higher_is_better: bool,
+) -> "str | None":
+    """One metric check; returns a failure message or None.
+
+    Non-positive baselines are skipped — they carry no regression signal.
+    """
+    if baseline <= 0:
+        return None
+    if higher_is_better:
+        floor = baseline / tolerance
+        if fresh < floor:
+            return (
+                f"{label}: {fresh:.4g} fell below {floor:.4g} "
+                f"(baseline {baseline:.4g} / tolerance {tolerance}x)"
+            )
+    else:
+        ceiling = baseline * tolerance
+        if fresh > ceiling:
+            return (
+                f"{label}: {fresh:.4g} exceeded {ceiling:.4g} "
+                f"(baseline {baseline:.4g} * tolerance {tolerance}x)"
+            )
+    return None
+
+
+def check_pattern_search(fresh: dict, baseline: dict) -> "list[str]":
+    failures = []
+    for name, run in baseline["runs"].items():
+        failure = compare_metric(
+            f"pattern_search[{name}].evaluations_per_second",
+            fresh["runs"][name]["evaluations_per_second"],
+            run["evaluations_per_second"],
+            WALL_TOLERANCE,
+            higher_is_better=True,
+        )
+        if failure:
+            failures.append(failure)
+    return failures
+
+
+def check_warm_start(fresh: dict, baseline: dict) -> "list[str]":
+    failures = []
+    for name, stats in baseline["solvers"].items():
+        failure = compare_metric(
+            f"warm_start[{name}].warm_iterations_per_solve",
+            fresh["solvers"][name]["warm_iterations_per_solve"],
+            stats["warm_iterations_per_solve"],
+            ITERATION_TOLERANCE,
+            higher_is_better=False,
+        )
+        if failure:
+            failures.append(failure)
+    return failures
+
+
+def check_mva_kernels(fresh: dict, baseline: dict) -> "list[str]":
+    failures = []
+    for cell, stats in baseline["cells"].items():
+        for backend in ("scalar", "vectorized"):
+            failure = compare_metric(
+                f"mva_kernels[{cell}][{backend}].ms_per_solve",
+                fresh["cells"][cell][backend]["ms_per_solve"],
+                stats[backend]["ms_per_solve"],
+                WALL_TOLERANCE,
+                higher_is_better=False,
+            )
+            if failure:
+                failures.append(failure)
+    return failures
+
+
+CHECKS = {
+    "BENCH_pattern_search_tiny": ("run_pattern_search_bench", check_pattern_search),
+    "BENCH_warm_start_tiny": ("run_warm_start_bench", check_warm_start),
+    "BENCH_mva_kernels_tiny": ("run_mva_kernels_bench", check_mva_kernels),
+}
+
+RUNNERS = {
+    "run_pattern_search_bench": "bench_pattern_search",
+    "run_warm_start_bench": "bench_warm_start",
+    "run_mva_kernels_bench": "bench_mva_kernels",
+}
+
+
+def main() -> int:
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    failures = []
+    for name, (runner, check) in CHECKS.items():
+        try:
+            baseline = load_baseline(name)
+        except FileNotFoundError:
+            print(f"SKIP {name}: no committed baseline yet")
+            continue
+        module = __import__(RUNNERS[runner])
+        fresh = getattr(module, runner)(tiny=True)
+        bench_failures = check(fresh, baseline)
+        status = "FAIL" if bench_failures else "ok"
+        print(f"{status:>4} {name}")
+        failures.extend(bench_failures)
+    for failure in failures:
+        print(f"  regression: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,10 @@ Subcommands
     Supports the resilience runtime: ``--resilient`` (retry/escalation
     ladder), ``--deadline`` (graceful best-so-far on expiry) and
     ``--checkpoint PATH`` / ``--resume`` (crash-safe checkpointing; a
-    SIGINT/SIGTERM flushes a final checkpoint before exiting 130).
+    SIGINT/SIGTERM flushes a final checkpoint before exiting 130), and
+    the reuse engine: ``--reuse`` (warm-started fixed points, shared
+    exact lattices, bound-based pruning) and ``--store PATH`` (persistent
+    cross-run evaluation store, fingerprinted to the model).
 ``evaluate``
     Solve a network at explicit window settings and print the power report.
 ``sweep``
@@ -29,6 +32,7 @@ Examples
     windim solve --network canadian2 --rates 18 18
     windim run --network canadian2 --rates 18 18 --resilient \
         --checkpoint run.ckpt --resume --deadline 300
+    windim run --network arpanet --rates 8 8 6 6 --reuse --store run.store
     windim evaluate --network canadian4 --rates 6 6 6 12 --windows 1 1 1 4
     windim sweep --network canadian2 --rates "12.5,12.5;25,25;50,50"
     windim simulate --network canadian2 --rates 18 18 --windows 4 4 --seed 3
@@ -99,6 +103,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         start=args.start,
         max_evaluations=args.max_evaluations,
         resilient=args.resilient,
+        reuse=args.reuse,
+        store_path=args.store,
         max_seconds=args.deadline,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
@@ -233,6 +239,8 @@ def _cmd_multistart(args: argparse.Namespace) -> int:
         backend=args.solver_backend,
         workers=args.workers,
         max_window=args.max_window,
+        reuse=args.reuse,
+        store_path=args.store,
     )
     print(result.summary())
     return 0
@@ -361,6 +369,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="wrap the solver in the retry/escalation ladder",
     )
     solve.add_argument(
+        "--reuse",
+        action="store_true",
+        help="cross-evaluation reuse: warm-started fixed points, shared "
+        "exact lattices, and bound-based pruning (same optimum, fewer "
+        "iterations/solves)",
+    )
+    solve.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent evaluation store: preload previous runs' "
+        "evaluations and warm-start seeds, append this run's "
+        "(fingerprinted to the network+solver)",
+    )
+    solve.add_argument(
         "--deadline",
         type=float,
         default=None,
@@ -456,6 +479,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="batch-solve seeds and neighborhoods on N worker processes",
+    )
+    multistart.add_argument(
+        "--reuse",
+        action="store_true",
+        help="cross-evaluation reuse across all starts (warm starts, "
+        "shared lattices, bound pruning)",
+    )
+    multistart.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent evaluation store shared across runs",
     )
     multistart.set_defaults(handler=_cmd_multistart)
 

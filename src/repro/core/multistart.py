@@ -23,6 +23,7 @@ from repro.search.cache import EvaluationCache
 from repro.search.pattern import pattern_search
 from repro.search.result import SearchResult
 from repro.search.space import IntegerBox
+from repro.search.store import EvaluationStore, model_fingerprint
 
 __all__ = ["windim_multistart"]
 
@@ -37,6 +38,8 @@ def windim_multistart(
     initial_step: int = 2,
     max_halvings: int = 8,
     max_evaluations: int = 20_000,
+    reuse: bool = False,
+    store_path: Optional[str] = None,
 ) -> WindimResult:
     """Run WINDIM from several starts and keep the best windows.
 
@@ -51,15 +54,52 @@ def windim_multistart(
     :meth:`~repro.core.objective.WindowObjective.batch_solve` call, and
     every search's exploratory neighborhoods are prefetched in parallel.
 
+    ``reuse`` and ``store_path`` behave as in
+    :func:`repro.core.windim.windim` — and pay off even more here, since
+    every restarted search warm-starts from (and prunes against) the
+    accumulated evaluations of all previous starts.
+
     Returns
     -------
     WindimResult
         As :func:`repro.core.windim.windim`; ``search`` is the run that
         produced the winner, with cache-wide evaluation totals.
     """
-    objective = WindowObjective(network, solver, backend=backend, workers=workers)
+    objective = WindowObjective(
+        network, solver, backend=backend, workers=workers, reuse=reuse
+    )
     space = IntegerBox.windows(network.num_chains, max_window)
     cache = EvaluationCache(objective)
+
+    store: Optional[EvaluationStore] = None
+    recorded_history = 0
+    if store_path is not None:
+        solver_label = solver if isinstance(solver, str) else getattr(
+            solver, "primary_name", getattr(solver, "__name__", "custom")
+        )
+        store = EvaluationStore.open(
+            store_path, model_fingerprint(network, str(solver_label))
+        )
+        for point, value in store.values.items():
+            cache.values.setdefault(point, value)
+        for point, seed in store.seeds.items():
+            objective.prime_seed(point, seed)
+
+    def persist_evaluation(live_cache: EvaluationCache) -> None:
+        nonlocal recorded_history
+        history = live_cache.history
+        while recorded_history < len(history):
+            point, value = history[recorded_history]
+            recorded_history += 1
+            if store is None or point in store.values:
+                continue
+            solution = objective.cached_solution(point)
+            seed = (
+                solution.queue_lengths
+                if solution is not None and solution.converged
+                else None
+            )
+            store.record(point, value, seed)
 
     starts: List[Tuple[int, ...]] = []
     for strategy in INITIAL_WINDOW_STRATEGIES:
@@ -96,13 +136,17 @@ def windim_multistart(
                 max_halvings=max_halvings,
                 max_evaluations=max_evaluations,
                 cache=cache,
+                on_evaluation=persist_evaluation if store is not None else None,
                 prefetch=objective.batch_solve if objective.parallel else None,
+                bound=objective.lower_bound if reuse else None,
             )
             if best_search is None or run.best_value < best_search.best_value:
                 best_search = run
                 best_start = start
     finally:
         objective.close()
+        if store is not None:
+            store.close()
 
     assert best_search is not None
     solution = objective.solution(best_search.best_point)
@@ -114,6 +158,7 @@ def windim_multistart(
         lookups=cache.lookups,
         base_points=best_search.base_points,
         method="pattern-search-multistart",
+        pruned=cache.pruned,
     )
     return WindimResult(
         windows=best_search.best_point,
@@ -122,4 +167,6 @@ def windim_multistart(
         solution=solution,
         search=combined,
         initial_windows=best_start,
+        store_seeded=store.loaded if store is not None else 0,
+        reuse_stats=objective.reuse_stats,
     )

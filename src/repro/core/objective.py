@@ -20,9 +20,13 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.backend import resolve_backend
 from repro.core.power import inverse_power
+from repro.core.reuse import ReuseEngine
 from repro.errors import ModelError, SolverError
+from repro.mva.bounds import balanced_job_bounds
 from repro.queueing.network import ClosedNetwork
 from repro.solution import NetworkSolution
 
@@ -33,19 +37,23 @@ Solver = Callable[..., NetworkSolution]
 
 
 def _heuristic_solver(
-    network: ClosedNetwork, backend: Optional[str] = None
+    network: ClosedNetwork,
+    backend: Optional[str] = None,
+    warm_start=None,
 ) -> NetworkSolution:
     from repro.mva.heuristic import solve_mva_heuristic
 
-    return solve_mva_heuristic(network, backend=backend)
+    return solve_mva_heuristic(network, backend=backend, warm_start=warm_start)
 
 
 def _exact_mva_solver(
-    network: ClosedNetwork, backend: Optional[str] = None
+    network: ClosedNetwork,
+    backend: Optional[str] = None,
+    lattice_cache=None,
 ) -> NetworkSolution:
     from repro.exact.mva_exact import solve_mva_exact
 
-    return solve_mva_exact(network, backend=backend)
+    return solve_mva_exact(network, backend=backend, lattice_cache=lattice_cache)
 
 
 def _convolution_solver(
@@ -60,32 +68,48 @@ def _convolution_solver(
 
 
 def _schweitzer_solver(
-    network: ClosedNetwork, backend: Optional[str] = None
+    network: ClosedNetwork,
+    backend: Optional[str] = None,
+    warm_start=None,
 ) -> NetworkSolution:
     from repro.mva.schweitzer import solve_schweitzer
 
-    return solve_schweitzer(network, backend=backend)
+    return solve_schweitzer(network, backend=backend, warm_start=warm_start)
 
 
 def _linearizer_solver(
-    network: ClosedNetwork, backend: Optional[str] = None
+    network: ClosedNetwork,
+    backend: Optional[str] = None,
+    warm_start=None,
 ) -> NetworkSolution:
     from repro.mva.linearizer import solve_linearizer
 
-    return solve_linearizer(network, backend=backend)
+    return solve_linearizer(network, backend=backend, warm_start=warm_start)
 
 
 def _resilient_solver(
-    network: ClosedNetwork, backend: Optional[str] = None
+    network: ClosedNetwork,
+    backend: Optional[str] = None,
+    warm_start=None,
+    lattice_cache=None,
 ) -> NetworkSolution:
     from repro.resilience.ladder import solve_resilient
 
-    return solve_resilient(network, "mva-heuristic", backend=backend)
+    return solve_resilient(
+        network,
+        "mva-heuristic",
+        backend=backend,
+        warm_start=warm_start,
+        lattice_cache=lattice_cache,
+    )
 
 
 #: Named solvers accepted by :func:`resolve_solver` and the CLI.  Every
 #: entry takes ``(network, backend=None)``; the backend selects the kernel
-#: implementation (see :mod:`repro.backend`), never the algorithm.
+#: implementation (see :mod:`repro.backend`), never the algorithm.  Where
+#: the underlying algorithm supports them, entries additionally accept the
+#: reuse keywords ``warm_start=`` / ``lattice_cache=`` (discovered by
+#: signature inspection in :class:`repro.core.reuse.ReuseEngine`).
 SOLVERS: Dict[str, Solver] = {
     "mva-heuristic": _heuristic_solver,
     "mva-exact": _exact_mva_solver,
@@ -154,6 +178,14 @@ class WindowObjective:
         :meth:`batch_solve` fans its points out over a process pool of
         this size; single evaluations are unaffected.  ``None``/``0``/
         ``1`` keeps everything in-process.
+    reuse:
+        Enable the cross-evaluation :class:`~repro.core.reuse.ReuseEngine`:
+        in-process solves are warm-started from the nearest already-solved
+        window vector and exact solvers share a lattice cache.  Converged
+        values stay within the 1e-8 parity band (the stopping criteria are
+        unchanged); only solve cost drops.  Pool workers always solve cold
+        (seeds live in-process), but their results still feed the seed
+        store.
 
     Notes
     -----
@@ -168,6 +200,7 @@ class WindowObjective:
         solver: "str | Solver" = "mva-heuristic",
         backend: Optional[str] = None,
         workers: Optional[int] = None,
+        reuse: bool = False,
     ):
         if backend is not None:
             resolve_backend(backend)  # validate eagerly
@@ -175,6 +208,8 @@ class WindowObjective:
         self._solver_name = solver if isinstance(solver, str) else None
         self._solver = resolve_solver(solver)
         self._backend = backend
+        self._engine = ReuseEngine(self._solver) if reuse else None
+        self._bound_uppers: Dict[Tuple[int, int], float] = {}
         self._workers = int(workers) if workers else 0
         if self._workers < 0:
             raise ModelError(f"workers must be >= 0, got {workers}")
@@ -213,20 +248,111 @@ class WindowObjective:
             raise ModelError(f"window sizes must be >= 0, got {key}")
         return key
 
+    @property
+    def reuse_stats(self) -> Optional[Dict[str, float]]:
+        """Reuse-engine counters (None when ``reuse=False``)."""
+        return self._engine.stats() if self._engine is not None else None
+
+    def cached_solution(self, windows: Sequence[int]) -> Optional[NetworkSolution]:
+        """The retained solution at ``windows``, or None — never solves.
+
+        The persistent :class:`~repro.search.store.EvaluationStore` uses
+        this to harvest converged queue lengths as warm-start seeds
+        without triggering extra work.
+        """
+        return self._solutions.get(self._key(windows))
+
+    def prime_seed(self, windows: Sequence[int], queue_lengths: np.ndarray) -> None:
+        """Feed an externally stored warm-start seed to the reuse engine.
+
+        No-op when ``reuse=False`` or the solver takes no ``warm_start=``;
+        the seed is validated lazily at use time by the solver itself.
+        """
+        if self._engine is not None:
+            self._engine.prime_seed(
+                self._key(windows), np.asarray(queue_lengths, dtype=np.float64)
+            )
+
     def __call__(self, windows: Sequence[int]) -> float:
         """Objective value ``F = 1/P`` at the given window vector."""
         key = self._key(windows)
         self.evaluations += 1
         candidate = self._network.with_populations(key)
+        kwargs: Dict[str, object] = {}
+        if self._solver_name is not None:
+            kwargs["backend"] = self._backend
+        warmed = False
+        if self._engine is not None:
+            extra = self._engine.solver_kwargs(key)
+            warmed = "warm_start" in extra
+            kwargs.update(extra)
         try:
-            if self._solver_name is not None:
-                solution = self._solver(candidate, backend=self._backend)
-            else:
-                solution = self._solver(candidate)
+            solution = self._solver(candidate, **kwargs)
         except SolverError:
             return float("inf")
+        if self._engine is not None:
+            self._engine.record(key, solution, warmed)
         self._solutions[key] = solution
         return inverse_power(solution)
+
+    def lower_bound(self, windows: Sequence[int]) -> float:
+        """Certified lower bound on ``F(windows)`` — no fixed point solved.
+
+        ``F = T / lambda`` with ``T`` the throughput-weighted mean of the
+        per-chain transit delays, so unconditionally ``T >= min_r T_r >=
+        min_r transit_demand_r`` (waiting contains service at every
+        non-source station of ``V(r)``), while per-chain throughput is
+        bounded above by its single-chain balanced-job bound
+        (:func:`repro.mva.bounds.balanced_job_bounds`): the asymptotic
+        components are unconditional, and the balanced-comparison
+        component relies on cross-chain interference only ever *lowering*
+        a chain's throughput in a product-form network.  Hence
+
+            F(E) >= min_{r: E_r>0} transit_r / sum_{r: E_r>0} ub_r(E_r)
+
+        deflated by ``1 - 1e-9`` against floating-point slack.  A point
+        whose bound exceeds the search incumbent is provably dominated,
+        which is what lets :func:`repro.search.pattern.pattern_search`
+        skip its solve without ever changing the chosen optimum.
+
+        Returns ``-inf`` (never prunes) when the network rejects the
+        bound computation, and ``inf`` for the all-zero window vector
+        (whose true objective is ``inf`` too).
+        """
+        key = self._key(windows)
+        transit = self._transit_demands()
+        upper_sum = 0.0
+        min_transit = float("inf")
+        for r, w in enumerate(key):
+            if w <= 0:
+                continue
+            try:
+                upper_sum += self._throughput_upper(r, w)
+            except ModelError:
+                return float("-inf")
+            min_transit = min(min_transit, transit[r])
+        if upper_sum <= 0 or not np.isfinite(min_transit) or min_transit <= 0:
+            # All windows zero -> F is inf; a zero transit demand gives
+            # no information, so never prune on it.
+            return float("inf") if upper_sum <= 0 else float("-inf")
+        return (min_transit / upper_sum) * (1.0 - 1e-9)
+
+    def _transit_demands(self) -> np.ndarray:
+        """``(R,)`` total service demand over each chain's set ``V(r)``."""
+        if not hasattr(self, "_transit"):
+            mask = self._network.delay_mask()
+            self._transit = np.where(mask, self._network.demands, 0.0).sum(axis=1)
+        return self._transit
+
+    def _throughput_upper(self, chain: int, window: int) -> float:
+        """Memoised balanced-job upper throughput bound for one chain."""
+        cached = self._bound_uppers.get((chain, window))
+        if cached is None:
+            cached = balanced_job_bounds(
+                self._network.demands[chain], window
+            ).upper
+            self._bound_uppers[(chain, window)] = cached
+        return cached
 
     def batch_solve(self, batch: Sequence[Sequence[int]]) -> List[float]:
         """Evaluate a whole batch of window vectors in one call.
@@ -264,6 +390,10 @@ class WindowObjective:
             values[key] = value
             if solution is not None:
                 self._solutions[key] = solution
+                if self._engine is not None:
+                    # Pool workers solve cold, but their converged queue
+                    # lengths still seed future in-process neighbours.
+                    self._engine.record(key, solution, warmed=False)
         return [values[k] for k in keys]
 
     def close(self) -> None:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.initializers import initial_windows
 from repro.core.objective import Solver, WindowObjective
@@ -41,6 +41,7 @@ from repro.search.cache import EvaluationCache
 from repro.search.pattern import pattern_search
 from repro.search.result import SearchResult
 from repro.search.space import IntegerBox
+from repro.search.store import EvaluationStore, model_fingerprint
 from repro.solution import NetworkSolution
 
 __all__ = ["WindimResult", "windim"]
@@ -77,6 +78,14 @@ class WindimResult:
     seeded_evaluations:
         Cache entries loaded from a resume checkpoint (0 for fresh runs);
         ``search.evaluations`` counts only fresh solves on top of these.
+    store_seeded:
+        Cache entries preloaded from a persistent evaluation store
+        (``store_path=``); like checkpoint seeds, these cost no fresh
+        solves.
+    reuse_stats:
+        :class:`~repro.core.reuse.ReuseEngine` counters (warm/cold solve
+        and iteration totals, lattice-cache hits) when ``reuse=True``;
+        ``None`` otherwise.
     """
 
     windows: Tuple[int, ...]
@@ -89,6 +98,8 @@ class WindimResult:
     status: str = "completed"
     health_log: Tuple[SolveHealth, ...] = ()
     seeded_evaluations: int = 0
+    store_seeded: int = 0
+    reuse_stats: Optional[Dict[str, float]] = None
 
     def summary(self) -> str:
         """Human-readable multi-line report (mirrors the APL output)."""
@@ -109,6 +120,22 @@ class WindimResult:
             f"  objective evaluations = {self.search.evaluations} "
             f"({self.search.lookups} lookups)"
         )
+        hits = self.search.lookups - self.search.evaluations
+        lines.append(
+            f"  evaluation cache      = {hits} hits, "
+            f"{self.search.evaluations} misses, {self.search.pruned} pruned"
+        )
+        if self.store_seeded:
+            lines.append(
+                f"  persistent store      = {self.store_seeded} evaluations "
+                "preloaded"
+            )
+        if self.reuse_stats is not None:
+            warm = int(self.reuse_stats.get("warm_solves", 0))
+            cold = int(self.reuse_stats.get("cold_solves", 0))
+            lines.append(
+                f"  reuse engine          = {warm} warm / {cold} cold solves"
+            )
         if self.seeded_evaluations:
             lines.append(
                 f"  resumed from checkpoint: {self.seeded_evaluations} "
@@ -146,6 +173,8 @@ def windim(
     max_halvings: int = 8,
     max_evaluations: int = 10_000,
     resilient: bool = False,
+    reuse: bool = False,
+    store_path: Optional[str] = None,
     budget: Optional[SearchBudget] = None,
     max_seconds: Optional[float] = None,
     checkpoint_path: Optional[str] = None,
@@ -189,6 +218,26 @@ def windim(
         Wrap the solver in the retry/escalation ladder
         (:class:`~repro.resilience.ladder.ResilientSolver`); the result
         then carries per-evaluation health records.
+    reuse:
+        Enable the cross-evaluation reuse engine
+        (:class:`~repro.core.reuse.ReuseEngine`): fixed points are
+        warm-started from the nearest solved neighbour, exact solvers
+        share a lattice cache, and candidates whose certified
+        lower bound (:meth:`~repro.core.objective.WindowObjective.
+        lower_bound`) exceeds the incumbent are pruned without a solve.
+        Neither mechanism can change the chosen optimum: warm starts
+        keep the solvers' stopping criteria (values stay within the
+        1e-8 parity band) and pruning only ever skips provably
+        dominated candidates.
+    store_path:
+        Persistent :class:`~repro.search.store.EvaluationStore` file.
+        Previously stored evaluations (values and warm-start seeds) are
+        preloaded before searching — counted in ``store_seeded``, paid
+        for by no fresh solves — and every fresh evaluation of this run
+        is appended for the next one.  The store is fingerprinted to
+        the network + solver; reusing it on a different instance raises
+        :class:`~repro.errors.SearchError`.  Independent of
+        ``checkpoint_path`` (either, both, or neither may be given).
     budget / max_seconds:
         Search budget.  ``max_seconds`` is shorthand for
         ``SearchBudget(max_seconds=...)``; passing both is an error.  When
@@ -240,16 +289,18 @@ def windim(
         resilient_solver = ResilientSolver(primary, backend=backend)
         solver = resilient_solver
 
-    objective = WindowObjective(network, solver, backend=backend, workers=workers)
+    objective = WindowObjective(
+        network, solver, backend=backend, workers=workers, reuse=reuse
+    )
     space = IntegerBox.windows(network.num_chains, max_window)
     cache = EvaluationCache(objective)
+    solver_label = solver if isinstance(solver, str) else getattr(
+        solver, "primary_name", getattr(solver, "__name__", "custom")
+    )
 
     manager: Optional[CheckpointManager] = None
     seeded = 0
     if checkpoint_path is not None:
-        solver_label = solver if isinstance(solver, str) else getattr(
-            solver, "primary_name", getattr(solver, "__name__", "custom")
-        )
         manager = CheckpointManager(
             checkpoint_path,
             every=checkpoint_every,
@@ -281,6 +332,45 @@ def windim(
     elif handle_signals:
         raise SearchError("handle_signals=True requires checkpoint_path")
 
+    store: Optional[EvaluationStore] = None
+    if store_path is not None:
+        store = EvaluationStore.open(
+            store_path, model_fingerprint(network, str(solver_label))
+        )
+        # Stored values enter cache.values directly (like checkpoint
+        # seeds): neither hits nor misses, so the run's evaluation count
+        # keeps measuring fresh work only.
+        for point, value in store.values.items():
+            cache.values.setdefault(point, value)
+        for point, seed in store.seeds.items():
+            objective.prime_seed(point, seed)
+
+    recorded_history = 0
+
+    def note_evaluation(live_cache: EvaluationCache) -> None:
+        """Per-fresh-evaluation hook: persist to the store, then checkpoint."""
+        nonlocal recorded_history
+        if store is not None:
+            history = live_cache.history
+            while recorded_history < len(history):
+                point, value = history[recorded_history]
+                recorded_history += 1
+                if point in store.values:
+                    continue
+                solution = objective.cached_solution(point)
+                seed = (
+                    solution.queue_lengths
+                    if solution is not None and solution.converged
+                    else None
+                )
+                store.record(point, value, seed)
+        if manager is not None:
+            manager.note_evaluation(live_cache)
+
+    on_evaluation = (
+        note_evaluation if (store is not None or manager is not None) else None
+    )
+
     def run_search() -> SearchResult:
         return pattern_search(
             objective,
@@ -291,8 +381,9 @@ def windim(
             max_evaluations=max_evaluations,
             cache=cache,
             budget=budget,
-            on_evaluation=manager.note_evaluation if manager else None,
+            on_evaluation=on_evaluation,
             prefetch=objective.batch_solve if objective.parallel else None,
+            bound=objective.lower_bound if reuse else None,
         )
 
     try:
@@ -310,6 +401,8 @@ def windim(
         raise
     finally:
         objective.close()
+        if store is not None:
+            store.close()
     if manager is not None:
         manager.flush()
 
@@ -329,4 +422,6 @@ def windim(
         if resilient_solver is not None
         else (),
         seeded_evaluations=seeded,
+        store_seeded=store.loaded if store is not None else 0,
+        reuse_stats=objective.reuse_stats,
     )

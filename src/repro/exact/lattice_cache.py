@@ -1,0 +1,97 @@
+"""Sub-lattice memoisation for the exact multichain MVA walk.
+
+The exact recursion's per-vector state — the ``(L,)`` vector of total
+mean queue lengths ``N_i(d)`` — depends only on the population vector
+``d`` and the network, **not** on the target population the walk was
+started for.  The lattice of a target ``E`` is therefore a *prefix* of
+the lattice of ``E + e_r``: every vector ``d <= E`` reappears with the
+same totals, and the only genuinely new work for the grown target is the
+face ``{d : d_r = E_r + 1}``.
+
+:class:`LatticeCache` exploits this across calls: it maps population
+vectors to their station totals and is consulted by the vectorized
+kernel of :func:`repro.exact.mva_exact.solve_mva_exact` before each
+level is computed.  Cached rows are loaded verbatim (they were produced
+by the identical floating-point recursion on the same network, so reuse
+is bit-exact); only missing rows are recomputed.  A WINDIM pattern
+search asking for ``E``, ``E ± step·e_r``, … therefore pays for each
+sub-lattice once instead of once per evaluation.
+
+The cache binds itself to the first network it sees (a byte-level token
+over demands, visit counts, and station types) and silently resets when
+handed a different one — a stale cache can never poison another
+instance's totals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.queueing.network import ClosedNetwork
+
+__all__ = ["LatticeCache"]
+
+#: Default cap on stored population vectors (~200k vectors x L floats).
+DEFAULT_MAX_VECTORS = 200_000
+
+
+def _network_token(network: ClosedNetwork) -> Tuple:
+    """Byte-level identity of everything the recursion's totals depend on."""
+    return (
+        network.demands.shape,
+        network.demands.tobytes(),
+        network.visit_counts.tobytes(),
+        tuple(s.is_delay for s in network.stations),
+    )
+
+
+class LatticeCache:
+    """Population-vector -> station-totals store for exact MVA.
+
+    Parameters
+    ----------
+    max_vectors:
+        Soft cap on the number of stored vectors.  Once reached, new
+        totals are no longer inserted (existing entries keep serving
+        hits); correctness never depends on an insert succeeding.
+    """
+
+    def __init__(self, max_vectors: int = DEFAULT_MAX_VECTORS) -> None:
+        self.max_vectors = int(max_vectors)
+        self._token: Optional[Tuple] = None
+        self._totals: Dict[Tuple[int, ...], np.ndarray] = {}
+        self.hits = 0
+        self.computed = 0
+        self.resets = 0
+
+    def __len__(self) -> int:
+        return len(self._totals)
+
+    def bind(self, network: ClosedNetwork) -> None:
+        """Attach to ``network``, resetting if it differs from the last one."""
+        token = _network_token(network)
+        if self._token is not None and self._token != token:
+            self._totals.clear()
+            self.resets += 1
+        self._token = token
+
+    def get(self, vector: Tuple[int, ...]) -> Optional[np.ndarray]:
+        row = self._totals.get(vector)
+        if row is not None:
+            self.hits += 1
+        return row
+
+    def put(self, vector: Tuple[int, ...], totals: np.ndarray) -> None:
+        self.computed += 1
+        if len(self._totals) < self.max_vectors:
+            self._totals[vector] = totals
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vectors": len(self._totals),
+            "hits": self.hits,
+            "computed": self.computed,
+            "resets": self.resets,
+        }

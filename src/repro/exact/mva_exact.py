@@ -50,6 +50,7 @@ _LEVEL_CHUNK = 8192
 def solve_mva_exact(
     network: ClosedNetwork,
     backend: Optional[str] = None,
+    lattice_cache: Optional["LatticeCache"] = None,
 ) -> NetworkSolution:
     """Solve a closed multichain network by exact MVA.
 
@@ -66,6 +67,13 @@ def solve_mva_exact(
         total-population level at a time on dense arrays; ``"scalar"``
         is the per-vector reference walk.  Both produce the same numbers
         to machine precision.
+    lattice_cache:
+        Optional :class:`~repro.exact.lattice_cache.LatticeCache`.  The
+        vectorized kernel loads previously computed per-vector station
+        totals from it and only recomputes missing lattice rows, making
+        repeated solves on overlapping lattices (``E`` then ``E + e_r``)
+        incremental; reuse is bit-exact.  The scalar reference kernel
+        ignores it.
 
     Returns
     -------
@@ -90,7 +98,7 @@ def solve_mva_exact(
             "use the MVA heuristic for problems of this size"
         )
     if resolve_backend(backend) == "vectorized":
-        return _solve_vectorized(network, limits, size)
+        return _solve_vectorized(network, limits, size, lattice_cache)
     return _solve_scalar(network, limits, size)
 
 
@@ -174,13 +182,27 @@ def _levels(limits: List[int]) -> List[List[Tuple[int, ...]]]:
 
 
 def _solve_vectorized(
-    network: ClosedNetwork, limits: List[int], size: int
+    network: ClosedNetwork,
+    limits: List[int],
+    size: int,
+    lattice_cache=None,
 ) -> NetworkSolution:
-    """Level-batched walk on dense ``(V, R, L)`` arrays."""
+    """Level-batched walk on dense ``(V, R, L)`` arrays.
+
+    With a ``lattice_cache``, previously computed per-vector totals are
+    loaded verbatim and only the missing rows of each level go through
+    the batched recursion.  The per-(vector, chain) floating-point
+    operations are elementwise, so computing a subset of a level in
+    smaller batches produces bit-identical rows — reuse never changes
+    the solution.  The target vector is always computed fresh (its
+    waits/rates *are* the solution).
+    """
     demands = network.demands
     num_chains, num_stations = demands.shape
     delay_mask = np.asarray([s.is_delay for s in network.stations], dtype=bool)
     visit_mask = network.visit_counts > 0
+    if lattice_cache is not None:
+        lattice_cache.bind(network)
 
     target = tuple(limits)
     final_wait = np.zeros((num_chains, num_stations))
@@ -193,49 +215,76 @@ def _solve_vectorized(
     prev_totals = np.zeros((1, num_stations))
 
     for level in _levels(limits)[1:]:
-        vectors = np.asarray(level, dtype=np.int64)  # (V, R)
-        num_vectors = vectors.shape[0]
-        # Row of each predecessor d - u_r in the previous level's array.
-        pred_rows = np.zeros((num_vectors, num_chains), dtype=np.int64)
-        for v, vector in enumerate(level):
-            row = pred_rows[v]
-            for r in range(num_chains):
-                if vector[r] > 0:
-                    predecessor = list(vector)
-                    predecessor[r] -= 1
-                    row[r] = prev_rows[tuple(predecessor)]
-        valid = vectors > 0  # (V, R)
-
-        totals = np.empty((num_vectors, num_stations))
+        num_vectors = len(level)
         level_rows = {vector: v for v, vector in enumerate(level)}
-        for start in range(0, num_vectors, _LEVEL_CHUNK):
-            stop = min(start + _LEVEL_CHUNK, num_vectors)
-            seen = prev_totals[pred_rows[start:stop]]  # (C, R, L)
-            wait = np.where(
-                delay_mask[None, None, :],
-                demands[None, :, :],
-                demands[None, :, :] * (1.0 + seen),
-            )
-            wait = np.where(visit_mask[None, :, :], wait, 0.0)
-            chunk_valid = valid[start:stop]
-            cycle = wait.sum(axis=2)  # (C, R)
-            if np.any(chunk_valid & (cycle <= 0)):
-                bad = int(np.argwhere(chunk_valid & (cycle <= 0))[0][1])
-                raise ModelError(
-                    f"chain {network.chains[bad].name!r} has zero total demand"
+        totals = np.empty((num_vectors, num_stations))
+
+        # Split the level into cache hits (loaded verbatim) and rows that
+        # must be computed.  A fully cached level skips the predecessor
+        # indexing and the batched math entirely.
+        if lattice_cache is None:
+            compute = list(range(num_vectors))
+        else:
+            compute = []
+            for v, vector in enumerate(level):
+                cached = None if vector == target else lattice_cache.get(vector)
+                if cached is None:
+                    compute.append(v)
+                else:
+                    totals[v] = cached
+
+        if compute:
+            vectors = np.asarray([level[v] for v in compute], dtype=np.int64)
+            compute_arr = np.asarray(compute, dtype=np.int64)
+            # Row of each predecessor d - u_r in the previous level's array.
+            pred_rows = np.zeros((len(compute), num_chains), dtype=np.int64)
+            for m, v in enumerate(compute):
+                vector = level[v]
+                row = pred_rows[m]
+                for r in range(num_chains):
+                    if vector[r] > 0:
+                        predecessor = list(vector)
+                        predecessor[r] -= 1
+                        row[r] = prev_rows[tuple(predecessor)]
+            valid = vectors > 0  # (M, R)
+            target_pos = compute_arr.searchsorted(level_rows[target]) if target in level_rows else -1
+            if target_pos >= 0 and not (
+                target_pos < len(compute) and compute[target_pos] == level_rows[target]
+            ):
+                target_pos = -1
+
+            for start in range(0, len(compute), _LEVEL_CHUNK):
+                stop = min(start + _LEVEL_CHUNK, len(compute))
+                seen = prev_totals[pred_rows[start:stop]]  # (C, R, L)
+                wait = np.where(
+                    delay_mask[None, None, :],
+                    demands[None, :, :],
+                    demands[None, :, :] * (1.0 + seen),
                 )
-            rate = np.where(
-                chunk_valid,
-                vectors[start:stop] / np.where(cycle > 0, cycle, 1.0),
-                0.0,
-            )
-            queue = rate[:, :, None] * wait  # (C, R, L)
-            totals[start:stop] = queue.sum(axis=1)
-            if start <= level_rows.get(target, -1) < stop:
-                t = level_rows[target] - start
-                final_wait = np.where(valid[level_rows[target]][:, None], wait[t], 0.0)
-                final_throughput = rate[t]
-                final_queue = queue[t]
+                wait = np.where(visit_mask[None, :, :], wait, 0.0)
+                chunk_valid = valid[start:stop]
+                cycle = wait.sum(axis=2)  # (C, R)
+                if np.any(chunk_valid & (cycle <= 0)):
+                    bad = int(np.argwhere(chunk_valid & (cycle <= 0))[0][1])
+                    raise ModelError(
+                        f"chain {network.chains[bad].name!r} has zero total demand"
+                    )
+                rate = np.where(
+                    chunk_valid,
+                    vectors[start:stop] / np.where(cycle > 0, cycle, 1.0),
+                    0.0,
+                )
+                queue = rate[:, :, None] * wait  # (C, R, L)
+                totals[compute_arr[start:stop]] = queue.sum(axis=1)
+                if start <= target_pos < stop:
+                    t = target_pos - start
+                    final_wait = np.where(valid[target_pos][:, None], wait[t], 0.0)
+                    final_throughput = rate[t]
+                    final_queue = queue[t]
+
+            if lattice_cache is not None:
+                for v in compute:
+                    lattice_cache.put(level[v], totals[v].copy())
         prev_rows = level_rows
         prev_totals = totals
 

@@ -30,8 +30,10 @@ import numpy as np
 
 from repro.backend import resolve_backend
 from repro.errors import ModelError
+from repro.mva.accel import AitkenAccelerator
 from repro.mva.convergence import IterationControl
 from repro.mva.single_chain import solve_single_chain
+from repro.mva.warmstart import validate_warm_start
 from repro.queueing.network import ClosedNetwork
 from repro.solution import NetworkSolution
 
@@ -174,6 +176,7 @@ def solve_mva_heuristic(
     control: Optional[IterationControl] = None,
     initializer: str = "balanced",
     backend: Optional[str] = None,
+    warm_start: Optional[np.ndarray] = None,
 ) -> NetworkSolution:
     """Solve a closed multichain network with the thesis §4.2 heuristic.
 
@@ -193,6 +196,12 @@ def solve_mva_heuristic(
         the default) or ``"scalar"`` (the per-chain reference loops); see
         :mod:`repro.backend`.  Both produce the same numbers to machine
         precision.
+    warm_start:
+        Optional ``(R, L)`` queue-length seed replacing the
+        ``initializer`` start — typically the converged ``queue_lengths``
+        of a nearby window vector (see :mod:`repro.mva.warmstart`).  A
+        good seed cuts iterations-to-converge; the stopping criterion is
+        unchanged, so the converged values are the same fixed point.
 
     Returns
     -------
@@ -210,7 +219,17 @@ def solve_mva_heuristic(
     delay_mask = np.asarray([s.is_delay for s in network.stations], dtype=bool)
     visit_mask = network.visit_counts > 0
 
-    queue_lengths = initial_queue_lengths(network, initializer)
+    if warm_start is not None:
+        queue_lengths = validate_warm_start(network, warm_start)
+        # A seed from a converged neighbour puts the iteration straight
+        # into its asymptotic linear regime, where Aitken extrapolation is
+        # both safe and maximally effective; cold solves stay the plain
+        # thesis iteration (see repro.mva.accel).  Damping changes the
+        # error dynamics the ratio estimate assumes, so it disables this.
+        accelerator = AitkenAccelerator() if control.damping >= 1.0 else None
+    else:
+        queue_lengths = initial_queue_lengths(network, initializer)
+        accelerator = None
     throughputs = np.zeros(num_chains)
     waiting = np.zeros_like(demands)
     sigma = np.zeros_like(demands)
@@ -282,6 +301,10 @@ def solve_mva_heuristic(
                 converged=True,
                 extras={"residual": residual},
             )
+        if accelerator is not None:
+            accelerated = accelerator.push(queue_lengths)
+            if accelerated is not None:
+                queue_lengths = accelerated
 
     control.on_exhausted("mva-heuristic", iterations, residual)
     return NetworkSolution(

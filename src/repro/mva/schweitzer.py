@@ -25,7 +25,9 @@ import numpy as np
 
 from repro.backend import resolve_backend
 from repro.errors import ModelError
+from repro.mva.accel import AitkenAccelerator
 from repro.mva.convergence import IterationControl
+from repro.mva.warmstart import validate_warm_start
 from repro.queueing.network import ClosedNetwork
 from repro.solution import NetworkSolution
 
@@ -36,6 +38,7 @@ def solve_schweitzer(
     network: ClosedNetwork,
     control: Optional[IterationControl] = None,
     backend: Optional[str] = None,
+    warm_start: Optional[np.ndarray] = None,
 ) -> NetworkSolution:
     """Solve a closed multichain network with Schweitzer–Bard AMVA.
 
@@ -43,7 +46,9 @@ def solve_schweitzer(
     :func:`repro.mva.heuristic.solve_mva_heuristic`; the returned solution
     has ``method="schweitzer"``.  ``backend`` selects the batched dense
     kernel (``"vectorized"``, default) or the per-chain reference loop
-    (``"scalar"``); both agree to machine precision.
+    (``"scalar"``); both agree to machine precision.  ``warm_start``
+    replaces the balanced start with a caller-supplied ``(R, L)``
+    queue-length seed (see :mod:`repro.mva.warmstart`).
     """
     if control is None:
         control = IterationControl()
@@ -55,12 +60,20 @@ def solve_schweitzer(
     delay_mask = np.asarray([s.is_delay for s in network.stations], dtype=bool)
     visit_mask = network.visit_counts > 0
 
-    # Balanced start, as in the thesis heuristic.
-    queue_lengths = np.zeros_like(demands)
-    for r in range(num_chains):
-        stations = network.visited_stations(r)
-        if populations[r] > 0 and stations.size > 0:
-            queue_lengths[r, stations] = populations[r] / stations.size
+    if warm_start is not None:
+        queue_lengths = validate_warm_start(network, warm_start)
+        # Warm seeds start in the asymptotic regime where Aitken
+        # extrapolation is safe; cold solves stay the plain iteration
+        # (see repro.mva.accel for both the method and the gating).
+        accelerator = AitkenAccelerator() if control.damping >= 1.0 else None
+    else:
+        accelerator = None
+        # Balanced start, as in the thesis heuristic.
+        queue_lengths = np.zeros_like(demands)
+        for r in range(num_chains):
+            stations = network.visited_stations(r)
+            if populations[r] > 0 and stations.size > 0:
+                queue_lengths[r, stations] = populations[r] / stations.size
 
     throughputs = np.zeros(num_chains)
     waiting = np.zeros_like(demands)
@@ -126,6 +139,10 @@ def solve_schweitzer(
                 converged=True,
                 extras={"residual": residual},
             )
+        if accelerator is not None:
+            accelerated = accelerator.push(queue_lengths)
+            if accelerated is not None:
+                queue_lengths = accelerated
 
     control.on_exhausted("schweitzer", iterations, residual)
     return NetworkSolution(

@@ -1,0 +1,68 @@
+"""Warm-start seeds for the iterative MVA fixed points.
+
+A WINDIM pattern search evaluates dense clouds of *adjacent* window
+vectors — ``E``, ``E ± step·e_r`` — and the converged mean queue lengths
+of one vector are an excellent initial iterate for its neighbours: the
+fixed point is a contraction near its solution, so starting close cuts
+the iterations-to-converge without moving the converged values (the
+stopping criterion is unchanged, so any admissible start lands within the
+same throughput-norm tolerance of the same fixed point).
+
+:func:`validate_warm_start` is the shared gate every iterative solver
+(:func:`~repro.mva.heuristic.solve_mva_heuristic`,
+:func:`~repro.mva.schweitzer.solve_schweitzer`,
+:func:`~repro.mva.linearizer.solve_linearizer`) runs a caller-supplied
+seed through.  It is deliberately forgiving about *values* — a seed from
+a neighbouring population vector has row sums matching the neighbour's
+windows, which is fine for an initial iterate — but strict about
+*structure*: shape, finiteness, and the invariants the solvers rely on
+(no mass on unvisited stations, no mass on empty chains, no negative
+queue lengths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.queueing.network import ClosedNetwork
+
+__all__ = ["validate_warm_start"]
+
+
+def validate_warm_start(network: ClosedNetwork, warm_start) -> np.ndarray:
+    """Validate and normalise a queue-length seed for ``network``.
+
+    Parameters
+    ----------
+    network:
+        The network about to be solved.
+    warm_start:
+        ``(R, L)`` array-like of mean queue lengths, typically the
+        ``queue_lengths`` of a converged solution at a nearby population
+        vector.
+
+    Returns
+    -------
+    numpy.ndarray
+        A fresh ``(R, L)`` float array safe to use as the initial
+        iterate: negatives clipped to zero, unvisited stations and
+        zero-population chains zeroed (their queue lengths must stay
+        identically zero throughout a solve).
+
+    Raises
+    ------
+    ModelError
+        If the seed has the wrong shape or non-finite entries.
+    """
+    arr = np.asarray(warm_start, dtype=float)
+    if arr.shape != network.demands.shape:
+        raise ModelError(
+            f"warm_start has shape {arr.shape}; expected "
+            f"{network.demands.shape} (chains x stations)"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ModelError("warm_start contains non-finite queue lengths")
+    seed = np.where(network.visit_counts > 0, np.clip(arr, 0.0, None), 0.0)
+    seed[network.populations <= 0, :] = 0.0
+    return seed

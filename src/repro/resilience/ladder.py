@@ -108,6 +108,14 @@ _KERNEL_AWARE_BACKENDS = frozenset(
     {"mva-heuristic", "schweitzer", "linearizer", "mva-exact"}
 )
 
+#: Backends accepting a ``warm_start=`` queue-length seed
+#: (see :mod:`repro.mva.warmstart`).
+_WARMSTART_BACKENDS = frozenset({"mva-heuristic", "schweitzer", "linearizer"})
+
+#: Backends accepting a ``lattice_cache=``
+#: (see :mod:`repro.exact.lattice_cache`).
+_LATTICE_BACKENDS = frozenset({"mva-exact"})
+
 
 def _accepts_keyword(solver: Solver, keyword: str) -> bool:
     """True when a custom callable takes the given keyword argument."""
@@ -212,11 +220,15 @@ class ResilientSolver:
             self._primary = _backend(solver)
             self._primary_iterative = solver in _ITERATIVE_BACKENDS
             self._primary_kernel_aware = solver in _KERNEL_AWARE_BACKENDS
+            self._primary_warm = solver in _WARMSTART_BACKENDS
+            self._primary_lattice = solver in _LATTICE_BACKENDS
         else:
             self.primary_name = getattr(solver, "__name__", "custom")
             self._primary = solver
             self._primary_iterative = _accepts_control(solver)
             self._primary_kernel_aware = _accepts_keyword(solver, "backend")
+            self._primary_warm = _accepts_keyword(solver, "warm_start")
+            self._primary_lattice = _accepts_keyword(solver, "lattice_cache")
         self.damping_schedule = tuple(float(d) for d in damping_schedule)
         self.escalation = tuple(
             DEFAULT_ESCALATION if escalation is None else escalation
@@ -277,6 +289,7 @@ class ResilientSolver:
         damping: float,
         iterative: bool,
         kernel_aware: bool = False,
+        extra: Optional[Dict[str, object]] = None,
     ) -> Optional[NetworkSolution]:
         """Run one rung; record the outcome; return the solution if healthy."""
         started = time.perf_counter()
@@ -286,6 +299,8 @@ class ResilientSolver:
             kwargs["control"] = self._control.damped(damping)
         if kernel_aware:
             kwargs["backend"] = self.backend
+        if extra:
+            kwargs.update(extra)
         try:
             # Non-converged iterates must surface as ConvergenceError here,
             # not as a ConvergenceWarning the ladder cannot catch.
@@ -330,14 +345,35 @@ class ResilientSolver:
         )
         return solution
 
-    def __call__(self, network: ClosedNetwork) -> NetworkSolution:
+    def __call__(
+        self,
+        network: ClosedNetwork,
+        warm_start: Optional[np.ndarray] = None,
+        lattice_cache=None,
+    ) -> NetworkSolution:
         """Solve ``network``, climbing the ladder until a rung holds.
+
+        ``warm_start`` (a queue-length seed, see
+        :mod:`repro.mva.warmstart`) is forwarded to every rung whose
+        solver iterates from a seed; ``lattice_cache`` to the exact-MVA
+        rung.  Both are pure accelerators — rung outcomes and the ladder's
+        escalation decisions are judged on the same convergence criteria
+        either way.
 
         Raises
         ------
         LadderExhaustedError
             When every rung failed; ``.health`` carries the full record.
         """
+
+        def reuse_kwargs(warm: bool, lattice: bool) -> Dict[str, object]:
+            extra: Dict[str, object] = {}
+            if warm and warm_start is not None:
+                extra["warm_start"] = warm_start
+            if lattice and lattice_cache is not None:
+                extra["lattice_cache"] = lattice_cache
+            return extra
+
         health = SolveHealth(
             windows=tuple(int(p) for p in network.populations)
         )
@@ -359,6 +395,7 @@ class ResilientSolver:
                 damping,
                 self._primary_iterative,
                 self._primary_kernel_aware,
+                reuse_kwargs(self._primary_warm, self._primary_lattice),
             )
             if solution is not None:
                 return solution
@@ -393,6 +430,9 @@ class ResilientSolver:
                 damping,
                 iterative,
                 name in _KERNEL_AWARE_BACKENDS,
+                reuse_kwargs(
+                    name in _WARMSTART_BACKENDS, name in _LATTICE_BACKENDS
+                ),
             )
             if solution is not None:
                 return solution
@@ -406,7 +446,15 @@ class ResilientSolver:
 def solve_resilient(
     network: ClosedNetwork,
     solver: Union[str, Solver] = "mva-heuristic",
+    warm_start: Optional[np.ndarray] = None,
+    lattice_cache=None,
     **kwargs: object,
 ) -> NetworkSolution:
-    """One-shot functional form of :class:`ResilientSolver`."""
-    return ResilientSolver(solver, **kwargs)(network)
+    """One-shot functional form of :class:`ResilientSolver`.
+
+    ``warm_start`` / ``lattice_cache`` are call-time reuse accelerators
+    (forwarded to the solve); everything else configures the ladder.
+    """
+    return ResilientSolver(solver, **kwargs)(
+        network, warm_start=warm_start, lattice_cache=lattice_cache
+    )

@@ -5,6 +5,7 @@
 * :func:`~repro.search.exhaustive.exhaustive_search` — global baseline.
 * :func:`~repro.search.coordinate.coordinate_descent` — simple baseline.
 * :class:`~repro.search.cache.EvaluationCache` — memoisation (APL ``FLOC``).
+* :class:`~repro.search.store.EvaluationStore` — persistent cross-run cache.
 * :class:`~repro.search.space.IntegerBox` — integer search spaces.
 """
 
@@ -14,11 +15,14 @@ from repro.search.exhaustive import exhaustive_search
 from repro.search.pattern import pattern_search
 from repro.search.result import SearchResult
 from repro.search.space import IntegerBox
+from repro.search.store import EvaluationStore, model_fingerprint
 
 __all__ = [
     "EvaluationCache",
+    "EvaluationStore",
     "IntegerBox",
     "SearchResult",
+    "model_fingerprint",
     "pattern_search",
     "exhaustive_search",
     "coordinate_descent",

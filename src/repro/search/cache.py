@@ -57,6 +57,11 @@ class EvaluationCache:
     ----------
     hits / misses:
         Lookup statistics.
+    pruned:
+        Candidates rejected by a certified bound without an evaluation
+        (see the ``bound`` hook of
+        :func:`repro.search.pattern.pattern_search`); they appear in no
+        other counter — a pruned point was never looked up.
     history:
         Every *distinct* evaluated point, in evaluation order, with its
         value — useful for plotting search trajectories.
@@ -66,6 +71,7 @@ class EvaluationCache:
     values: Dict[Point, float] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    pruned: int = 0
     history: List[Tuple[Point, float]] = field(default_factory=list)
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
@@ -109,6 +115,11 @@ class EvaluationCache:
             self.values[key] = float(value)
             self.history.append((key, float(value)))
             return True
+
+    def note_pruned(self) -> None:
+        """Count one bound-pruned candidate (no evaluation happened)."""
+        with self._lock:
+            self.pruned += 1
 
     def __contains__(self, point: Point) -> bool:
         """True when ``point`` is already cached (no counter updates)."""
@@ -156,3 +167,4 @@ class EvaluationCache:
             self.history.clear()
             self.hits = 0
             self.misses = 0
+            self.pruned = 0

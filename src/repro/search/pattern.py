@@ -58,8 +58,16 @@ def _explore(
     point: Point,
     value: float,
     step: int,
+    prune: Optional[Callable[[Point, float], bool]] = None,
 ) -> Tuple[Point, float]:
-    """One exploratory sweep: perturb each coordinate by ±step in turn."""
+    """One exploratory sweep: perturb each coordinate by ±step in turn.
+
+    ``prune(candidate, current_value)`` may reject a candidate without an
+    evaluation when a certified lower bound proves it cannot beat the
+    sweep's current value — the sweep's accepted points are then exactly
+    those of an unpruned sweep (a dominated candidate would have failed
+    its ``< current_value`` test anyway).
+    """
     current = list(point)
     current_value = value
     for axis in range(space.dimensions):
@@ -68,6 +76,8 @@ def _explore(
             candidate[axis] += direction * step
             candidate_t = tuple(candidate)
             if candidate_t not in space:
+                continue
+            if prune is not None and prune(candidate_t, current_value):
                 continue
             candidate_value = evaluate(candidate_t)
             if candidate_value < current_value:
@@ -88,6 +98,7 @@ def pattern_search(
     budget: Optional[SearchBudget] = None,
     on_evaluation: Optional[Callable[[EvaluationCache], None]] = None,
     prefetch: Optional[BatchEvaluator] = None,
+    bound: Optional[Callable[[Point], float]] = None,
 ) -> SearchResult:
     """Minimise ``objective`` over ``space`` by integer pattern search.
 
@@ -128,6 +139,16 @@ def pattern_search(
         evaluations (budget, ``max_evaluations``, and ``on_evaluation``
         all see them); a few may never be consulted by the sweep, which
         is the price of evaluating them concurrently.
+    bound:
+        Optional *certified lower bound* on the objective (WINDIM passes
+        ``WindowObjective.lower_bound``).  An uncached exploratory
+        candidate whose bound strictly exceeds the sweep's current value
+        is skipped without a solve and counted in ``cache.pruned`` /
+        ``SearchResult.pruned``.  Because the bound must be a true lower
+        bound, a pruned candidate is provably dominated: the accepted
+        base points, the chosen optimum, and its value are identical to
+        an unpruned run.  Pattern-move landing points are never pruned
+        (their value seeds the next exploration).
 
     Returns
     -------
@@ -158,13 +179,31 @@ def pattern_search(
             on_evaluation(cache)
         return value
 
-    def prefetch_cross(point: Point) -> None:
+    def prune(candidate: Point, current_value: float) -> bool:
+        """True when a certified bound proves ``candidate`` dominated.
+
+        Only uncached candidates are ever pruned (a cached value is free
+        to consult), and only on a *strict* bound excess: a candidate
+        whose true value ties the current one would be rejected by the
+        sweep's strict ``<`` test anyway, so skipping it cannot change
+        the trajectory.
+        """
+        if bound is None or candidate in cache.values:
+            return False
+        if bound(candidate) > current_value:
+            cache.note_pruned()
+            return True
+        return False
+
+    def prefetch_cross(point: Point, point_value: float) -> None:
         """Batch-evaluate the uncached ±step cross around ``point``.
 
         Results are primed into the cache, so the sequential exploratory
         sweep that follows mostly hits.  Budget and evaluation caps are
         honoured: the batch is trimmed to the remaining evaluation room
-        and skipped entirely once the budget is spent.
+        and skipped entirely once the budget is spent.  Candidates whose
+        certified bound already exceeds ``point_value`` are not worth a
+        speculative solve — the sweep would prune them.
         """
         if prefetch is None:
             return
@@ -178,6 +217,9 @@ def pattern_search(
                     candidate_t in space
                     and candidate_t not in cache.values
                     and candidate_t not in fresh
+                    and not (
+                        bound is not None and bound(candidate_t) > point_value
+                    )
                 ):
                     fresh.append(candidate_t)
         room = max_evaluations - cache.evaluations
@@ -201,8 +243,10 @@ def pattern_search(
     try:
         base_value = evaluate(base)
         while step >= 1 and halvings <= max_halvings:
-            prefetch_cross(base)
-            probe, probe_value = _explore(evaluate, space, base, base_value, step)
+            prefetch_cross(base, base_value)
+            probe, probe_value = _explore(
+                evaluate, space, base, base_value, step, prune
+            )
             if probe_value < base_value:
                 # Pattern phase: ride the established direction.
                 previous = base
@@ -213,9 +257,9 @@ def pattern_search(
                         tuple(2 * b - p for b, p in zip(base, previous))
                     )
                     landing_value = evaluate(pattern_point)
-                    prefetch_cross(pattern_point)
+                    prefetch_cross(pattern_point, landing_value)
                     probe2, probe2_value = _explore(
-                        evaluate, space, pattern_point, landing_value, step
+                        evaluate, space, pattern_point, landing_value, step, prune
                     )
                     if probe2_value < base_value:
                         previous = base
@@ -249,4 +293,5 @@ def pattern_search(
         method="pattern-search",
         status=status,
         stop_reason=stop_reason,
+        pruned=cache.pruned,
     )

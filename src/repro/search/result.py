@@ -36,6 +36,9 @@ class SearchResult:
         then the best point seen so far, not a certified local optimum.
     stop_reason:
         Human-readable cause when ``status != "completed"``.
+    pruned:
+        Candidates rejected by a certified lower bound without an
+        evaluation (0 unless the search ran with a ``bound`` hook).
     """
 
     best_point: Point
@@ -46,6 +49,7 @@ class SearchResult:
     method: str = ""
     status: str = "completed"
     stop_reason: str = ""
+    pruned: int = 0
 
     @property
     def budget_exhausted(self) -> bool:
@@ -59,6 +63,8 @@ class SearchResult:
             f"value {self.best_value:.6g} "
             f"({self.evaluations} evaluations, {self.lookups} lookups)"
         )
+        if self.pruned:
+            line += f" [{self.pruned} pruned]"
         if self.status != "completed":
             line += f" [{self.status}: {self.stop_reason}]"
         return line

@@ -1,0 +1,118 @@
+"""Trajectory-safe parity of the cross-evaluation reuse engine.
+
+The PR-4 acceptance bar: on every golden fixture, WINDIM with reuse
+enabled (warm starts + shared lattices + bound pruning) must choose the
+*same* optimum window vector as a reuse-off run, with the objective value
+within 1e-8.  The machinery is designed so this holds exactly — warm
+starts keep the solvers' stopping criteria, pruning only skips provably
+dominated candidates — and this test wall pins the design.
+"""
+
+import pytest
+
+from repro.core.objective import WindowObjective
+from repro.core.windim import windim
+from repro.search.pattern import pattern_search
+from repro.search.space import IntegerBox
+from repro.verify.golden import golden_cases
+
+MAX_WINDOW = 12
+MAX_EVALUATIONS = 3_000
+
+GOLDENS = {case.name: case for case in golden_cases()}
+
+
+def _windim_pair(network, solver):
+    off = windim(
+        network, solver=solver, max_window=MAX_WINDOW,
+        max_evaluations=MAX_EVALUATIONS,
+    )
+    on = windim(
+        network, solver=solver, max_window=MAX_WINDOW,
+        max_evaluations=MAX_EVALUATIONS, reuse=True,
+    )
+    return off, on
+
+
+class TestWindimReuseParity:
+    @pytest.mark.parametrize("name", sorted(GOLDENS))
+    def test_heuristic_same_optimum(self, name):
+        network = GOLDENS[name].build().network
+        off, on = _windim_pair(network, "mva-heuristic")
+        assert on.windows == off.windows
+        assert on.search.best_value == pytest.approx(
+            off.search.best_value, rel=1e-8, abs=1e-8
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["table47_light", "table48_skewed", "tandem4_kleinrock"]
+    )
+    def test_exact_mva_same_optimum(self, name):
+        network = GOLDENS[name].build().network
+        off, on = _windim_pair(network, "mva-exact")
+        assert on.windows == off.windows
+        assert on.search.best_value == pytest.approx(
+            off.search.best_value, rel=1e-8, abs=1e-8
+        )
+
+    def test_identical_trajectory_not_just_optimum(self):
+        """Stronger than the acceptance bar: every accepted base point
+        matches, so pruning and warm starts never even *redirect* the
+        search on the way to the optimum."""
+        network = GOLDENS["arpanet_default"].build().network
+        off, on = _windim_pair(network, "mva-heuristic")
+        assert on.search.base_points == off.search.base_points
+
+    def test_reuse_reports_warm_solves(self):
+        network = GOLDENS["table47_moderate"].build().network
+        result = windim(
+            network, max_window=MAX_WINDOW,
+            max_evaluations=MAX_EVALUATIONS, reuse=True,
+        )
+        stats = result.reuse_stats
+        assert stats is not None
+        assert stats["warm_solves"] > 0
+        # Warm solves must be cheaper on average than cold ones.
+        if stats["cold_solves"] and stats["warm_solves"]:
+            warm_avg = stats["warm_iterations"] / stats["warm_solves"]
+            cold_avg = stats["cold_iterations"] / stats["cold_solves"]
+            assert warm_avg <= cold_avg
+
+    def test_reuse_off_has_no_stats(self):
+        network = GOLDENS["table47_light"].build().network
+        result = windim(network, max_window=8)
+        assert result.reuse_stats is None
+        assert result.search.pruned == 0
+
+
+class TestLowerBoundCertified:
+    """The prune bound must be a true lower bound wherever we check it."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDENS))
+    def test_bound_below_true_objective(self, name):
+        network = GOLDENS[name].build().network
+        objective = WindowObjective(network)
+        points = [
+            tuple(1 for _ in range(network.num_chains)),
+            tuple(3 for _ in range(network.num_chains)),
+            tuple(8 for _ in range(network.num_chains)),
+            tuple(
+                2 + (i % 3) for i in range(network.num_chains)
+            ),
+        ]
+        for point in points:
+            assert objective.lower_bound(point) <= objective(point) + 1e-12
+
+    def test_pruning_never_changes_pattern_search_result(self):
+        network = GOLDENS["arpanet_default"].build().network
+        objective = WindowObjective(network)
+        space = IntegerBox.windows(network.num_chains, MAX_WINDOW)
+        start = tuple(4 for _ in range(network.num_chains))
+        plain = pattern_search(objective, start, space)
+        bounded = pattern_search(
+            WindowObjective(network), start, space,
+            bound=objective.lower_bound,
+        )
+        assert bounded.best_point == plain.best_point
+        assert bounded.base_points == plain.base_points
+        assert bounded.best_value == pytest.approx(plain.best_value, rel=1e-12)

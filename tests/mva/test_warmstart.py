@@ -1,0 +1,83 @@
+"""Warm-started fixed points: validation and solver-level parity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.linearizer import solve_linearizer
+from repro.mva.schweitzer import solve_schweitzer
+from repro.mva.warmstart import validate_warm_start
+from repro.netmodel.examples import arpanet_fragment, canadian_two_class
+
+SOLVERS = [solve_mva_heuristic, solve_schweitzer, solve_linearizer]
+
+
+@pytest.fixture
+def network():
+    return canadian_two_class(18.0, 18.0)
+
+
+class TestValidateWarmStart:
+    def test_wrong_shape_rejected(self, network):
+        with pytest.raises(ModelError):
+            validate_warm_start(network, np.zeros((1, 1)))
+
+    def test_non_finite_rejected(self, network):
+        seed = np.zeros(network.demands.shape)
+        seed[0, 0] = np.nan
+        with pytest.raises(ModelError):
+            validate_warm_start(network, seed)
+
+    def test_negatives_clipped(self, network):
+        seed = np.full(network.demands.shape, -1.0)
+        cleaned = validate_warm_start(network, seed)
+        assert (cleaned >= 0).all()
+
+    def test_unvisited_stations_zeroed(self, network):
+        seed = np.ones(network.demands.shape)
+        cleaned = validate_warm_start(network, seed)
+        assert (cleaned[network.visit_counts <= 0] == 0).all()
+
+
+class TestWarmStartParity:
+    """Warm solves must converge to the cold fixed point (stopping
+    criteria are unchanged) in no more iterations than a cold solve
+    needs when seeded with the answer itself."""
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_self_seed_matches_cold(self, solve, network):
+        cold = solve(network)
+        warm = solve(network, warm_start=cold.queue_lengths)
+        np.testing.assert_allclose(
+            warm.throughputs, cold.throughputs, rtol=1e-8
+        )
+        assert warm.iterations <= cold.iterations
+
+    @pytest.mark.parametrize("solve", SOLVERS)
+    def test_neighbour_seed_matches_cold(self, solve):
+        base = arpanet_fragment()
+        neighbour = base.with_populations(
+            [int(p) + 1 for p in base.populations]
+        )
+        seed = solve(neighbour).queue_lengths
+        cold = solve(base)
+        warm = solve(base, warm_start=seed)
+        np.testing.assert_allclose(
+            warm.throughputs, cold.throughputs, rtol=1e-8
+        )
+
+    def test_garbage_seed_still_converges(self, network):
+        rng = np.random.default_rng(7)
+        seed = rng.uniform(0.0, 50.0, size=network.demands.shape)
+        cold = solve_mva_heuristic(network)
+        warm = solve_mva_heuristic(network, warm_start=seed)
+        assert warm.converged
+        np.testing.assert_allclose(
+            warm.throughputs, cold.throughputs, rtol=1e-8
+        )
+
+    def test_self_seed_saves_iterations(self, network):
+        cold = solve_mva_heuristic(network)
+        warm = solve_mva_heuristic(network, warm_start=cold.queue_lengths)
+        assert warm.iterations < cold.iterations

@@ -11,6 +11,7 @@ the differential oracle uses, with hypothesis supplying the seeds.
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.exact.mva_exact import solve_mva_exact
 from repro.mva.bounds import asymptotic_bounds, balanced_job_bounds
 from repro.mva.heuristic import solve_mva_heuristic
 from repro.verify.fuzz import FuzzConfig, generate_cases
@@ -65,3 +66,35 @@ class TestSingleChainBounds:
         assert balanced.upper <= asym.upper * (1 + SLACK)
         assert balanced.lower >= asym.lower * (1 - SLACK)
         assert float(solution.throughputs[0]) <= balanced.upper * (1 + SLACK)
+
+
+class TestExactMVAInsideBounds:
+    """The bounds must contain the *exact* throughput, not just the
+    heuristic's — this is what certifies them as prune bounds for the
+    reuse engine (``WindowObjective.lower_bound``): exact MVA has no
+    iteration tolerance, so the only slack allowed here is arithmetic.
+    """
+
+    EXACT_SLACK = 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_throughput_inside_asymptotic_envelope(self, seed):
+        network = _fuzz_network(seed, SINGLE_CHAIN)
+        solution = solve_mva_exact(network)
+        bounds = asymptotic_bounds(network.demands[0], int(network.populations[0]))
+        throughput = float(solution.throughputs[0])
+        assert bounds.lower * (1 - self.EXACT_SLACK) <= throughput
+        assert throughput <= bounds.upper * (1 + self.EXACT_SLACK)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_throughput_inside_balanced_job_bounds(self, seed):
+        network = _fuzz_network(seed, SINGLE_CHAIN)
+        solution = solve_mva_exact(network)
+        bounds = balanced_job_bounds(
+            network.demands[0], int(network.populations[0])
+        )
+        throughput = float(solution.throughputs[0])
+        assert bounds.lower * (1 - self.EXACT_SLACK) <= throughput
+        assert throughput <= bounds.upper * (1 + self.EXACT_SLACK)

@@ -41,13 +41,14 @@ def test_pattern_search_bench_tiny_mode():
 
     payload = run_pattern_search_bench(tiny=True)
     assert payload["tiny"] is True
-    assert set(payload["runs"]) == {"scalar", "vectorized", "parallel"}
+    assert set(payload["runs"]) == {"scalar", "vectorized", "parallel", "reuse"}
     for run in payload["runs"].values():
         _check_run(run)
     # Same search under every configuration: identical optimum.
     optima = {tuple(r["best_windows"]) for r in payload["runs"].values()}
     assert len(optima) == 1
     assert payload["parallel_speedup_vs_serial_vectorized"] > 0
+    assert payload["reuse_speedup_vs_serial_vectorized"] > 0
 
     emitted = json.loads(
         (
@@ -56,6 +57,46 @@ def test_pattern_search_bench_tiny_mode():
     )
     assert emitted["bench"] == "pattern_search"
     assert emitted["runs"]["scalar"]["workers"] == 1
+
+
+def test_warm_start_bench_tiny_mode():
+    from bench_warm_start import run_warm_start_bench
+
+    payload = run_warm_start_bench(tiny=True)
+    assert payload["tiny"] is True
+    assert set(payload["solvers"]) == {
+        "mva-heuristic", "schweitzer", "linearizer"
+    }
+    for stats in payload["solvers"].values():
+        assert stats["solves"] > 0
+        assert stats["cold_iterations_per_solve"] > 0
+        assert stats["warm_iterations_per_solve"] > 0
+        assert stats["iteration_reduction"] > 0
+    windim_part = payload["windim"]
+    assert windim_part["on"]["best_windows"] == windim_part["off"]["best_windows"]
+    assert windim_part["reuse_speedup"] > 0
+
+    emitted = json.loads(
+        (BENCHMARKS_DIR / "results" / "BENCH_warm_start_tiny.json").read_text()
+    )
+    assert emitted["bench"] == "warm_start"
+
+
+def test_regression_gate_comparison_logic():
+    """The CI gate's tolerance arithmetic, without running any bench."""
+    from check_regression import compare_metric
+
+    # Higher-is-better (throughput): 4x slower fails, 3x slower passes.
+    assert compare_metric("m", 100.0, 100.0, 4.0, higher_is_better=True) is None
+    assert compare_metric("m", 30.0, 100.0, 4.0, higher_is_better=True) is None
+    assert compare_metric("m", 20.0, 100.0, 4.0, higher_is_better=True)
+
+    # Lower-is-better (iterations): growth past tolerance fails.
+    assert compare_metric("m", 12.0, 10.0, 1.5, higher_is_better=False) is None
+    assert compare_metric("m", 16.0, 10.0, 1.5, higher_is_better=False)
+
+    # Degenerate baselines carry no signal.
+    assert compare_metric("m", 5.0, 0.0, 4.0, higher_is_better=True) is None
 
 
 def test_mva_kernels_bench_tiny_mode():
