@@ -9,10 +9,29 @@ pytest with ``-s`` to see it) and archives it under
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
+import sys
 from typing import Mapping, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def host_metadata() -> "dict[str, object]":
+    """Host facts stamped into every JSON bench payload.
+
+    Purely informational — :mod:`benchmarks.check_regression` compares
+    metrics only, never metadata, so baselines recorded on one host stay
+    valid gates on another (with its generous tolerances absorbing the
+    hardware gap).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "implementation": sys.implementation.name,
+    }
 
 
 def publish(name: str, text: str) -> None:
@@ -43,10 +62,14 @@ def publish_json(name: str, payload: Mapping[str, object]) -> pathlib.Path:
     The perf-regression harness (and CI artifact upload) consumes these —
     keep payloads flat JSON with explicit units in the key names
     (``*_seconds``, ``*_per_second``) so downstream diffing needs no
-    schema knowledge.
+    schema knowledge.  A ``host`` block (cpu_count, python version,
+    platform) is stamped into every payload for artifact provenance;
+    the regression gate ignores it.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    stamped = dict(payload)
+    stamped.setdefault("host", host_metadata())
+    path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
     print(f"\n[bench] wrote {path}")
     return path

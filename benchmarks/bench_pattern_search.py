@@ -11,6 +11,7 @@ throughput (evaluations/second) on the ARPANET fragment per solver
 backend, plus the multi-worker speedup reported separately.
 """
 
+import os
 import time
 
 import pytest
@@ -85,17 +86,34 @@ def _timed_windim_grid(network, repeats, configurations):
             t0 = time.perf_counter()
             results[name] = windim(network, **kwargs)
             best[name] = min(best[name], time.perf_counter() - t0)
-    return {
-        name: {
+    runs = {}
+    for name in configurations:
+        result = results[name]
+        run = {
             "wall_seconds": best[name],
-            "evaluations": results[name].search.evaluations,
-            "evaluations_per_second": (
-                results[name].search.evaluations / best[name]
-            ),
-            "best_windows": list(results[name].windows),
+            "evaluations": result.search.evaluations,
+            "evaluations_per_second": result.search.evaluations / best[name],
+            "best_windows": list(result.windows),
+            "trajectory": [list(p) for p in result.search.base_points],
         }
-        for name in configurations
-    }
+        health = result.pool_health
+        if health is not None:
+            run["pool"] = {
+                "workers": health.workers,
+                "start_method": health.start_method,
+                "tasks_completed": health.tasks_completed,
+                "tasks_skipped": health.tasks_skipped,
+                "respawns": health.respawns,
+                "payload_bytes_per_task": health.payload_bytes_per_task,
+                # One PID per worker slot and zero respawns = the same
+                # processes served every batch of the run.
+                "stable_pids": (
+                    health.respawns == 0
+                    and len(set(health.worker_pids)) == health.workers
+                ),
+            }
+        runs[name] = run
+    return runs
 
 
 def run_pattern_search_bench(tiny: bool = False) -> dict:
@@ -103,16 +121,22 @@ def run_pattern_search_bench(tiny: bool = False) -> dict:
 
     The single-worker scalar/vectorized pair is the regression signal
     (same search, same evaluation count — pure kernel speed).  The
-    multi-worker row exercises the speculative ``batch_solve`` prefetch
-    and is reported separately: its evaluation count differs (speculative
-    neighbours) and its speedup depends on pool overhead vs problem size.
+    multi-worker rows are reported separately: their evaluation counts
+    differ (speculative neighbours) and their speedups depend on pool
+    overhead vs problem size.  ``parallel`` uses the per-batch executor
+    (one ``ProcessPoolExecutor`` per prefetch batch); ``pool`` is the
+    headline row — the persistent shared-memory worker fleet driven by
+    the speculative scheduler, whose ``pool`` sub-record carries the PID
+    stability and per-task payload-byte evidence.
     """
     if tiny:
         network = canadian_two_class(18.0, 18.0)
-        start, max_window, repeats, workers = (6, 6), 12, 1, 2
+        start, max_window, repeats = (6, 6), 12, 1
+        workers, pool_workers = 2, 2
     else:
         network = arpanet_fragment((8.0, 8.0, 6.0, 6.0))
-        start, max_window, repeats, workers = (12, 12, 12, 12), 24, 9, 2
+        start, max_window, repeats = (12, 12, 12, 12), 24, 9
+        workers, pool_workers = 2, 8
 
     base = dict(start=start, max_window=max_window)
     # "reuse" (PR 4) is the same single-worker vectorized search, but
@@ -123,7 +147,10 @@ def run_pattern_search_bench(tiny: bool = False) -> dict:
     configurations = {
         "scalar": dict(base, backend="scalar"),
         "vectorized": dict(base, backend="vectorized"),
-        "parallel": dict(base, backend="vectorized", workers=workers),
+        "parallel": dict(base, backend="vectorized", workers=workers,
+                         pool_mode="per-batch"),
+        "pool": dict(base, backend="vectorized", workers=pool_workers,
+                     pool_mode="persistent"),
         "reuse": dict(base, backend="vectorized", reuse=True),
     }
     timed = _timed_windim_grid(network, repeats, configurations)
@@ -131,6 +158,7 @@ def run_pattern_search_bench(tiny: bool = False) -> dict:
         "scalar": ("scalar", 1),
         "vectorized": ("vectorized", 1),
         "parallel": ("vectorized", workers),
+        "pool": ("vectorized", pool_workers),
         "reuse": ("vectorized", 1),
     }
     runs = {
@@ -155,6 +183,10 @@ def run_pattern_search_bench(tiny: bool = False) -> dict:
             runs["parallel"]["evaluations_per_second"]
             / runs["vectorized"]["evaluations_per_second"]
         ),
+        "pool_speedup_vs_serial_vectorized": (
+            runs["pool"]["evaluations_per_second"]
+            / runs["vectorized"]["evaluations_per_second"]
+        ),
         "reuse_speedup_vs_serial_vectorized": (
             runs["reuse"]["evaluations_per_second"]
             / runs["vectorized"]["evaluations_per_second"]
@@ -177,6 +209,21 @@ def test_pattern_search_perf_regression():
     assert payload["vectorized_speedup_vs_scalar"] >= 2.0
     # Parallel must find the same optimum; its speed is informational.
     assert runs["parallel"]["best_windows"] == runs["scalar"]["best_windows"]
+    # The persistent pool must walk the *identical accepted-move
+    # trajectory* to the serial search (speculation only ever pre-fills
+    # the cache), on a fleet that never lost a worker, shipping micro
+    # payloads instead of the model.
+    assert runs["pool"]["best_windows"] == runs["scalar"]["best_windows"]
+    assert runs["pool"]["trajectory"] == runs["scalar"]["trajectory"]
+    pool_stats = runs["pool"]["pool"]
+    assert pool_stats["stable_pids"], "worker PIDs changed across batches"
+    assert pool_stats["respawns"] == 0
+    assert 0 < pool_stats["payload_bytes_per_task"] < 4096
+    # >= 3x single-worker vectorized throughput is the acceptance bar at
+    # 8 workers; the ratio is always recorded, but only asserted on hosts
+    # that actually have the cores to parallelise onto.
+    if (os.cpu_count() or 1) >= 8:
+        assert payload["pool_speedup_vs_serial_vectorized"] >= 3.0
     # Reuse walks the identical trajectory to the identical optimum and
     # must clear its >= 1.5x evaluations/sec acceptance bar over the
     # plain single-worker vectorized run.

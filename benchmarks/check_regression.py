@@ -18,6 +18,13 @@ Tolerances are deliberately loose because shared CI runners are noisy:
   much tighter ``ITERATION_TOLERANCE``x — more iterations per solve
   means the reuse engine itself regressed, no noise excuse.
 
+Payload *metadata* — the ``host`` block ``publish_json`` stamps into
+every payload (cpu_count, python version, platform), and any run rows
+present on one side only (e.g. a parallel row measured on a multi-core
+host but absent from a baseline recorded before it existed) — is
+ignored: the gate compares the metrics both sides actually share, so
+baselines stay valid across hosts and across payload-schema growth.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -87,12 +94,31 @@ def compare_metric(
     return None
 
 
+def shared_rows(fresh: dict, baseline: dict, table: str) -> "list[tuple]":
+    """Rows present in both payloads' ``table`` — metadata-drift safe.
+
+    Rows only one side has (a new bench variant, a host-gated parallel
+    row) and non-dict entries (stray metadata) are skipped with a note
+    instead of a KeyError, so payload-schema growth never breaks the
+    gate retroactively.
+    """
+    fresh_table = fresh.get(table) or {}
+    rows = []
+    for name, row in (baseline.get(table) or {}).items():
+        fresh_row = fresh_table.get(name)
+        if not isinstance(row, dict) or not isinstance(fresh_row, dict):
+            print(f"  note: {table}[{name}] not comparable on both sides; skipped")
+            continue
+        rows.append((name, fresh_row, row))
+    return rows
+
+
 def check_pattern_search(fresh: dict, baseline: dict) -> "list[str]":
     failures = []
-    for name, run in baseline["runs"].items():
+    for name, fresh_run, run in shared_rows(fresh, baseline, "runs"):
         failure = compare_metric(
             f"pattern_search[{name}].evaluations_per_second",
-            fresh["runs"][name]["evaluations_per_second"],
+            fresh_run["evaluations_per_second"],
             run["evaluations_per_second"],
             WALL_TOLERANCE,
             higher_is_better=True,
@@ -104,10 +130,10 @@ def check_pattern_search(fresh: dict, baseline: dict) -> "list[str]":
 
 def check_warm_start(fresh: dict, baseline: dict) -> "list[str]":
     failures = []
-    for name, stats in baseline["solvers"].items():
+    for name, fresh_stats, stats in shared_rows(fresh, baseline, "solvers"):
         failure = compare_metric(
             f"warm_start[{name}].warm_iterations_per_solve",
-            fresh["solvers"][name]["warm_iterations_per_solve"],
+            fresh_stats["warm_iterations_per_solve"],
             stats["warm_iterations_per_solve"],
             ITERATION_TOLERANCE,
             higher_is_better=False,
@@ -119,11 +145,11 @@ def check_warm_start(fresh: dict, baseline: dict) -> "list[str]":
 
 def check_mva_kernels(fresh: dict, baseline: dict) -> "list[str]":
     failures = []
-    for cell, stats in baseline["cells"].items():
+    for cell, fresh_stats, stats in shared_rows(fresh, baseline, "cells"):
         for backend in ("scalar", "vectorized"):
             failure = compare_metric(
                 f"mva_kernels[{cell}][{backend}].ms_per_solve",
-                fresh["cells"][cell][backend]["ms_per_solve"],
+                fresh_stats[backend]["ms_per_solve"],
                 stats[backend]["ms_per_solve"],
                 WALL_TOLERANCE,
                 higher_is_better=False,

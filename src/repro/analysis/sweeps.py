@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple, Union
 
-from repro.core.objective import Solver, WindowObjective, resolve_solver
+from repro.core.objective import (
+    Solver,
+    WindowObjective,
+    resolve_pool_mode,
+    resolve_solver,
+)
 from repro.core.power import network_power
 from repro.core.windim import WindimResult, windim
 from repro.queueing.network import ClosedNetwork
@@ -72,12 +77,53 @@ def optimal_window_sweep(
         The load points (one rate per class each).
     solver / max_window / windim_kwargs:
         Forwarded to :func:`repro.core.windim.windim`.
+
+    Notes
+    -----
+    With ``workers > 1`` (and the default persistent pool mode, named
+    solvers only) the whole campaign shares **one** worker fleet: the
+    pool is created for the first load point and re-targeted at each
+    subsequent scenario by an in-place shared-memory model rewrite —
+    worker processes survive the entire sweep instead of being respawned
+    per run.  Every :class:`SweepPoint`'s ``result.pool_health`` then
+    reports the same fleet (cumulative counters).
     """
+    workers = windim_kwargs.get("workers") or 0
+    pool_mode = resolve_pool_mode(windim_kwargs.get("pool_mode"))
+    solver_name = solver if isinstance(solver, str) else None
+    share_pool = (
+        workers > 1
+        and solver_name is not None
+        and pool_mode == "persistent"
+        and windim_kwargs.get("shared_pool") is None
+        and not windim_kwargs.get("resilient")
+    )
     points = []
-    for rates in rate_vectors:
-        network = factory(*rates)
-        result = windim(network, solver=solver, max_window=max_window, **windim_kwargs)
-        points.append(SweepPoint(rates=tuple(float(r) for r in rates), result=result))
+    campaign_pool = None
+    try:
+        for rates in rate_vectors:
+            network = factory(*rates)
+            kwargs = dict(windim_kwargs)
+            if share_pool:
+                if campaign_pool is None:
+                    from repro.parallel.pool import PersistentEvalPool
+
+                    campaign_pool = PersistentEvalPool(
+                        network,
+                        solver_name,
+                        backend=windim_kwargs.get("backend"),
+                        workers=workers,
+                    )
+                kwargs["shared_pool"] = campaign_pool
+            result = windim(
+                network, solver=solver, max_window=max_window, **kwargs
+            )
+            points.append(
+                SweepPoint(rates=tuple(float(r) for r in rates), result=result)
+            )
+    finally:
+        if campaign_pool is not None:
+            campaign_pool.close()
     return points
 
 

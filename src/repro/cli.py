@@ -10,7 +10,10 @@ Subcommands
     SIGINT/SIGTERM flushes a final checkpoint before exiting 130), and
     the reuse engine: ``--reuse`` (warm-started fixed points, shared
     exact lattices, bound-based pruning) and ``--store PATH`` (persistent
-    cross-run evaluation store, fingerprinted to the model).
+    cross-run evaluation store, fingerprinted to the model).  With
+    ``--workers N`` evaluations run on a worker pool; ``--pool``
+    selects the strategy (``persistent`` shared-memory fleet with the
+    speculative scheduler — the default — or ``per-batch`` executors).
 ``evaluate``
     Solve a network at explicit window settings and print the power report.
 ``sweep``
@@ -99,6 +102,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         solver=args.solver,
         backend=args.solver_backend,
         workers=args.workers,
+        pool_mode=args.pool,
         max_window=args.max_window,
         start=args.start,
         max_evaluations=args.max_evaluations,
@@ -238,6 +242,7 @@ def _cmd_multistart(args: argparse.Namespace) -> int:
         solver=args.solver,
         backend=args.solver_backend,
         workers=args.workers,
+        pool_mode=args.pool,
         max_window=args.max_window,
         reuse=args.reuse,
         store_path=args.store,
@@ -360,8 +365,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="evaluate each pattern-search neighborhood on a pool of N "
-        "worker processes (default: in-process)",
+        help="evaluate objective points on a pool of N worker processes "
+        "(default: in-process)",
+    )
+    solve.add_argument(
+        "--pool",
+        choices=("persistent", "per-batch"),
+        default=None,
+        help="worker-pool strategy with --workers: 'persistent' (default; "
+        "long-lived shared-memory pool driven by the speculative "
+        "scheduler) or 'per-batch' (fresh executor per neighborhood "
+        "batch); default also honours $REPRO_POOL",
     )
     solve.add_argument(
         "--resilient",
@@ -479,6 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="batch-solve seeds and neighborhoods on N worker processes",
+    )
+    multistart.add_argument(
+        "--pool",
+        choices=("persistent", "per-batch"),
+        default=None,
+        help="worker-pool strategy with --workers (see 'solve --pool')",
     )
     multistart.add_argument(
         "--reuse",

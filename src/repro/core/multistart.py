@@ -33,6 +33,7 @@ def windim_multistart(
     solver: Union[str, Solver] = "mva-heuristic",
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    pool_mode: Optional[str] = None,
     extra_starts: Optional[Sequence[Sequence[int]]] = None,
     max_window: int = 64,
     initial_step: int = 2,
@@ -52,7 +53,11 @@ def windim_multistart(
     size (as in :func:`repro.core.windim.windim`).  With workers, the
     whole deduplicated seed list is batch-solved up front in one
     :meth:`~repro.core.objective.WindowObjective.batch_solve` call, and
-    every search's exploratory neighborhoods are prefetched in parallel.
+    every search's exploratory neighborhoods run in parallel — under the
+    default persistent ``pool_mode`` on one long-lived worker fleet
+    (created once, shared by the seed batch and every start's
+    speculative scheduler), under ``per-batch`` via synchronous prefetch
+    batches.
 
     ``reuse`` and ``store_path`` behave as in
     :func:`repro.core.windim.windim` — and pay off even more here, since
@@ -66,7 +71,12 @@ def windim_multistart(
         produced the winner, with cache-wide evaluation totals.
     """
     objective = WindowObjective(
-        network, solver, backend=backend, workers=workers, reuse=reuse
+        network,
+        solver,
+        backend=backend,
+        workers=workers,
+        reuse=reuse,
+        pool_mode=pool_mode,
     )
     space = IntegerBox.windows(network.num_chains, max_window)
     cache = EvaluationCache(objective)
@@ -127,7 +137,24 @@ def windim_multistart(
                 unique_starts, objective.batch_solve(unique_starts)
             ):
                 cache.prime(point, value)
+        persistent = objective.parallel and objective.pool_mode == "persistent"
         for start in dict.fromkeys(unique_starts):
+            scheduler = None
+            if persistent:
+                from repro.parallel.scheduler import SpeculativeScheduler
+
+                scheduler = SpeculativeScheduler(
+                    objective.ensure_pool(),
+                    cache,
+                    space,
+                    merge_hook=objective.absorb_remote,
+                    on_evaluation=(
+                        persist_evaluation if store is not None else None
+                    ),
+                    max_evaluations=max_evaluations,
+                    bound=objective.lower_bound if reuse else None,
+                    seed_for=objective.seed_for if reuse else None,
+                )
             run = pattern_search(
                 objective,
                 start,
@@ -137,13 +164,19 @@ def windim_multistart(
                 max_evaluations=max_evaluations,
                 cache=cache,
                 on_evaluation=persist_evaluation if store is not None else None,
-                prefetch=objective.batch_solve if objective.parallel else None,
+                prefetch=(
+                    objective.batch_solve
+                    if objective.parallel and not persistent
+                    else None
+                ),
                 bound=objective.lower_bound if reuse else None,
+                scheduler=scheduler,
             )
             if best_search is None or run.best_value < best_search.best_value:
                 best_search = run
                 best_start = start
     finally:
+        pool_health = objective.pool_health
         objective.close()
         if store is not None:
             store.close()
@@ -169,4 +202,5 @@ def windim_multistart(
         initial_windows=best_start,
         store_seeded=store.loaded if store is not None else 0,
         reuse_stats=objective.reuse_stats,
+        pool_health=pool_health,
     )

@@ -17,8 +17,9 @@ network, windows)`` and ships back the full solution.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +31,28 @@ from repro.mva.bounds import balanced_job_bounds
 from repro.queueing.network import ClosedNetwork
 from repro.solution import NetworkSolution
 
-__all__ = ["WindowObjective", "resolve_solver", "SOLVERS"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.pool import PersistentEvalPool
+
+__all__ = ["WindowObjective", "resolve_solver", "resolve_pool_mode", "SOLVERS"]
+
+#: Pool strategies for parallel batch evaluation (see ``pool_mode``).
+POOL_MODES = ("persistent", "per-batch")
+
+
+def resolve_pool_mode(pool_mode: Optional[str]) -> str:
+    """Validate a pool mode, defaulting from ``REPRO_POOL`` or "persistent".
+
+    Mirrors :func:`repro.backend.resolve_backend`: an explicit argument
+    wins, then the ``REPRO_POOL`` environment variable, then the
+    persistent pool (the fast path).
+    """
+    mode = pool_mode or os.environ.get("REPRO_POOL") or "persistent"
+    if mode not in POOL_MODES:
+        raise ModelError(
+            f"unknown pool mode {mode!r}; expected one of {list(POOL_MODES)}"
+        )
+    return mode
 
 Point = Tuple[int, ...]
 Solver = Callable[..., NetworkSolution]
@@ -183,9 +205,19 @@ class WindowObjective:
         in-process solves are warm-started from the nearest already-solved
         window vector and exact solvers share a lattice cache.  Converged
         values stay within the 1e-8 parity band (the stopping criteria are
-        unchanged); only solve cost drops.  Pool workers always solve cold
-        (seeds live in-process), but their results still feed the seed
-        store.
+        unchanged); only solve cost drops.  With the *persistent* pool,
+        warm-start seeds also reach workers — by shared-memory slot, not
+        by pickle — and worker results feed the seed store back.
+    pool_mode:
+        Parallel dispatch strategy: ``"persistent"`` (default; a
+        long-lived :class:`~repro.parallel.pool.PersistentEvalPool`
+        whose workers receive the model once through a shared-memory
+        arena and then only micro-tasks) or ``"per-batch"`` (the PR 3
+        ``ProcessPoolExecutor`` fan-out that re-pickles the network into
+        every task — simpler, and the right choice for one-off tiny
+        batches).  ``None`` defers to the ``REPRO_POOL`` environment
+        variable, then ``"persistent"``.  Irrelevant unless
+        ``workers > 1``.
 
     Notes
     -----
@@ -201,6 +233,7 @@ class WindowObjective:
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         reuse: bool = False,
+        pool_mode: Optional[str] = None,
     ):
         if backend is not None:
             resolve_backend(backend)  # validate eagerly
@@ -219,7 +252,10 @@ class WindowObjective:
                 f"solver from {sorted(SOLVERS)}; custom callables may not "
                 "be picklable"
             )
+        self._pool_mode = resolve_pool_mode(pool_mode)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._eval_pool: Optional["PersistentEvalPool"] = None
+        self._eval_pool_owned = True
         self._solutions: Dict[Point, NetworkSolution] = {}
         self.evaluations = 0
 
@@ -237,6 +273,90 @@ class WindowObjective:
     def parallel(self) -> bool:
         """True when :meth:`batch_solve` dispatches to a process pool."""
         return self._workers > 1 and self._solver_name is not None
+
+    @property
+    def pool_mode(self) -> str:
+        """Resolved parallel dispatch strategy (persistent / per-batch)."""
+        return self._pool_mode
+
+    @property
+    def workers(self) -> int:
+        """Requested pool size (0/1 = in-process)."""
+        return self._workers
+
+    def ensure_pool(self) -> "PersistentEvalPool":
+        """The lazily created persistent pool backing this objective.
+
+        Only meaningful in parallel persistent mode; the pool is created
+        on first use with the objective's network/solver/backend and is
+        reused for every later batch, scheduler, and multistart phase of
+        the run.
+        """
+        if not self.parallel:
+            raise ModelError("ensure_pool() requires workers > 1")
+        if self._pool_mode != "persistent":
+            raise ModelError(
+                "ensure_pool() requires pool_mode='persistent', not "
+                f"{self._pool_mode!r}"
+            )
+        if self._eval_pool is None:
+            from repro.parallel.pool import PersistentEvalPool
+
+            self._eval_pool = PersistentEvalPool(
+                self._network,
+                self._solver_name,
+                backend=self._backend,
+                workers=self._workers,
+            )
+            self._eval_pool_owned = True
+        return self._eval_pool
+
+    def attach_pool(self, pool: "PersistentEvalPool") -> None:
+        """Borrow a campaign-shared persistent pool for this objective.
+
+        The pool is re-targeted at this objective's network (an in-place
+        arena rewrite — the workers survive), and is *not* closed by
+        :meth:`close`: its owner (e.g. a campaign sweep) outlives any
+        single ``windim`` run.
+        """
+        pool.update_model(self._network, backend=self._backend)
+        self._eval_pool = pool
+        self._eval_pool_owned = False
+
+    @property
+    def pool_health(self):
+        """The persistent pool's :class:`PoolHealth` (None when unused)."""
+        return self._eval_pool.health if self._eval_pool is not None else None
+
+    def absorb_remote(self, windows: Sequence[int], payload: Dict) -> None:
+        """Merge a pool worker's solution payload into this objective.
+
+        The parent-side half of a pool evaluation: the rebuilt solution
+        is retained for :meth:`solution` and fed to the reuse engine, so
+        remote results seed future warm starts exactly like in-process
+        ones.  ``evaluations`` grows by one (a worker solved once).
+        """
+        from repro.parallel.pool import rebuild_solution
+
+        key = self._key(windows)
+        self.evaluations += 1
+        if payload is None:
+            return
+        solution = rebuild_solution(self._network, key, payload)
+        self._solutions[key] = solution
+        if self._engine is not None:
+            self._engine.record(key, solution, bool(payload.get("warmed")))
+
+    def seed_for(self, windows: Sequence[int]) -> Optional[np.ndarray]:
+        """Warm-start seed for a pool task (None without a reuse engine).
+
+        The nearest already-solved window vector's converged queue
+        lengths — the same seed an in-process solve would use, except it
+        travels to the worker by shared-memory slot.
+        """
+        if self._engine is None:
+            return None
+        return self._engine.nearest_seed(self._key(windows))
 
     def _key(self, windows: Sequence[int]) -> Point:
         key = tuple(int(w) for w in windows)
@@ -375,6 +495,21 @@ class WindowObjective:
             return [self(k) for k in keys]
 
         unique = list(dict.fromkeys(keys))
+        if self._pool_mode == "persistent":
+            pool = self.ensure_pool()
+            seeds = {}
+            for key in unique:
+                seed = self.seed_for(key)
+                if seed is not None:
+                    seeds[key] = seed
+            completed = pool.map(unique, seeds=seeds or None)
+            values = {}
+            for key in unique:
+                done = completed[key]
+                values[key] = done.value
+                self.absorb_remote(key, done.payload)
+            return [values[k] for k in keys]
+
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self._workers)
         results = self._pool.map(
@@ -397,10 +532,37 @@ class WindowObjective:
         return [values[k] for k in keys]
 
     def close(self) -> None:
-        """Shut down the process pool (no-op when none was created)."""
+        """Shut down owned pools (no-op when none was created).
+
+        A pool borrowed via :meth:`attach_pool` is left running — its
+        owner (the campaign) closes it once, after every scenario.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._eval_pool is not None:
+            if self._eval_pool_owned:
+                self._eval_pool.close()
+            self._eval_pool = None
+            self._eval_pool_owned = True
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Spawn-safe pickling: live pools never cross a process boundary.
+
+        A ``WindowObjective`` is shipped to workers (e.g. inside a
+        campaign task under the ``spawn`` start method), so its state
+        must stay picklable: process pools, and the shared-memory pool
+        with its queues, are dropped and lazily recreated on first use
+        in the new process.
+        """
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_eval_pool"] = None
+        state["_eval_pool_owned"] = True
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     def __enter__(self) -> "WindowObjective":
         return self

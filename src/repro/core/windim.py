@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.pool import PersistentEvalPool
 
 from repro.core.initializers import initial_windows
 from repro.core.objective import Solver, WindowObjective
@@ -35,7 +38,7 @@ from repro.resilience.checkpoint import (
     load_checkpoint,
     signal_checkpoint_guard,
 )
-from repro.resilience.health import SolveHealth
+from repro.resilience.health import PoolHealth, SolveHealth
 from repro.resilience.ladder import ResilientSolver
 from repro.search.cache import EvaluationCache
 from repro.search.pattern import pattern_search
@@ -86,6 +89,10 @@ class WindimResult:
         :class:`~repro.core.reuse.ReuseEngine` counters (warm/cold solve
         and iteration totals, lattice-cache hits) when ``reuse=True``;
         ``None`` otherwise.
+    pool_health:
+        :class:`~repro.resilience.health.PoolHealth` of the persistent
+        evaluation pool (worker PIDs, respawns, requeues, payload bytes)
+        when the run used one; ``None`` otherwise.
     """
 
     windows: Tuple[int, ...]
@@ -100,6 +107,7 @@ class WindimResult:
     seeded_evaluations: int = 0
     store_seeded: int = 0
     reuse_stats: Optional[Dict[str, float]] = None
+    pool_health: Optional[PoolHealth] = None
 
     def summary(self) -> str:
         """Human-readable multi-line report (mirrors the APL output)."""
@@ -141,6 +149,8 @@ class WindimResult:
                 f"  resumed from checkpoint: {self.seeded_evaluations} "
                 "evaluations reused"
             )
+        if self.pool_health is not None:
+            lines.append(f"  evaluation pool       = {self.pool_health.summary()}")
         if self.health_log:
             retried = sum(1 for h in self.health_log if h.retries > 0)
             escalated = sum(1 for h in self.health_log if h.escalated)
@@ -166,6 +176,8 @@ def windim(
     solver: Union[str, Solver] = "mva-heuristic",
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    pool_mode: Optional[str] = None,
+    shared_pool: Optional["PersistentEvalPool"] = None,
     start: Optional[Sequence[int]] = None,
     initial_strategy: str = "hops",
     max_window: int = 64,
@@ -199,12 +211,29 @@ def windim(
         an algorithm choice: checkpoints written under one backend resume
         cleanly under the other (the parity wall pins them to ≤ 1e-8).
     workers:
-        When > 1 (named solvers only), each pattern-search neighborhood
-        is batch-evaluated across a process pool of this size via
+        When > 1 (named solvers only), objective evaluations run on a
+        process pool of this size.  Under the default persistent pool
+        mode the workers are created once, receive the model through a
+        shared-memory arena, and are kept saturated by the asynchronous
+        :class:`~repro.parallel.scheduler.SpeculativeScheduler` (the
+        search trajectory is identical to the serial run); under
+        ``per-batch`` each neighborhood is batch-evaluated through
         :meth:`~repro.core.objective.WindowObjective.batch_solve`.
-        Speculative neighbors count as evaluations.  Incompatible with
-        ``resilient=True`` (health records are in-process); use
-        ``solver="resilient"`` to combine parallelism with the ladder.
+        Speculative neighbors count as evaluations either way.
+        Incompatible with ``resilient=True`` (health records are
+        in-process); use ``solver="resilient"`` to combine parallelism
+        with the ladder.
+    pool_mode:
+        ``"persistent"`` or ``"per-batch"``; ``None`` defers to the
+        ``REPRO_POOL`` environment variable, then ``"persistent"``.
+        See :class:`~repro.core.objective.WindowObjective`.
+    shared_pool:
+        A campaign-owned :class:`~repro.parallel.pool.PersistentEvalPool`
+        to borrow instead of creating one (see
+        :func:`repro.analysis.sweeps.optimal_window_sweep`): the arena is
+        re-targeted at this network and the pool is left running on
+        return.  Requires ``workers`` to match the pool and a same-shape
+        network.
     start:
         Explicit initial window vector; overrides ``initial_strategy``.
     initial_strategy:
@@ -290,8 +319,19 @@ def windim(
         solver = resilient_solver
 
     objective = WindowObjective(
-        network, solver, backend=backend, workers=workers, reuse=reuse
+        network,
+        solver,
+        backend=backend,
+        workers=workers,
+        reuse=reuse,
+        pool_mode=pool_mode,
     )
+    if shared_pool is not None:
+        if not objective.parallel:
+            raise SearchError(
+                "shared_pool requires workers > 1 and a named solver"
+            )
+        objective.attach_pool(shared_pool)
     space = IntegerBox.windows(network.num_chains, max_window)
     cache = EvaluationCache(objective)
     solver_label = solver if isinstance(solver, str) else getattr(
@@ -372,6 +412,24 @@ def windim(
     )
 
     def run_search() -> SearchResult:
+        scheduler = None
+        prefetch = None
+        if objective.parallel and objective.pool_mode == "persistent":
+            from repro.parallel.scheduler import SpeculativeScheduler
+
+            scheduler = SpeculativeScheduler(
+                objective.ensure_pool(),
+                cache,
+                space,
+                merge_hook=objective.absorb_remote,
+                on_evaluation=on_evaluation,
+                budget=budget,
+                max_evaluations=max_evaluations,
+                bound=objective.lower_bound if reuse else None,
+                seed_for=objective.seed_for if reuse else None,
+            )
+        elif objective.parallel:
+            prefetch = objective.batch_solve
         return pattern_search(
             objective,
             start_point,
@@ -382,8 +440,9 @@ def windim(
             cache=cache,
             budget=budget,
             on_evaluation=on_evaluation,
-            prefetch=objective.batch_solve if objective.parallel else None,
+            prefetch=prefetch,
             bound=objective.lower_bound if reuse else None,
+            scheduler=scheduler,
         )
 
     try:
@@ -400,6 +459,9 @@ def windim(
             manager.flush()
         raise
     finally:
+        # PoolHealth is plain data; capture it before close() drops the
+        # pool so the result can still report fleet statistics.
+        pool_health = objective.pool_health
         objective.close()
         if store is not None:
             store.close()
@@ -424,4 +486,5 @@ def windim(
         seeded_evaluations=seeded,
         store_seeded=store.loaded if store is not None else 0,
         reuse_stats=objective.reuse_stats,
+        pool_health=pool_health,
     )

@@ -1,0 +1,571 @@
+"""Persistent worker pool for WINDIM objective evaluations.
+
+:class:`PersistentEvalPool` replaces the per-batch
+``ProcessPoolExecutor`` fan-out of PR 3 with a long-lived fleet: workers
+are spawned **once** per ``windim``/``windim_multistart``/campaign run,
+receive the network model and solver configuration exactly once through
+a :class:`~repro.parallel.shm.ModelArena` (zero-copy for the dense
+numeric payload), and from then on accept only
+``(eval_id, window_vector, seed_slot)`` micro-tasks a few hundred bytes
+each.  Completions stream back out of order over one result queue, which
+is what lets the :class:`~repro.parallel.scheduler.SpeculativeScheduler`
+keep every worker saturated instead of idling at batch barriers.
+
+Resilience is built in: the parent monitors worker liveness whenever it
+waits on results; a dead worker is respawned against the same arena and
+its in-flight tasks are requeued to the survivors (bounded by
+``max_requeues`` so a task that reliably kills workers is completed as
+failed instead of crash-looping the fleet).  Every lifecycle event is
+recorded in a :class:`~repro.resilience.health.PoolHealth` that surfaces
+through ``WindimResult``.
+
+Start-method safety: everything that crosses the process boundary — the
+:class:`~repro.parallel.shm.ArenaRef`, micro-tasks, result tuples — is
+plain picklable data and the worker entry point is a module-level
+function, so the pool runs identically under ``fork``, ``forkserver``
+and ``spawn`` (pass ``start_method=`` to pin one; tests pin ``spawn``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import signal
+import time
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SearchError, SolverError
+from repro.parallel.shm import ArenaRef, ModelArena
+from repro.queueing.network import ClosedNetwork
+from repro.resilience.health import PoolEvent, PoolHealth
+from repro.solution import NetworkSolution
+
+__all__ = ["PersistentEvalPool", "CompletedEval"]
+
+Point = Tuple[int, ...]
+
+#: How often the parent re-checks worker liveness while waiting (seconds).
+_LIVENESS_TICK = 0.1
+
+#: A task is requeued at most this many times before being dropped.
+_MAX_REQUEUES = 2
+
+#: Result statuses a worker can report.
+_OK = "ok"
+_SOLVER_ERROR = "solver-error"
+_SKIPPED = "skipped"
+_FATAL = "fatal"
+
+
+class CompletedEval(NamedTuple):
+    """One finished (or skipped/failed) pool task, parent side."""
+
+    eval_id: int
+    key: Point
+    status: str
+    value: float
+    payload: Optional[dict]
+    worker: int
+    pid: int
+    speculative: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (_OK, _SOLVER_ERROR)
+
+
+class _TaskRecord(NamedTuple):
+    key: Point
+    worker: int
+    seed_slot: Optional[int]
+    generation: int
+    bound_hint: Optional[float]
+    speculative: bool
+    requeues: int = 0
+
+
+def _solution_payload(solution: NetworkSolution, warmed: bool) -> dict:
+    """Ship a solution minus its network (the parent already has one)."""
+    return {
+        "throughputs": np.asarray(solution.throughputs, dtype=np.float64),
+        "queue_lengths": np.asarray(solution.queue_lengths, dtype=np.float64),
+        "waiting_times": np.asarray(solution.waiting_times, dtype=np.float64),
+        "method": solution.method,
+        "iterations": int(solution.iterations),
+        "converged": bool(solution.converged),
+        "extras": dict(solution.extras),
+        "warmed": bool(warmed),
+    }
+
+
+def rebuild_solution(
+    network: ClosedNetwork, key: Point, payload: dict
+) -> NetworkSolution:
+    """Parent-side inverse of :func:`_solution_payload`."""
+    return NetworkSolution(
+        network=network.with_populations(key),
+        throughputs=payload["throughputs"],
+        queue_lengths=payload["queue_lengths"],
+        waiting_times=payload["waiting_times"],
+        method=payload["method"],
+        iterations=payload["iterations"],
+        converged=payload["converged"],
+        extras=payload["extras"],
+    )
+
+
+def _worker_main(ref: ArenaRef, task_queue, result_queue, worker_index: int) -> None:
+    """Pool worker loop: attach the arena once, then serve micro-tasks.
+
+    Module-level (hence importable under ``spawn``) and self-contained.
+    SIGINT is ignored so an operator Ctrl-C interrupts only the parent,
+    which then checkpoints and shuts the fleet down in order.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    from repro.core.objective import SOLVERS
+    from repro.core.power import inverse_power
+    from repro.core.reuse import _accepted_keywords
+
+    arena = ModelArena.attach(ref)
+    pid = os.getpid()
+    generation = -1
+    network = solver = None
+    solver_keywords: frozenset = frozenset()
+    try:
+        while True:
+            message = task_queue.get()
+            if message is None:
+                break
+            eval_id, key, seed_slot, _task_gen, bound_hint, speculative = message
+            try:
+                if arena.generation != generation or network is None:
+                    network, solver_name, backend = arena.model()
+                    solver = SOLVERS[solver_name]
+                    solver_keywords = _accepted_keywords(solver)
+                    generation = arena.generation
+                if (
+                    speculative
+                    and bound_hint is not None
+                    and bound_hint > arena.get_incumbent()
+                ):
+                    # The search's incumbent already dominates this
+                    # speculation; solving it would be pure waste.  The
+                    # parent treats a skip as "never submitted".
+                    result_queue.put(
+                        (eval_id, worker_index, pid, _SKIPPED, float("inf"), None)
+                    )
+                    continue
+                kwargs: Dict[str, object] = {}
+                if "backend" in solver_keywords:
+                    kwargs["backend"] = backend
+                warmed = False
+                if seed_slot is not None and "warm_start" in solver_keywords:
+                    kwargs["warm_start"] = arena.read_seed(seed_slot)
+                    warmed = True
+                candidate = network.with_populations(key)
+                try:
+                    solution = solver(candidate, **kwargs)
+                except SolverError:
+                    result_queue.put(
+                        (eval_id, worker_index, pid, _SOLVER_ERROR, float("inf"), None)
+                    )
+                else:
+                    result_queue.put(
+                        (
+                            eval_id,
+                            worker_index,
+                            pid,
+                            _OK,
+                            inverse_power(solution),
+                            _solution_payload(solution, warmed),
+                        )
+                    )
+            except Exception as exc:  # pragma: no cover - defensive
+                result_queue.put(
+                    (
+                        eval_id,
+                        worker_index,
+                        pid,
+                        _FATAL,
+                        float("inf"),
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                    )
+                )
+    finally:
+        arena.close()
+
+
+class PersistentEvalPool:
+    """Long-lived worker fleet bound to one shared-memory model arena.
+
+    Parameters
+    ----------
+    network:
+        The network template broadcast to workers (populations ignored).
+    solver:
+        Named solver from :data:`repro.core.objective.SOLVERS`.
+    backend:
+        Kernel backend forwarded to the solver in every worker.
+    workers:
+        Fleet size (>= 1).
+    start_method:
+        ``"fork"`` / ``"forkserver"`` / ``"spawn"``; None = platform
+        default.  The pool is spawn-safe by construction.
+    seed_slots:
+        Warm-start slots in the arena; defaults to ``4 * workers`` so
+        slot recycling never starves a saturated pipeline.
+    """
+
+    def __init__(
+        self,
+        network: ClosedNetwork,
+        solver: str,
+        backend: Optional[str] = None,
+        workers: int = 2,
+        start_method: Optional[str] = None,
+        seed_slots: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise SearchError(f"pool needs >= 1 worker, got {workers}")
+        self._ctx = multiprocessing.get_context(start_method)
+        self._solver_name = solver
+        self._backend = backend
+        self.workers = int(workers)
+        slots = seed_slots if seed_slots is not None else max(4 * workers, 8)
+        self.arena = ModelArena.create(
+            network, solver, backend=backend, seed_slots=slots
+        )
+        self.health = PoolHealth(
+            workers=self.workers,
+            start_method=self._ctx.get_start_method(),
+        )
+        self._result_queue = self._ctx.Queue()
+        self._task_queues: List = []
+        self._processes: List = []
+        self._eval_ids = itertools.count(1)
+        self._inflight: Dict[int, _TaskRecord] = {}
+        self._generation = self.arena.generation
+        self._free_slots: List[int] = list(range(slots))
+        self._slot_refs: Dict[int, int] = {}
+        self._synthetic: List[CompletedEval] = []
+        self._closed = False
+        for index in range(self.workers):
+            self._spawn_worker(index)
+        self.health.worker_pids = [p.pid for p in self._processes]
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, index: int) -> None:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self.arena.ref, task_queue, self._result_queue, index),
+            daemon=True,
+            name=f"windim-eval-{index}",
+        )
+        process.start()
+        if index < len(self._task_queues):
+            self._task_queues[index] = task_queue
+            self._processes[index] = process
+        else:
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+        self.health.record(PoolEvent("spawn", index, process.pid or 0))
+
+    def _check_workers(self) -> None:
+        """Respawn dead workers and requeue their in-flight tasks."""
+        for index, process in enumerate(self._processes):
+            if process.is_alive():
+                continue
+            dead_pid = process.pid or 0
+            self.health.record(
+                PoolEvent(
+                    "death",
+                    index,
+                    dead_pid,
+                    f"exitcode={process.exitcode}",
+                )
+            )
+            orphaned = [
+                (eval_id, record)
+                for eval_id, record in self._inflight.items()
+                if record.worker == index
+            ]
+            self._spawn_worker(index)
+            self.health.record(
+                PoolEvent("respawn", index, self._processes[index].pid or 0)
+            )
+            self.health.worker_pids = [p.pid for p in self._processes]
+            for eval_id, record in orphaned:
+                if record.requeues >= _MAX_REQUEUES:
+                    # This task has now taken multiple workers down with
+                    # it; stop feeding it to the fleet and fail it.
+                    self._inflight.pop(eval_id, None)
+                    self._release_slot(record.seed_slot)
+                    self.health.record(
+                        PoolEvent(
+                            "drop", index, dead_pid, f"windows={record.key}"
+                        )
+                    )
+                    self._synthetic.append(
+                        CompletedEval(
+                            eval_id,
+                            record.key,
+                            _FATAL,
+                            float("inf"),
+                            {
+                                "error": "task dropped after repeated "
+                                "worker deaths"
+                            },
+                            index,
+                            dead_pid,
+                            record.speculative,
+                        )
+                    )
+                    continue
+                self.health.record(
+                    PoolEvent("requeue", index, dead_pid, f"windows={record.key}")
+                )
+                self._dispatch(
+                    eval_id, record._replace(requeues=record.requeues + 1)
+                )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Number of submitted-but-not-completed tasks."""
+        return len(self._inflight) + len(self._synthetic)
+
+    @property
+    def worker_pids(self) -> List[int]:
+        return [p.pid for p in self._processes]
+
+    def _least_loaded_worker(self) -> int:
+        load = [0] * self.workers
+        for record in self._inflight.values():
+            load[record.worker] += 1
+        return int(np.argmin(load))
+
+    def _acquire_slot(self, seed: Optional[np.ndarray]) -> Optional[int]:
+        if seed is None or not self._free_slots:
+            return None
+        slot = self._free_slots.pop()
+        self.arena.write_seed(slot, seed)
+        self._slot_refs[slot] = self._slot_refs.get(slot, 0) + 1
+        return slot
+
+    def _release_slot(self, slot: Optional[int]) -> None:
+        if slot is None:
+            return
+        remaining = self._slot_refs.get(slot, 0) - 1
+        if remaining <= 0:
+            self._slot_refs.pop(slot, None)
+            self._free_slots.append(slot)
+        else:  # pragma: no cover - slots are single-referenced today
+            self._slot_refs[slot] = remaining
+
+    def _dispatch(self, eval_id: int, record: _TaskRecord) -> None:
+        worker = self._least_loaded_worker()
+        record = record._replace(worker=worker)
+        self._inflight[eval_id] = record
+        message = (
+            eval_id,
+            record.key,
+            record.seed_slot,
+            record.generation,
+            record.bound_hint,
+            record.speculative,
+        )
+        self.health.payload_bytes_total += len(
+            pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self._task_queues[worker].put(message)
+
+    def submit(
+        self,
+        key: Sequence[int],
+        seed: Optional[np.ndarray] = None,
+        bound_hint: Optional[float] = None,
+        speculative: bool = False,
+    ) -> int:
+        """Queue one window vector for evaluation; returns its eval id.
+
+        ``seed`` (a converged queue-length matrix) travels through an
+        arena slot, not the task message; ``bound_hint`` lets workers
+        drop a *speculative* task the incumbent already dominates.
+        """
+        if self._closed:
+            raise SearchError("pool is closed")
+        eval_id = next(self._eval_ids)
+        slot = self._acquire_slot(seed)
+        self._dispatch(
+            eval_id,
+            _TaskRecord(
+                key=tuple(int(x) for x in key),
+                worker=0,
+                seed_slot=slot,
+                generation=self._generation,
+                bound_hint=bound_hint,
+                speculative=speculative,
+            ),
+        )
+        return eval_id
+
+    def set_incumbent(self, value: float) -> None:
+        """Publish the search incumbent for worker-side speculation skips."""
+        self.arena.set_incumbent(value)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def poll(self, timeout: Optional[float] = None) -> Optional[CompletedEval]:
+        """Next completion, or None when ``timeout`` elapses first.
+
+        ``timeout=None`` blocks until a completion arrives (monitoring
+        worker liveness the whole time).  Results for tasks the pool no
+        longer tracks (a requeued task whose original worker managed to
+        answer before dying) are dropped silently — first answer wins.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._synthetic:
+                return self._synthetic.pop(0)
+            if not self._inflight:
+                return None
+            remaining = _LIVENESS_TICK
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    return None
+            try:
+                message = self._result_queue.get(timeout=max(remaining, 0.001))
+            except queue_module.Empty:
+                self._check_workers()
+                continue
+            eval_id, worker, pid, status, value, payload = message
+            record = self._inflight.pop(eval_id, None)
+            if record is None:
+                continue  # duplicate answer for a requeued task
+            self._release_slot(record.seed_slot)
+            if status == _SKIPPED:
+                self.health.tasks_skipped += 1
+            else:
+                self.health.tasks_completed += 1
+            return CompletedEval(
+                eval_id,
+                record.key,
+                status,
+                float(value),
+                payload,
+                worker,
+                pid,
+                record.speculative,
+            )
+
+    def drain(self) -> List[CompletedEval]:
+        """Block until every in-flight task completed; return them all."""
+        completions = []
+        while self.inflight:
+            done = self.poll(timeout=None)
+            if done is None:
+                break
+            completions.append(done)
+        return completions
+
+    def map(
+        self,
+        keys: Sequence[Point],
+        seeds: Optional[Dict[Point, np.ndarray]] = None,
+    ) -> Dict[Point, CompletedEval]:
+        """Batch helper: evaluate ``keys`` and return completions by key.
+
+        The barrier-style entry point used by
+        ``WindowObjective.batch_solve``; the scheduler bypasses it and
+        talks to :meth:`submit`/:meth:`poll` directly.
+        """
+        pending = set()
+        for key in keys:
+            seed = seeds.get(tuple(int(x) for x in key)) if seeds else None
+            pending.add(self.submit(key, seed=seed))
+        out: Dict[Point, CompletedEval] = {}
+        while pending:
+            done = self.poll(timeout=None)
+            if done is None:
+                raise SearchError("pool drained with tasks still pending")
+            pending.discard(done.eval_id)
+            if done.status == _FATAL:
+                detail = (done.payload or {}).get("error", "unknown")
+                raise SearchError(
+                    f"pool worker failed evaluating windows {done.key}: {detail}"
+                )
+            out[done.key] = done
+        return out
+
+    # ------------------------------------------------------------------
+    # model updates / shutdown
+    # ------------------------------------------------------------------
+    def update_model(
+        self, network: ClosedNetwork, backend: Optional[str] = None
+    ) -> None:
+        """Point the live fleet at a new same-shape scenario.
+
+        Requires a quiescent pool (no in-flight tasks): generation
+        semantics guarantee workers only ever solve against the latest
+        broadcast, so mixing scenarios within one batch is a bug, not a
+        race to tolerate.
+        """
+        if self.inflight:
+            raise SearchError(
+                f"cannot update the pool model with {self.inflight} tasks "
+                "in flight; drain first"
+            )
+        self._generation = self.arena.update_model(
+            network, self._solver_name, backend if backend is not None else self._backend
+        )
+
+    def close(self) -> None:
+        """Stop the fleet and release the arena. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        for q in [self._result_queue, *self._task_queues]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        self.arena.close(unlink=True)
+
+    def __enter__(self) -> "PersistentEvalPool":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass

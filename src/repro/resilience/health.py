@@ -14,7 +14,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["AttemptOutcome", "SolveAttempt", "SolveHealth"]
+__all__ = [
+    "AttemptOutcome",
+    "SolveAttempt",
+    "SolveHealth",
+    "PoolEvent",
+    "PoolHealth",
+]
 
 
 class AttemptOutcome:
@@ -163,3 +169,100 @@ class SolveHealth:
             "escalated": self.escalated,
             "attempts": [a.to_dict() for a in self.attempts],
         }
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One lifecycle event of the persistent evaluation pool.
+
+    Attributes
+    ----------
+    kind:
+        ``"spawn"``, ``"death"``, ``"respawn"``, ``"requeue"`` or
+        ``"drop"`` (a task requeued too many times, completed as failed).
+    worker:
+        Index of the worker slot the event concerns.
+    pid:
+        Process id involved (the dead pid for ``"death"``, the new one
+        for ``"respawn"``; 0 when not applicable).
+    detail:
+        Free-form context (exit code, task key, ...).
+    """
+
+    kind: str
+    worker: int
+    pid: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "pid": self.pid,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class PoolHealth:
+    """Aggregate state of one persistent evaluation pool.
+
+    The pool-side counterpart of :class:`SolveHealth`: where a ladder
+    record tells the story of one evaluation, this tells the story of
+    the worker fleet that evaluated everything — how many processes were
+    spawned, which died and were replaced, how many in-flight tasks had
+    to be requeued, and how small the per-task payloads stayed.
+    """
+
+    workers: int
+    start_method: str
+    worker_pids: List[int] = field(default_factory=list)
+    events: List[PoolEvent] = field(default_factory=list)
+    tasks_completed: int = 0
+    tasks_skipped: int = 0
+    tasks_requeued: int = 0
+    tasks_dropped: int = 0
+    respawns: int = 0
+    payload_bytes_total: int = 0
+
+    def record(self, event: PoolEvent) -> None:
+        """Append one lifecycle event (and bump its aggregate counter)."""
+        self.events.append(event)
+        if event.kind == "respawn":
+            self.respawns += 1
+        elif event.kind == "requeue":
+            self.tasks_requeued += 1
+        elif event.kind == "drop":
+            self.tasks_dropped += 1
+
+    @property
+    def payload_bytes_per_task(self) -> float:
+        """Mean pickled micro-task size shipped to workers (bytes)."""
+        submitted = self.tasks_completed + self.tasks_skipped
+        if submitted <= 0:
+            return 0.0
+        return self.payload_bytes_total / submitted
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (benchmarks, summaries)."""
+        return {
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "worker_pids": list(self.worker_pids),
+            "tasks_completed": self.tasks_completed,
+            "tasks_skipped": self.tasks_skipped,
+            "tasks_requeued": self.tasks_requeued,
+            "tasks_dropped": self.tasks_dropped,
+            "respawns": self.respawns,
+            "payload_bytes_total": self.payload_bytes_total,
+            "payload_bytes_per_task": self.payload_bytes_per_task,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def summary(self) -> str:
+        """One line for result summaries."""
+        return (
+            f"{self.workers} workers ({self.start_method}), "
+            f"{self.tasks_completed} tasks, {self.respawns} respawns, "
+            f"{self.payload_bytes_per_task:.0f} B/task"
+        )

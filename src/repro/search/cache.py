@@ -21,6 +21,7 @@ a cache shared by concurrent batch evaluations cannot be corrupted
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -142,10 +143,14 @@ class EvaluationCache:
         Checkpointing reads several fields that must be mutually
         consistent; taking them in one locked step keeps a flush that
         races concurrent batch inserts from seeing a half-updated cache
-        (or dying on a dict mutated mid-iteration).
+        (or dying on a dict mutated mid-iteration).  The entries are a
+        **deep copy**: a ``prime()`` racing the flush that serialises
+        this snapshot (e.g. a scheduler merge during a checkpoint write)
+        must not be able to mutate payloads the checkpoint already
+        claims to have captured.
         """
         with self._lock:
-            entries = list(self.values.items())
+            entries = copy.deepcopy(list(self.values.items()))
             if entries:
                 point, value = min(entries, key=lambda item: item[1])
             else:

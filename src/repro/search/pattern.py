@@ -35,13 +35,16 @@ cache hits.  Two resilience hooks thread through the same choke point:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from repro.errors import SearchError
 from repro.resilience.budget import BudgetExhausted, SearchBudget
 from repro.search.cache import EvaluationCache
 from repro.search.result import SearchResult
 from repro.search.space import IntegerBox
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.scheduler import SpeculativeScheduler
 
 __all__ = ["pattern_search"]
 
@@ -99,6 +102,7 @@ def pattern_search(
     on_evaluation: Optional[Callable[[EvaluationCache], None]] = None,
     prefetch: Optional[BatchEvaluator] = None,
     bound: Optional[Callable[[Point], float]] = None,
+    scheduler: Optional["SpeculativeScheduler"] = None,
 ) -> SearchResult:
     """Minimise ``objective`` over ``space`` by integer pattern search.
 
@@ -149,6 +153,18 @@ def pattern_search(
         base points, the chosen optimum, and its value are identical to
         an unpruned run.  Pattern-move landing points are never pruned
         (their value seeds the next exploration).
+    scheduler:
+        Optional :class:`~repro.parallel.scheduler.SpeculativeScheduler`
+        bound to a persistent worker pool.  Supersedes ``prefetch``:
+        instead of a synchronous cross batch before each sweep, the
+        scheduler keeps the pool saturated with a speculative priority
+        frontier and the search blocks only on values that have not yet
+        arrived.  The demanded point sequence — hence the accepted-move
+        trajectory and the optimum — is identical to a sequential run;
+        speculative completions are merged through ``cache.prime`` and
+        count against budget, ``max_evaluations``, and
+        ``on_evaluation`` exactly like ``prefetch`` ones (the scheduler
+        fires ``on_evaluation`` itself on every merge).
 
     Returns
     -------
@@ -174,6 +190,12 @@ def pattern_search(
                     f"evaluation cap reached ({cache.evaluations} >= "
                     f"{max_evaluations})"
                 )
+            if scheduler is not None:
+                # Blocks until the pool's value for this point is merged
+                # into the cache (the scheduler fires on_evaluation for
+                # every merge, so the plain path below must not).
+                scheduler.demand(point)
+                return cache(point)
         value = cache(point)
         if fresh and on_evaluation is not None:
             on_evaluation(cache)
@@ -240,10 +262,17 @@ def pattern_search(
     stop_reason = ""
     base_value = float("inf")
 
+    def speculate(point: Point, point_value: float) -> None:
+        """Line up the ±step cross (scheduler frontier or sync prefetch)."""
+        if scheduler is not None:
+            scheduler.begin_sweep(point, point_value, step)
+        else:
+            prefetch_cross(point, point_value)
+
     try:
         base_value = evaluate(base)
         while step >= 1 and halvings <= max_halvings:
-            prefetch_cross(base, base_value)
+            speculate(base, base_value)
             probe, probe_value = _explore(
                 evaluate, space, base, base_value, step, prune
             )
@@ -252,12 +281,14 @@ def pattern_search(
                 previous = base
                 base, base_value = probe, probe_value
                 trajectory.append(base)
+                if scheduler is not None:
+                    scheduler.note_accept(base, previous, base_value, step)
                 while True:
                     pattern_point = space.clip(
                         tuple(2 * b - p for b, p in zip(base, previous))
                     )
                     landing_value = evaluate(pattern_point)
-                    prefetch_cross(pattern_point, landing_value)
+                    speculate(pattern_point, landing_value)
                     probe2, probe2_value = _explore(
                         evaluate, space, pattern_point, landing_value, step, prune
                     )
@@ -265,14 +296,24 @@ def pattern_search(
                         previous = base
                         base, base_value = probe2, probe2_value
                         trajectory.append(base)
+                        if scheduler is not None:
+                            scheduler.note_accept(
+                                base, previous, base_value, step
+                            )
                     else:
                         break
             else:
                 step //= 2
                 halvings += 1
+                if scheduler is not None:
+                    scheduler.note_step(step)
     except BudgetExhausted as exc:
         status = "budget_exhausted"
         stop_reason = exc.reason
+        if scheduler is not None:
+            # Bank already-paid-for speculation before picking the
+            # best-so-far: in-flight completions are real evaluations.
+            scheduler.finish()
         # Best-so-far: the cache may hold a better explored-but-not-yet-
         # accepted point than the current base (or the start may never
         # have been evaluated at all under a zero budget).
@@ -283,6 +324,9 @@ def pattern_search(
             base, base_value = cached_best, cached_value
             if not trajectory or trajectory[-1] != base:
                 trajectory.append(base)
+    finally:
+        if scheduler is not None:
+            scheduler.finish()
 
     return SearchResult(
         best_point=base,

@@ -1,0 +1,158 @@
+"""Persistent worker-fleet lifecycle: correctness, death, spawn safety.
+
+Covers the pool half of the tentpole: values match in-process solves,
+warm seeds travel by arena slot, speculative tasks honour the shared
+incumbent, a killed worker is respawned with its tasks requeued, and the
+whole stack works under the ``spawn`` start method (which is what makes
+it portable off fork-capable hosts).
+"""
+
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.objective import WindowObjective
+from repro.errors import SearchError
+from repro.netmodel.examples import canadian_two_class
+from repro.parallel import PersistentEvalPool
+
+KEYS = [(2, 2), (3, 3), (4, 2), (2, 5)]
+
+
+@pytest.fixture(scope="module")
+def network():
+    return canadian_two_class(18.0, 18.0)
+
+
+def _serial_values(network, keys):
+    with WindowObjective(network, backend="vectorized") as objective:
+        return {key: objective(key) for key in keys}
+
+
+def test_map_matches_in_process_objective(network):
+    expected = _serial_values(network, KEYS)
+    with PersistentEvalPool(network, "mva-heuristic",
+                            backend="vectorized", workers=2) as pool:
+        completions = pool.map(KEYS)
+        pids = pool.worker_pids
+        assert all(done.ok for done in completions.values())
+        for key, done in completions.items():
+            assert done.value == pytest.approx(expected[key], rel=1e-12)
+        # Second batch: same fleet, nothing respawned.
+        again = pool.map(KEYS)
+        assert pool.worker_pids == pids
+        assert pool.health.respawns == 0
+        assert {k: d.value for k, d in again.items()} == {
+            k: d.value for k, d in completions.items()
+        }
+        # Tasks are micro-messages, not model broadcasts.
+        assert 0 < pool.health.payload_bytes_per_task < 4096
+
+
+def test_warm_seed_travels_by_arena_slot(network):
+    with PersistentEvalPool(network, "mva-heuristic",
+                            backend="vectorized", workers=1) as pool:
+        cold = pool.map([(3, 3)])[(3, 3)]
+        assert cold.payload["warmed"] is False
+        seed = np.asarray(cold.payload["queue_lengths"], dtype=np.float64)
+        warm = pool.map([(3, 4)], seeds={(3, 4): seed})[(3, 4)]
+        assert warm.payload["warmed"] is True
+        expected = _serial_values(network, [(3, 4)])[(3, 4)]
+        assert warm.value == pytest.approx(expected, rel=1e-8)
+
+
+def test_speculative_task_skipped_by_incumbent(network):
+    with PersistentEvalPool(network, "mva-heuristic",
+                            backend="vectorized", workers=1) as pool:
+        pool.set_incumbent(0.001)  # better than anything reachable
+        eval_id = pool.submit((3, 3), bound_hint=1.0, speculative=True)
+        done = pool.poll(timeout=None)
+        assert done.eval_id == eval_id
+        assert done.status == "skipped"
+        assert not done.ok
+        # A demanded task with the same bound is still evaluated.
+        demanded = pool.submit((3, 3), bound_hint=1.0, speculative=False)
+        done = pool.poll(timeout=None)
+        assert done.eval_id == demanded
+        assert done.ok
+
+
+def test_killed_worker_is_respawned_and_tasks_complete(network):
+    expected = _serial_values(network, KEYS)
+    with PersistentEvalPool(network, "mva-heuristic",
+                            backend="vectorized", workers=2) as pool:
+        victim = pool.worker_pids[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                os.kill(victim, 0)
+            except OSError:
+                break
+            time.sleep(0.05)
+        completions = pool.map(KEYS)
+        assert all(done.ok for done in completions.values())
+        for key, done in completions.items():
+            assert done.value == pytest.approx(expected[key], rel=1e-12)
+        assert pool.health.respawns >= 1
+        assert victim not in pool.worker_pids
+        kinds = {event.kind for event in pool.health.events}
+        assert {"death", "respawn"} <= kinds
+
+
+def test_pool_under_spawn_start_method(network):
+    # spawn re-imports the worker module and re-attaches the arena by
+    # name — the portability path (macOS / Windows defaults).
+    expected = _serial_values(network, KEYS[:2])
+    with PersistentEvalPool(network, "mva-heuristic", backend="vectorized",
+                            workers=2, start_method="spawn") as pool:
+        assert pool.health.start_method == "spawn"
+        completions = pool.map(KEYS[:2])
+        for key, done in completions.items():
+            assert done.value == pytest.approx(expected[key], rel=1e-12)
+
+
+def test_update_model_requires_quiescence(network):
+    with PersistentEvalPool(network, "mva-heuristic",
+                            backend="vectorized", workers=1) as pool:
+        pool.submit((3, 3))
+        with pytest.raises(SearchError):
+            pool.update_model(canadian_two_class(25.0, 25.0))
+        assert pool.poll(timeout=None).ok
+
+
+def test_update_model_retargets_live_fleet(network):
+    with PersistentEvalPool(network, "mva-heuristic",
+                            backend="vectorized", workers=2) as pool:
+        before = pool.map([(3, 3)])[(3, 3)].value
+        pids = pool.worker_pids
+        retargeted = canadian_two_class(25.0, 25.0)
+        pool.update_model(retargeted)
+        after = pool.map([(3, 3)])[(3, 3)].value
+        assert pool.worker_pids == pids  # same fleet, new scenario
+        assert after != before
+        expected = _serial_values(retargeted, [(3, 3)])[(3, 3)]
+        assert after == pytest.approx(expected, rel=1e-12)
+
+
+def test_objective_with_live_pool_pickles(network):
+    # Per-batch executors pickle the objective into spawn workers; a live
+    # persistent pool (queues, processes, shared memory) must never ride
+    # along.
+    objective = WindowObjective(
+        network, backend="vectorized", workers=2, pool_mode="persistent"
+    )
+    try:
+        objective.ensure_pool()
+        baseline = objective((3, 3))
+        clone = pickle.loads(pickle.dumps(objective))
+        try:
+            assert clone((3, 3)) == pytest.approx(baseline, rel=1e-12)
+        finally:
+            clone.close()
+    finally:
+        objective.close()

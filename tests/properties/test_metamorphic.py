@@ -35,8 +35,11 @@ from repro.queueing.station import Station
 
 #: Tolerance for metamorphic comparisons.  The transforms are exact in
 #: real arithmetic; the slack covers reordered floating-point sums and
-#: iterative solvers stopping one sweep apart on the transformed input.
-RTOL = 1e-6
+#: iterative solvers stopping one sweep apart on the transformed input —
+#: each solve can sit a bit off the true fixed point independently, so
+#: the bound must be several times looser than the solvers' residual
+#: tolerance (observed worst case ~1.5e-6 on adversarial service times).
+RTOL = 5e-6
 
 
 @st.composite

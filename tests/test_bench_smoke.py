@@ -41,13 +41,23 @@ def test_pattern_search_bench_tiny_mode():
 
     payload = run_pattern_search_bench(tiny=True)
     assert payload["tiny"] is True
-    assert set(payload["runs"]) == {"scalar", "vectorized", "parallel", "reuse"}
+    assert set(payload["runs"]) == {
+        "scalar", "vectorized", "parallel", "pool", "reuse"
+    }
     for run in payload["runs"].values():
         _check_run(run)
-    # Same search under every configuration: identical optimum.
+    # Same search under every configuration: identical optimum, and the
+    # persistent pool additionally walks the identical accepted-move
+    # trajectory on a fleet that never lost a worker.
     optima = {tuple(r["best_windows"]) for r in payload["runs"].values()}
     assert len(optima) == 1
+    pool_run = payload["runs"]["pool"]
+    assert pool_run["trajectory"] == payload["runs"]["scalar"]["trajectory"]
+    assert pool_run["pool"]["stable_pids"]
+    assert pool_run["pool"]["respawns"] == 0
+    assert pool_run["pool"]["payload_bytes_per_task"] > 0
     assert payload["parallel_speedup_vs_serial_vectorized"] > 0
+    assert payload["pool_speedup_vs_serial_vectorized"] > 0
     assert payload["reuse_speedup_vs_serial_vectorized"] > 0
 
     emitted = json.loads(

@@ -96,6 +96,62 @@ class TestResilienceFlags:
         assert "best-so-far" in capsys.readouterr().out
 
 
+class TestPersistentPoolE2E:
+    """The full parallel stack through the CLI: pool + reuse + store +
+    checkpoint/resume in one run, checked against the serial answer."""
+
+    @staticmethod
+    def _windows(out):
+        import re
+
+        return re.search(r"optimal windows\s*=\s*\[([^\]]*)\]", out).group(1)
+
+    @staticmethod
+    def _fresh_evaluations(out):
+        import re
+
+        return int(re.search(r"objective evaluations\s*=\s*(\d+)", out).group(1))
+
+    def test_pool_reuse_store_checkpoint_resume(self, tmp_path, capsys):
+        base = [
+            "solve",
+            "--network", "canadian2",
+            "--rates", "25", "25",
+            "--max-window", "10",
+        ]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+
+        combined = base + [
+            "--workers", "2",
+            "--pool", "persistent",
+            "--reuse",
+            "--store", str(tmp_path / "run.store"),
+            "--checkpoint", str(tmp_path / "run.ckpt"),
+        ]
+        assert main(combined) == 0
+        first_out = capsys.readouterr().out
+        assert self._windows(first_out) == self._windows(serial_out)
+        assert "evaluation pool" in first_out
+
+        assert main(combined + ["--resume"]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "resumed from checkpoint" in resumed_out
+        assert self._windows(resumed_out) == self._windows(serial_out)
+        # Everything the first run solved rides in via the checkpoint, so
+        # the resumed run pays strictly fewer fresh evaluations.
+        assert (
+            self._fresh_evaluations(resumed_out)
+            < self._fresh_evaluations(first_out)
+        )
+
+    def test_pool_flag_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--rates", "18", "18", "--pool", "sometimes"]
+            )
+
+
 class TestEvaluate:
     def test_evaluate_prints_solution(self, capsys):
         code = main(
