@@ -148,10 +148,21 @@ def window_grid_power(
     space: IntegerBox,
     solver: Union[str, Solver] = "mva-heuristic",
 ) -> Dict[Tuple[int, ...], float]:
-    """Power at every window vector of an integer box (optimality probe)."""
+    """Power at every window vector of an integer box (optimality probe).
+
+    Evaluations flow through a
+    :class:`~repro.evalplane.serial.SerialPlane` — the same choke point
+    the pattern search uses — so a grid probe and a search over the same
+    box are fed by identical values.
+    """
+    from repro.evalplane.serial import SerialPlane
+
     objective = WindowObjective(network, solver)
     grid: Dict[Tuple[int, ...], float] = {}
-    for point in space.points():
-        value = objective(point)
-        grid[point] = 1.0 / value if value > 0 and value != float("inf") else 0.0
+    with SerialPlane(objective, space=space) as plane:
+        for point in space.points():
+            value = plane.submit(point).value
+            grid[point] = (
+                1.0 / value if value > 0 and value != float("inf") else 0.0
+            )
     return grid

@@ -27,6 +27,13 @@ Subcommands
 ``verify``
     Differential verification: fuzz random networks through every
     applicable solver pair and replay the golden thesis fixtures.
+``planes``
+    List the registered evaluation-plane backends (the execution paths
+    ``solve``/``multistart`` pick from — serial, per-batch pool,
+    persistent fleet, resilient ladder) and what each requires.  Every
+    listed backend is certified by the cross-backend conformance suite
+    (``tests/evalplane/``) to walk the bitwise-identical search
+    trajectory as the serial reference.
 
 Examples
 --------
@@ -297,6 +304,29 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_planes(args: argparse.Namespace) -> int:
+    from repro.evalplane import plane_specs
+
+    rows = []
+    for spec in plane_specs():
+        needs = []
+        if spec.needs_parallel:
+            needs.append("workers > 1")
+        if spec.pool_mode is not None:
+            needs.append(f"pool={spec.pool_mode}")
+        if spec.needs_ladder:
+            needs.append("resilient ladder")
+        rows.append((spec.name, spec.description, ", ".join(needs) or "-"))
+    print(
+        render_table(
+            ["plane", "description", "requires"],
+            rows,
+            title="registered evaluation planes",
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -550,6 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="write the JSON report to this path"
     )
     verify.set_defaults(handler=_cmd_verify)
+
+    planes = sub.add_parser(
+        "planes", help="list registered evaluation-plane backends"
+    )
+    planes.set_defaults(handler=_cmd_planes)
 
     return parser
 

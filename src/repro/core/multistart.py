@@ -18,6 +18,7 @@ from repro.core.objective import Solver, WindowObjective
 from repro.core.power import power_report
 from repro.core.windim import WindimResult
 from repro.errors import ModelError
+from repro.evalplane import build_plane
 from repro.queueing.network import ClosedNetwork
 from repro.search.cache import EvaluationCache
 from repro.search.pattern import pattern_search
@@ -130,56 +131,43 @@ def windim_multistart(
     best_search: Optional[SearchResult] = None
     best_start: Tuple[int, ...] = starts[0]
     unique_starts = [space.clip(s) for s in dict.fromkeys(starts)]
+    # One plane serves every start: the shared cache makes overlapping
+    # trajectories free, a pooled plane shares one worker fleet across
+    # the seed batch and all starts' speculation, and the context manager
+    # guarantees drain-then-close on every exit path — an exhausted
+    # evaluation cap (or a raising solver) mid-loop can no longer return
+    # early with in-flight pool tasks undrained.
+    plane = build_plane(
+        objective,
+        cache=cache,
+        space=space,
+        max_evaluations=max_evaluations,
+        on_evaluation=persist_evaluation if store is not None else None,
+        bound=objective.lower_bound if reuse else None,
+        seed_for=objective.seed_for if reuse else None,
+    )
     try:
-        if objective.parallel:
-            # Warm the shared cache with every seed in one parallel batch.
-            for point, value in zip(
-                unique_starts, objective.batch_solve(unique_starts)
-            ):
-                cache.prime(point, value)
-        persistent = objective.parallel and objective.pool_mode == "persistent"
-        for start in dict.fromkeys(unique_starts):
-            scheduler = None
-            if persistent:
-                from repro.parallel.scheduler import SpeculativeScheduler
-
-                scheduler = SpeculativeScheduler(
-                    objective.ensure_pool(),
-                    cache,
+        with plane:
+            if objective.parallel:
+                # Warm the shared cache with every seed in one parallel
+                # batch (trimmed to the evaluation cap, never raising).
+                plane.submit_many(unique_starts)
+            for start in dict.fromkeys(unique_starts):
+                run = pattern_search(
+                    objective,
+                    start,
                     space,
-                    merge_hook=objective.absorb_remote,
-                    on_evaluation=(
-                        persist_evaluation if store is not None else None
-                    ),
-                    max_evaluations=max_evaluations,
-                    bound=objective.lower_bound if reuse else None,
-                    seed_for=objective.seed_for if reuse else None,
+                    initial_step=initial_step,
+                    max_halvings=max_halvings,
+                    plane=plane,
                 )
-            run = pattern_search(
-                objective,
-                start,
-                space,
-                initial_step=initial_step,
-                max_halvings=max_halvings,
-                max_evaluations=max_evaluations,
-                cache=cache,
-                on_evaluation=persist_evaluation if store is not None else None,
-                prefetch=(
-                    objective.batch_solve
-                    if objective.parallel and not persistent
-                    else None
-                ),
-                bound=objective.lower_bound if reuse else None,
-                scheduler=scheduler,
-            )
-            if best_search is None or run.best_value < best_search.best_value:
-                best_search = run
-                best_start = start
+                if best_search is None or run.best_value < best_search.best_value:
+                    best_search = run
+                    best_start = start
     finally:
-        pool_health = objective.pool_health
-        objective.close()
         if store is not None:
             store.close()
+    pool_health = plane.pool_health
 
     assert best_search is not None
     solution = objective.solution(best_search.best_point)

@@ -31,6 +31,7 @@ from repro.core.initializers import initial_windows
 from repro.core.objective import Solver, WindowObjective
 from repro.core.power import PowerReport, power_report
 from repro.errors import ModelError, SearchError
+from repro.evalplane import build_plane
 from repro.queueing.network import ClosedNetwork
 from repro.resilience.budget import SearchBudget
 from repro.resilience.checkpoint import (
@@ -411,46 +412,41 @@ def windim(
         note_evaluation if (store is not None or manager is not None) else None
     )
 
-    def run_search() -> SearchResult:
-        scheduler = None
-        prefetch = None
-        if objective.parallel and objective.pool_mode == "persistent":
-            from repro.parallel.scheduler import SpeculativeScheduler
+    # One plane per run: build_plane picks the execution path (resilient
+    # ladder / persistent fleet / per-batch pool / serial) from the
+    # objective's configuration, and the context manager guarantees the
+    # drain-then-close lifecycle on every exit path — a budget-exhausted
+    # or interrupted run can no longer leave paid-for pool results
+    # unmerged or workers alive.
+    plane = build_plane(
+        objective,
+        resilient_solver=resilient_solver,
+        cache=cache,
+        space=space,
+        budget=budget,
+        max_evaluations=max_evaluations,
+        on_evaluation=on_evaluation,
+        bound=objective.lower_bound if reuse else None,
+        seed_for=objective.seed_for if reuse else None,
+    )
 
-            scheduler = SpeculativeScheduler(
-                objective.ensure_pool(),
-                cache,
-                space,
-                merge_hook=objective.absorb_remote,
-                on_evaluation=on_evaluation,
-                budget=budget,
-                max_evaluations=max_evaluations,
-                bound=objective.lower_bound if reuse else None,
-                seed_for=objective.seed_for if reuse else None,
-            )
-        elif objective.parallel:
-            prefetch = objective.batch_solve
+    def run_search() -> SearchResult:
         return pattern_search(
             objective,
             start_point,
             space,
             initial_step=initial_step,
             max_halvings=max_halvings,
-            max_evaluations=max_evaluations,
-            cache=cache,
-            budget=budget,
-            on_evaluation=on_evaluation,
-            prefetch=prefetch,
-            bound=objective.lower_bound if reuse else None,
-            scheduler=scheduler,
+            plane=plane,
         )
 
     try:
-        if manager is not None and handle_signals:
-            with signal_checkpoint_guard(manager):
+        with plane:
+            if manager is not None and handle_signals:
+                with signal_checkpoint_guard(manager):
+                    search = run_search()
+            else:
                 search = run_search()
-        else:
-            search = run_search()
     except KeyboardInterrupt:
         # Interrupted by a signal (whose handler already flushed) or by a
         # KeyboardInterrupt raised inside the objective — flush either way
@@ -459,12 +455,11 @@ def windim(
             manager.flush()
         raise
     finally:
-        # PoolHealth is plain data; capture it before close() drops the
-        # pool so the result can still report fleet statistics.
-        pool_health = objective.pool_health
-        objective.close()
         if store is not None:
             store.close()
+    # PoolHealth is plain data; the plane snapshots it before close()
+    # drops the pool so the result can still report fleet statistics.
+    pool_health = plane.pool_health
     if manager is not None:
         manager.flush()
 

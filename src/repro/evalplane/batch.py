@@ -1,0 +1,116 @@
+"""Per-batch process-pool evaluation plane.
+
+Wraps the PR 3 execution path: each sweep's ±step cross is evaluated in
+one synchronous :meth:`~repro.core.objective.WindowObjective.batch_solve`
+fan-out over a ``ProcessPoolExecutor`` and primed into the shared cache,
+so the sequential sweep that follows runs on cache hits.  This used to
+live inside ``pattern_search`` as the ``prefetch=`` glue; it is now the
+plane's :meth:`hint_sweep`, so budgets, caps and the checkpoint hook are
+enforced in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import SearchError
+from repro.evalplane.plane import EvaluationPlane
+from repro.evalplane.result import EvalResult
+
+__all__ = ["BatchPlane"]
+
+Point = Tuple[int, ...]
+
+
+class BatchPlane(EvaluationPlane):
+    """Synchronous cross-prefetch over a per-batch process pool.
+
+    Requires a parallel :class:`~repro.core.objective.WindowObjective`
+    (``workers > 1``, named solver) in ``per-batch`` pool mode, and a
+    ``space`` to enumerate sweep neighbourhoods.
+    """
+
+    name = "batch"
+
+    def __init__(self, objective, **wiring):
+        super().__init__(objective, **wiring)
+        if not getattr(objective, "parallel", False):
+            raise SearchError(
+                "BatchPlane requires a parallel objective (workers > 1 "
+                "and a named solver)"
+            )
+        if self.space is None:
+            raise SearchError("BatchPlane requires a search space")
+
+    # ------------------------------------------------------------------
+    def _merge_batch(self, keys: Sequence[Point]) -> None:
+        """Fan ``keys`` out over the pool and prime results into the cache.
+
+        Each primed value counts as one fresh evaluation and fires
+        ``on_evaluation`` once — identical bookkeeping to an in-process
+        solve, which is what keeps checkpoints and stores path-agnostic.
+        """
+        if not keys:
+            return
+        values = self._objective.batch_solve(keys)
+        for key, value in zip(keys, values):
+            if self.cache.prime(key, value) and self.on_evaluation is not None:
+                self.on_evaluation(self.cache)
+
+    def _uncached_cross(self, point: Point, step: int, point_value: float):
+        """The not-yet-cached, not-bound-dominated ±step cross of ``point``."""
+        fresh: List[Point] = []
+        for axis in range(self.space.dimensions):
+            for direction in (+1, -1):
+                candidate = list(point)
+                candidate[axis] += direction * step
+                candidate_t = tuple(candidate)
+                if (
+                    candidate_t in self.space
+                    and candidate_t not in self.cache
+                    and candidate_t not in fresh
+                    and not (
+                        self.bound is not None
+                        and self.bound(candidate_t) > point_value
+                    )
+                ):
+                    fresh.append(candidate_t)
+        return fresh
+
+    def hint_sweep(self, point: Sequence[int], value: float, step: int) -> None:
+        """Batch-evaluate the uncached ±step cross before the sweep runs.
+
+        Budget and cap are honoured quietly: the batch is trimmed to the
+        remaining evaluation room and skipped entirely once the budget
+        is spent (the search's next *demanded* fresh evaluation then
+        raises with full best-so-far semantics).  Candidates whose
+        certified bound already exceeds ``value`` are not worth a
+        speculative solve — the sweep would prune them.
+        """
+        key = self._key(point)
+        fresh = self._uncached_cross(key, step, value)
+        room = self.max_evaluations - self.cache.evaluations
+        fresh = fresh[: max(0, room)]
+        if not fresh or self._caps_spent():
+            return
+        self._merge_batch(fresh)
+
+    def submit_many(self, batch: Sequence[Sequence[int]]) -> List[EvalResult]:
+        """One pool round trip for a whole seed list (deduplicated)."""
+        keys = [self._key(w) for w in batch]
+        seen = set()
+        fresh: List[Point] = []
+        for key in keys:
+            if key in self.cache or key in seen:
+                continue
+            seen.add(key)
+            fresh.append(key)
+        room = self.max_evaluations - self.cache.evaluations
+        fresh = fresh[: max(0, room)]
+        if fresh and not self._caps_spent():
+            self._merge_batch(fresh)
+        return [
+            self._result(key, self.cache.values[key], fresh=key in seen)
+            for key in keys
+            if key in self.cache
+        ]

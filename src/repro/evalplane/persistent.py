@@ -1,0 +1,144 @@
+"""Persistent shared-memory pool plane (speculative scheduler path).
+
+Wraps the PR 5 execution stack — a long-lived
+:class:`~repro.parallel.pool.PersistentEvalPool` kept saturated by a
+:class:`~repro.parallel.scheduler.SpeculativeScheduler` — behind the
+:class:`~repro.evalplane.plane.EvaluationPlane` interface.  The search's
+hints feed the scheduler's priority frontier; a demanded value blocks
+only until the pool merges it into the shared cache.  The trajectory
+contract is inherited from the scheduler: accepted moves and the chosen
+optimum are bitwise-identical to the serial plane.
+
+One scheduler serves one search run: :meth:`drain` banks every in-flight
+completion and retires the scheduler, and the next hint or demand lazily
+creates a fresh one against the same pool — which is how a multistart
+shares a single worker fleet across all of its starts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import SearchError
+from repro.evalplane.plane import EvaluationPlane
+
+__all__ = ["PersistentPlane"]
+
+Point = Tuple[int, ...]
+
+
+class PersistentPlane(EvaluationPlane):
+    """Asynchronous speculative evaluation on a persistent worker fleet."""
+
+    name = "persistent"
+
+    def __init__(self, objective, **wiring):
+        super().__init__(objective, **wiring)
+        if not getattr(objective, "parallel", False):
+            raise SearchError(
+                "PersistentPlane requires a parallel objective (workers > 1 "
+                "and a named solver)"
+            )
+        if getattr(objective, "pool_mode", None) != "persistent":
+            raise SearchError(
+                "PersistentPlane requires pool_mode='persistent', not "
+                f"{getattr(objective, 'pool_mode', None)!r}"
+            )
+        if self.space is None:
+            raise SearchError("PersistentPlane requires a search space")
+        self._scheduler = None
+
+    # ------------------------------------------------------------------
+    def _live_scheduler(self):
+        """The scheduler for the current search run (created lazily)."""
+        if self._scheduler is None:
+            from repro.parallel.scheduler import SpeculativeScheduler
+
+            self._scheduler = SpeculativeScheduler(
+                self._objective.ensure_pool(),
+                self.cache,
+                self.space,
+                merge_hook=self._objective.absorb_remote,
+                on_evaluation=self.on_evaluation,
+                budget=self.budget,
+                max_evaluations=self.max_evaluations,
+                bound=self.bound,
+                seed_for=self.seed_for,
+            )
+        return self._scheduler
+
+    @property
+    def scheduler_stats(self) -> Optional[dict]:
+        """Speculation counters of the current scheduler (None when idle)."""
+        return self._scheduler.stats if self._scheduler is not None else None
+
+    def _fulfil(self, key: Point):
+        # demand() blocks until the pool's value for this point is merged
+        # into the cache; the scheduler fires on_evaluation on every
+        # merge, so the base class must not fire it again.
+        self._live_scheduler().demand(key)
+        return self.cache(key), True
+
+    # ------------------------------------------------------------------
+    # speculation
+    # ------------------------------------------------------------------
+    def hint_sweep(self, point: Sequence[int], value: float, step: int) -> None:
+        self._live_scheduler().begin_sweep(self._key(point), value, step)
+
+    def hint_accept(
+        self,
+        new_base: Sequence[int],
+        previous: Sequence[int],
+        value: float,
+        step: int,
+    ) -> None:
+        self._live_scheduler().note_accept(
+            self._key(new_base), self._key(previous), value, step
+        )
+
+    def hint_step(self, step: int) -> None:
+        if self._scheduler is not None:
+            self._scheduler.note_step(step)
+
+    def submit_many(self, batch: Sequence[Sequence[int]]):
+        """Seed-list fan-out on the persistent fleet (one barrier batch).
+
+        Uses the objective's pool ``map`` path — warm seeds travel by
+        arena slot — then reports through the cache like every other
+        merge.  Caps are honoured quietly, as in the base class.
+        """
+        keys = [self._key(w) for w in batch]
+        fresh = []
+        seen = set()
+        for key in keys:
+            if key in self.cache or key in seen:
+                continue
+            seen.add(key)
+            fresh.append(key)
+        room = self.max_evaluations - self.cache.evaluations
+        fresh = fresh[: max(0, room)]
+        if fresh and not self._caps_spent():
+            values = self._objective.batch_solve(fresh)
+            for key, value in zip(fresh, values):
+                if self.cache.prime(key, value) and self.on_evaluation is not None:
+                    self.on_evaluation(self.cache)
+        return [
+            self._result(key, self.cache.values[key], fresh=key in seen)
+            for key in keys
+            if key in self.cache
+        ]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Bank all in-flight speculation, then retire the scheduler.
+
+        Idempotent; called by the search when a run ends (normally or on
+        budget exhaustion) and by :meth:`close` on clean exits, so no
+        exit path can leave paid-for pool results unmerged.  The next
+        demand starts a fresh scheduler on the same fleet.
+        """
+        if self._scheduler is not None:
+            self._scheduler.finish()
+            self._scheduler = None

@@ -1,0 +1,52 @@
+"""Resilient-ladder evaluation plane.
+
+Serial-semantics evaluation whose objective solves through the
+:class:`~repro.resilience.ladder.ResilientSolver` escalation ladder
+(damping retries, solver escalation, exact-MVA last resort).  The plane
+surfaces the ladder's per-evaluation :class:`~repro.resilience.health.
+SolveHealth` record on every :class:`~repro.evalplane.result.EvalResult`
+and exposes the accumulated :attr:`health_log`, so callers read health
+through the plane instead of holding a side reference to the solver.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import SearchError
+from repro.evalplane.plane import EvaluationPlane
+
+__all__ = ["ResilientPlane"]
+
+
+class ResilientPlane(EvaluationPlane):
+    """In-process evaluation through the retry/escalation ladder."""
+
+    name = "resilient"
+
+    def __init__(self, objective, resilient_solver, **wiring):
+        super().__init__(objective, **wiring)
+        if resilient_solver is None or not hasattr(resilient_solver, "health_log"):
+            raise SearchError(
+                "ResilientPlane requires the ResilientSolver the objective "
+                "was built around"
+            )
+        if getattr(objective, "parallel", False):
+            raise SearchError(
+                "ResilientPlane collects in-process health records and "
+                "cannot drive a pooled objective"
+            )
+        self._ladder = resilient_solver
+
+    @property
+    def ladder(self):
+        """The wrapped :class:`~repro.resilience.ladder.ResilientSolver`."""
+        return self._ladder
+
+    @property
+    def health_log(self) -> Tuple:
+        """Per-evaluation health records accumulated so far."""
+        return tuple(self._ladder.health_log)
+
+    def _health_record(self):
+        return self._ladder.last_health

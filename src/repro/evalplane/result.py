@@ -1,0 +1,74 @@
+"""The unit of currency of the evaluation plane: one finished evaluation.
+
+Every execution path — serial objective call, per-batch process-pool
+fan-out, persistent shared-memory fleet, resilient ladder — answers a
+:meth:`~repro.evalplane.plane.EvaluationPlane.submit` with the same
+:class:`EvalResult`, so callers (and the conformance suite) never need to
+know which backend produced a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.resilience.health import SolveHealth
+    from repro.solution import NetworkSolution
+
+__all__ = ["EvalResult"]
+
+Point = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """One completed objective evaluation, backend-agnostic.
+
+    Attributes
+    ----------
+    windows:
+        The integer window vector that was evaluated (the cache key).
+    value:
+        Objective value ``F = 1/power`` (``inf`` where the solver failed).
+    fresh:
+        True when this submit paid for a new solve; False when the value
+        was served from the shared :class:`~repro.search.cache.
+        EvaluationCache` (a hit costs nothing and fires no hooks).
+    source:
+        Name of the plane that produced the value (``"serial"``,
+        ``"batch"``, ``"persistent"``, ``"resilient"``, or a registered
+        custom backend).
+    solution:
+        The full :class:`~repro.solution.NetworkSolution` when the
+        objective retains one (named solvers via ``WindowObjective``);
+        None for plain callables or failed solves.
+    warm_seed:
+        Converged queue-length matrix usable as a warm-start seed for
+        neighbouring evaluations (None when the solve failed, did not
+        converge, or the objective retains no solutions).  This is the
+        same matrix the reuse engine and the persistent store harvest.
+    bound:
+        Certified lower bound on ``value`` when the plane was wired with
+        a bound oracle (``WindowObjective.lower_bound``); None otherwise.
+        Invariant certified by the conformance suite: ``bound <= value``.
+    health:
+        Per-evaluation :class:`~repro.resilience.health.SolveHealth` when
+        the plane runs the resilient ladder; None for direct solves.
+    """
+
+    windows: Point
+    value: float
+    fresh: bool
+    source: str
+    solution: Optional["NetworkSolution"] = None
+    warm_seed: Optional["np.ndarray"] = None
+    bound: Optional[float] = None
+    health: Optional["SolveHealth"] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the solve produced a finite objective value."""
+        return self.value != float("inf")

@@ -1,0 +1,20 @@
+"""The serial evaluation plane — the reference semantics.
+
+Every other plane is certified against this one: a fresh submit solves
+in-process through the shared cache, hints are no-ops, and there is
+never anything in flight.  It wraps *any* ``point -> float`` callable,
+which is what lets :func:`~repro.search.pattern.pattern_search` keep its
+plain-function interface.
+"""
+
+from __future__ import annotations
+
+from repro.evalplane.plane import EvaluationPlane
+
+__all__ = ["SerialPlane"]
+
+
+class SerialPlane(EvaluationPlane):
+    """In-process evaluation; the conformance suite's oracle plane."""
+
+    name = "serial"

@@ -17,20 +17,21 @@ reductions.  Because window sizes are integers, steps are integers here —
 "since we are interested only in integral window settings … the Pattern
 Search suffices" (§4.1).
 
-All evaluations flow through an :class:`~repro.search.cache.EvaluationCache`
-(the APL ``FLOC``), so revisited points are free.  A ``prefetch`` batch
-evaluator (typically ``WindowObjective.batch_solve`` backed by a process
-pool) may be supplied: before each exploratory sweep the not-yet-cached
-``±step`` neighbours of the base point are evaluated speculatively in one
-batch and merged into the cache, so the sequential sweep then runs on
-cache hits.  Two resilience hooks thread through the same choke point:
-
-* a :class:`~repro.resilience.budget.SearchBudget` is consulted before
-  every *fresh* evaluation — when spent, the search returns its
-  best-so-far flagged ``status="budget_exhausted"`` instead of running on;
-* an ``on_evaluation`` callback fires after every fresh evaluation, which
-  is where :class:`~repro.resilience.checkpoint.CheckpointManager` takes
-  its periodic snapshots.
+All evaluations flow through an
+:class:`~repro.evalplane.plane.EvaluationPlane`: the search demands
+values with :meth:`~repro.evalplane.plane.EvaluationPlane.submit`,
+telegraphs its intent through the plane's speculation hints
+(``hint_sweep``/``hint_accept``/``hint_step``), rejects provably
+dominated candidates through :meth:`~repro.evalplane.plane.
+EvaluationPlane.prune`, and banks in-flight speculation with
+:meth:`~repro.evalplane.plane.EvaluationPlane.drain` on every exit from
+the loop.  Which execution backend sits behind those calls — in-process
+serial, per-batch process pool, persistent shared-memory fleet, the
+resilient ladder — is entirely the plane's business; the conformance
+suite (``tests/evalplane/``) certifies that all of them walk the same
+trajectory.  Budget/cap enforcement and the ``on_evaluation`` checkpoint
+hook live in the plane, at the single choke point every fresh evaluation
+passes through.
 """
 
 from __future__ import annotations
@@ -44,15 +45,13 @@ from repro.search.result import SearchResult
 from repro.search.space import IntegerBox
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.parallel.scheduler import SpeculativeScheduler
+    from repro.evalplane.plane import EvaluationPlane
 
 __all__ = ["pattern_search"]
 
 Point = Tuple[int, ...]
 
 Evaluator = Callable[[Point], float]
-
-BatchEvaluator = Callable[[Sequence[Point]], Sequence[float]]
 
 
 def _explore(
@@ -61,7 +60,7 @@ def _explore(
     point: Point,
     value: float,
     step: int,
-    prune: Optional[Callable[[Point, float], bool]] = None,
+    prune: Callable[[Point, float], bool],
 ) -> Tuple[Point, float]:
     """One exploratory sweep: perturb each coordinate by ±step in turn.
 
@@ -80,7 +79,7 @@ def _explore(
             candidate_t = tuple(candidate)
             if candidate_t not in space:
                 continue
-            if prune is not None and prune(candidate_t, current_value):
+            if prune(candidate_t, current_value):
                 continue
             candidate_value = evaluate(candidate_t)
             if candidate_value < current_value:
@@ -100,9 +99,8 @@ def pattern_search(
     cache: Optional[EvaluationCache] = None,
     budget: Optional[SearchBudget] = None,
     on_evaluation: Optional[Callable[[EvaluationCache], None]] = None,
-    prefetch: Optional[BatchEvaluator] = None,
     bound: Optional[Callable[[Point], float]] = None,
-    scheduler: Optional["SpeculativeScheduler"] = None,
+    plane: Optional["EvaluationPlane"] = None,
 ) -> SearchResult:
     """Minimise ``objective`` over ``space`` by integer pattern search.
 
@@ -123,7 +121,8 @@ def pattern_search(
         integer steps the search also stops as soon as the step underflows
         below one.
     max_evaluations:
-        Safety budget of distinct objective evaluations.
+        Safety budget of distinct objective evaluations (ignored when a
+        ``plane`` is supplied — the plane's own cap governs).
     cache:
         Optional pre-populated evaluation cache to share across runs (e.g.
         across sweep points that revisit the same windows, or seeded from
@@ -134,15 +133,6 @@ def pattern_search(
     on_evaluation:
         Called with the cache after every fresh evaluation (checkpointing
         hook); cache hits do not fire it.
-    prefetch:
-        Optional batch evaluator (points -> values, order-preserving).
-        When given, the uncached ``±step`` cross around each explored
-        base point is evaluated in one batch beforehand and primed into
-        the cache — this is where ``WindowObjective.batch_solve`` plugs a
-        process pool into the search.  Speculative points count as fresh
-        evaluations (budget, ``max_evaluations``, and ``on_evaluation``
-        all see them); a few may never be consulted by the sweep, which
-        is the price of evaluating them concurrently.
     bound:
         Optional *certified lower bound* on the objective (WINDIM passes
         ``WindowObjective.lower_bound``).  An uncached exploratory
@@ -153,18 +143,19 @@ def pattern_search(
         base points, the chosen optimum, and its value are identical to
         an unpruned run.  Pattern-move landing points are never pruned
         (their value seeds the next exploration).
-    scheduler:
-        Optional :class:`~repro.parallel.scheduler.SpeculativeScheduler`
-        bound to a persistent worker pool.  Supersedes ``prefetch``:
-        instead of a synchronous cross batch before each sweep, the
-        scheduler keeps the pool saturated with a speculative priority
-        frontier and the search blocks only on values that have not yet
-        arrived.  The demanded point sequence — hence the accepted-move
-        trajectory and the optimum — is identical to a sequential run;
-        speculative completions are merged through ``cache.prime`` and
-        count against budget, ``max_evaluations``, and
-        ``on_evaluation`` exactly like ``prefetch`` ones (the scheduler
-        fires ``on_evaluation`` itself on every merge).
+    plane:
+        The :class:`~repro.evalplane.plane.EvaluationPlane` to evaluate
+        through.  When omitted, a
+        :class:`~repro.evalplane.serial.SerialPlane` is built from the
+        wiring arguments above (in-process evaluation — the reference
+        semantics).  When supplied, it must wrap ``objective``, the
+        wiring arguments must be left unset (the plane already carries
+        them), and the caller keeps ownership: the search drains it on
+        every exit but never closes it.  Parallel planes speculate on
+        the search's hints; speculative points count as fresh evaluations
+        (budget, cap and ``on_evaluation`` all see them) and never change
+        the demanded sequence — the accepted-move trajectory and the
+        optimum are bitwise-identical to a serial run.
 
     Returns
     -------
@@ -175,84 +166,32 @@ def pattern_search(
         raise SearchError(f"initial_step must be >= 1, got {initial_step}")
     if max_halvings < 0:
         raise SearchError(f"max_halvings must be >= 0, got {max_halvings}")
-    if cache is None:
-        cache = EvaluationCache(objective)
-    elif cache.objective is not objective:
-        raise SearchError("shared cache wraps a different objective")
+    if plane is None:
+        from repro.evalplane.serial import SerialPlane
+
+        plane = SerialPlane(
+            objective,
+            cache=cache,
+            space=space,
+            budget=budget,
+            max_evaluations=max_evaluations,
+            on_evaluation=on_evaluation,
+            bound=bound,
+        )
+    else:
+        if plane.objective is not objective:
+            raise SearchError("plane wraps a different objective")
+        if (
+            cache is not None and cache is not plane.cache
+        ) or budget is not None or on_evaluation is not None or bound is not None:
+            raise SearchError(
+                "pass evaluation wiring (cache/budget/on_evaluation/bound) "
+                "either on the plane or to pattern_search, not both"
+            )
+    cache = plane.cache
 
     def evaluate(point: Point) -> float:
-        fresh = tuple(int(x) for x in point) not in cache.values
-        if fresh:
-            if budget is not None:
-                budget.check(cache.evaluations)
-            if cache.evaluations >= max_evaluations:
-                raise BudgetExhausted(
-                    f"evaluation cap reached ({cache.evaluations} >= "
-                    f"{max_evaluations})"
-                )
-            if scheduler is not None:
-                # Blocks until the pool's value for this point is merged
-                # into the cache (the scheduler fires on_evaluation for
-                # every merge, so the plain path below must not).
-                scheduler.demand(point)
-                return cache(point)
-        value = cache(point)
-        if fresh and on_evaluation is not None:
-            on_evaluation(cache)
-        return value
-
-    def prune(candidate: Point, current_value: float) -> bool:
-        """True when a certified bound proves ``candidate`` dominated.
-
-        Only uncached candidates are ever pruned (a cached value is free
-        to consult), and only on a *strict* bound excess: a candidate
-        whose true value ties the current one would be rejected by the
-        sweep's strict ``<`` test anyway, so skipping it cannot change
-        the trajectory.
-        """
-        if bound is None or candidate in cache.values:
-            return False
-        if bound(candidate) > current_value:
-            cache.note_pruned()
-            return True
-        return False
-
-    def prefetch_cross(point: Point, point_value: float) -> None:
-        """Batch-evaluate the uncached ±step cross around ``point``.
-
-        Results are primed into the cache, so the sequential exploratory
-        sweep that follows mostly hits.  Budget and evaluation caps are
-        honoured: the batch is trimmed to the remaining evaluation room
-        and skipped entirely once the budget is spent.  Candidates whose
-        certified bound already exceeds ``point_value`` are not worth a
-        speculative solve — the sweep would prune them.
-        """
-        if prefetch is None:
-            return
-        fresh: list = []
-        for axis in range(space.dimensions):
-            for direction in (+1, -1):
-                candidate = list(point)
-                candidate[axis] += direction * step
-                candidate_t = tuple(candidate)
-                if (
-                    candidate_t in space
-                    and candidate_t not in cache.values
-                    and candidate_t not in fresh
-                    and not (
-                        bound is not None and bound(candidate_t) > point_value
-                    )
-                ):
-                    fresh.append(candidate_t)
-        room = max_evaluations - cache.evaluations
-        fresh = fresh[: max(0, room)]
-        if not fresh:
-            return
-        if budget is not None:
-            budget.check(cache.evaluations)
-        for key, value in zip(fresh, prefetch(fresh)):
-            if cache.prime(key, value) and on_evaluation is not None:
-                on_evaluation(cache)
+        return plane.submit(point).value
 
     base = space.clip(start)
     trajectory = [base]
@@ -262,62 +201,50 @@ def pattern_search(
     stop_reason = ""
     base_value = float("inf")
 
-    def speculate(point: Point, point_value: float) -> None:
-        """Line up the ±step cross (scheduler frontier or sync prefetch)."""
-        if scheduler is not None:
-            scheduler.begin_sweep(point, point_value, step)
-        else:
-            prefetch_cross(point, point_value)
-
     try:
         base_value = evaluate(base)
         while step >= 1 and halvings <= max_halvings:
-            speculate(base, base_value)
+            plane.hint_sweep(base, base_value, step)
             probe, probe_value = _explore(
-                evaluate, space, base, base_value, step, prune
+                evaluate, space, base, base_value, step, plane.prune
             )
             if probe_value < base_value:
                 # Pattern phase: ride the established direction.
                 previous = base
                 base, base_value = probe, probe_value
                 trajectory.append(base)
-                if scheduler is not None:
-                    scheduler.note_accept(base, previous, base_value, step)
+                plane.hint_accept(base, previous, base_value, step)
                 while True:
                     pattern_point = space.clip(
                         tuple(2 * b - p for b, p in zip(base, previous))
                     )
                     landing_value = evaluate(pattern_point)
-                    speculate(pattern_point, landing_value)
+                    plane.hint_sweep(pattern_point, landing_value, step)
                     probe2, probe2_value = _explore(
-                        evaluate, space, pattern_point, landing_value, step, prune
+                        evaluate, space, pattern_point, landing_value, step,
+                        plane.prune,
                     )
                     if probe2_value < base_value:
                         previous = base
                         base, base_value = probe2, probe2_value
                         trajectory.append(base)
-                        if scheduler is not None:
-                            scheduler.note_accept(
-                                base, previous, base_value, step
-                            )
+                        plane.hint_accept(base, previous, base_value, step)
                     else:
                         break
             else:
                 step //= 2
                 halvings += 1
-                if scheduler is not None:
-                    scheduler.note_step(step)
+                plane.hint_step(step)
     except BudgetExhausted as exc:
         status = "budget_exhausted"
         stop_reason = exc.reason
-        if scheduler is not None:
-            # Bank already-paid-for speculation before picking the
-            # best-so-far: in-flight completions are real evaluations.
-            scheduler.finish()
+        # Bank already-paid-for speculation before picking the
+        # best-so-far: in-flight completions are real evaluations.
+        plane.drain()
         # Best-so-far: the cache may hold a better explored-but-not-yet-
         # accepted point than the current base (or the start may never
         # have been evaluated at all under a zero budget).
-        cached_best, cached_value = cache.best()
+        cached_best, cached_value = plane.best()
         if cached_best is None:
             base_value = float("inf")
         elif not trajectory or cached_value < base_value:
@@ -325,8 +252,7 @@ def pattern_search(
             if not trajectory or trajectory[-1] != base:
                 trajectory.append(base)
     finally:
-        if scheduler is not None:
-            scheduler.finish()
+        plane.drain()
 
     return SearchResult(
         best_point=base,

@@ -24,7 +24,13 @@ from repro.verify.differential import (
     check_pair,
     run_differential,
 )
-from repro.verify.fuzz import FuzzConfig, generate_case, generate_cases
+from repro.verify.fuzz import (
+    FuzzConfig,
+    case_seed,
+    generate_case,
+    generate_cases,
+    generate_named_cases,
+)
 from repro.verify.golden import (
     GoldenCase,
     compare_fixture,
@@ -56,8 +62,10 @@ __all__ = [
     "check_pair",
     "run_differential",
     "FuzzConfig",
+    "case_seed",
     "generate_case",
     "generate_cases",
+    "generate_named_cases",
     "GoldenCase",
     "compare_fixture",
     "compute_fixture",

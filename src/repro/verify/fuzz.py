@@ -12,8 +12,9 @@ identical case list on any machine — a discrepancy report's ``seed`` and
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,7 +23,13 @@ from repro.netmodel.builder import build_closed_network
 from repro.netmodel.generator import random_mesh_topology, random_traffic_classes
 from repro.verify.oracle import VerifyCase
 
-__all__ = ["FuzzConfig", "generate_case", "generate_cases"]
+__all__ = [
+    "FuzzConfig",
+    "case_seed",
+    "generate_case",
+    "generate_cases",
+    "generate_named_cases",
+]
 
 
 @dataclass(frozen=True)
@@ -117,9 +124,51 @@ def generate_cases(
     Case ``i`` depends only on ``(seed, i)`` (via ``SeedSequence.spawn``),
     so a single failing instance from a large sweep can be regenerated in
     isolation.
+
+    Note that the derivation is *positional*: inserting a case in the
+    middle of a sweep shifts the instance behind every later index.  Test
+    walls that parametrise over individual cases should prefer
+    :func:`generate_named_cases`, whose instances are pinned to stable
+    case names instead of list positions.
     """
     if count < 0:
         raise ValueError("count must be >= 0")
     children = np.random.SeedSequence(seed).spawn(count)
     for index, child in enumerate(children):
         yield generate_case(child, f"fuzz-{index:03d}[seed={seed}]", config)
+
+
+def case_seed(master_seed: int, name: str) -> np.random.SeedSequence:
+    """A ``SeedSequence`` derived from ``(master_seed, hash(name))``.
+
+    The name enters through the first four 32-bit words of its SHA-256
+    digest (as the spawn key), so the instance behind a named case is a
+    pure function of the master seed and the case *name* — reordering,
+    inserting or deleting other cases in a suite cannot silently change
+    which network a given test name exercises, which is what happened
+    when per-case seeds were derived from list position.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    words = tuple(
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    )
+    return np.random.SeedSequence(entropy=master_seed, spawn_key=words)
+
+
+def generate_named_cases(
+    seed: int,
+    names: Sequence[str],
+    config: Optional[FuzzConfig] = None,
+) -> Iterator[VerifyCase]:
+    """Yield one reproducible case per name, pinned by :func:`case_seed`.
+
+    Unlike :func:`generate_cases`, each instance depends only on
+    ``(seed, name)`` — never on the position of the name in ``names`` —
+    so suites can grow, shrink, or reorder without perturbing existing
+    cases.  Duplicate names are rejected: they would silently test the
+    identical network twice.
+    """
+    if len(set(names)) != len(names):
+        raise ValueError("case names must be unique")
+    for name in names:
+        yield generate_case(case_seed(seed, name), f"{name}[seed={seed}]", config)

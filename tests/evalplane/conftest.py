@@ -1,0 +1,86 @@
+"""Harness shared by the cross-backend conformance suite.
+
+Every test in this package parametrises over the evaluation-plane
+registry (:func:`repro.evalplane.plane_names`): a backend registered
+there is automatically pulled through the whole battery.  The harness
+knows how to build, for any registered spec, an objective satisfying the
+spec's requirements (worker pool of the right mode, resilient ladder)
+plus the plane on top of it — tests only say *which* backend and *which*
+network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.core.objective import WindowObjective
+from repro.evalplane import create_plane, get_spec, plane_names
+from repro.search.cache import EvaluationCache
+from repro.search.space import IntegerBox
+
+#: Worker count for pooled planes throughout the suite (CI-friendly).
+POOL_WORKERS = 2
+
+BUILTIN_PLANES = plane_names()
+
+
+def build_harness(
+    plane_name: str,
+    network,
+    max_window: int = 12,
+    reuse: bool = False,
+    budget=None,
+    max_evaluations: int = 10**9,
+    on_evaluation=None,
+    with_bound: bool = False,
+    solver: str = "mva-heuristic",
+):
+    """Build ``(objective, plane)`` satisfying a registered spec's needs."""
+    spec = get_spec(plane_name)
+    wiring = {}
+    if spec.needs_ladder:
+        from repro.resilience.ladder import ResilientSolver
+
+        ladder = ResilientSolver(solver)
+        objective = WindowObjective(network, ladder, reuse=reuse)
+        wiring["resilient_solver"] = ladder
+    elif spec.needs_parallel:
+        objective = WindowObjective(
+            network,
+            solver,
+            workers=POOL_WORKERS,
+            pool_mode=spec.pool_mode,
+            reuse=reuse,
+        )
+    else:
+        objective = WindowObjective(network, solver, reuse=reuse)
+    space = IntegerBox.windows(network.num_chains, max_window)
+    plane = create_plane(
+        plane_name,
+        objective,
+        cache=EvaluationCache(objective),
+        space=space,
+        budget=budget,
+        max_evaluations=max_evaluations,
+        on_evaluation=on_evaluation,
+        bound=objective.lower_bound if with_bound else None,
+        seed_for=objective.seed_for if reuse else None,
+        **wiring,
+    )
+    return objective, plane
+
+
+@pytest.fixture(params=BUILTIN_PLANES)
+def plane_name(request) -> str:
+    """Parametrise a test over every registered evaluation plane."""
+    return request.param
+
+
+@pytest.fixture
+def moderate_net():
+    """The thesis 2-class network at moderate symmetric load."""
+    from repro.netmodel.examples import canadian_two_class
+
+    return canadian_two_class(18.0, 18.0, windows=(4, 4))

@@ -1,0 +1,120 @@
+"""End-to-end CLI matrix over the evaluation-plane backends.
+
+Drives ``repro.cli.main`` in-process across the ``--pool`` ×
+``--workers`` × ``--reuse`` × ``--resume`` matrix and asserts that every
+combination reports the *identical* optimum, and that resuming from a
+checkpoint performs strictly fewer fresh evaluations than the run that
+wrote it.  This is the user-facing face of the conformance wall: the
+backends are interchangeable not just at the library layer but through
+the shell entry point.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+
+MAX_WINDOW = 8
+RATES = ["18", "18"]
+
+BASE = [
+    "solve",
+    "--network",
+    "canadian2",
+    "--rates",
+    *RATES,
+    "--max-window",
+    str(MAX_WINDOW),
+]
+
+#: (label, extra argv) — every pool strategy the CLI exposes, with and
+#: without cross-evaluation reuse, capped at 2 workers for CI.
+MATRIX = [
+    ("serial", []),
+    ("serial-reuse", ["--reuse"]),
+    ("per-batch", ["--workers", "2", "--pool", "per-batch"]),
+    ("per-batch-reuse", ["--workers", "2", "--pool", "per-batch", "--reuse"]),
+    ("persistent", ["--workers", "2", "--pool", "persistent"]),
+    ("persistent-reuse", ["--workers", "2", "--pool", "persistent", "--reuse"]),
+    ("resilient", ["--resilient"]),
+]
+
+
+def _run(argv, capsys):
+    """Run the CLI in-process; return (windows, power, evaluations)."""
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    windows = re.search(r"WINDIM optimal windows = \[([0-9, ]+)\]", out)
+    power = re.search(r"network power\s+= ([0-9.]+)", out)
+    evals = re.search(r"objective evaluations = (\d+)", out)
+    assert windows and power and evals, out
+    return (
+        tuple(int(x) for x in windows.group(1).split(",")),
+        float(power.group(1)),
+        int(evals.group(1)),
+    )
+
+
+class TestSolveMatrix:
+    def test_all_backends_agree_on_the_optimum(self, capsys):
+        """Every --pool/--reuse combination reports the same windows."""
+        runs = {label: _run(BASE + extra, capsys) for label, extra in MATRIX}
+        windows = {r[0] for r in runs.values()}
+        powers = {r[1] for r in runs.values()}
+        assert len(windows) == 1, runs
+        # power is printed at 2 decimals, so exact string equality holds
+        assert len(powers) == 1, runs
+
+    @pytest.mark.parametrize(
+        "pool_args",
+        [
+            pytest.param([], id="serial"),
+            pytest.param(
+                ["--workers", "2", "--pool", "per-batch"], id="per-batch"
+            ),
+            pytest.param(
+                ["--workers", "2", "--pool", "persistent"], id="persistent"
+            ),
+        ],
+    )
+    def test_resume_reuses_the_checkpoint(self, pool_args, capsys, tmp_path):
+        """--resume seeds the cache: same optimum, fewer fresh evals."""
+        checkpoint = str(tmp_path / "solve.ckpt.json")
+        cold = _run(
+            BASE + pool_args + ["--checkpoint", checkpoint], capsys
+        )
+        resumed = _run(
+            BASE + pool_args + ["--checkpoint", checkpoint, "--resume"],
+            capsys,
+        )
+        assert resumed[0] == cold[0]
+        assert resumed[1] == cold[1]
+        # The whole trajectory is already cached, so the resumed run must
+        # demand strictly fewer fresh evaluations (zero for the serial
+        # plane; the speculative scheduler may still pre-fill a handful).
+        assert resumed[2] < cold[2]
+        if not pool_args:
+            assert resumed[2] == 0
+
+    def test_resume_chain_is_monotone(self, capsys, tmp_path):
+        """Each resume leg evaluates no more than the previous leg."""
+        checkpoint = str(tmp_path / "chain.ckpt.json")
+        argv = BASE + ["--checkpoint", checkpoint]
+        first = _run(argv, capsys)
+        legs = [first]
+        for _ in range(2):
+            legs.append(_run(argv + ["--resume"], capsys))
+        assert {leg[0] for leg in legs} == {first[0]}
+        evals = [leg[2] for leg in legs]
+        assert evals == sorted(evals, reverse=True) or evals[1] == evals[2]
+        assert evals[1] < evals[0]
+
+    def test_planes_listing_names_every_backend(self, capsys):
+        """`windim planes` advertises the full registry."""
+        assert main(["planes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "batch", "persistent", "resilient"):
+            assert name in out

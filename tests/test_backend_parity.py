@@ -6,8 +6,12 @@ agreement on throughput, per-chain delay, and network power to
 ``PARITY_RTOL = 1e-8`` relative error across
 
 * every golden thesis fixture under ``tests/golden/``, and
-* fifty seeded fuzz networks from :mod:`repro.verify.fuzz` (regenerable
-  individually from ``(FUZZ_SEED, index)``).
+* fifty seeded fuzz networks from :mod:`repro.verify.fuzz`, each pinned
+  to ``(FUZZ_SEED, case name)`` via
+  :func:`repro.verify.fuzz.case_seed` — so growing or reordering the
+  suite can never silently swap the network behind an existing test id
+  (a positional derivation did exactly that), and any failure
+  regenerates in isolation from its name alone.
 
 The differential-verification oracle covers the same ground end to end
 (``mva-exact`` vs ``mva-exact-vectorized`` as an exact pair at 1e-8);
@@ -26,7 +30,7 @@ from repro.exact.states import lattice_size
 from repro.mva.heuristic import solve_mva_heuristic
 from repro.mva.linearizer import solve_linearizer
 from repro.mva.schweitzer import solve_schweitzer
-from repro.verify.fuzz import generate_cases
+from repro.verify.fuzz import case_seed, generate_case
 from repro.verify.golden import golden_cases
 
 #: Maximum relative error tolerated between the two kernels.  In practice
@@ -37,12 +41,17 @@ PARITY_RTOL = 1e-8
 #: Absolute floor for comparisons around zero (idle chains, empty queues).
 PARITY_ATOL = 1e-12
 
-#: Master seed of the fuzzed slice of the wall; case ``i`` depends only on
-#: ``(FUZZ_SEED, i)`` so failures reproduce in isolation.
+#: Master seed of the fuzzed slice of the wall; each case depends only on
+#: ``(FUZZ_SEED, name)`` so failures reproduce in isolation and adding
+#: cases never perturbs existing ones.
 FUZZ_SEED = 1729
 
 #: Number of fuzzed networks in the wall.
 FUZZ_COUNT = 50
+
+#: Stable case names: the instance behind ``parity-000`` is pinned by the
+#: name's hash, not by its position in this list.
+FUZZ_NAMES = tuple(f"parity-{i:03d}" for i in range(FUZZ_COUNT))
 
 #: Exact MVA is only attempted below this lattice size (same spirit as the
 #: oracle's gate; fuzzed cases are all far below it).
@@ -99,21 +108,12 @@ class TestGoldenParity:
         _assert_backend_parity(network, case.name)
 
 
-_FUZZ_CASES: list = []
-
-
-def _fuzz_case(index: int):
-    if not _FUZZ_CASES:
-        _FUZZ_CASES.extend(generate_cases(FUZZ_SEED, FUZZ_COUNT))
-    return _FUZZ_CASES[index]
-
-
 class TestFuzzParity:
     """Scalar vs vectorized on the seeded fuzz population."""
 
-    @pytest.mark.parametrize("index", range(FUZZ_COUNT))
-    def test_fuzz_case_parity(self, index):
-        case = _fuzz_case(index)
+    @pytest.mark.parametrize("name", FUZZ_NAMES)
+    def test_fuzz_case_parity(self, name):
+        case = generate_case(case_seed(FUZZ_SEED, name), name)
         _assert_backend_parity(case.network, case.label)
 
 

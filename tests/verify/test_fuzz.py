@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.exact.states import lattice_size
-from repro.verify.fuzz import FuzzConfig, generate_cases
+from repro.verify.fuzz import (
+    FuzzConfig,
+    case_seed,
+    generate_cases,
+    generate_named_cases,
+)
 from repro.verify.oracle import CTMC_STATE_LIMIT, ctmc_state_count
 
 
@@ -32,6 +37,67 @@ class TestDeterminism:
             a.network.demands.shape != b.network.demands.shape
             or not np.array_equal(a.network.demands, b.network.demands)
         )
+
+
+class TestNamedCases:
+    """Name-hash seed derivation: position-independent reproducibility."""
+
+    def test_same_name_same_case(self):
+        a = next(iter(generate_named_cases(7, ["alpha"])))
+        b = next(iter(generate_named_cases(7, ["alpha"])))
+        np.testing.assert_array_equal(a.network.demands, b.network.demands)
+        np.testing.assert_array_equal(
+            a.network.populations, b.network.populations
+        )
+
+    def test_case_independent_of_list_position(self):
+        # The hazard the positional derivation had: inserting a case used
+        # to shift the instance behind every later test id.
+        alone = next(iter(generate_named_cases(7, ["alpha"])))
+        first = list(generate_named_cases(7, ["alpha", "beta"]))[0]
+        last = list(generate_named_cases(7, ["beta", "gamma", "alpha"]))[2]
+        for other in (first, last):
+            np.testing.assert_array_equal(
+                alone.network.demands, other.network.demands
+            )
+
+    def test_different_names_differ(self):
+        a = next(iter(generate_named_cases(0, ["alpha"])))
+        b = next(iter(generate_named_cases(0, ["beta"])))
+        assert (
+            a.network.demands.shape != b.network.demands.shape
+            or not np.array_equal(a.network.demands, b.network.demands)
+        )
+
+    def test_master_seed_still_matters(self):
+        a = next(iter(generate_named_cases(0, ["alpha"])))
+        b = next(iter(generate_named_cases(1, ["alpha"])))
+        assert (
+            a.network.demands.shape != b.network.demands.shape
+            or not np.array_equal(a.network.demands, b.network.demands)
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            list(generate_named_cases(0, ["alpha", "alpha"]))
+
+    def test_case_seed_is_deterministic(self):
+        assert (
+            case_seed(3, "x").generate_state(4).tolist()
+            == case_seed(3, "x").generate_state(4).tolist()
+        )
+        assert (
+            case_seed(3, "x").generate_state(4).tolist()
+            != case_seed(3, "y").generate_state(4).tolist()
+        )
+
+    def test_named_cases_respect_bounds(self):
+        config = FuzzConfig()
+        names = [f"bounds-{i}" for i in range(10)]
+        for case in generate_named_cases(11, names, config):
+            windows = [int(p) for p in case.network.populations]
+            assert lattice_size(windows) <= config.max_lattice
+            assert case.network.is_fixed_rate()
 
 
 class TestBounds:
