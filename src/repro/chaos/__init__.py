@@ -1,0 +1,76 @@
+"""Deterministic, seeded fault injection for the evaluation runtime.
+
+Three layers:
+
+- :mod:`repro.chaos.plan` — the :class:`FaultPlan`/:class:`FaultRule`
+  DSL: which instrumented site misbehaves, on which occurrence, how.
+- :mod:`repro.chaos.hooks` — the runtime side: arm a plan with
+  :func:`inject`, fire sites with :func:`perform`/:func:`fire`, share
+  bounded-count rules across processes via fuse files.
+- :mod:`repro.chaos.battery` — named builtin plans plus the harness that
+  runs them against a fixture network and scores survival
+  (``windim chaos`` in the CLI).
+
+With no plan armed every hook is a near-free no-op, so the instrumented
+sites stay in the production hot path permanently.
+"""
+
+from repro.chaos.clock import monotonic
+from repro.chaos.hooks import (
+    ENV_FUSES,
+    ENV_PLAN,
+    FaultAction,
+    FaultInjector,
+    InjectedFault,
+    WorkerChaos,
+    active,
+    fire,
+    inject,
+    perform,
+    worker_chaos,
+)
+from repro.chaos.plan import ACTIONS, SITES, FaultPlan, FaultRule, seeded_occurrence
+
+__all__ = [
+    "ACTIONS",
+    "ENV_FUSES",
+    "ENV_PLAN",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "PlanOutcome",
+    "SITES",
+    "SurvivalReport",
+    "WorkerChaos",
+    "active",
+    "builtin_plans",
+    "fire",
+    "inject",
+    "monotonic",
+    "perform",
+    "run_battery",
+    "run_plan",
+    "seeded_occurrence",
+    "worker_chaos",
+]
+
+_BATTERY_NAMES = {
+    "PlanOutcome",
+    "SurvivalReport",
+    "builtin_plans",
+    "run_battery",
+    "run_plan",
+}
+
+
+def __getattr__(name):
+    # The battery imports repro.core.windim, which (via SearchBudget)
+    # reaches back into repro.chaos.clock — load it lazily to keep the
+    # low-level hooks importable from anywhere in the runtime.
+    if name in _BATTERY_NAMES:
+        from repro.chaos import battery
+
+        return getattr(battery, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""Chaos-aware monotonic clock.
+
+:func:`monotonic` is ``time.monotonic`` plus any clock skew injected by
+the active fault plan.  ``SearchBudget`` reads time through this module
+so a plan can fast-forward a deadline deterministically — the canonical
+way to test "the budget expires mid-search" without real waiting.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chaos import hooks
+
+__all__ = ["monotonic"]
+
+
+def monotonic() -> float:
+    """Monotonic seconds, shifted by any injected clock skew."""
+    now = time.monotonic()
+    injector = hooks.active()
+    if injector is None:
+        return now
+    return now + injector.clock_skew()

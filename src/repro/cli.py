@@ -34,6 +34,31 @@ Subcommands
     listed backend is certified by the cross-backend conformance suite
     (``tests/evalplane/``) to walk the bitwise-identical search
     trajectory as the serial reference.
+``chaos``
+    Run the named fault-injection battery (worker crashes/hangs, store
+    and checkpoint corruption, slow IO, clock skew — see
+    :mod:`repro.chaos.battery`) against a small WINDIM instance and
+    print a survival report.  ``--list`` shows the plans; ``--plans``
+    selects a subset.
+
+Exit codes
+----------
+The CLI distinguishes *how* a run ended, so supervisors can branch on
+``$?`` instead of scraping the report:
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     success (``chaos``: every plan survived)
+1     verification/battery failures (``verify``, ``chaos``)
+2     usage or runtime error (:class:`~repro.errors.ReproError`)
+3     completed, but degraded: the evaluation plane stepped down
+      its ladder mid-search (result is still trajectory-exact)
+4     budget exhausted: best-so-far windows under a deadline or
+      evaluation cap
+5     resilient ladder exhausted: no solver rung converged
+130   interrupted (checkpointed state flushed when configured)
+====  ==========================================================
 
 Examples
 --------
@@ -61,7 +86,7 @@ from repro.backend import BACKENDS, BACKEND_ENV_VAR
 from repro.core.objective import SOLVERS
 from repro.core.power import power_report
 from repro.core.windim import windim
-from repro.errors import ReproError
+from repro.errors import LadderExhaustedError, ReproError
 from repro.netmodel.examples import (
     arpanet_fragment,
     canadian_four_class,
@@ -73,7 +98,24 @@ from repro.netmodel.examples import (
 )
 from repro.queueing.network import ClosedNetwork
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "EXIT_BUDGET_EXHAUSTED",
+    "EXIT_DEGRADED",
+    "EXIT_ERROR",
+    "EXIT_INTERRUPTED",
+    "EXIT_LADDER_EXHAUSTED",
+    "EXIT_OK",
+    "build_parser",
+    "main",
+]
+
+#: Documented process exit codes (see the module docstring).
+EXIT_OK = 0
+EXIT_ERROR = 2
+EXIT_DEGRADED = 3
+EXIT_BUDGET_EXHAUSTED = 4
+EXIT_LADDER_EXHAUSTED = 5
+EXIT_INTERRUPTED = 130
 
 #: name -> (expected number of rates, factory)
 NETWORKS: Dict[str, Tuple[int, Callable[..., ClosedNetwork]]] = {
@@ -123,7 +165,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         handle_signals=args.checkpoint is not None,
     )
     print(result.summary())
-    return 0
+    return _exit_code_for(result)
+
+
+def _exit_code_for(result) -> int:
+    """Map a finished run onto the documented degraded-completion codes."""
+    if getattr(result, "status", "completed") == "budget_exhausted":
+        return EXIT_BUDGET_EXHAUSTED
+    if getattr(result, "degradations", ()):
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -255,7 +306,33 @@ def _cmd_multistart(args: argparse.Namespace) -> int:
         store_path=args.store,
     )
     print(result.summary())
-    return 0
+    return _exit_code_for(result)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.battery import builtin_plans, run_battery
+
+    if args.list:
+        plans = builtin_plans()
+        width = max(len(name) for name in plans)
+        for name, plan in plans.items():
+            runtime = plan.pool or "serial"
+            print(f"{name:<{width}}  [{runtime}] {plan.description}")
+        return 0
+    network = _network_from_args(args)
+    report = run_battery(
+        network,
+        plan_names=args.plans,
+        max_window=args.max_window,
+        network_label=args.network,
+    )
+    print(report.summary())
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(report.to_json() + "\n")
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -586,6 +663,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     planes.set_defaults(handler=_cmd_planes)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection battery and print a survival report",
+    )
+    chaos.add_argument(
+        "--network",
+        choices=sorted(NETWORKS),
+        default="canadian2",
+        help="example network the battery dimensions",
+    )
+    chaos.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[18.0, 18.0],
+        help="per-class arrival rates (default: 18 18 for canadian2)",
+    )
+    chaos.add_argument(
+        "--max-window",
+        type=int,
+        default=6,
+        help="search-space bound (small keeps each scenario fast)",
+    )
+    chaos.add_argument(
+        "--plans",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="run only these named plans (default: the full battery)",
+    )
+    chaos.add_argument(
+        "--list",
+        action="store_true",
+        help="list the builtin fault plans and exit",
+    )
+    chaos.add_argument(
+        "--json", default=None, help="write the JSON report to this path"
+    )
+    chaos.set_defaults(handler=_cmd_chaos, spec=None)
+
     return parser
 
 
@@ -595,9 +712,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except LadderExhaustedError as exc:
+        # Every rung of the resilient solver ladder failed: distinct from
+        # a generic error so supervisors can park the instance instead of
+        # retrying a hopeless configuration.
+        print(f"error: resilient ladder exhausted: {exc}", file=sys.stderr)
+        return EXIT_LADDER_EXHAUSTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
     except KeyboardInterrupt as exc:
         # A checkpointed solve flushes its state before unwinding here;
         # tell the operator where to pick the run back up.
@@ -608,7 +731,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if getattr(args, "checkpoint", None):
             message += f" (resume with --checkpoint {args.checkpoint} --resume)"
         print(message, file=sys.stderr)
-        return 130
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

@@ -26,7 +26,7 @@ import numpy as np
 from repro.backend import resolve_backend
 from repro.core.power import inverse_power
 from repro.core.reuse import ReuseEngine
-from repro.errors import ModelError, SolverError
+from repro.errors import ModelError, PoolFailure, SolverError
 from repro.mva.bounds import balanced_job_bounds
 from repro.queueing.network import ClosedNetwork
 from repro.solution import NetworkSolution
@@ -155,6 +155,45 @@ def resolve_solver(solver: "str | Solver") -> Solver:
         ) from None
 
 
+#: Per-process chaos handle for executor workers (resolved once from the
+#: environment-staged fault plan; None in fault-free runs).
+_WORKER_CHAOS = None
+_WORKER_CHAOS_CHECKED = False
+
+#: Set (by the executor initializer, in the child only) to mark a process
+#: as a per-batch pool worker.  ``pool.worker.task`` faults must never
+#: fire in the orchestrating parent — a crash rule would kill the search
+#: itself instead of a worker — and the persistent pool arms its own
+#: per-worker handle in ``_worker_main``, so this flag is the only way
+#: ``_solve_windows`` may consult worker chaos.
+_CHAOS_WORKER_ENV = "REPRO_CHAOS_EXECUTOR_WORKER"
+
+
+def _mark_executor_worker() -> None:
+    """ProcessPoolExecutor initializer: tag the child as a pool worker.
+
+    Runs in the child after fork/spawn, so it also resets the cached
+    chaos handle a forked child may have inherited from the parent.
+    """
+    global _WORKER_CHAOS, _WORKER_CHAOS_CHECKED
+    os.environ[_CHAOS_WORKER_ENV] = "1"
+    _WORKER_CHAOS = None
+    _WORKER_CHAOS_CHECKED = False
+
+
+def _consult_worker_chaos() -> None:
+    global _WORKER_CHAOS, _WORKER_CHAOS_CHECKED
+    if not _WORKER_CHAOS_CHECKED:
+        if os.environ.get(_CHAOS_WORKER_ENV) != "1":
+            return  # not an executor worker: faults never fire here
+        from repro.chaos.hooks import worker_chaos
+
+        _WORKER_CHAOS = worker_chaos()
+        _WORKER_CHAOS_CHECKED = True
+    if _WORKER_CHAOS is not None:
+        _WORKER_CHAOS.on_task()
+
+
 def _solve_windows(
     solver_name: str,
     backend: Optional[str],
@@ -169,6 +208,7 @@ def _solve_windows(
     ``SolverError`` becomes ``(inf, None)`` so searches route around the
     point instead of dying.
     """
+    _consult_worker_chaos()
     solver = SOLVERS[solver_name]
     candidate = network.with_populations(key)
     try:
@@ -510,15 +550,23 @@ class WindowObjective:
                 self.absorb_remote(key, done.payload)
             return [values[k] for k in keys]
 
+        from concurrent.futures.process import BrokenProcessPool
+
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self._workers)
-        results = self._pool.map(
-            _solve_windows,
-            [self._solver_name] * len(unique),
-            [self._backend] * len(unique),
-            [self._network] * len(unique),
-            unique,
-        )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_mark_executor_worker,
+            )
+        try:
+            results = self._run_executor(unique)
+        except BrokenProcessPool as error:
+            # A worker died mid-batch (crash, OOM kill): the executor is
+            # permanently broken.  Dispose of it and let the evaluation
+            # plane degrade to a lower rung.
+            self._dispose_executor(kill=True)
+            raise PoolFailure(
+                f"per-batch process pool broke: {error}"
+            ) from error
         values: Dict[Point, float] = {}
         for key, (value, solution) in zip(unique, results):
             self.evaluations += 1
@@ -531,15 +579,113 @@ class WindowObjective:
                     self._engine.record(key, solution, warmed=False)
         return [values[k] for k in keys]
 
+    def _run_executor(
+        self, unique: List[Point]
+    ) -> "List[Tuple[float, Optional[NetworkSolution]]]":
+        """Run one per-batch fan-out, honouring the task-deadline watchdog.
+
+        Without ``REPRO_TASK_DEADLINE`` this is a plain ``executor.map``.
+        With a deadline, the batch runs through futures with a bounded
+        wait: a hung executor worker (which ``map`` would block on
+        forever) surfaces as :class:`~repro.errors.PoolFailure` after the
+        whole-batch allowance, and the wedged executor is killed rather
+        than joined.
+        """
+        import concurrent.futures as futures_module
+
+        deadline_raw = os.environ.get("REPRO_TASK_DEADLINE")
+        if not deadline_raw or not deadline_raw.strip():
+            return list(
+                self._pool.map(
+                    _solve_windows,
+                    [self._solver_name] * len(unique),
+                    [self._backend] * len(unique),
+                    [self._network] * len(unique),
+                    unique,
+                )
+            )
+        deadline = float(deadline_raw)
+        futures = [
+            self._pool.submit(
+                _solve_windows, self._solver_name, self._backend,
+                self._network, key,
+            )
+            for key in unique
+        ]
+        # Per-task deadline scaled to the batch: tasks queue behind each
+        # other on a small executor, so the whole batch gets deadline x
+        # (tasks + 1) before the watchdog declares it hung.
+        _done, not_done = futures_module.wait(
+            futures, timeout=deadline * (len(unique) + 1)
+        )
+        if not_done:
+            for future in not_done:
+                future.cancel()
+            self._dispose_executor(kill=True)
+            raise PoolFailure(
+                f"per-batch executor exceeded the {deadline:g}s task "
+                f"deadline with {len(not_done)} of {len(unique)} tasks "
+                "unfinished"
+            )
+        return [future.result() for future in futures]
+
+    def _dispose_executor(self, kill: bool = False) -> None:
+        """Drop the per-batch executor; ``kill=True`` SIGKILLs its workers.
+
+        ``shutdown(wait=True)`` on an executor with a hung worker never
+        returns, so the broken-pool paths kill the worker processes first
+        and then shut down without waiting.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.kill()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+        try:
+            pool.shutdown(wait=not kill, cancel_futures=kill)
+        except Exception:  # pragma: no cover - broken executor internals
+            pass
+
+    def demote_pool(self, mode: str) -> None:
+        """Degrade the parallel dispatch strategy mid-run.
+
+        The evaluation plane's side of the degradation ladder:
+        ``"per-batch"`` abandons a broken persistent pool in favour of
+        the executor fan-out; ``"serial"`` abandons process pools
+        entirely (``workers`` drops to 0, so :meth:`batch_solve` runs
+        in-process from then on).  Broken machinery is disposed of with
+        prejudice — a wedged pool is never joined.
+        """
+        if mode not in ("per-batch", "serial"):
+            raise ModelError(
+                f"cannot demote pool to {mode!r}; "
+                "expected 'per-batch' or 'serial'"
+            )
+        if self._eval_pool is not None:
+            if self._eval_pool_owned:
+                try:
+                    self._eval_pool.close()
+                except Exception:  # pragma: no cover - broken fleet
+                    pass
+            self._eval_pool = None
+            self._eval_pool_owned = True
+        if mode == "per-batch":
+            self._pool_mode = "per-batch"
+        else:
+            self._dispose_executor(kill=True)
+            self._workers = 0
+
     def close(self) -> None:
         """Shut down owned pools (no-op when none was created).
 
         A pool borrowed via :meth:`attach_pool` is left running — its
         owner (the campaign) closes it once, after every scenario.
         """
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        self._dispose_executor()
         if self._eval_pool is not None:
             if self._eval_pool_owned:
                 self._eval_pool.close()

@@ -21,6 +21,7 @@ checkpoint/resume of the evaluation cache.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Union
 
@@ -35,11 +36,12 @@ from repro.evalplane import build_plane
 from repro.queueing.network import ClosedNetwork
 from repro.resilience.budget import SearchBudget
 from repro.resilience.checkpoint import (
+    CheckpointCorruptError,
     CheckpointManager,
     load_checkpoint,
     signal_checkpoint_guard,
 )
-from repro.resilience.health import PoolHealth, SolveHealth
+from repro.resilience.health import DegradationEvent, PoolHealth, SolveHealth
 from repro.resilience.ladder import ResilientSolver
 from repro.search.cache import EvaluationCache
 from repro.search.pattern import pattern_search
@@ -94,6 +96,16 @@ class WindimResult:
         :class:`~repro.resilience.health.PoolHealth` of the persistent
         evaluation pool (worker PIDs, respawns, requeues, payload bytes)
         when the run used one; ``None`` otherwise.
+    degradations:
+        :class:`~repro.resilience.health.DegradationEvent` records for
+        every rung the evaluation plane stepped down mid-search
+        (``persistent -> per-batch -> serial``).  Empty for healthy runs;
+        non-empty means the optimum is still trajectory-exact but was
+        computed at reduced parallelism.
+    store_quarantined:
+        Corrupt record lines the persistent evaluation store skipped and
+        quarantined to its ``.quarantine`` sidecar on load (0 when no
+        store was used or the store was clean).
     """
 
     windows: Tuple[int, ...]
@@ -109,6 +121,8 @@ class WindimResult:
     store_seeded: int = 0
     reuse_stats: Optional[Dict[str, float]] = None
     pool_health: Optional[PoolHealth] = None
+    degradations: Tuple[DegradationEvent, ...] = ()
+    store_quarantined: int = 0
 
     def summary(self) -> str:
         """Human-readable multi-line report (mirrors the APL output)."""
@@ -158,6 +172,17 @@ class WindimResult:
             lines.append(
                 f"  resilient solves      = {len(self.health_log)} "
                 f"({retried} retried, {escalated} escalated)"
+            )
+        if self.store_quarantined:
+            lines.append(
+                f"  WARNING: store quarantined {self.store_quarantined} "
+                "corrupt record line(s); see the .quarantine sidecar"
+            )
+        for event in self.degradations:
+            lines.append(
+                f"  WARNING: plane degraded {event.from_mode} -> "
+                f"{event.to_mode} after {event.evaluations} evaluations "
+                f"({event.reason})"
             )
         if self.status != "completed":
             lines.append(
@@ -359,14 +384,34 @@ def windim(
             },
         )
         if resume and os.path.exists(checkpoint_path):
-            checkpoint = load_checkpoint(checkpoint_path)
-            saved_chains = checkpoint.meta.get("num_chains")
-            if saved_chains is not None and int(saved_chains) != network.num_chains:
-                raise SearchError(
-                    f"checkpoint {checkpoint_path} is for a {saved_chains}-chain "
-                    f"problem; this network has {network.num_chains} chains"
+            try:
+                checkpoint = load_checkpoint(checkpoint_path)
+            except CheckpointCorruptError as error:
+                # Self-healing resume: a torn or bit-rotted checkpoint
+                # must not brick a crash-loop supervisor that always
+                # passes resume=True.  Quarantine the damaged file and
+                # start fresh; the next periodic flush replaces it.
+                quarantine = checkpoint_path + ".corrupt"
+                os.replace(checkpoint_path, quarantine)
+                warnings.warn(
+                    f"checkpoint {checkpoint_path} is corrupt ({error}); "
+                    f"moved to {quarantine} and starting a fresh run",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
-            seeded = checkpoint.seed_cache(cache)
+                checkpoint = None
+            if checkpoint is not None:
+                saved_chains = checkpoint.meta.get("num_chains")
+                if (
+                    saved_chains is not None
+                    and int(saved_chains) != network.num_chains
+                ):
+                    raise SearchError(
+                        f"checkpoint {checkpoint_path} is for a "
+                        f"{saved_chains}-chain problem; this network has "
+                        f"{network.num_chains} chains"
+                    )
+                seeded = checkpoint.seed_cache(cache)
         manager.attach(cache)
     elif resume:
         raise SearchError("resume=True requires checkpoint_path")
@@ -482,4 +527,6 @@ def windim(
         store_seeded=store.loaded if store is not None else 0,
         reuse_stats=objective.reuse_stats,
         pool_health=pool_health,
+        degradations=plane.degradations,
+        store_quarantined=store.quarantined if store is not None else 0,
     )

@@ -74,5 +74,16 @@ class SearchError(ReproError):
     """An optimisation run was mis-specified or failed."""
 
 
+class PoolFailure(SearchError):
+    """A worker pool is broken beyond its retry budget.
+
+    Raised by :class:`repro.parallel.pool.PersistentEvalPool` when the
+    respawn budget is exhausted (respawn storms, watchdog kill loops) and
+    by the per-batch executor when its process pool breaks or deadlines.
+    The evaluation planes catch it and degrade to the next rung of the
+    ladder (persistent → per-batch → serial) instead of failing the run.
+    """
+
+
 class SimulationError(ReproError):
     """A discrete-event simulation was mis-specified or reached a bad state."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.errors import SearchError
+from repro.errors import PoolFailure, SearchError
 from repro.evalplane.plane import EvaluationPlane
 from repro.evalplane.result import EvalResult
 
@@ -43,39 +43,20 @@ class BatchPlane(EvaluationPlane):
             raise SearchError("BatchPlane requires a search space")
 
     # ------------------------------------------------------------------
-    def _merge_batch(self, keys: Sequence[Point]) -> None:
-        """Fan ``keys`` out over the pool and prime results into the cache.
+    def _safe_merge(self, keys: Sequence[Point]) -> None:
+        """``_merge_batch`` with the degradation ladder's last rung.
 
-        Each primed value counts as one fresh evaluation and fires
-        ``on_evaluation`` once — identical bookkeeping to an in-process
-        solve, which is what keeps checkpoints and stores path-agnostic.
+        A broken process pool (:class:`~repro.errors.PoolFailure`)
+        demotes the objective to in-process serial solves and replays
+        the same batch there, so the search sees identical values and
+        the trajectory is preserved — just slower.
         """
-        if not keys:
-            return
-        values = self._objective.batch_solve(keys)
-        for key, value in zip(keys, values):
-            if self.cache.prime(key, value) and self.on_evaluation is not None:
-                self.on_evaluation(self.cache)
-
-    def _uncached_cross(self, point: Point, step: int, point_value: float):
-        """The not-yet-cached, not-bound-dominated ±step cross of ``point``."""
-        fresh: List[Point] = []
-        for axis in range(self.space.dimensions):
-            for direction in (+1, -1):
-                candidate = list(point)
-                candidate[axis] += direction * step
-                candidate_t = tuple(candidate)
-                if (
-                    candidate_t in self.space
-                    and candidate_t not in self.cache
-                    and candidate_t not in fresh
-                    and not (
-                        self.bound is not None
-                        and self.bound(candidate_t) > point_value
-                    )
-                ):
-                    fresh.append(candidate_t)
-        return fresh
+        try:
+            self._merge_batch(keys)
+        except PoolFailure as error:
+            self._record_degradation("batch", "serial", str(error))
+            self._objective.demote_pool("serial")
+            self._merge_batch([k for k in keys if k not in self.cache])
 
     def hint_sweep(self, point: Sequence[int], value: float, step: int) -> None:
         """Batch-evaluate the uncached ±step cross before the sweep runs.
@@ -93,7 +74,7 @@ class BatchPlane(EvaluationPlane):
         fresh = fresh[: max(0, room)]
         if not fresh or self._caps_spent():
             return
-        self._merge_batch(fresh)
+        self._safe_merge(fresh)
 
     def submit_many(self, batch: Sequence[Sequence[int]]) -> List[EvalResult]:
         """One pool round trip for a whole seed list (deduplicated)."""
@@ -108,7 +89,7 @@ class BatchPlane(EvaluationPlane):
         room = self.max_evaluations - self.cache.evaluations
         fresh = fresh[: max(0, room)]
         if fresh and not self._caps_spent():
-            self._merge_batch(fresh)
+            self._safe_merge(fresh)
         return [
             self._result(key, self.cache.values[key], fresh=key in seen)
             for key in keys

@@ -13,18 +13,49 @@ One scheduler serves one search run: :meth:`drain` banks every in-flight
 completion and retires the scheduler, and the next hint or demand lazily
 creates a fresh one against the same pool — which is how a multistart
 shares a single worker fleet across all of its starts.
+
+Degradation ladder
+------------------
+The plane owns the first two rungs of the mid-search degradation ladder
+(``persistent -> per-batch -> serial``).  A pool that raises
+:class:`~repro.errors.PoolFailure` (respawn budget exhausted), loses a
+demanded task, or exceeds the cumulative ``failure_budget`` of respawns
+plus dropped tasks is retired; the plane demotes the objective to
+per-batch fan-out and continues the same search against the same cache.
+If the per-batch pool breaks too, the last rung is in-process serial
+solving.  Every rung taken is recorded as a
+:class:`~repro.resilience.health.DegradationEvent` (surfaced on
+``EvalResult.health`` and the final ``WindimResult``), and because every
+rung reports through the same :class:`~repro.search.cache.EvaluationCache`
+prime-once bookkeeping, the search trajectory stays bitwise identical to
+a fault-free run.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+import os
+from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import SearchError
+from repro.errors import PoolFailure, SearchError
 from repro.evalplane.plane import EvaluationPlane
 
-__all__ = ["PersistentPlane"]
+__all__ = ["PersistentPlane", "DEFAULT_FAILURE_BUDGET"]
 
 Point = Tuple[int, ...]
+
+#: Cumulative (respawns + dropped tasks) tolerated before the plane
+#: stops trusting the persistent pool and steps down a rung.
+DEFAULT_FAILURE_BUDGET = 8
+
+
+def _env_failure_budget(default: int) -> int:
+    raw = os.environ.get("REPRO_POOL_FAILURE_BUDGET", "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
 
 
 class PersistentPlane(EvaluationPlane):
@@ -32,7 +63,7 @@ class PersistentPlane(EvaluationPlane):
 
     name = "persistent"
 
-    def __init__(self, objective, **wiring):
+    def __init__(self, objective, failure_budget: Optional[int] = None, **wiring):
         super().__init__(objective, **wiring)
         if not getattr(objective, "parallel", False):
             raise SearchError(
@@ -47,8 +78,17 @@ class PersistentPlane(EvaluationPlane):
         if self.space is None:
             raise SearchError("PersistentPlane requires a search space")
         self._scheduler = None
+        self._mode = "persistent"
+        if failure_budget is None:
+            failure_budget = _env_failure_budget(DEFAULT_FAILURE_BUDGET)
+        self.failure_budget = failure_budget
 
     # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """Current ladder rung: ``persistent``, ``batch`` or ``serial``."""
+        return self._mode
+
     def _live_scheduler(self):
         """The scheduler for the current search run (created lazily)."""
         if self._scheduler is None:
@@ -72,18 +112,88 @@ class PersistentPlane(EvaluationPlane):
         """Speculation counters of the current scheduler (None when idle)."""
         return self._scheduler.stats if self._scheduler is not None else None
 
+    # ------------------------------------------------------------------
+    # degradation ladder
+    # ------------------------------------------------------------------
+    def _over_budget(self) -> bool:
+        """Has the pool burned through its cumulative failure budget?"""
+        if self._mode != "persistent" or self.failure_budget <= 0:
+            return False
+        health = getattr(self._objective, "pool_health", None)
+        if health is None:
+            return False
+        return (health.respawns + health.tasks_dropped) >= self.failure_budget
+
+    def _degrade(self, to_mode: str, reason: str) -> None:
+        """Step down one rung; the broken pool is abandoned, not drained."""
+        self._record_degradation(self._mode, to_mode, reason)
+        # The scheduler fronted a pool we no longer trust: drop it without
+        # finish() — in-flight speculation on a broken fleet is forfeit.
+        self._scheduler = None
+        self._objective.demote_pool(
+            "per-batch" if to_mode == "batch" else "serial"
+        )
+        self._mode = to_mode
+
+    def _check_budget(self) -> None:
+        if self._over_budget():
+            health = self._objective.pool_health
+            self._degrade(
+                "batch",
+                f"pool failure budget exhausted ({health.respawns} respawns"
+                f" + {health.tasks_dropped} dropped >= {self.failure_budget})",
+            )
+
+    # ------------------------------------------------------------------
     def _fulfil(self, key: Point):
-        # demand() blocks until the pool's value for this point is merged
-        # into the cache; the scheduler fires on_evaluation on every
-        # merge, so the base class must not fire it again.
-        self._live_scheduler().demand(key)
-        return self.cache(key), True
+        if self._mode == "persistent":
+            self._check_budget()
+        if self._mode == "persistent":
+            # demand() blocks until the pool's value for this point is
+            # merged into the cache; the scheduler fires on_evaluation on
+            # every merge, so the base class must not fire it again.
+            try:
+                self._live_scheduler().demand(key)
+                return self.cache(key), True
+            except (PoolFailure, SearchError) as error:
+                self._degrade("batch", str(error))
+        if self._mode == "batch" and key not in self.cache:
+            try:
+                self._merge_batch([key])
+            except PoolFailure as error:
+                self._degrade("serial", str(error))
+        if key in self.cache.values:
+            # merged by a rung above (hook already fired there)
+            return self.cache.values[key], True
+        # last rung: plain in-process solve, base class fires the hook
+        return self.cache(key), False
 
     # ------------------------------------------------------------------
     # speculation
     # ------------------------------------------------------------------
     def hint_sweep(self, point: Sequence[int], value: float, step: int) -> None:
-        self._live_scheduler().begin_sweep(self._key(point), value, step)
+        if self._mode == "persistent":
+            self._check_budget()
+        if self._mode == "persistent":
+            try:
+                self._live_scheduler().begin_sweep(
+                    self._key(point), value, step
+                )
+                return
+            except (PoolFailure, SearchError) as error:
+                self._degrade("batch", str(error))
+        if self._mode == "batch":
+            key = self._key(point)
+            fresh = self._uncached_cross(key, step, value)
+            room = self.max_evaluations - self.cache.evaluations
+            fresh = fresh[: max(0, room)]
+            if not fresh or self._caps_spent():
+                return
+            try:
+                self._merge_batch(fresh)
+            except PoolFailure as error:
+                self._degrade("serial", str(error))
+        # serial rung: no speculation worth prepaying for
 
     def hint_accept(
         self,
@@ -92,23 +202,39 @@ class PersistentPlane(EvaluationPlane):
         value: float,
         step: int,
     ) -> None:
-        self._live_scheduler().note_accept(
-            self._key(new_base), self._key(previous), value, step
-        )
+        if self._mode != "persistent":
+            return
+        self._check_budget()
+        if self._mode != "persistent":
+            return
+        try:
+            self._live_scheduler().note_accept(
+                self._key(new_base), self._key(previous), value, step
+            )
+        except (PoolFailure, SearchError) as error:
+            self._degrade("batch", str(error))
 
     def hint_step(self, step: int) -> None:
-        if self._scheduler is not None:
+        if self._mode != "persistent" or self._scheduler is None:
+            return
+        try:
             self._scheduler.note_step(step)
+        except (PoolFailure, SearchError) as error:
+            self._degrade("batch", str(error))
 
     def submit_many(self, batch: Sequence[Sequence[int]]):
-        """Seed-list fan-out on the persistent fleet (one barrier batch).
+        """Seed-list fan-out on the current rung (one barrier batch).
 
         Uses the objective's pool ``map`` path — warm seeds travel by
         arena slot — then reports through the cache like every other
-        merge.  Caps are honoured quietly, as in the base class.
+        merge.  Caps are honoured quietly, as in the base class.  A pool
+        failure mid-batch degrades one rung and replays the remaining
+        keys there.
         """
+        if self._mode == "serial":
+            return super().submit_many(batch)
         keys = [self._key(w) for w in batch]
-        fresh = []
+        fresh: List[Point] = []
         seen = set()
         for key in keys:
             if key in self.cache or key in seen:
@@ -118,7 +244,14 @@ class PersistentPlane(EvaluationPlane):
         room = self.max_evaluations - self.cache.evaluations
         fresh = fresh[: max(0, room)]
         if fresh and not self._caps_spent():
-            values = self._objective.batch_solve(fresh)
+            try:
+                values = self._objective.batch_solve(fresh)
+            except (PoolFailure, SearchError) as error:
+                self._degrade(
+                    "batch" if self._mode == "persistent" else "serial",
+                    str(error),
+                )
+                return self.submit_many(batch)
             for key, value in zip(fresh, values):
                 if self.cache.prime(key, value) and self.on_evaluation is not None:
                     self.on_evaluation(self.cache)
@@ -137,8 +270,13 @@ class PersistentPlane(EvaluationPlane):
         Idempotent; called by the search when a run ends (normally or on
         budget exhaustion) and by :meth:`close` on clean exits, so no
         exit path can leave paid-for pool results unmerged.  The next
-        demand starts a fresh scheduler on the same fleet.
+        demand starts a fresh scheduler on the same fleet.  If the pool
+        breaks while draining, the plane degrades instead of raising —
+        a drain must never lose an otherwise-complete search.
         """
         if self._scheduler is not None:
-            self._scheduler.finish()
-            self._scheduler = None
+            scheduler, self._scheduler = self._scheduler, None
+            try:
+                scheduler.finish()
+            except (PoolFailure, SearchError) as error:
+                self._degrade("batch", f"pool failed during drain: {error}")

@@ -35,11 +35,13 @@ new glue tests.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ModelError, SearchError
 from repro.evalplane.result import EvalResult
 from repro.resilience.budget import BudgetExhausted, SearchBudget
+from repro.resilience.health import DegradationEvent
 from repro.search.cache import EvaluationCache
 from repro.search.space import IntegerBox
 
@@ -111,6 +113,8 @@ class EvaluationPlane:
         self.seed_for = seed_for
         self._closed = False
         self._pool_health = None
+        #: Degradation-ladder rungs taken so far (empty in healthy runs).
+        self.degradations: Tuple[DegradationEvent, ...] = ()
 
     # ------------------------------------------------------------------
     # core evaluation
@@ -252,8 +256,69 @@ class EvaluationPlane:
         )
 
     def _health_record(self):
-        """Per-evaluation health attached to results (ladder planes)."""
-        return None
+        """Per-evaluation health attached to results.
+
+        The resilient plane overrides this with the ladder's
+        :class:`~repro.resilience.health.SolveHealth`; the base class
+        reports the degradation-ladder rungs taken so far (None while the
+        plane is healthy), so a fault that forced a mid-search mode
+        change is visible on every later result.
+        """
+        return self.degradations or None
+
+    def _record_degradation(
+        self, from_mode: str, to_mode: str, reason: str
+    ) -> None:
+        """Note one degradation-ladder rung and warn the operator."""
+        event = DegradationEvent(
+            from_mode=from_mode,
+            to_mode=to_mode,
+            reason=reason,
+            evaluations=self.cache.evaluations,
+        )
+        self.degradations = self.degradations + (event,)
+        warnings.warn(
+            f"evaluation plane degraded {from_mode} -> {to_mode}: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # shared batch helpers (used by the pooled planes and their rungs)
+    # ------------------------------------------------------------------
+    def _merge_batch(self, keys: Sequence[Point]) -> None:
+        """Fan ``keys`` out via ``objective.batch_solve`` and prime the cache.
+
+        Each primed value counts as one fresh evaluation and fires
+        ``on_evaluation`` once — identical bookkeeping to an in-process
+        solve, which is what keeps checkpoints and stores path-agnostic.
+        """
+        if not keys:
+            return
+        values = self._objective.batch_solve(keys)
+        for key, value in zip(keys, values):
+            if self.cache.prime(key, value) and self.on_evaluation is not None:
+                self.on_evaluation(self.cache)
+
+    def _uncached_cross(self, point: Point, step: int, point_value: float):
+        """The not-yet-cached, not-bound-dominated ±step cross of ``point``."""
+        fresh: List[Point] = []
+        for axis in range(self.space.dimensions):
+            for direction in (+1, -1):
+                candidate = list(point)
+                candidate[axis] += direction * step
+                candidate_t = tuple(candidate)
+                if (
+                    candidate_t in self.space
+                    and candidate_t not in self.cache
+                    and candidate_t not in fresh
+                    and not (
+                        self.bound is not None
+                        and self.bound(candidate_t) > point_value
+                    )
+                ):
+                    fresh.append(candidate_t)
+        return fresh
 
     # ------------------------------------------------------------------
     # bound pruning

@@ -55,8 +55,12 @@ class EvalResult:
         a bound oracle (``WindowObjective.lower_bound``); None otherwise.
         Invariant certified by the conformance suite: ``bound <= value``.
     health:
-        Per-evaluation :class:`~repro.resilience.health.SolveHealth` when
-        the plane runs the resilient ladder; None for direct solves.
+        Per-evaluation health annotation.  The resilient ladder attaches
+        its :class:`~repro.resilience.health.SolveHealth`; the pooled
+        planes attach the tuple of
+        :class:`~repro.resilience.health.DegradationEvent` rungs taken
+        once the degradation ladder has fired.  None for healthy direct
+        solves.
     """
 
     windows: Point

@@ -7,17 +7,33 @@ receive the network model and solver configuration exactly once through
 a :class:`~repro.parallel.shm.ModelArena` (zero-copy for the dense
 numeric payload), and from then on accept only
 ``(eval_id, window_vector, seed_slot)`` micro-tasks a few hundred bytes
-each.  Completions stream back out of order over one result queue, which
-is what lets the :class:`~repro.parallel.scheduler.SpeculativeScheduler`
-keep every worker saturated instead of idling at batch barriers.
+each.  Completions stream back out of order over per-worker result
+pipes, which is what lets the
+:class:`~repro.parallel.scheduler.SpeculativeScheduler` keep every
+worker saturated instead of idling at batch barriers.  Each pipe has
+exactly one writer, so a worker SIGKILLed mid-write (by the watchdog or
+the OS) can only tear its **own** channel — a shared result queue would
+let a dying worker take the queue's write lock to the grave and wedge
+every survivor's ``put`` forever.  The parent treats a torn pipe as a
+worker death and lets the ordinary respawn path replace both the worker
+and its channel.
 
 Resilience is built in: the parent monitors worker liveness whenever it
 waits on results; a dead worker is respawned against the same arena and
 its in-flight tasks are requeued to the survivors (bounded by
 ``max_requeues`` so a task that reliably kills workers is completed as
-failed instead of crash-looping the fleet).  Every lifecycle event is
-recorded in a :class:`~repro.resilience.health.PoolHealth` that surfaces
-through ``WindimResult``.
+failed instead of crash-looping the fleet).  A *hung* worker — stuck
+fixed-point loop, wedged queue — is caught by the per-task watchdog:
+workers stamp a shared heartbeat at every dequeue and completion, and
+when ``task_deadline`` seconds pass with no progress the parent SIGKILLs
+the worker, which then flows through the ordinary death → respawn →
+requeue path (recorded as ``PoolEvent("hung", ...)``).  Respawns
+themselves are bounded by a :class:`~repro.resilience.retry.RetryPolicy`;
+once the budget is spent the pool raises
+:class:`~repro.errors.PoolFailure` so the evaluation plane can degrade
+to a lower rung instead of crash-looping forever.  Every lifecycle event
+is recorded in a :class:`~repro.resilience.health.PoolHealth` that
+surfaces through ``WindimResult``.
 
 Start-method safety: everything that crosses the process boundary — the
 :class:`~repro.parallel.shm.ArenaRef`, micro-tasks, result tuples — is
@@ -32,17 +48,18 @@ import itertools
 import multiprocessing
 import os
 import pickle
-import queue as queue_module
 import signal
 import time
+from multiprocessing import connection as mp_connection
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SearchError, SolverError
+from repro.errors import PoolFailure, SearchError, SolverError
 from repro.parallel.shm import ArenaRef, ModelArena
 from repro.queueing.network import ClosedNetwork
 from repro.resilience.health import PoolEvent, PoolHealth
+from repro.resilience.retry import RetryPolicy
 from repro.solution import NetworkSolution
 
 __all__ = ["PersistentEvalPool", "CompletedEval"]
@@ -52,8 +69,28 @@ Point = Tuple[int, ...]
 #: How often the parent re-checks worker liveness while waiting (seconds).
 _LIVENESS_TICK = 0.1
 
-#: A task is requeued at most this many times before being dropped.
+#: Default requeue bound (overridable per pool / via REPRO_MAX_REQUEUES).
 _MAX_REQUEUES = 2
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError as error:
+        raise SearchError(f"{name} must be an integer, got {raw!r}") from error
+
+
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError as error:
+        raise SearchError(f"{name} must be a number, got {raw!r}") from error
 
 #: Result statuses a worker can report.
 _OK = "ok"
@@ -87,6 +124,7 @@ class _TaskRecord(NamedTuple):
     bound_hint: Optional[float]
     speculative: bool
     requeues: int = 0
+    dispatched_at: float = 0.0
 
 
 def _solution_payload(solution: NetworkSolution, warmed: bool) -> dict:
@@ -119,31 +157,53 @@ def rebuild_solution(
     )
 
 
-def _worker_main(ref: ArenaRef, task_queue, result_queue, worker_index: int) -> None:
+def _worker_main(
+    ref: ArenaRef,
+    task_queue,
+    result_conn,
+    worker_index: int,
+    heartbeats=None,
+) -> None:
     """Pool worker loop: attach the arena once, then serve micro-tasks.
 
     Module-level (hence importable under ``spawn``) and self-contained.
     SIGINT is ignored so an operator Ctrl-C interrupts only the parent,
     which then checkpoints and shuts the fleet down in order.
+
+    ``heartbeats`` is the parent's shared progress array: the worker
+    stamps its slot with ``time.monotonic()`` at every dequeue and after
+    every completion, which is what the hung-worker watchdog watches
+    (``CLOCK_MONOTONIC`` is system-wide on the platforms the pool runs
+    on, so parent and child stamps are directly comparable).
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
+    from repro.chaos.hooks import worker_chaos
     from repro.core.objective import SOLVERS
     from repro.core.power import inverse_power
     from repro.core.reuse import _accepted_keywords
 
+    chaos = worker_chaos(worker_index)
     arena = ModelArena.attach(ref)
     pid = os.getpid()
     generation = -1
     network = solver = None
     solver_keywords: frozenset = frozenset()
+
+    def _stamp() -> None:
+        if heartbeats is not None:
+            heartbeats[worker_index] = time.monotonic()
+
     try:
         while True:
             message = task_queue.get()
             if message is None:
                 break
+            _stamp()
+            if chaos is not None:
+                chaos.on_task()
             eval_id, key, seed_slot, _task_gen, bound_hint, speculative = message
             try:
                 if arena.generation != generation or network is None:
@@ -159,7 +219,7 @@ def _worker_main(ref: ArenaRef, task_queue, result_queue, worker_index: int) -> 
                     # The search's incumbent already dominates this
                     # speculation; solving it would be pure waste.  The
                     # parent treats a skip as "never submitted".
-                    result_queue.put(
+                    result_conn.send(
                         (eval_id, worker_index, pid, _SKIPPED, float("inf"), None)
                     )
                     continue
@@ -174,11 +234,11 @@ def _worker_main(ref: ArenaRef, task_queue, result_queue, worker_index: int) -> 
                 try:
                     solution = solver(candidate, **kwargs)
                 except SolverError:
-                    result_queue.put(
+                    result_conn.send(
                         (eval_id, worker_index, pid, _SOLVER_ERROR, float("inf"), None)
                     )
                 else:
-                    result_queue.put(
+                    result_conn.send(
                         (
                             eval_id,
                             worker_index,
@@ -189,7 +249,7 @@ def _worker_main(ref: ArenaRef, task_queue, result_queue, worker_index: int) -> 
                         )
                     )
             except Exception as exc:  # pragma: no cover - defensive
-                result_queue.put(
+                result_conn.send(
                     (
                         eval_id,
                         worker_index,
@@ -199,6 +259,7 @@ def _worker_main(ref: ArenaRef, task_queue, result_queue, worker_index: int) -> 
                         {"error": f"{type(exc).__name__}: {exc}"},
                     )
                 )
+            _stamp()
     finally:
         arena.close()
 
@@ -222,6 +283,24 @@ class PersistentEvalPool:
     seed_slots:
         Warm-start slots in the arena; defaults to ``4 * workers`` so
         slot recycling never starves a saturated pipeline.
+    max_requeues:
+        Times one task may be requeued after worker deaths before it is
+        completed as failed.  Defaults to the ``REPRO_MAX_REQUEUES``
+        environment variable, then to 2.
+    max_respawns:
+        Total worker respawns the pool tolerates over its lifetime;
+        exceeding it raises :class:`~repro.errors.PoolFailure` so callers
+        can degrade.  Defaults to ``REPRO_MAX_RESPAWNS``, then to
+        ``max(8, 4 * workers)``.  Zero forbids respawning entirely.
+    task_deadline:
+        Hung-worker watchdog: seconds a worker may go without a heartbeat
+        while holding in-flight tasks before it is SIGKILLed and its
+        tasks requeued.  Defaults to ``REPRO_TASK_DEADLINE``, then to
+        None (watchdog disabled).
+    respawn_policy:
+        :class:`~repro.resilience.retry.RetryPolicy` pacing respawns
+        (backoff between them).  ``max_attempts`` is derived from
+        ``max_respawns`` when omitted.
     """
 
     def __init__(
@@ -232,9 +311,39 @@ class PersistentEvalPool:
         workers: int = 2,
         start_method: Optional[str] = None,
         seed_slots: Optional[int] = None,
+        max_requeues: Optional[int] = None,
+        max_respawns: Optional[int] = None,
+        task_deadline: Optional[float] = None,
+        respawn_policy: Optional[RetryPolicy] = None,
     ):
         if workers < 1:
             raise SearchError(f"pool needs >= 1 worker, got {workers}")
+        self.max_requeues = (
+            _env_int("REPRO_MAX_REQUEUES", _MAX_REQUEUES)
+            if max_requeues is None
+            else int(max_requeues)
+        )
+        self.max_respawns = (
+            _env_int("REPRO_MAX_RESPAWNS", max(8, 4 * int(workers)))
+            if max_respawns is None
+            else int(max_respawns)
+        )
+        self.task_deadline = (
+            _env_float("REPRO_TASK_DEADLINE", None)
+            if task_deadline is None
+            else float(task_deadline)
+        )
+        if self.max_requeues < 0 or self.max_respawns < 0:
+            raise SearchError("max_requeues / max_respawns must be >= 0")
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise SearchError("task_deadline must be positive")
+        self._respawn_policy = respawn_policy or RetryPolicy(
+            max_attempts=max(1, self.max_respawns),
+            base_delay=0.02,
+            multiplier=2.0,
+            max_delay=0.5,
+            jitter=0.25,
+        )
         self._ctx = multiprocessing.get_context(start_method)
         self._solver_name = solver
         self._backend = backend
@@ -247,7 +356,13 @@ class PersistentEvalPool:
             workers=self.workers,
             start_method=self._ctx.get_start_method(),
         )
-        self._result_queue = self._ctx.Queue()
+        # One double per worker, stamped by the worker at each dequeue and
+        # completion; the watchdog compares against dispatch times.  The
+        # lock-free variant is enough: each slot has one writer.
+        self._heartbeats = self._ctx.Array("d", int(workers), lock=False)
+        # Per-worker result channels (single writer each); a slot is None
+        # while its worker's pipe is torn and awaiting respawn.
+        self._result_conns: List = []
         self._task_queues: List = []
         self._processes: List = []
         self._eval_ids = itertools.count(1)
@@ -266,23 +381,90 @@ class PersistentEvalPool:
     # ------------------------------------------------------------------
     def _spawn_worker(self, index: int) -> None:
         task_queue = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        self._heartbeats[index] = time.monotonic()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self.arena.ref, task_queue, self._result_queue, index),
+            args=(
+                self.arena.ref,
+                task_queue,
+                send_conn,
+                index,
+                self._heartbeats,
+            ),
             daemon=True,
             name=f"windim-eval-{index}",
         )
         process.start()
+        # The worker holds the only live write end now; dropping the
+        # parent's copy lets recv() see EOF the moment the worker dies.
+        send_conn.close()
         if index < len(self._task_queues):
+            self._close_conn(self._result_conns[index])
+            self._result_conns[index] = recv_conn
             self._task_queues[index] = task_queue
             self._processes[index] = process
         else:
+            self._result_conns.append(recv_conn)
             self._task_queues.append(task_queue)
             self._processes.append(process)
         self.health.record(PoolEvent("spawn", index, process.pid or 0))
 
+    @staticmethod
+    def _close_conn(conn) -> None:
+        if conn is None:
+            return
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def _check_watchdog(self) -> None:
+        """SIGKILL workers that exceeded the per-task deadline.
+
+        A worker counts as *hung* when it holds in-flight tasks and
+        neither its heartbeat nor the most recent dispatch to it is
+        younger than ``task_deadline``.  The kill makes the worker fail
+        the ordinary liveness scan, which then respawns it and requeues
+        its tasks — the watchdog only converts "silently stuck" into
+        "visibly dead".
+        """
+        if self.task_deadline is None:
+            return
+        now = time.monotonic()
+        for index, process in enumerate(self._processes):
+            if not process.is_alive():
+                continue  # the death scan below handles it
+            dispatched = [
+                record.dispatched_at
+                for record in self._inflight.values()
+                if record.worker == index
+            ]
+            if not dispatched:
+                continue  # idle workers owe no heartbeat
+            anchor = max(self._heartbeats[index], min(dispatched))
+            overdue = now - anchor
+            if overdue <= self.task_deadline:
+                continue
+            pid = process.pid or 0
+            self.health.record(
+                PoolEvent(
+                    "hung",
+                    index,
+                    pid,
+                    f"no progress for {overdue:.2f}s "
+                    f"(deadline {self.task_deadline:g}s)",
+                )
+            )
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):  # pragma: no cover
+                pass
+            process.join(timeout=5.0)
+
     def _check_workers(self) -> None:
         """Respawn dead workers and requeue their in-flight tasks."""
+        self._check_watchdog()
         for index, process in enumerate(self._processes):
             if process.is_alive():
                 continue
@@ -300,13 +482,29 @@ class PersistentEvalPool:
                 for eval_id, record in self._inflight.items()
                 if record.worker == index
             ]
+            attempt = self.health.respawns + 1
+            if self.max_respawns <= 0 or not self._respawn_policy.allows(
+                attempt
+            ):
+                raise PoolFailure(
+                    f"worker {index} (pid {dead_pid}) died and the pool's "
+                    f"respawn budget is spent "
+                    f"({self.health.respawns}/{self.max_respawns} respawns, "
+                    f"{self.health.hung} watchdog kills); degrade to a "
+                    f"lower execution mode"
+                )
+            pause = self._respawn_policy.delay(
+                attempt + 1, salt=f"respawn-{index}"
+            )
+            if pause > 0:
+                time.sleep(pause)
             self._spawn_worker(index)
             self.health.record(
                 PoolEvent("respawn", index, self._processes[index].pid or 0)
             )
             self.health.worker_pids = [p.pid for p in self._processes]
             for eval_id, record in orphaned:
-                if record.requeues >= _MAX_REQUEUES:
+                if record.requeues >= self.max_requeues:
                     # This task has now taken multiple workers down with
                     # it; stop feeding it to the fleet and fail it.
                     self._inflight.pop(eval_id, None)
@@ -377,7 +575,7 @@ class PersistentEvalPool:
 
     def _dispatch(self, eval_id: int, record: _TaskRecord) -> None:
         worker = self._least_loaded_worker()
-        record = record._replace(worker=worker)
+        record = record._replace(worker=worker, dispatched_at=time.monotonic())
         self._inflight[eval_id] = record
         message = (
             eval_id,
@@ -448,9 +646,8 @@ class PersistentEvalPool:
                 remaining = min(remaining, deadline - time.monotonic())
                 if remaining <= 0:
                     return None
-            try:
-                message = self._result_queue.get(timeout=max(remaining, 0.001))
-            except queue_module.Empty:
+            message = self._next_message(max(remaining, 0.001))
+            if message is None:
                 self._check_workers()
                 continue
             eval_id, worker, pid, status, value, payload = message
@@ -472,6 +669,27 @@ class PersistentEvalPool:
                 pid,
                 record.speculative,
             )
+
+    def _next_message(self, timeout: float):
+        """One raw result tuple, or None after ``timeout`` / torn pipes.
+
+        A pipe that raises on ``recv`` (EOF, or a partial pickle from a
+        worker killed mid-write) is closed and its slot cleared; the
+        liveness scan then respawns the worker with a fresh channel.
+        """
+        conns = [c for c in self._result_conns if c is not None]
+        if not conns:  # every channel torn; wait for the respawn path
+            time.sleep(timeout)
+            return None
+        ready = mp_connection.wait(conns, timeout=timeout)
+        for conn in ready:
+            try:
+                return conn.recv()
+            except (EOFError, OSError, pickle.UnpicklingError):
+                index = self._result_conns.index(conn)
+                self._close_conn(conn)
+                self._result_conns[index] = None
+        return None
 
     def drain(self) -> List[CompletedEval]:
         """Block until every in-flight task completed; return them all."""
@@ -550,7 +768,16 @@ class PersistentEvalPool:
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=1.0)
-        for q in [self._result_queue, *self._task_queues]:
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - SIGTERM ignored
+                # A worker wedged in an uninterruptible state (or hung in
+                # a C extension masking SIGTERM) must not leak past
+                # close(); SIGKILL is the shutdown of last resort.
+                process.kill()
+                process.join(timeout=1.0)
+        for conn in self._result_conns:
+            self._close_conn(conn)
+        for q in self._task_queues:
             try:
                 q.close()
                 q.cancel_join_thread()

@@ -13,18 +13,31 @@ algorithms do not handle:
 * a *crash or kill signal* — contained by atomic JSON checkpoints and
   resume (:mod:`repro.resilience.checkpoint`), wired into
   ``windim run --checkpoint PATH --resume``.
+
+Every bounded-retry decision across these layers (ladder rungs, pool
+respawns, store IO, checkpoint writes) shares one
+:class:`~repro.resilience.retry.RetryPolicy`.
 """
 
 from repro.resilience.budget import BudgetExhausted, SearchBudget
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
+    CheckpointCorruptError,
     CheckpointManager,
     SearchCheckpoint,
     load_checkpoint,
     save_checkpoint,
     signal_checkpoint_guard,
 )
-from repro.resilience.health import AttemptOutcome, SolveAttempt, SolveHealth
+from repro.resilience.health import (
+    AttemptOutcome,
+    DegradationEvent,
+    PoolEvent,
+    PoolHealth,
+    SolveAttempt,
+    SolveHealth,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.resilience.ladder import (
     DEFAULT_DAMPING_SCHEDULE,
     DEFAULT_ESCALATION,
@@ -34,6 +47,10 @@ from repro.resilience.ladder import (
 
 __all__ = [
     "AttemptOutcome",
+    "DegradationEvent",
+    "PoolEvent",
+    "PoolHealth",
+    "RetryPolicy",
     "SolveAttempt",
     "SolveHealth",
     "ResilientSolver",
@@ -43,6 +60,7 @@ __all__ = [
     "SearchBudget",
     "BudgetExhausted",
     "CHECKPOINT_VERSION",
+    "CheckpointCorruptError",
     "SearchCheckpoint",
     "CheckpointManager",
     "save_checkpoint",

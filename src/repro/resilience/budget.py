@@ -16,7 +16,6 @@ stopping time overshoots the deadline by at most one evaluation.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 from repro.errors import SearchError
@@ -49,15 +48,19 @@ class SearchBudget:
         Allowance of *fresh* objective evaluations (cache hits are free);
         None = unlimited.
     clock:
-        Injectable time source (monotonic seconds) for deterministic tests.
+        Injectable time source (monotonic seconds) for deterministic
+        tests.  Defaults to :func:`repro.chaos.clock.monotonic`, which is
+        ``time.monotonic`` plus any fault-plan-injected skew.
     """
 
     def __init__(
         self,
         max_seconds: Optional[float] = None,
         max_evaluations: Optional[int] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Optional[Callable[[], float]] = None,
     ):
+        if clock is None:
+            from repro.chaos.clock import monotonic as clock
         if max_seconds is not None and max_seconds <= 0:
             raise SearchError(f"max_seconds must be positive, got {max_seconds}")
         if max_evaluations is not None and max_evaluations < 1:

@@ -40,9 +40,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import SearchError
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "CheckpointCorruptError",
     "SearchCheckpoint",
     "save_checkpoint",
     "load_checkpoint",
@@ -51,6 +53,23 @@ __all__ = [
 ]
 
 CHECKPOINT_VERSION = 1
+
+#: Retries for the atomic checkpoint write itself: transient IO errors
+#: (full-ish disk, NFS hiccup, injected faults) get two quick retries
+#: before the failure propagates.
+DEFAULT_CHECKPOINT_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.01, multiplier=4.0, max_delay=0.2
+)
+
+
+class CheckpointCorruptError(SearchError):
+    """A checkpoint file exists but its *bytes* are damaged.
+
+    Distinguished from other :class:`SearchError` cases (missing file,
+    version mismatch, wrong network) so resume logic can treat damage as
+    recoverable — quarantine the file and start fresh — while still
+    failing loudly on genuine mis-use.
+    """
 
 Point = Tuple[int, ...]
 
@@ -84,12 +103,14 @@ class SearchCheckpoint:
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise SearchError(
+            raise CheckpointCorruptError(
                 f"checkpoint {source} is not valid JSON (truncated or "
                 f"corrupted write?): {exc}"
             ) from exc
         if not isinstance(payload, dict):
-            raise SearchError(f"checkpoint {source}: top level must be an object")
+            raise CheckpointCorruptError(
+                f"checkpoint {source}: top level must be an object"
+            )
         version = payload.get("version")
         if version != CHECKPOINT_VERSION:
             raise SearchError(
@@ -98,7 +119,9 @@ class SearchCheckpoint:
             )
         raw_cache = payload.get("cache")
         if not isinstance(raw_cache, list):
-            raise SearchError(f"checkpoint {source}: missing 'cache' list")
+            raise CheckpointCorruptError(
+                f"checkpoint {source}: missing 'cache' list"
+            )
         entries: List[Tuple[Point, float]] = []
         dimensions: Optional[int] = None
         for item in raw_cache:
@@ -107,7 +130,7 @@ class SearchCheckpoint:
                 point = tuple(int(x) for x in raw_point)
                 value = float(raw_value)
             except (TypeError, ValueError) as exc:
-                raise SearchError(
+                raise CheckpointCorruptError(
                     f"checkpoint {source}: malformed cache entry {item!r}"
                 ) from exc
             if dimensions is None:
@@ -147,13 +170,21 @@ class SearchCheckpoint:
 
 def save_checkpoint(path: str, checkpoint: SearchCheckpoint) -> str:
     """Atomically write ``checkpoint`` to ``path``; returns the path."""
+    from repro.chaos import hooks as chaos_hooks
+
+    text = checkpoint.to_json()
+    action = chaos_hooks.perform("checkpoint.write")
+    if action is not None and action.action == "corrupt":
+        # Simulate a torn / bit-rotted write reaching the final file: the
+        # atomic rename below publishes damaged bytes.
+        text = text[: max(1, len(text) // 2)]
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp_path = tempfile.mkstemp(
         prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
     )
     try:
         with os.fdopen(fd, "w") as handle:
-            handle.write(checkpoint.to_json())
+            handle.write(text)
             handle.write("\n")
             handle.flush()
             os.fsync(handle.fileno())
@@ -200,6 +231,9 @@ class CheckpointManager:
         Fresh evaluations between automatic saves (>= 1).
     meta:
         Run description stored in the file (validated on resume).
+    policy:
+        :class:`~repro.resilience.retry.RetryPolicy` for the write itself
+        (transient ``OSError`` retried with backoff before propagating).
     """
 
     def __init__(
@@ -207,13 +241,16 @@ class CheckpointManager:
         path: str,
         every: int = 25,
         meta: Optional[Dict[str, object]] = None,
+        policy: Optional[RetryPolicy] = None,
     ):
         if every < 1:
             raise SearchError(f"checkpoint interval must be >= 1, got {every}")
         self.path = str(path)
         self.every = every
         self.meta = dict(meta or {})
+        self.policy = policy or DEFAULT_CHECKPOINT_RETRY
         self.saves = 0
+        self.write_retries = 0
         self._cache = None
         self._since_save = 0
 
@@ -245,7 +282,15 @@ class CheckpointManager:
             evaluations=evaluations,
             meta=self.meta,
         )
-        save_checkpoint(self.path, checkpoint)
+        def _note_retry(attempt: int, error: BaseException) -> None:
+            self.write_retries += 1
+
+        self.policy.call(
+            lambda: save_checkpoint(self.path, checkpoint),
+            retry_on=(OSError,),
+            salt=self.path,
+            on_retry=_note_retry,
+        )
         self.saves += 1
         self._since_save = 0
         return self.path

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "AttemptOutcome",
+    "DegradationEvent",
     "SolveAttempt",
     "SolveHealth",
     "PoolEvent",
@@ -178,8 +179,10 @@ class PoolEvent:
     Attributes
     ----------
     kind:
-        ``"spawn"``, ``"death"``, ``"respawn"``, ``"requeue"`` or
-        ``"drop"`` (a task requeued too many times, completed as failed).
+        ``"spawn"``, ``"death"``, ``"respawn"``, ``"requeue"``,
+        ``"drop"`` (a task requeued too many times, completed as failed)
+        or ``"hung"`` (the watchdog killed a worker that exceeded its
+        per-task deadline).
     worker:
         Index of the worker slot the event concerns.
     pid:
@@ -223,6 +226,7 @@ class PoolHealth:
     tasks_requeued: int = 0
     tasks_dropped: int = 0
     respawns: int = 0
+    hung: int = 0
     payload_bytes_total: int = 0
 
     def record(self, event: PoolEvent) -> None:
@@ -234,6 +238,8 @@ class PoolHealth:
             self.tasks_requeued += 1
         elif event.kind == "drop":
             self.tasks_dropped += 1
+        elif event.kind == "hung":
+            self.hung += 1
 
     @property
     def payload_bytes_per_task(self) -> float:
@@ -254,6 +260,7 @@ class PoolHealth:
             "tasks_requeued": self.tasks_requeued,
             "tasks_dropped": self.tasks_dropped,
             "respawns": self.respawns,
+            "hung": self.hung,
             "payload_bytes_total": self.payload_bytes_total,
             "payload_bytes_per_task": self.payload_bytes_per_task,
             "events": [e.to_dict() for e in self.events],
@@ -261,8 +268,47 @@ class PoolHealth:
 
     def summary(self) -> str:
         """One line for result summaries."""
-        return (
+        line = (
             f"{self.workers} workers ({self.start_method}), "
             f"{self.tasks_completed} tasks, {self.respawns} respawns, "
             f"{self.payload_bytes_per_task:.0f} B/task"
         )
+        if self.hung:
+            line += f", {self.hung} hung"
+        return line
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One rung taken on the plane degradation ladder.
+
+    Recorded when an evaluation plane abandons a broken execution mode
+    mid-search (persistent pool → per-batch executor → serial) while
+    preserving the bitwise search trajectory through the shared
+    evaluation cache.
+
+    Attributes
+    ----------
+    from_mode / to_mode:
+        The execution modes before and after the rung
+        (``"persistent"``, ``"batch"``, ``"serial"``).
+    reason:
+        Why the plane degraded (the pool failure message, the failure
+        budget summary, ...).
+    evaluations:
+        Cache evaluation count at the moment of degradation, locating
+        the rung on the search trajectory.
+    """
+
+    from_mode: str
+    to_mode: str
+    reason: str
+    evaluations: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "from_mode": self.from_mode,
+            "to_mode": self.to_mode,
+            "reason": self.reason,
+            "evaluations": self.evaluations,
+        }

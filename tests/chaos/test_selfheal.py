@@ -1,0 +1,201 @@
+"""Self-healing behaviour at the windim level, driven by injected faults.
+
+Covers the seams the unit suites cannot reach alone: a corrupt
+checkpoint quarantined on resume, store damage surfacing in the result,
+the full degradation ladder preserving the fault-free optimum, and the
+``windim chaos`` CLI entry point.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultRule, inject
+from repro.core.windim import windim
+from repro.netmodel.examples import canadian_two_class
+
+MAX_WINDOW = 6
+
+
+@pytest.fixture(scope="module")
+def network():
+    return canadian_two_class(18.0, 18.0)
+
+
+@pytest.fixture(scope="module")
+def reference(network):
+    return windim(network, max_window=MAX_WINDOW)
+
+
+class TestCheckpointSelfHealing:
+    def test_corrupt_checkpoint_quarantined_on_resume(
+        self, network, reference, tmp_path
+    ):
+        path = str(tmp_path / "run.ckpt")
+        with open(path, "w") as handle:
+            handle.write('{"version": 1, "cache"')  # torn mid-write
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            result = windim(
+                network,
+                max_window=MAX_WINDOW,
+                checkpoint_path=path,
+                resume=True,
+            )
+        assert result.status == "completed"
+        assert tuple(result.windows) == tuple(reference.windows)
+        assert result.seeded_evaluations == 0  # fresh start, not a crash
+        assert os.path.exists(path + ".corrupt")
+        # the fresh run re-wrote a healthy checkpoint: resuming again works
+        resumed = windim(
+            network,
+            max_window=MAX_WINDOW,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert resumed.seeded_evaluations > 0
+        assert tuple(resumed.windows) == tuple(reference.windows)
+
+    def test_injected_corruption_heals_across_legs(
+        self, network, reference, tmp_path
+    ):
+        path = str(tmp_path / "run.ckpt")
+        plan = FaultPlan(
+            name="ckpt-rot",
+            rules=(
+                FaultRule("checkpoint.write", "corrupt", occurrence=1,
+                          count=99),
+            ),
+        )
+        with inject(plan):
+            first = windim(
+                network,
+                max_window=MAX_WINDOW,
+                checkpoint_path=path,
+                resume=True,
+            )
+            with pytest.warns(RuntimeWarning, match="corrupt"):
+                second = windim(
+                    network,
+                    max_window=MAX_WINDOW,
+                    checkpoint_path=path,
+                    resume=True,
+                )
+        assert tuple(first.windows) == tuple(reference.windows)
+        assert tuple(second.windows) == tuple(reference.windows)
+
+
+class TestStoreSelfHealing:
+    def test_quarantine_surfaces_in_result_and_summary(
+        self, network, reference, tmp_path
+    ):
+        store_path = str(tmp_path / "evals.store")
+        plan = FaultPlan(
+            name="store-rot",
+            rules=(FaultRule("store.record", "corrupt", occurrence=2),),
+        )
+        with inject(plan):
+            first = windim(
+                network, max_window=MAX_WINDOW, store_path=store_path
+            )
+            with pytest.warns(RuntimeWarning, match="quarantined"):
+                second = windim(
+                    network, max_window=MAX_WINDOW, store_path=store_path
+                )
+        assert tuple(first.windows) == tuple(reference.windows)
+        assert tuple(second.windows) == tuple(reference.windows)
+        assert second.store_quarantined == 1
+        assert "WARNING: store quarantined 1" in second.summary()
+        assert os.path.exists(store_path + ".quarantine")
+        # third run: auto-compaction already scrubbed the damage
+        third = windim(network, max_window=MAX_WINDOW, store_path=store_path)
+        assert third.store_quarantined == 0
+
+
+class TestDegradationLadder:
+    def test_persistent_ladder_preserves_the_optimum(
+        self, network, reference
+    ):
+        # Zero respawn budget: the first crash breaks the pool; crashes
+        # keep coming, so the per-batch rung breaks too.  The search must
+        # still land on the fault-free optimum, with the rungs on record.
+        plan = FaultPlan(
+            name="ladder-crash",
+            rules=(
+                FaultRule("pool.worker.task", "crash", occurrence=1,
+                          count=8),
+            ),
+            env=(("REPRO_MAX_RESPAWNS", "0"),),
+        )
+        with inject(plan), pytest.warns(RuntimeWarning, match="degraded"):
+            result = windim(
+                network,
+                max_window=MAX_WINDOW,
+                workers=2,
+                pool_mode="persistent",
+            )
+        assert tuple(result.windows) == tuple(reference.windows)
+        assert result.power == pytest.approx(reference.power, rel=1e-12)
+        assert result.status == "completed"
+        assert len(result.degradations) >= 1
+        assert result.degradations[0].from_mode == "persistent"
+        assert "WARNING: plane degraded" in result.summary()
+
+    def test_per_batch_crash_degrades_to_serial(self, network, reference):
+        plan = FaultPlan(
+            name="batch-crash",
+            rules=(
+                FaultRule("pool.worker.task", "crash", occurrence=1,
+                          count=4),
+            ),
+        )
+        with inject(plan), pytest.warns(RuntimeWarning, match="degraded"):
+            result = windim(
+                network,
+                max_window=MAX_WINDOW,
+                workers=2,
+                pool_mode="per-batch",
+            )
+        assert tuple(result.windows) == tuple(reference.windows)
+        assert result.status == "completed"
+        assert any(
+            event.to_mode == "serial" for event in result.degradations
+        )
+
+
+class TestChaosCli:
+    def test_list_names_every_builtin_plan(self, capsys):
+        from repro.chaos.battery import builtin_plans
+        from repro.cli import main
+
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in builtin_plans():
+            assert name in out
+
+    def test_selected_plans_print_a_survival_report(
+        self, capsys, tmp_path
+    ):
+        from repro.cli import main
+
+        report_path = str(tmp_path / "report.json")
+        code = main(
+            [
+                "chaos",
+                "--plans",
+                "flaky-store-io",
+                "clock-skew-deadline",
+                "--max-window",
+                str(MAX_WINDOW),
+                "--json",
+                report_path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 plans survived" in out
+        assert os.path.exists(report_path)
+
+    def test_unknown_plan_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--plans", "nope"]) == 2

@@ -118,3 +118,56 @@ class TestSolveMatrix:
         out = capsys.readouterr().out
         for name in ("serial", "batch", "persistent", "resilient"):
             assert name in out
+
+
+class TestExitCodes:
+    """The documented shell contract: each failure class has a code."""
+
+    def test_budget_exhausted_exits_4(self, capsys):
+        from repro.cli import EXIT_BUDGET_EXHAUSTED
+
+        code = main(BASE + ["--max-evaluations", "2"])
+        out = capsys.readouterr().out
+        assert "budget_exhausted" in out
+        assert code == EXIT_BUDGET_EXHAUSTED == 4
+
+    def test_degraded_completion_exits_3(self, capsys):
+        from repro.chaos import FaultPlan, FaultRule, inject
+        from repro.cli import EXIT_DEGRADED
+
+        plan = FaultPlan(
+            name="cli-degrade",
+            rules=(
+                FaultRule("pool.worker.task", "crash", occurrence=1,
+                          count=8),
+            ),
+            env=(("REPRO_MAX_RESPAWNS", "0"),),
+        )
+        with inject(plan), pytest.warns(RuntimeWarning, match="degraded"):
+            code = main(
+                BASE + ["--workers", "2", "--pool", "persistent"]
+            )
+        out = capsys.readouterr().out
+        assert "WINDIM optimal windows" in out  # it still finished
+        assert code == EXIT_DEGRADED == 3
+
+    def test_ladder_exhausted_exits_5(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.cli import EXIT_LADDER_EXHAUSTED
+        from repro.errors import LadderExhaustedError
+
+        def doomed(*args, **kwargs):
+            raise LadderExhaustedError("every rung failed")
+
+        monkeypatch.setattr(cli, "windim", doomed)
+        code = main(BASE)
+        err = capsys.readouterr().err
+        assert "resilient ladder exhausted" in err
+        assert code == EXIT_LADDER_EXHAUSTED == 5
+
+    def test_usage_errors_exit_2(self, capsys):
+        from repro.cli import EXIT_ERROR
+
+        code = main(["solve", "--network", "canadian2"])  # --rates missing
+        assert code == EXIT_ERROR == 2
+        assert "error" in capsys.readouterr().err.lower()

@@ -15,8 +15,9 @@ import time
 import numpy as np
 import pytest
 
+from repro.chaos import FaultPlan, FaultRule, inject
 from repro.core.objective import WindowObjective
-from repro.errors import SearchError
+from repro.errors import PoolFailure, SearchError
 from repro.netmodel.examples import canadian_two_class
 from repro.parallel import PersistentEvalPool
 
@@ -137,6 +138,91 @@ def test_update_model_retargets_live_fleet(network):
         assert after != before
         expected = _serial_values(retargeted, [(3, 3)])[(3, 3)]
         assert after == pytest.approx(expected, rel=1e-12)
+
+
+def test_requeue_and_respawn_limits_read_from_env(network, monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_REQUEUES", "7")
+    monkeypatch.setenv("REPRO_MAX_RESPAWNS", "11")
+    monkeypatch.setenv("REPRO_TASK_DEADLINE", "2.5")
+    with PersistentEvalPool(network, "mva-heuristic",
+                            backend="vectorized", workers=1) as pool:
+        assert pool.max_requeues == 7
+        assert pool.max_respawns == 11
+        assert pool.task_deadline == 2.5
+    # Explicit constructor arguments beat the environment.
+    with PersistentEvalPool(network, "mva-heuristic", backend="vectorized",
+                            workers=1, max_requeues=1, max_respawns=2,
+                            task_deadline=9.0) as pool:
+        assert pool.max_requeues == 1
+        assert pool.max_respawns == 2
+        assert pool.task_deadline == 9.0
+
+
+def test_invalid_limits_rejected(network):
+    with pytest.raises(SearchError, match="must be"):
+        PersistentEvalPool(network, "mva-heuristic", workers=1,
+                           max_requeues=-1)
+    with pytest.raises(SearchError, match="positive"):
+        PersistentEvalPool(network, "mva-heuristic", workers=1,
+                           task_deadline=0.0)
+
+
+def test_watchdog_kills_hung_worker_and_requeues(network):
+    # A worker wedges (60s hang) on its first task; the 0.5s deadline
+    # must SIGKILL it, respawn, requeue, and still answer every task.
+    expected = _serial_values(network, KEYS)
+    plan = FaultPlan(
+        name="hang-once",
+        rules=(FaultRule("pool.worker.task", "hang", occurrence=1,
+                         seconds=60.0),),
+    )
+    started = time.monotonic()
+    with inject(plan):
+        with PersistentEvalPool(network, "mva-heuristic",
+                                backend="vectorized", workers=2,
+                                task_deadline=0.5) as pool:
+            completions = pool.map(KEYS)
+    assert time.monotonic() - started < 30.0  # never waited out the hang
+    assert all(done.ok for done in completions.values())
+    for key, done in completions.items():
+        assert done.value == pytest.approx(expected[key], rel=1e-12)
+    assert pool.health.hung >= 1
+    assert pool.health.respawns >= 1
+    kinds = {event.kind for event in pool.health.events}
+    assert {"hung", "death", "respawn"} <= kinds
+    assert "hung" in pool.health.summary()
+
+
+def test_poll_timeout_expires_while_worker_hangs(network):
+    plan = FaultPlan(
+        name="hang-forever",
+        rules=(FaultRule("pool.worker.task", "hang", occurrence=1,
+                         seconds=120.0),),
+    )
+    with inject(plan):
+        with PersistentEvalPool(network, "mva-heuristic",
+                                backend="vectorized", workers=1) as pool:
+            pool.submit((3, 3))
+            started = time.monotonic()
+            assert pool.poll(timeout=0.3) is None
+            assert time.monotonic() - started < 5.0
+
+
+def test_respawn_budget_exhaustion_raises_pool_failure(network):
+    # Every task crashes its worker; with a single respawn allowed the
+    # second death must surface as PoolFailure instead of a respawn loop.
+    plan = FaultPlan(
+        name="crash-always",
+        rules=(FaultRule("pool.worker.task", "crash", occurrence=1,
+                         count=16),),
+    )
+    with inject(plan):
+        with PersistentEvalPool(network, "mva-heuristic",
+                                backend="vectorized", workers=1,
+                                max_respawns=1) as pool:
+            with pytest.raises(PoolFailure, match="respawn budget"):
+                pool.map(KEYS)
+            assert pool.health.respawns == 1
 
 
 def test_objective_with_live_pool_pickles(network):

@@ -1,0 +1,99 @@
+"""The unified RetryPolicy: schedules, jitter determinism, call()."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.resilience import RetryPolicy
+
+
+class TestSchedule:
+    def test_allows_is_one_based(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(1) and policy.allows(3)
+        assert not policy.allows(4)
+
+    def test_first_attempt_has_no_delay(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0)
+        assert policy.delay(1) == 0.0
+
+    def test_exponential_backoff_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.1, multiplier=2.0, max_delay=0.4
+        )
+        assert policy.delay(2) == pytest.approx(0.1)
+        assert policy.delay(3) == pytest.approx(0.2)
+        assert policy.delay(4) == pytest.approx(0.4)
+        assert policy.delay(5) == pytest.approx(0.4)  # capped
+
+    def test_zero_base_means_no_sleeping(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0)
+        assert all(policy.delay(n) == 0.0 for n in range(1, 5))
+
+    def test_jitter_is_deterministic_per_salt(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.5)
+        assert policy.delay(3, salt="a") == policy.delay(3, salt="a")
+        assert policy.delay(3, salt="a") != policy.delay(3, salt="b")
+        base = RetryPolicy(max_attempts=5, base_delay=0.1).delay(3)
+        jittered = policy.delay(3, salt="a")
+        assert base <= jittered <= base * 1.5
+
+
+class TestCall:
+    def test_retries_until_success(self):
+        policy = RetryPolicy(max_attempts=3)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert policy.call(flaky, retry_on=(OSError,)) == "ok"
+        assert len(attempts) == 3
+
+    def test_reraises_after_exhaustion(self):
+        policy = RetryPolicy(max_attempts=2)
+        with pytest.raises(OSError, match="persistent"):
+            policy.call(
+                lambda: (_ for _ in ()).throw(OSError("persistent")),
+                retry_on=(OSError,),
+            )
+
+    def test_non_matching_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise SearchError("not retryable")
+
+        with pytest.raises(SearchError):
+            policy.call(wrong_kind, retry_on=(OSError,))
+        assert len(calls) == 1
+
+    def test_on_retry_hook_observes_each_failure(self):
+        policy = RetryPolicy(max_attempts=3)
+        seen = []
+
+        def failing():
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            policy.call(
+                failing,
+                retry_on=(OSError,),
+                on_retry=lambda attempt, error: seen.append(attempt),
+            )
+        assert seen == [1, 2]
+
+    def test_sleep_receives_backoff_delays(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=3.0)
+        slept = []
+
+        def failing():
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            policy.call(failing, retry_on=(OSError,), sleep=slept.append)
+        assert slept == [pytest.approx(0.1), pytest.approx(0.3)]

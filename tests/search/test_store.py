@@ -120,14 +120,38 @@ class TestCrashTolerance:
         assert (3, 3) not in reloaded
         reloaded.close()
 
-    def test_mid_file_corruption_is_an_error(self, tmp_path, fingerprint):
+    def test_mid_file_corruption_is_an_error_under_strict(
+        self, tmp_path, fingerprint
+    ):
         path = str(tmp_path / "s")
         with EvaluationStore.open(path, fingerprint) as store:
             store.record((1, 1), 1.0)
         with open(path, "a") as handle:
             handle.write("garbage line\n")  # complete (newline) but invalid
         with pytest.raises(SearchError, match="malformed"):
-            EvaluationStore.open(path, fingerprint)
+            EvaluationStore.open(path, fingerprint, strict=True)
+
+    def test_mid_file_corruption_quarantined_by_default(
+        self, tmp_path, fingerprint
+    ):
+        path = str(tmp_path / "s")
+        with EvaluationStore.open(path, fingerprint) as store:
+            store.record((1, 1), 1.0)
+            store.record((2, 2), 2.0)
+        with open(path, "a") as handle:
+            handle.write("garbage line\n")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            reloaded = EvaluationStore.open(path, fingerprint)
+        assert reloaded.loaded == 2
+        assert reloaded.quarantined == 1
+        assert reloaded.get((1, 1)) == 1.0
+        reloaded.close()
+        sidecar = path + ".quarantine"
+        assert "garbage line" in open(sidecar).read()
+        # the auto-compaction scrubbed the damage: a strict re-open passes
+        clean = EvaluationStore.open(path, fingerprint, strict=True)
+        assert clean.loaded == 2 and clean.quarantined == 0
+        clean.close()
 
 
 class TestCompaction:

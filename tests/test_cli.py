@@ -92,7 +92,11 @@ class TestResilienceFlags:
                 "--max-evaluations", "3",
             ]
         )
-        assert code == 0
+        # A budgeted stop is a distinct, scriptable outcome (exit 4),
+        # still with the best-so-far result printed.
+        from repro.cli import EXIT_BUDGET_EXHAUSTED
+
+        assert code == EXIT_BUDGET_EXHAUSTED
         assert "best-so-far" in capsys.readouterr().out
 
 

@@ -146,12 +146,14 @@ class TestResilienceLadderInjection:
         assert result.search.evaluations <= 3
         assert "deadline" in result.search.stop_reason
 
-    def test_checkpoint_corrupted_mid_write_is_rejected(self, tmp_path):
+    def test_checkpoint_corrupted_mid_write_is_quarantined(self, tmp_path):
         # Simulate a torn write from a crash of a non-atomic writer: the
-        # file holds only a prefix of the JSON.  Resume must fail loudly
-        # with SearchError, never silently start from garbage.
+        # file holds only a prefix of the JSON.  Resume must never start
+        # silently from garbage: the damage is quarantined with a loud
+        # warning, and the run restarts fresh (zero seeded evaluations).
+        import os
+
         from repro.core.windim import windim
-        from repro.errors import SearchError
         from repro.resilience import SearchCheckpoint
 
         full = SearchCheckpoint(
@@ -161,13 +163,16 @@ class TestResilienceLadderInjection:
         path.write_text(full[: len(full) - 10])
 
         network = canadian_two_class(18.0, 18.0, windows=(1, 1))
-        with pytest.raises(SearchError, match="not valid JSON"):
-            windim(
+        with pytest.warns(RuntimeWarning, match="not valid JSON"):
+            result = windim(
                 network,
                 max_window=8,
                 checkpoint_path=str(path),
                 resume=True,
             )
+        assert result.status == "completed"
+        assert result.seeded_evaluations == 0
+        assert os.path.exists(str(path) + ".corrupt")
 
 
 class TestCliFailurePaths:
