@@ -56,7 +56,45 @@ def publish_rows(
     (RESULTS_DIR / f"{name}.csv").write_text(render_csv(headers, rows))
 
 
-def publish_json(name: str, payload: Mapping[str, object]) -> pathlib.Path:
+#: Relative band within which two numeric bench metrics are "the same
+#: measurement, different run".  Matches the spirit of
+#: ``check_regression``'s wall tolerance: per-run scheduler noise on a
+#: sub-millisecond timing easily reaches tens of percent, so rewriting a
+#: committed JSON for a 30% wall wiggle churns version control with no
+#: information content.
+NOISE_RTOL = 0.5
+
+
+def _within_noise(old: object, new: object, rtol: float) -> bool:
+    """True when ``new`` differs from ``old`` only by run-to-run noise.
+
+    Numeric leaves must agree within ``rtol`` relatively; containers are
+    compared structurally; every other leaf must be equal.  Bools are
+    *not* numbers here — a flipped flag is a real change.
+    """
+    if isinstance(old, bool) or isinstance(new, bool):
+        return old == new
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        scale = max(abs(float(old)), abs(float(new)))
+        if scale == 0.0:
+            return True
+        return abs(float(new) - float(old)) <= rtol * scale
+    if isinstance(old, dict) and isinstance(new, dict):
+        if set(old) != set(new):
+            return False
+        return all(_within_noise(old[k], new[k], rtol) for k in old)
+    if isinstance(old, (list, tuple)) and isinstance(new, (list, tuple)):
+        if len(old) != len(new):
+            return False
+        return all(_within_noise(a, b, rtol) for a, b in zip(old, new))
+    return old == new
+
+
+def publish_json(
+    name: str,
+    payload: Mapping[str, object],
+    noise_rtol: float = NOISE_RTOL,
+) -> pathlib.Path:
     """Archive a machine-readable benchmark payload to results/<name>.json.
 
     The perf-regression harness (and CI artifact upload) consumes these —
@@ -65,11 +103,33 @@ def publish_json(name: str, payload: Mapping[str, object]) -> pathlib.Path:
     schema knowledge.  A ``host`` block (cpu_count, python version,
     platform) is stamped into every payload for artifact provenance;
     the regression gate ignores it.
+
+    When the file already exists and the fresh payload differs from it
+    only by host metadata and numeric wiggle within ``noise_rtol``
+    (relative), the file is *kept* rather than rewritten: re-running a
+    bench on the same code must not churn version control with
+    timing-noise-only diffs.  Structural changes (new cells, changed
+    flags, >noise metric moves) always rewrite.  Pass ``noise_rtol=0``
+    to force a rewrite.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     stamped = dict(payload)
     stamped.setdefault("host", host_metadata())
+    if noise_rtol > 0 and path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = None
+        if isinstance(previous, dict):
+            # Round-trip through JSON so tuples/numpy scalars in the
+            # fresh payload compare as their serialised selves.
+            fresh = json.loads(json.dumps(stamped))
+            old = {k: v for k, v in previous.items() if k != "host"}
+            new = {k: v for k, v in fresh.items() if k != "host"}
+            if _within_noise(old, new, noise_rtol):
+                print(f"\n[bench] kept {path} (within noise, not rewritten)")
+                return path
     path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
     print(f"\n[bench] wrote {path}")
     return path

@@ -159,16 +159,42 @@ def check_mva_kernels(fresh: dict, baseline: dict) -> "list[str]":
     return failures
 
 
+def check_scale(fresh: dict, baseline: dict) -> "list[str]":
+    failures = []
+    for cell, fresh_stats, stats in shared_rows(fresh, baseline, "cells"):
+        failure = compare_metric(
+            f"scale[{cell}].batched.ms_per_solve",
+            fresh_stats["batched"]["ms_per_solve"],
+            stats["batched"]["ms_per_solve"],
+            WALL_TOLERANCE,
+            higher_is_better=False,
+        )
+        if failure:
+            failures.append(failure)
+        failure = compare_metric(
+            f"scale[{cell}].batched_speedup",
+            fresh_stats["batched_speedup"],
+            stats["batched_speedup"],
+            WALL_TOLERANCE,
+            higher_is_better=True,
+        )
+        if failure:
+            failures.append(failure)
+    return failures
+
+
 CHECKS = {
     "BENCH_pattern_search_tiny": ("run_pattern_search_bench", check_pattern_search),
     "BENCH_warm_start_tiny": ("run_warm_start_bench", check_warm_start),
     "BENCH_mva_kernels_tiny": ("run_mva_kernels_bench", check_mva_kernels),
+    "BENCH_scale_tiny": ("run_scale_bench", check_scale),
 }
 
 RUNNERS = {
     "run_pattern_search_bench": "bench_pattern_search",
     "run_warm_start_bench": "bench_warm_start",
     "run_mva_kernels_bench": "bench_mva_kernels",
+    "run_scale_bench": "bench_scale",
 }
 
 

@@ -153,15 +153,20 @@ def window_grid_power(
     Evaluations flow through a
     :class:`~repro.evalplane.serial.SerialPlane` — the same choke point
     the pattern search uses — so a grid probe and a search over the same
-    box are fed by identical values.
+    box are fed by identical values.  The whole grid goes through the
+    plane's ``submit_many``, so batchable solvers run it as one
+    cross-network SoA tensor pass (bit-identical to per-point solves;
+    see :mod:`repro.mva.soa`) instead of ``|box|`` separate fixed points.
     """
     from repro.evalplane.serial import SerialPlane
 
     objective = WindowObjective(network, solver)
     grid: Dict[Tuple[int, ...], float] = {}
     with SerialPlane(objective, space=space) as plane:
-        for point in space.points():
-            value = plane.submit(point).value
+        points = [tuple(point) for point in space.points()]
+        values = {res.windows: res.value for res in plane.submit_many(points)}
+        for point in points:
+            value = values[point]
             grid[point] = (
                 1.0 / value if value > 0 and value != float("inf") else 0.0
             )

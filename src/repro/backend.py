@@ -1,12 +1,12 @@
 """Solver kernel backend selection.
 
 Every MVA-family solver in :mod:`repro.mva` and :mod:`repro.exact` ships
-two interchangeable kernel implementations:
+interchangeable kernel implementations:
 
 ``"scalar"``
     The reference implementation: per-chain Python loops mirroring the
-    thesis recurrences line by line.  Kept verbatim so the vectorized
-    path always has an executable specification to be diffed against
+    thesis recurrences line by line.  Kept verbatim so the dense paths
+    always have an executable specification to be diffed against
     (the parity test wall pins agreement to ≤ 1e-8 relative error).
 ``"vectorized"``
     Dense-array kernels that carry the whole per-(station, chain) state
@@ -15,6 +15,16 @@ two interchangeable kernel implementations:
     point operations in the same order, so results agree with the scalar
     path to machine precision; it is simply much faster when the number
     of chains or the window sizes grow.
+``"compiled"``
+    The vectorized dense path with its hottest inner recursion (the
+    per-population single-chain step of
+    :func:`repro.mva.heuristic.batched_increments`) JIT-compiled via
+    numba when that package is importable.  Without numba the tier falls
+    back to the *same* NumPy operations as ``"vectorized"`` and is
+    therefore bit-identical to it; with numba the fused loops reorder
+    floating-point reductions, so agreement is pinned to the parity
+    wall's 1e-8 band instead (see :mod:`repro.mva.compiled` and
+    :func:`parity_tier`).
 
 The process-wide default is ``"vectorized"``; it can be overridden per
 call (every solver takes a ``backend=`` keyword), per process via the
@@ -24,15 +34,28 @@ call (every solver takes a ``backend=`` keyword), per process via the
 
 from __future__ import annotations
 
+import importlib.util
 import os
 from typing import Optional
 
 from repro.errors import ModelError
 
-__all__ = ["BACKENDS", "DEFAULT_BACKEND", "default_backend", "resolve_backend"]
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "default_backend",
+    "resolve_backend",
+    "is_dense",
+    "numba_available",
+    "parity_tier",
+]
 
 #: The recognised kernel backends.
-BACKENDS = ("scalar", "vectorized")
+BACKENDS = ("scalar", "vectorized", "compiled")
+
+#: Backends that run the dense NumPy array kernels (everything except the
+#: per-chain scalar reference loops).
+DENSE_BACKENDS = frozenset({"vectorized", "compiled"})
 
 #: Library-wide default when neither the call site nor the environment
 #: chooses one.
@@ -69,3 +92,45 @@ def resolve_backend(backend: Optional[str]) -> str:
             f"unknown solver backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
+
+
+def is_dense(backend: str) -> bool:
+    """True when a *resolved* backend runs the dense array kernels.
+
+    The ``"compiled"`` tier is the vectorized dense path with a JIT inner
+    kernel swapped in where one exists, so every ``backend ==
+    "vectorized"`` branch in the solvers is really a dense-vs-scalar
+    branch; this predicate is that branch's single source of truth.
+    """
+    return backend in DENSE_BACKENDS
+
+
+def numba_available() -> bool:
+    """True when the optional numba JIT dependency is importable.
+
+    Checked via ``find_spec`` so merely *asking* never pays numba's
+    import cost (or fails in environments without it — the compiled
+    tier is designed to degrade to pure NumPy there).
+    """
+    return importlib.util.find_spec("numba") is not None
+
+
+def parity_tier(backend: Optional[str]) -> str:
+    """The bitwise-equivalence class of a backend choice.
+
+    ``"reference"``
+        scalar, vectorized, and compiled-without-numba: all perform the
+        same floating-point operations in the same order, so cached or
+        persisted values computed under any of them are interchangeable
+        to the last bit.
+    ``"jit"``
+        compiled *with* numba importable: the fused JIT loops reorder
+        reductions, so values agree with the reference tier only to the
+        parity wall's 1e-8 band — close enough for any search decision,
+        but not bit-identical, so persistent stores keep the tiers apart
+        (see :func:`repro.search.store.model_fingerprint`).
+    """
+    resolved = resolve_backend(backend)
+    if resolved == "compiled" and numba_available():
+        return "jit"
+    return "reference"

@@ -442,8 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
             choices=BACKENDS,
             default=None,
             dest="solver_backend",
-            help="solver kernel: vectorized dense arrays (default) or the "
-            "scalar reference loops; also settable via "
+            help="solver kernel: vectorized dense arrays (default), the "
+            "scalar reference loops, or compiled (numba JIT over the same "
+            "dense kernels; falls back to vectorized bit-for-bit when "
+            "numba is not installed); also settable via "
             f"{BACKEND_ENV_VAR}",
         )
 

@@ -88,8 +88,15 @@ def windim_multistart(
         solver_label = solver if isinstance(solver, str) else getattr(
             solver, "primary_name", getattr(solver, "__name__", "custom")
         )
+        from repro.backend import parity_tier
+
         store = EvaluationStore.open(
-            store_path, model_fingerprint(network, str(solver_label))
+            store_path,
+            model_fingerprint(
+                network,
+                str(solver_label),
+                backend_tier=parity_tier(objective.backend),
+            ),
         )
         for point, value in store.values.items():
             cache.values.setdefault(point, value)

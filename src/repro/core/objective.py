@@ -18,12 +18,13 @@ network, windows)`` and ships back the full solution.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.backend import resolve_backend
+from repro.backend import is_dense, resolve_backend
 from repro.core.power import inverse_power
 from repro.core.reuse import ReuseEngine
 from repro.errors import ModelError, PoolFailure, SolverError
@@ -38,6 +39,15 @@ __all__ = ["WindowObjective", "resolve_solver", "resolve_pool_mode", "SOLVERS"]
 
 #: Pool strategies for parallel batch evaluation (see ``pool_mode``).
 POOL_MODES = ("persistent", "per-batch")
+
+#: Bound on retained full :class:`~repro.solution.NetworkSolution`\ s.
+#: At thesis scale a solution is a few KB and the cap is invisible; on
+#: the 1000-node / 500-chain fixtures each one carries ~13 MB of dense
+#: matrices, so an unbounded dict turns a 10k-evaluation dimensioning
+#: run into >100 GB of dead state.  Eviction is least-recently-*used*;
+#: every consumer already tolerates a miss (``solution()`` re-solves,
+#: ``cached_solution()`` returns None and the store harvest skips).
+DEFAULT_MAX_SOLUTIONS = 256
 
 
 def resolve_pool_mode(pool_mode: Optional[str]) -> str:
@@ -109,6 +119,16 @@ def _linearizer_solver(
     return solve_linearizer(network, backend=backend, warm_start=warm_start)
 
 
+def _asymptotic_solver(
+    network: ClosedNetwork,
+    backend: Optional[str] = None,
+    warm_start=None,
+) -> NetworkSolution:
+    from repro.mva.asymptotic import solve_asymptotic
+
+    return solve_asymptotic(network, backend=backend, warm_start=warm_start)
+
+
 def _resilient_solver(
     network: ClosedNetwork,
     backend: Optional[str] = None,
@@ -138,6 +158,7 @@ SOLVERS: Dict[str, Solver] = {
     "convolution": _convolution_solver,
     "schweitzer": _schweitzer_solver,
     "linearizer": _linearizer_solver,
+    "asymptotic": _asymptotic_solver,
     "resilient": _resilient_solver,
 }
 
@@ -258,6 +279,12 @@ class WindowObjective:
         batches).  ``None`` defers to the ``REPRO_POOL`` environment
         variable, then ``"persistent"``.  Irrelevant unless
         ``workers > 1``.
+    max_solutions:
+        Cap on retained full solutions (:data:`DEFAULT_MAX_SOLUTIONS`;
+        least recently used evicted first).  Evicted points re-solve on
+        demand in :meth:`solution` and simply skip the warm-seed harvest
+        in :meth:`cached_solution` — values, trajectories and optima are
+        unaffected, only peak memory is bounded.
 
     Notes
     -----
@@ -274,6 +301,7 @@ class WindowObjective:
         workers: Optional[int] = None,
         reuse: bool = False,
         pool_mode: Optional[str] = None,
+        max_solutions: int = DEFAULT_MAX_SOLUTIONS,
     ):
         if backend is not None:
             resolve_backend(backend)  # validate eagerly
@@ -296,7 +324,10 @@ class WindowObjective:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._eval_pool: Optional["PersistentEvalPool"] = None
         self._eval_pool_owned = True
-        self._solutions: Dict[Point, NetworkSolution] = {}
+        if max_solutions < 1:
+            raise ModelError(f"max_solutions must be >= 1, got {max_solutions}")
+        self._max_solutions = int(max_solutions)
+        self._solutions: "OrderedDict[Point, NetworkSolution]" = OrderedDict()
         self.evaluations = 0
 
     @property
@@ -383,7 +414,7 @@ class WindowObjective:
         if payload is None:
             return
         solution = rebuild_solution(self._network, key, payload)
-        self._solutions[key] = solution
+        self._retain(key, solution)
         if self._engine is not None:
             self._engine.record(key, solution, bool(payload.get("warmed")))
 
@@ -397,6 +428,13 @@ class WindowObjective:
         if self._engine is None:
             return None
         return self._engine.nearest_seed(self._key(windows))
+
+    def _retain(self, key: Point, solution: NetworkSolution) -> None:
+        """Keep ``solution`` for :meth:`solution`, evicting LRU past the cap."""
+        self._solutions[key] = solution
+        self._solutions.move_to_end(key)
+        while len(self._solutions) > self._max_solutions:
+            self._solutions.popitem(last=False)
 
     def _key(self, windows: Sequence[int]) -> Point:
         key = tuple(int(w) for w in windows)
@@ -418,9 +456,14 @@ class WindowObjective:
 
         The persistent :class:`~repro.search.store.EvaluationStore` uses
         this to harvest converged queue lengths as warm-start seeds
-        without triggering extra work.
+        without triggering extra work.  A cap-evicted point reads as
+        None, exactly like a never-evaluated one.
         """
-        return self._solutions.get(self._key(windows))
+        key = self._key(windows)
+        solution = self._solutions.get(key)
+        if solution is not None:
+            self._solutions.move_to_end(key)
+        return solution
 
     def prime_seed(self, windows: Sequence[int], queue_lengths: np.ndarray) -> None:
         """Feed an externally stored warm-start seed to the reuse engine.
@@ -452,7 +495,7 @@ class WindowObjective:
             return float("inf")
         if self._engine is not None:
             self._engine.record(key, solution, warmed)
-        self._solutions[key] = solution
+        self._retain(key, solution)
         return inverse_power(solution)
 
     def lower_bound(self, windows: Sequence[int]) -> float:
@@ -514,13 +557,60 @@ class WindowObjective:
             self._bound_uppers[(chain, window)] = cached
         return cached
 
+    @property
+    def soa_batchable(self) -> bool:
+        """True when serial batches can run as one cross-network SoA pass.
+
+        Requires a named solver with a batched fixed point (see
+        :data:`repro.mva.soa.BATCHABLE_SOLVERS`), a dense kernel backend,
+        no reuse engine — warm starts are inherently per-key (each
+        solve seeds from its nearest already-solved neighbour, which may
+        be *in the same batch*), so the reuse path keeps the serial loop
+        — and a network small enough that batching actually wins
+        (:data:`repro.mva.soa.SOA_DENSE_LIMIT`; beyond it the stacked
+        tensors evict the cache and the per-network loop is faster).
+        The SoA pass performs the same floating-point operations in the
+        same order as per-key cold solves, so switching it on never
+        changes a search trajectory.
+        """
+        from repro.mva.soa import BATCHABLE_SOLVERS, SOA_DENSE_LIMIT
+
+        return (
+            self._solver_name in BATCHABLE_SOLVERS
+            and self._engine is None
+            and is_dense(resolve_backend(self._backend))
+            and self._network.num_chains * self._network.num_stations
+            <= SOA_DENSE_LIMIT
+        )
+
+    def _batch_solve_soa(self, keys: List[Point]) -> List[float]:
+        """Serial-mode fast path: one packed tensor pass for the batch."""
+        from repro.mva.soa import solve_windows_batched
+
+        unique = list(dict.fromkeys(keys))
+        solutions = solve_windows_batched(
+            self._network,
+            unique,
+            solver=self._solver_name,
+            backend=self._backend,
+        )
+        values: Dict[Point, float] = {}
+        for key, solution in zip(unique, solutions):
+            self.evaluations += 1
+            self._retain(key, solution)
+            values[key] = inverse_power(solution)
+        return [values[k] for k in keys]
+
     def batch_solve(self, batch: Sequence[Sequence[int]]) -> List[float]:
         """Evaluate a whole batch of window vectors in one call.
 
         The batch is typically a pattern-search neighborhood or a
         multistart seed list.  With ``workers > 1`` (and a named solver)
         the solves run concurrently on a process pool — created lazily on
-        first use and reused across calls; otherwise they run serially
+        first use and reused across calls.  In-process batches of a
+        batchable named solver on a dense backend run as *one*
+        cross-network SoA tensor pass (see :mod:`repro.mva.soa`),
+        bit-identical to the per-key loop; everything else runs serially
         in-process.  Either way the full solutions are retained, so
         :meth:`solution` is free afterwards, and ``evaluations`` grows by
         ``len(batch)``.
@@ -532,6 +622,8 @@ class WindowObjective:
         if not keys:
             return []
         if not self.parallel:
+            if len(keys) >= 2 and self.soa_batchable:
+                return self._batch_solve_soa(keys)
             return [self(k) for k in keys]
 
         unique = list(dict.fromkeys(keys))
@@ -572,7 +664,7 @@ class WindowObjective:
             self.evaluations += 1
             values[key] = value
             if solution is not None:
-                self._solutions[key] = solution
+                self._retain(key, solution)
                 if self._engine is not None:
                     # Pool workers solve cold, but their converged queue
                     # lengths still seed future in-process neighbours.
@@ -723,4 +815,5 @@ class WindowObjective:
             self(key)
         if key not in self._solutions:
             raise SolverError(f"no solution obtainable at windows {key}")
+        self._solutions.move_to_end(key)
         return self._solutions[key]

@@ -232,10 +232,11 @@ def windim(
         uses ``"mva-heuristic"``; ``"mva-exact"``/``"convolution"`` give
         the (expensive) exact variant for comparison.
     backend:
-        Solver kernel backend (``"scalar"``/``"vectorized"``; ``None`` =
-        process default, see :mod:`repro.backend`).  A kernel choice, not
-        an algorithm choice: checkpoints written under one backend resume
-        cleanly under the other (the parity wall pins them to ≤ 1e-8).
+        Solver kernel backend (``"scalar"``/``"vectorized"``/
+        ``"compiled"``; ``None`` = process default, see
+        :mod:`repro.backend`).  A kernel choice, not an algorithm
+        choice: checkpoints written under one backend resume cleanly
+        under the others (the parity wall pins them to ≤ 1e-8).
     workers:
         When > 1 (named solvers only), objective evaluations run on a
         process pool of this size.  Under the default persistent pool
@@ -420,8 +421,13 @@ def windim(
 
     store: Optional[EvaluationStore] = None
     if store_path is not None:
+        from repro.backend import parity_tier
+
         store = EvaluationStore.open(
-            store_path, model_fingerprint(network, str(solver_label))
+            store_path,
+            model_fingerprint(
+                network, str(solver_label), backend_tier=parity_tier(backend)
+            ),
         )
         # Stored values enter cache.values directly (like checkpoint
         # seeds): neither hits nor misses, so the run's evaluation count

@@ -5,11 +5,23 @@ in-process through the shared cache, hints are no-ops, and there is
 never anything in flight.  It wraps *any* ``point -> float`` callable,
 which is what lets :func:`~repro.search.pattern.pattern_search` keep its
 plain-function interface.
+
+``submit_many`` has a cross-network SoA fast path: when the wrapped
+objective is a :class:`~repro.core.objective.WindowObjective` whose
+solver/backend pair is batchable (see
+:attr:`~repro.core.objective.WindowObjective.soa_batchable`), the fresh
+slice of a seed list is solved as *one* packed tensor pass instead of a
+per-point loop.  The pass is bit-identical to the per-point solves, so
+the plane's reference semantics are unchanged — only the dispatch count
+drops.
 """
 
 from __future__ import annotations
 
-from repro.evalplane.plane import EvaluationPlane
+from typing import List, Sequence
+
+from repro.evalplane.plane import EvaluationPlane, Point
+from repro.evalplane.result import EvalResult
 
 __all__ = ["SerialPlane"]
 
@@ -18,3 +30,34 @@ class SerialPlane(EvaluationPlane):
     """In-process evaluation; the conformance suite's oracle plane."""
 
     name = "serial"
+
+    def submit_many(self, batch: Sequence[Sequence[int]]) -> List[EvalResult]:
+        """Batch evaluation, as one SoA tensor pass where the objective allows.
+
+        Falls back to the base per-point loop for plain callables and for
+        non-batchable solver/backend configurations.  Caps are honoured
+        quietly either way (trim to room, never raise).
+        """
+        objective = self._objective
+        if not (
+            hasattr(objective, "batch_solve")
+            and getattr(objective, "soa_batchable", False)
+        ):
+            return super().submit_many(batch)
+        keys = [self._key(w) for w in batch]
+        seen = set()
+        fresh: List[Point] = []
+        for key in keys:
+            if key in self.cache or key in seen:
+                continue
+            seen.add(key)
+            fresh.append(key)
+        room = self.max_evaluations - self.cache.evaluations
+        fresh = fresh[: max(0, room)]
+        if fresh and not self._caps_spent():
+            self._merge_batch(fresh)
+        return [
+            self._result(key, self.cache.values[key], fresh=key in seen)
+            for key in keys
+            if key in self.cache
+        ]

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.backend import resolve_backend
+from repro.backend import is_dense, resolve_backend
 from repro.errors import ModelError, SolverError
 from repro.exact.states import lattice_size, population_vectors, population_vectors_by_total
 from repro.queueing.network import ClosedNetwork
@@ -97,7 +97,8 @@ def solve_mva_exact(
             f"population lattice has {size} vectors (> {MAX_LATTICE_SIZE}); "
             "use the MVA heuristic for problems of this size"
         )
-    if resolve_backend(backend) == "vectorized":
+    # "compiled" shares the dense path (see repro.mva.compiled).
+    if is_dense(resolve_backend(backend)):
         return _solve_vectorized(network, limits, size, lattice_cache)
     return _solve_scalar(network, limits, size)
 

@@ -126,7 +126,8 @@ def solve_semiclosed(
         raise ModelError("population weights degenerate; rescale the inputs")
     pmf = weights / mass
 
-    acceptance = float(pmf[:h_max].sum())
+    # Partial sums of a normalised pmf can overshoot 1.0 by ~1 ulp.
+    acceptance = min(1.0, float(pmf[:h_max].sum()))
     mean_population = float(np.dot(np.arange(h_max + 1), pmf))
 
     # Condition per-station means and throughput on the population.

@@ -1,0 +1,135 @@
+"""The ``"compiled"`` kernel tier: numba-JIT inner recursion, NumPy fallback.
+
+The heuristic's cost is dominated by :func:`repro.mva.heuristic.
+batched_increments` — the auxiliary single-chain population recursion
+advanced once per fixed-point sweep, ``O(R x L x max_pop)`` elementwise
+work split over ~6 NumPy calls per population step.  On internet-scale
+networks (hundreds of chains, thousands of stations) those calls are
+large enough that NumPy is already near memory bandwidth; on the small
+and mid-size networks a window search actually spends its time on, the
+per-call dispatch overhead is the bottleneck.  The compiled tier fuses
+the whole recursion into one JIT kernel.
+
+Availability is strictly optional:
+
+* **numba importable** — :func:`compiled_increments` routes through an
+  ``@njit`` kernel (compiled once per process, cached module-globally).
+  The fused loops accumulate the per-chain total wait sequentially, not
+  with NumPy's pairwise summation, so results agree with the vectorized
+  kernel to the parity wall's 1e-8 band rather than bit-for-bit.
+* **numba absent** (the supported baseline — it is *not* a dependency)
+  — :func:`compiled_increments` *is* ``batched_increments``: the same
+  NumPy operations in the same order, hence bit-identical to
+  ``backend="vectorized"``.  :func:`repro.backend.parity_tier` reports
+  this distinction so persistent stores never mix the two regimes.
+
+Every other dense kernel (Schweitzer, Linearizer, exact MVA) treats
+``"compiled"`` as a synonym for ``"vectorized"`` — their inner loops have
+no recursion worth fusing — which keeps the backend flag a pure kernel
+choice: same algorithm, same convergence criteria, everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend import numba_available
+from repro.mva.heuristic import batched_increments, plan_increments
+
+__all__ = ["compiled_increments", "jit_ready"]
+
+#: Lazily built ``(kernel, signature_compiled)`` slot; ``False`` marks
+#: "tried and unavailable" so a numba-less process probes exactly once.
+_JIT_KERNEL = None
+_JIT_PROBED = False
+
+
+def _build_kernel():
+    """Compile the fused increments kernel (None when numba is absent)."""
+    try:
+        import numba
+    except ImportError:  # pragma: no cover - exercised only without numba
+        return None
+
+    @numba.njit(cache=True, fastmath=False)
+    def _increments(scaled, queueing, dead_offset, populations, max_pop):
+        rows, stations = scaled.shape
+        queue = np.zeros((rows, stations))
+        wait = np.zeros((rows, stations))
+        sigma = np.zeros((rows, stations))
+        for d in range(1, max_pop + 1):
+            for r in range(rows):
+                total = 0.0
+                for i in range(stations):
+                    if queueing[r, i]:
+                        w = scaled[r, i] * (1.0 + queue[r, i])
+                    else:
+                        w = scaled[r, i]
+                    wait[r, i] = w
+                    total += w
+                rate = d / (total + dead_offset[r])
+                if populations[r] == d:
+                    for i in range(stations):
+                        stepped = rate * wait[r, i]
+                        sigma[r, i] = stepped - queue[r, i]
+                        queue[r, i] = stepped
+                else:
+                    for i in range(stations):
+                        queue[r, i] = rate * wait[r, i]
+        return sigma
+
+    return _increments
+
+
+def _kernel():
+    global _JIT_KERNEL, _JIT_PROBED
+    if not _JIT_PROBED:
+        _JIT_KERNEL = _build_kernel() if numba_available() else None
+        _JIT_PROBED = True
+    return _JIT_KERNEL
+
+
+def jit_ready() -> bool:
+    """True when the JIT kernel is importable (without compiling it yet)."""
+    return numba_available()
+
+
+def compiled_increments(
+    scaled: np.ndarray,
+    populations: np.ndarray,
+    delay_mask: np.ndarray,
+    plan: Optional[tuple] = None,
+) -> np.ndarray:
+    """Drop-in replacement for :func:`~repro.mva.heuristic.batched_increments`.
+
+    Same signature, same contract; routes through the fused numba kernel
+    when one is available and otherwise *delegates verbatim* to the NumPy
+    recursion (making the compiled tier bit-identical to vectorized in
+    numba-less environments).  A chain whose population exceeds ``1`` but
+    never matches a recursion step keeps ``sigma = 0`` in both paths.
+    """
+    kernel = _kernel()
+    if kernel is None:
+        return batched_increments(scaled, populations, delay_mask, plan)
+    if plan is None:
+        plan = plan_increments(scaled.sum(axis=1) > 0, populations, delay_mask)
+    queueing, dead_offset, _finish_at, max_population = plan
+    # The NumPy plan keeps ``queueing`` as a broadcastable mask (a (1, L)
+    # row, or (rows, L) for heterogeneous SoA packs) and captures sigma
+    # through a {population: row-mask} dict; the JIT kernel wants dense
+    # arrays.  Dead chains (dead_offset == 1) must never capture, so
+    # their population is pinned to an impossible step.
+    scaled = np.ascontiguousarray(scaled, dtype=np.float64)
+    alive = np.asarray(dead_offset, dtype=np.float64) == 0.0
+    capture = np.where(alive, np.asarray(populations, dtype=np.int64), -1)
+    return kernel(
+        scaled,
+        np.ascontiguousarray(
+            np.broadcast_to(np.asarray(queueing, dtype=np.bool_), scaled.shape)
+        ),
+        np.ascontiguousarray(dead_offset, dtype=np.float64),
+        capture,
+        int(max_population),
+    )

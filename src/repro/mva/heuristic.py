@@ -28,7 +28,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.backend import resolve_backend
+from repro.backend import is_dense, resolve_backend
 from repro.errors import ModelError
 from repro.mva.accel import AitkenAccelerator
 from repro.mva.convergence import IterationControl
@@ -193,9 +193,11 @@ def solve_mva_heuristic(
         ``"bottleneck"``; thesis §4.2 rules 1 and 2).
     backend:
         Kernel implementation: ``"vectorized"`` (dense batched arrays,
-        the default) or ``"scalar"`` (the per-chain reference loops); see
-        :mod:`repro.backend`.  Both produce the same numbers to machine
-        precision.
+        the default), ``"compiled"`` (the dense path with the increments
+        recursion JIT-fused when numba is importable, pure NumPy
+        otherwise), or ``"scalar"`` (the per-chain reference loops); see
+        :mod:`repro.backend`.  All tiers agree within the 1e-8 parity
+        band; scalar/vectorized/compiled-without-numba are bit-identical.
     warm_start:
         Optional ``(R, L)`` queue-length seed replacing the
         ``initializer`` start — typically the converged ``queue_lengths``
@@ -211,7 +213,16 @@ def solve_mva_heuristic(
     """
     if control is None:
         control = IterationControl()
-    vectorized = resolve_backend(backend) == "vectorized"
+    resolved = resolve_backend(backend)
+    vectorized = is_dense(resolved)
+    increments = batched_increments
+    if resolved == "compiled":
+        # Same recursion, fused into one JIT kernel when numba is
+        # importable; otherwise compiled_increments *is* the NumPy
+        # recursion, keeping the tier bit-identical to "vectorized".
+        from repro.mva.compiled import compiled_increments
+
+        increments = compiled_increments
 
     demands = network.demands
     num_chains, num_stations = demands.shape
@@ -263,7 +274,7 @@ def solve_mva_heuristic(
         others = total_by_station[None, :] - queue_lengths
         scaled = np.where(delay_row, demands, demands * (1.0 + others))
         if vectorized:
-            sigma = batched_increments(
+            sigma = increments(
                 scaled, network.populations, delay_mask, plan
             )
         else:

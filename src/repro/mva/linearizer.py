@@ -25,7 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.backend import resolve_backend
+from repro.backend import is_dense, resolve_backend
 from repro.errors import ModelError
 from repro.mva.convergence import IterationControl
 from repro.mva.warmstart import validate_warm_start
@@ -197,7 +197,8 @@ def solve_linearizer(
         control = IterationControl()
     if refinements < 0:
         raise ModelError(f"refinements must be >= 0, got {refinements}")
-    vectorized = resolve_backend(backend) == "vectorized"
+    # "compiled" shares the dense path (see repro.mva.compiled).
+    vectorized = is_dense(resolve_backend(backend))
 
     demands = network.demands
     num_chains, num_stations = demands.shape

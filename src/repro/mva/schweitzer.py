@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.backend import resolve_backend
+from repro.backend import is_dense, resolve_backend
 from repro.errors import ModelError
 from repro.mva.accel import AitkenAccelerator
 from repro.mva.convergence import IterationControl
@@ -52,7 +52,9 @@ def solve_schweitzer(
     """
     if control is None:
         control = IterationControl()
-    vectorized = resolve_backend(backend) == "vectorized"
+    # "compiled" shares the dense path: this solver has no inner
+    # recursion worth JIT-fusing (see repro.mva.compiled).
+    vectorized = is_dense(resolve_backend(backend))
 
     demands = network.demands
     num_chains, num_stations = demands.shape

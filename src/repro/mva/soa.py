@@ -1,0 +1,555 @@
+"""Cross-network SoA batching: solve B networks in one dense tensor pass.
+
+A window sweep (or a multistart campaign's batch of candidate windows)
+evaluates the *same topology* under B different population vectors, and
+today each evaluation is a separate fixed-point solve — B Python loops,
+B × iterations NumPy dispatches.  Every array in those solves has the
+same ``(R, L)`` shape, so the whole sweep packs into structure-of-arrays
+``(B, R, L)`` tensors and the heuristic/Schweitzer iteration advances
+all B networks simultaneously: one ``sum``/``where``/multiply per step
+instead of B, with per-network convergence masking (a network's solution
+is snapshotted the moment *its* residual crosses the tolerance and its
+rows are compacted out of the live tensors — networks never interact,
+so the batch only ever pays for unfinished work).
+
+Parity contract
+---------------
+For a **shared-topology pack** (:func:`pack_windows` — the sweep and
+``batch_solve`` case) the batched iteration performs the same
+floating-point operations in the same order as the serial dense solver:
+
+* elementwise steps broadcast verbatim;
+* reductions over stations are per-row pairwise sums of the same length;
+* reductions over chains have the same reduction length R per element;
+* the increments recursion is row-independent, so flattening to
+  ``(B·R, L)`` reuses :func:`repro.mva.heuristic.batched_increments`
+  bit-for-bit;
+* each network's stopping decision uses ``control.residual`` on its own
+  contiguous ``(R,)`` throughput slice.
+
+Results are therefore **bit-identical** to calling the serial solver per
+network (asserted by ``tests/mva/test_soa.py``).  For a **padded
+heterogeneous pack** (:func:`pack_networks`) the padding changes pairwise
+summation block boundaries, so agreement is to the 1e-8 parity band
+instead.
+
+The ``"compiled"`` backend routes the flattened increments recursion
+through :func:`repro.mva.compiled.compiled_increments`, so the JIT tier
+and the SoA tier compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend import is_dense, resolve_backend
+from repro.errors import ModelError
+from repro.mva.convergence import IterationControl
+from repro.queueing.network import ClosedNetwork
+from repro.solution import NetworkSolution
+
+__all__ = [
+    "WindowPack",
+    "pack_windows",
+    "pack_networks",
+    "solve_packed",
+    "solve_windows_batched",
+    "BATCHABLE_SOLVERS",
+]
+
+#: Named solvers with a batched SoA fixed point.  (Linearizer's nested
+#: per-chain subproblems and the exact solvers do not batch this way.)
+BATCHABLE_SOLVERS = ("mva-heuristic", "schweitzer")
+
+#: Soft cap on ``B x R x L`` elements per packed solve.  The iteration
+#: carries ~6 dense tensors of that shape, so 4M doubles keeps peak
+#: batch memory around 200 MB; larger window lists are solved in chunks
+#: (chunking is invisible: networks in a pack never interact, so a
+#: chunked solve is the same floating-point program).  On a tiny sweep
+#: network this still allows tens of thousands of windows per chunk.
+SOA_ELEMENT_BUDGET = 4_000_000
+
+#: Per-network ``R x L`` elements above which cross-network batching is
+#: counterproductive and :attr:`~repro.core.objective.WindowObjective.
+#: soa_batchable` stops engaging it.  Batching wins where a single
+#: network's per-iteration tensors are small enough that NumPy dispatch
+#: dominates (BENCH_scale sweep cell: ~9x at 36 elements, ~1.1x at
+#: 1 725); once one network's state is itself large, stacking B of them
+#: only evicts the cache — measured 0.5x at 48 960 elements (the
+#: 120-chain "medium" fixture).  Calling :func:`solve_windows_batched`
+#: directly is always honoured (the bench charts the whole ladder);
+#: this limit only gates the *automatic* engagement, and because the
+#: batched pass is bit-identical to the serial one, gating changes
+#: performance, never results.
+SOA_DENSE_LIMIT = 8_192
+
+
+@dataclass(frozen=True)
+class WindowPack:
+    """B networks stacked into dense structure-of-arrays tensors.
+
+    ``demands``/``visit_mask`` have shape ``(1, R, L)`` for shared-topology
+    packs (broadcast over the batch — no B× memory copy) or ``(B, R, L)``
+    for heterogeneous packs; ``delay_mask`` is ``(1, L)`` or ``(B, L)``
+    correspondingly.  ``populations`` is always dense ``(B, R)`` — it is
+    what varies across a sweep.  ``chain_counts``/``station_counts`` hold
+    each network's true (un-padded) dimensions.
+    """
+
+    networks: Tuple[ClosedNetwork, ...]
+    demands: np.ndarray
+    visit_mask: np.ndarray
+    populations: np.ndarray
+    delay_mask: np.ndarray
+    chain_counts: Tuple[int, ...]
+    station_counts: Tuple[int, ...]
+    shared: bool
+
+    @property
+    def batch(self) -> int:
+        return len(self.networks)
+
+    @property
+    def chains(self) -> int:
+        return int(self.populations.shape[1])
+
+    @property
+    def stations(self) -> int:
+        return int(self.demands.shape[2])
+
+
+def pack_windows(
+    network: ClosedNetwork, windows: Sequence[Sequence[int]]
+) -> WindowPack:
+    """Pack one topology under B window (population) vectors.
+
+    This is the sweep/campaign case: demands, visit counts and station
+    kinds are shared (stored once, broadcast over the batch), only the
+    populations differ.  No padding is involved, so the batched solve is
+    bit-identical to the serial one.
+    """
+    if not windows:
+        raise ModelError("pack_windows needs at least one window vector")
+    candidates = tuple(network.with_populations(w) for w in windows)
+    populations = np.stack([c.populations for c in candidates]).astype(np.int64)
+    delay = np.asarray([s.is_delay for s in network.stations], dtype=bool)
+    return WindowPack(
+        networks=candidates,
+        demands=network.demands[None, :, :],
+        visit_mask=(network.visit_counts > 0)[None, :, :],
+        populations=populations,
+        delay_mask=delay[None, :],
+        chain_counts=(network.num_chains,) * len(candidates),
+        station_counts=(network.num_stations,) * len(candidates),
+        shared=True,
+    )
+
+
+def pack_networks(networks: Sequence[ClosedNetwork]) -> WindowPack:
+    """Pack B arbitrary networks, zero-padding to the largest (R, L).
+
+    Padded chains carry zero population and zero demand (inert rows);
+    padded stations carry zero demand and are never visited.  Padding
+    changes pairwise-summation block boundaries, so batched results agree
+    with serial ones to the 1e-8 parity band rather than bit-for-bit.
+    """
+    if not networks:
+        raise ModelError("pack_networks needs at least one network")
+    networks = tuple(networks)
+    chains = max(n.num_chains for n in networks)
+    stations = max(n.num_stations for n in networks)
+    batch = len(networks)
+    demands = np.zeros((batch, chains, stations))
+    visit = np.zeros((batch, chains, stations), dtype=bool)
+    populations = np.zeros((batch, chains), dtype=np.int64)
+    delay = np.zeros((batch, stations), dtype=bool)
+    for b, net in enumerate(networks):
+        rb, lb = net.num_chains, net.num_stations
+        demands[b, :rb, :lb] = net.demands
+        visit[b, :rb, :lb] = net.visit_counts > 0
+        populations[b, :rb] = net.populations
+        delay[b, :lb] = [s.is_delay for s in net.stations]
+    return WindowPack(
+        networks=networks,
+        demands=demands,
+        visit_mask=visit,
+        populations=populations,
+        delay_mask=delay,
+        chain_counts=tuple(n.num_chains for n in networks),
+        station_counts=tuple(n.num_stations for n in networks),
+        shared=False,
+    )
+
+
+def solve_windows_batched(
+    network: ClosedNetwork,
+    windows: Sequence[Sequence[int]],
+    solver: str = "mva-heuristic",
+    control: Optional[IterationControl] = None,
+    backend: Optional[str] = None,
+) -> List[NetworkSolution]:
+    """Solve one topology under B window vectors in a single tensor pass.
+
+    Returns one :class:`NetworkSolution` per window, in input order,
+    bit-identical (for dense backends) to calling the named serial solver
+    once per window with cold starts.  Window lists whose packed size
+    would exceed :data:`SOA_ELEMENT_BUDGET` elements are solved in
+    chunks, which changes nothing but peak memory.
+    """
+    windows = list(windows)
+    per_network = network.num_chains * network.num_stations
+    chunk = max(1, SOA_ELEMENT_BUDGET // max(1, per_network))
+    if len(windows) <= chunk:
+        return solve_packed(
+            pack_windows(network, windows),
+            solver=solver,
+            control=control,
+            backend=backend,
+        )
+    solutions: List[NetworkSolution] = []
+    for start in range(0, len(windows), chunk):
+        solutions.extend(
+            solve_packed(
+                pack_windows(network, windows[start : start + chunk]),
+                solver=solver,
+                control=control,
+                backend=backend,
+            )
+        )
+    return solutions
+
+
+def solve_packed(
+    pack: WindowPack,
+    solver: str = "mva-heuristic",
+    control: Optional[IterationControl] = None,
+    backend: Optional[str] = None,
+) -> List[NetworkSolution]:
+    """Run a batched fixed point over every network in ``pack``."""
+    if solver not in BATCHABLE_SOLVERS:
+        raise ModelError(
+            f"solver {solver!r} has no batched SoA kernel; "
+            f"expected one of {BATCHABLE_SOLVERS}"
+        )
+    resolved = resolve_backend(backend)
+    if not is_dense(resolved):
+        raise ModelError(
+            "SoA batching requires a dense kernel backend "
+            f"('vectorized' or 'compiled'), not {resolved!r}"
+        )
+    if control is None:
+        control = IterationControl()
+    if solver == "mva-heuristic":
+        return _batched_heuristic(pack, control, resolved)
+    return _batched_schweitzer(pack, control, resolved)
+
+
+# ----------------------------------------------------------------------
+# shared machinery
+# ----------------------------------------------------------------------
+
+def _check_demands(pack: WindowPack, active: np.ndarray) -> None:
+    """Reject active chains with zero visited demand (per network)."""
+    visited = np.where(pack.visit_mask, pack.demands, 0.0).sum(axis=2)
+    bad = active & np.broadcast_to(visited <= 0, active.shape)
+    if bad.any():
+        b, r = (int(v) for v in np.argwhere(bad)[0])
+        raise ModelError(
+            f"chain {pack.networks[b].chains[r].name!r} has zero total demand"
+        )
+
+
+def _balanced_start(pack: WindowPack, active: np.ndarray) -> np.ndarray:
+    """Vectorized eq. (4.18) balanced start, bitwise equal to the serial one.
+
+    ``population / stations.size`` is one IEEE double division either way,
+    so filling the visited entries elementwise matches
+    :func:`repro.mva.heuristic.initial_queue_lengths` to the last bit.
+    """
+    counts = pack.visit_mask.sum(axis=2)  # (Bd, R)
+    safe = np.where(counts > 0, counts, 1)
+    value = pack.populations.astype(float) / safe  # (B, R)
+    fill = pack.visit_mask & active[:, :, None]  # (B, R, L)
+    return np.where(fill, value[:, :, None], 0.0)
+
+
+def _flat_increments_plan(
+    demands: np.ndarray,
+    populations: np.ndarray,
+    delay_mask: np.ndarray,
+    batch: int,
+) -> "Tuple[tuple, np.ndarray]":
+    """The loop-invariant increments plan for the flattened (B·R, L) view.
+
+    Mirrors :func:`repro.mva.heuristic.plan_increments` exactly: ``alive``
+    from raw demand positivity, a unit denominator offset for dead rows,
+    capture masks per distinct population.  Returns ``(plan, flat_pops)``.
+    Rebuilt after every batch compaction — each row's increment is
+    captured on the recursion step matching its *own* population, so a
+    plan over any row subset yields bit-identical per-row results.
+    """
+    chains = populations.shape[1]
+    alive = np.broadcast_to(demands.sum(axis=2) > 0, (batch, chains)).ravel()
+    flat_pops = populations.ravel()
+    if delay_mask.shape[0] == 1:
+        queueing = ~delay_mask  # (1, L): broadcasts over all rows
+    else:
+        queueing = np.repeat(~delay_mask, chains, axis=0)
+    dead_offset = np.where(alive, 0.0, 1.0)
+    finish_at = {
+        d: (alive & (flat_pops == d))[:, None]
+        for d in {int(p) for p in flat_pops}
+        if d >= 1
+    }
+    max_population = int(flat_pops.max()) if flat_pops.size else 0
+    return (queueing, dead_offset, finish_at, max_population), flat_pops
+
+
+def _select_increments(resolved: str):
+    from repro.mva.heuristic import batched_increments
+
+    if resolved == "compiled":
+        from repro.mva.compiled import compiled_increments
+
+        return compiled_increments
+    return batched_increments
+
+
+def _snapshot(
+    pack: WindowPack,
+    index: int,
+    row: int,
+    throughputs: np.ndarray,
+    queue_lengths: np.ndarray,
+    waiting: np.ndarray,
+    method: str,
+    iterations: int,
+    converged: bool,
+    residual: float,
+) -> NetworkSolution:
+    """Slice compact ``row`` out of the batch state for network ``index``.
+
+    ``index`` addresses the pack (network metadata, un-padded dims);
+    ``row`` addresses the — possibly compacted — live tensors.
+    """
+    rb = pack.chain_counts[index]
+    lb = pack.station_counts[index]
+    return NetworkSolution(
+        network=pack.networks[index],
+        throughputs=throughputs[row, :rb].copy(),
+        queue_lengths=queue_lengths[row, :rb, :lb].copy(),
+        waiting_times=waiting[row, :rb, :lb].copy(),
+        method=method,
+        iterations=iterations,
+        converged=converged,
+        extras={"residual": residual},
+    )
+
+
+# ----------------------------------------------------------------------
+# batched fixed points
+# ----------------------------------------------------------------------
+
+def _batched_heuristic(
+    pack: WindowPack, control: IterationControl, resolved: str
+) -> List[NetworkSolution]:
+    """Thesis §4.2 heuristic advanced for all B networks at once.
+
+    Converged networks are *compacted out* of the live tensors: every
+    operation here is network-row independent (reductions stay within a
+    network's own rows, the flattened increments recursion captures each
+    row at its own population), so dropping finished rows — and
+    rebuilding the flat plan for the survivors — leaves the remaining
+    networks' floating-point trajectories bit-for-bit unchanged while
+    the batch pays only for unfinished work (serial total work is
+    ``sum(iters_b)``, a non-compacting batch would pay
+    ``B * max(iters_b)``).
+    """
+    increments = _select_increments(resolved)
+    batch, chains, stations = pack.batch, pack.chains, pack.stations
+    demands = pack.demands  # (Bd, R, L), Bd in {1, B}
+    delay = pack.delay_mask  # (Bd, L)
+    visit = pack.visit_mask  # (Bd, R, L)
+    int_pops = pack.populations  # (B, R) int64
+    populations = int_pops.astype(float)
+    active = np.broadcast_to(populations > 0, (batch, chains)).copy()
+    _check_demands(pack, active)
+
+    delay3 = delay[:, None, :]  # (Bd, 1, L)
+    invisible = ~np.broadcast_to(visit, (batch, chains, stations))
+    plan, flat_pops = _flat_increments_plan(demands, int_pops, delay, batch)
+
+    queue_lengths = _balanced_start(pack, active)
+    throughputs = np.zeros((batch, chains))
+    waiting = np.zeros((batch, chains, stations))
+    residuals = np.full(batch, float("inf"))
+    indices = np.arange(batch)  # live row -> pack index
+    solutions: List[Optional[NetworkSolution]] = [None] * batch
+
+    iterations = 0
+    for iterations in range(1, control.max_iterations + 1):
+        live = indices.size
+        # STEP 2 — own-chain increments, live networks flattened to rows.
+        total_by_station = queue_lengths.sum(axis=1)  # (live, L)
+        others = total_by_station[:, None, :] - queue_lengths
+        scaled = np.where(delay3, demands, demands * (1.0 + others))
+        sigma = increments(
+            scaled.reshape(live * chains, stations),
+            flat_pops,
+            delay[0],
+            plan,
+        ).reshape(live, chains, stations)
+
+        # STEP 3 — arrival theorem.
+        seen = np.maximum(total_by_station[:, None, :] - sigma, 0.0)
+        waiting = np.where(delay3, demands, demands * (1.0 + seen))
+        waiting = np.where(invisible, 0.0, waiting)
+
+        # STEP 4 — Little's law for chains.
+        cycle_times = waiting.sum(axis=2)
+        new_throughputs = np.where(
+            active,
+            populations / np.where(cycle_times > 0, cycle_times, 1.0),
+            0.0,
+        )
+        new_throughputs = control.apply_damping(new_throughputs, throughputs)
+
+        # STEP 5 — Little's law for queues.
+        queue_lengths = new_throughputs[:, :, None] * waiting
+
+        # STEP 6 — per-network stopping decision on contiguous slices,
+        # snapshotting each network the moment it converges.
+        done = []
+        for row in range(live):
+            residuals[row] = control.residual(
+                new_throughputs[row], throughputs[row]
+            )
+            if residuals[row] < control.tolerance:
+                solutions[int(indices[row])] = _snapshot(
+                    pack, int(indices[row]), row,
+                    new_throughputs, queue_lengths, waiting,
+                    "mva-heuristic", iterations, True, residuals[row],
+                )
+                done.append(row)
+        throughputs = new_throughputs
+        if done:
+            keep = np.ones(live, dtype=bool)
+            keep[done] = False
+            indices = indices[keep]
+            if indices.size == 0:
+                break
+            populations = populations[keep]
+            int_pops = int_pops[keep]
+            active = active[keep]
+            queue_lengths = queue_lengths[keep]
+            throughputs = throughputs[keep]
+            residuals = residuals[keep]
+            if demands.shape[0] > 1:  # heterogeneous pack: per-net rows
+                demands = demands[keep]
+                delay = delay[keep]
+                visit = visit[keep]
+                delay3 = delay[:, None, :]
+            invisible = ~np.broadcast_to(
+                visit, (indices.size, chains, stations)
+            )
+            plan, flat_pops = _flat_increments_plan(
+                demands, int_pops, delay, indices.size
+            )
+
+    for row in range(indices.size):
+        control.on_exhausted("mva-heuristic", iterations, residuals[row])
+        solutions[int(indices[row])] = _snapshot(
+            pack, int(indices[row]), row, throughputs, queue_lengths, waiting,
+            "mva-heuristic", iterations, False, residuals[row],
+        )
+    return solutions  # type: ignore[return-value]
+
+
+def _batched_schweitzer(
+    pack: WindowPack, control: IterationControl, resolved: str
+) -> List[NetworkSolution]:
+    """Schweitzer–Bard AMVA advanced for all B networks at once.
+
+    Same convergence compaction as :func:`_batched_heuristic` (see its
+    docstring for the bitwise-safety argument).
+    """
+    batch, chains, stations = pack.batch, pack.chains, pack.stations
+    demands = pack.demands
+    delay = pack.delay_mask
+    visit = pack.visit_mask
+    populations = pack.populations.astype(float)
+    active = np.broadcast_to(populations > 0, (batch, chains)).copy()
+    _check_demands(pack, active)
+
+    delay3 = delay[:, None, :]
+    invisible = ~np.broadcast_to(visit, (batch, chains, stations))
+    inactive_offset = np.where(active, 0.0, 1.0)
+    shrink = np.where(
+        active, (populations - 1.0) / np.where(active, populations, 1.0), 1.0
+    )
+
+    queue_lengths = _balanced_start(pack, active)
+    throughputs = np.zeros((batch, chains))
+    waiting = np.zeros((batch, chains, stations))
+    residuals = np.full(batch, float("inf"))
+    indices = np.arange(batch)
+    solutions: List[Optional[NetworkSolution]] = [None] * batch
+
+    iterations = 0
+    for iterations in range(1, control.max_iterations + 1):
+        live = indices.size
+        total_by_station = queue_lengths.sum(axis=1)
+        seen = total_by_station[:, None, :] - queue_lengths * (
+            1.0 - shrink[:, :, None]
+        )
+        waiting = np.where(delay3, demands, demands * (1.0 + seen))
+        waiting = np.where(invisible, 0.0, waiting)
+
+        cycle_times = waiting.sum(axis=2)
+        new_throughputs = populations / (cycle_times + inactive_offset)
+        new_throughputs = control.apply_damping(new_throughputs, throughputs)
+        queue_lengths = new_throughputs[:, :, None] * waiting
+
+        done = []
+        for row in range(live):
+            residuals[row] = control.residual(
+                new_throughputs[row], throughputs[row]
+            )
+            if residuals[row] < control.tolerance:
+                solutions[int(indices[row])] = _snapshot(
+                    pack, int(indices[row]), row,
+                    new_throughputs, queue_lengths, waiting,
+                    "schweitzer", iterations, True, residuals[row],
+                )
+                done.append(row)
+        throughputs = new_throughputs
+        if done:
+            keep = np.ones(live, dtype=bool)
+            keep[done] = False
+            indices = indices[keep]
+            if indices.size == 0:
+                break
+            populations = populations[keep]
+            active = active[keep]
+            inactive_offset = inactive_offset[keep]
+            shrink = shrink[keep]
+            queue_lengths = queue_lengths[keep]
+            throughputs = throughputs[keep]
+            residuals = residuals[keep]
+            if demands.shape[0] > 1:
+                demands = demands[keep]
+                delay = delay[keep]
+                visit = visit[keep]
+                delay3 = delay[:, None, :]
+            invisible = ~np.broadcast_to(visit, (indices.size, chains, stations))
+
+    for row in range(indices.size):
+        control.on_exhausted("schweitzer", iterations, residuals[row])
+        solutions[int(indices[row])] = _snapshot(
+            pack, int(indices[row]), row, throughputs, queue_lengths, waiting,
+            "schweitzer", iterations, False, residuals[row],
+        )
+    return solutions  # type: ignore[return-value]

@@ -92,25 +92,33 @@ def _backend(name: str) -> Solver:
         from repro.exact.convolution import solve_convolution
 
         return solve_convolution
+    if name == "asymptotic":
+        from repro.mva.asymptotic import solve_asymptotic
+
+        return solve_asymptotic
     raise ModelError(
         f"unknown ladder backend {name!r}; expected one of "
-        f"{sorted(('mva-heuristic', 'schweitzer', 'linearizer', 'mva-exact', 'convolution'))}"
+        f"{sorted(('mva-heuristic', 'schweitzer', 'linearizer', 'mva-exact', 'convolution', 'asymptotic'))}"
     )
 
 
 #: Backends whose solve function accepts an ``IterationControl`` (and can
 #: therefore be re-tried under the damping schedule).
-_ITERATIVE_BACKENDS = frozenset({"mva-heuristic", "schweitzer", "linearizer"})
+_ITERATIVE_BACKENDS = frozenset(
+    {"mva-heuristic", "schweitzer", "linearizer", "asymptotic"}
+)
 
 #: Backends whose solve function accepts a kernel ``backend=`` keyword
 #: (see :mod:`repro.backend`); the others own a single kernel.
 _KERNEL_AWARE_BACKENDS = frozenset(
-    {"mva-heuristic", "schweitzer", "linearizer", "mva-exact"}
+    {"mva-heuristic", "schweitzer", "linearizer", "mva-exact", "asymptotic"}
 )
 
 #: Backends accepting a ``warm_start=`` queue-length seed
 #: (see :mod:`repro.mva.warmstart`).
-_WARMSTART_BACKENDS = frozenset({"mva-heuristic", "schweitzer", "linearizer"})
+_WARMSTART_BACKENDS = frozenset(
+    {"mva-heuristic", "schweitzer", "linearizer", "asymptotic"}
+)
 
 #: Backends accepting a ``lattice_cache=``
 #: (see :mod:`repro.exact.lattice_cache`).
@@ -192,6 +200,16 @@ class ResilientSolver:
     max_health_records:
         Cap on :attr:`health_log` (oldest dropped first) so a very long
         pattern search cannot grow memory without bound.
+    asymptotic_chain_threshold:
+        Chain-count floor for the scale rung: networks with at least this
+        many chains are first handed to the CLT/asymptotic solver
+        (:mod:`repro.mva.asymptotic`), whose cost has no per-population
+        recursion.  Defaults to
+        :data:`repro.mva.asymptotic.ASYMPTOTIC_AUTO_CHAINS` — far inside
+        the solver's validity regime, so the substitution is never made
+        where its calibrated bands do not hold, and every substitution is
+        recorded in the health log (never silent).  Pass a smaller value
+        to pull the rung in, or ``0``/``False`` to disable it entirely.
 
     Notes
     -----
@@ -209,6 +227,7 @@ class ResilientSolver:
         exact_lattice_limit: int = EXACT_LATTICE_LIMIT,
         backend: Optional[str] = None,
         max_health_records: int = 10_000,
+        asymptotic_chain_threshold: Optional[int] = None,
     ):
         if not damping_schedule:
             raise ModelError("damping_schedule must not be empty")
@@ -242,6 +261,11 @@ class ResilientSolver:
         self._control = base
         self.exact_lattice_limit = exact_lattice_limit
         self.max_health_records = max_health_records
+        if asymptotic_chain_threshold is None:
+            from repro.mva.asymptotic import ASYMPTOTIC_AUTO_CHAINS
+
+            asymptotic_chain_threshold = ASYMPTOTIC_AUTO_CHAINS
+        self.asymptotic_chain_threshold = int(asymptotic_chain_threshold or 0)
         self.health_log: List[SolveHealth] = []
 
     # ------------------------------------------------------------------
@@ -378,6 +402,33 @@ class ResilientSolver:
             windows=tuple(int(p) for p in network.populations)
         )
         self._record(health)
+
+        # Rung 0 — scale auto-selection.  Far inside the CLT regime
+        # (chains >= threshold >> the validity floor) the mean-field
+        # solver is both covered by its calibrated bands and free of the
+        # per-population recursion, so internet-scale networks go to it
+        # first.  The substitution is recorded as an explicit
+        # "asymptotic" attempt in the health log — it is never silent —
+        # and a failure simply falls through to the normal ladder.
+        if (
+            self.asymptotic_chain_threshold > 0
+            and network.num_chains >= self.asymptotic_chain_threshold
+            and self.primary_name != "asymptotic"
+        ):
+            from repro.mva.asymptotic import solve_asymptotic
+
+            solution = self._attempt(
+                health,
+                "asymptotic",
+                solve_asymptotic,
+                network,
+                self.damping_schedule[0],
+                True,
+                True,
+                reuse_kwargs(True, False),
+            )
+            if solution is not None:
+                return solution
 
         # Rungs 1..k — the primary backend under the damping schedule.  A
         # backend that cannot be damped gets exactly one retry (transient

@@ -89,18 +89,31 @@ def _record_line(payload: Dict[str, object]) -> str:
     return _canonical(body)
 
 
-def model_fingerprint(network: ClosedNetwork, solver_label: str) -> str:
+def model_fingerprint(
+    network: ClosedNetwork,
+    solver_label: str,
+    backend_tier: Optional[str] = None,
+) -> str:
     """Hash the parts of ``(network, solver)`` that determine ``F(E)``.
 
     Included: the demand and visit-count matrices, each station's
     discipline/servers/rate multipliers, per-chain source queues, and the
     solving algorithm's label.  Excluded: chain populations (the store's
-    keys *are* window vectors) and the kernel backend (a ``"scalar"``
-    store is valid under ``"vectorized"`` and vice versa — the parity
-    wall guarantees it).
+    keys *are* window vectors) and the kernel backend *within a bitwise
+    parity tier* (a ``"scalar"`` store is valid under ``"vectorized"``
+    and compiled-without-numba and vice versa — the parity wall
+    guarantees bit-identical values across that whole tier).
+
+    ``backend_tier`` is the :func:`repro.backend.parity_tier` of the run
+    (``"reference"``/``"jit"``).  Only non-reference tiers are hashed —
+    the default keeps every existing store valid — so a numba-JIT
+    ``"compiled"`` run never silently replays reference-tier entries
+    whose values it could not have produced bit-for-bit, and vice versa.
     """
     digest = hashlib.sha256()
     digest.update(b"windim-store-v1")
+    if backend_tier is not None and backend_tier != "reference":
+        digest.update(f"backend-tier:{backend_tier}".encode())
     digest.update(repr(network.demands.shape).encode())
     digest.update(np.ascontiguousarray(network.demands, dtype=np.float64).tobytes())
     digest.update(np.ascontiguousarray(network.visit_counts, dtype=np.float64).tobytes())

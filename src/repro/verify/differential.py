@@ -47,12 +47,23 @@ class TolerancePolicy:
     (seeds 0–19, 40 cases each): observed worst-case errors were 8.2%
     throughput / 28.1% per-chain delay for the heuristic and 12.7% / 22.3%
     for Schweitzer–Bard; the defaults add ~25% headroom on top.
+
+    The CLT/asymptotic solver gets its own, wider bands: it drops the
+    arrival-theorem correction entirely, so even inside its validity
+    regime (the oracle gates it at >= 12 chains) per-chain errors are
+    O(own-chain share), not O(percent).  Calibrated against random meshes
+    at 12–13 chains with windows 1–3 vs exact MVA (seeds 1–6): observed
+    worst-case 44.6% throughput / 47.8% per-chain delay; the defaults add
+    ~30% headroom.  These bands are an order-of-magnitude sanity guard —
+    the tier's value is scale, not small-network accuracy.
     """
 
     exact_rtol: float = 1e-8
     ctmc_rtol: float = 1e-7
     approx_throughput_rtol: float = 0.15
     approx_delay_rtol: float = 0.35
+    asymptotic_throughput_rtol: float = 0.60
+    asymptotic_delay_rtol: float = 0.65
     sim_ci_multiplier: float = 3.0
     sim_rel_slack: float = 0.05
     sim_throughput_rtol: float = 0.08
@@ -137,14 +148,19 @@ def check_pair(
         rows = _metric_rows(case, reference, candidate, include_queues=True)
         tolerances = {row[0]: tol for row in rows}
     else:
-        policy_name = "approx-exact"
+        asymptotic = candidate.solver == "asymptotic"
+        policy_name = "asymptotic-exact" if asymptotic else "approx-exact"
+        throughput_tol = (
+            policy.asymptotic_throughput_rtol
+            if asymptotic
+            else policy.approx_throughput_rtol
+        )
+        delay_tol = (
+            policy.asymptotic_delay_rtol if asymptotic else policy.approx_delay_rtol
+        )
         rows = _metric_rows(case, reference, candidate, include_queues=False)
         tolerances = {
-            name: (
-                policy.approx_throughput_rtol
-                if name.startswith("throughput")
-                else policy.approx_delay_rtol
-            )
+            name: (throughput_tol if name.startswith("throughput") else delay_tol)
             for name, _, _ in rows
         }
 

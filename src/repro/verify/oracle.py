@@ -331,6 +331,30 @@ def _solve_linearizer(network: ClosedNetwork) -> NetworkSolution:
     return solve_linearizer(network)
 
 
+def _asymptotic_regime(case: VerifyCase) -> Optional[str]:
+    """The CLT/asymptotic solver's validity gate (chain-count floor).
+
+    Outside the regime the mean-field fixed point has no accuracy claim
+    (the arrival-theorem correction it drops is O(1) there, not
+    O(1/chains)), so the oracle refuses to grade it — the solver is never
+    silently held to bands that were calibrated elsewhere.
+    """
+    from repro.mva.asymptotic import ASYMPTOTIC_MIN_CHAINS
+
+    if case.network.num_chains < ASYMPTOTIC_MIN_CHAINS:
+        return (
+            f"outside the CLT regime ({case.network.num_chains} chains "
+            f"< {ASYMPTOTIC_MIN_CHAINS})"
+        )
+    return None
+
+
+def _solve_asymptotic(network: ClosedNetwork) -> NetworkSolution:
+    from repro.mva.asymptotic import solve_asymptotic
+
+    return solve_asymptotic(network)
+
+
 def _solve_resilient(network: ClosedNetwork) -> NetworkSolution:
     """The escalation-ladder runtime over the thesis heuristic.
 
@@ -428,6 +452,12 @@ def _build_registry() -> Dict[str, SolverSpec]:
         ),
         _network_solver(
             "resilient", SolverKind.APPROXIMATE, _solve_resilient, _always
+        ),
+        _network_solver(
+            "asymptotic",
+            SolverKind.APPROXIMATE,
+            _solve_asymptotic,
+            _asymptotic_regime,
         ),
         simulation_spec(),
     ]

@@ -77,3 +77,41 @@ class TestSolutionAccess:
         heuristic = WindowObjective(two_class_net, "mva-heuristic")
         exact = WindowObjective(two_class_net, "mva-exact")
         assert heuristic((4, 4)) == pytest.approx(exact((4, 4)), rel=0.05)
+
+
+class TestSolutionRetentionCap:
+    """Retained solutions are LRU-bounded (the 500-chain memory fix)."""
+
+    def test_cap_enforced(self, two_class_net):
+        objective = WindowObjective(two_class_net, max_solutions=3)
+        for w in range(1, 6):
+            objective((w, w))
+        assert len(objective._solutions) == 3
+        # Oldest evaluations were evicted, newest survive.
+        assert objective.cached_solution((1, 1)) is None
+        assert objective.cached_solution((5, 5)) is not None
+
+    def test_eviction_resolves_on_demand(self, two_class_net):
+        objective = WindowObjective(two_class_net, max_solutions=2)
+        value = objective((2, 2))
+        objective((3, 3))
+        objective((4, 4))  # evicts (2, 2)
+        assert objective.cached_solution((2, 2)) is None
+        solution = objective.solution((2, 2))  # re-solves transparently
+        assert solution.network.populations.tolist() == [2, 2]
+        from repro.core.power import inverse_power
+
+        assert inverse_power(solution) == pytest.approx(value, rel=1e-12)
+
+    def test_reads_refresh_recency(self, two_class_net):
+        objective = WindowObjective(two_class_net, max_solutions=2)
+        objective((2, 2))
+        objective((3, 3))
+        objective.cached_solution((2, 2))  # touch: (3, 3) is now LRU
+        objective((4, 4))
+        assert objective.cached_solution((2, 2)) is not None
+        assert objective.cached_solution((3, 3)) is None
+
+    def test_invalid_cap_rejected(self, two_class_net):
+        with pytest.raises(ModelError):
+            WindowObjective(two_class_net, max_solutions=0)

@@ -1,0 +1,194 @@
+"""Cross-network SoA batching: bitwise parity, chunking, gates.
+
+The batched tier's whole claim is "same floating-point program, one
+tensor pass": for shared-topology packs every solution must match the
+serial dense solver *bit for bit* (not just within tolerance), including
+iteration counts, convergence flags and residual extras.  Padded
+heterogeneous packs change pairwise-summation block boundaries, so they
+get the 1e-8 parity band instead.
+"""
+
+import numpy as np
+import pytest
+
+import repro.mva.soa as soa
+from repro.core.objective import WindowObjective
+from repro.errors import ModelError
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.schweitzer import solve_schweitzer
+from repro.mva.soa import (
+    BATCHABLE_SOLVERS,
+    pack_networks,
+    pack_windows,
+    solve_packed,
+    solve_windows_batched,
+)
+from repro.netmodel.examples import canadian_two_class
+from repro.netmodel.generator import random_network
+
+SERIAL = {"mva-heuristic": solve_mva_heuristic, "schweitzer": solve_schweitzer}
+
+
+def _assert_bitwise(network, windows, solver):
+    batched = solve_windows_batched(network, windows, solver, backend="vectorized")
+    assert len(batched) == len(windows)
+    for w, sol in zip(windows, batched):
+        ref = SERIAL[solver](network.with_populations(w), backend="vectorized")
+        assert np.array_equal(sol.throughputs, ref.throughputs)
+        assert np.array_equal(sol.queue_lengths, ref.queue_lengths)
+        assert np.array_equal(sol.waiting_times, ref.waiting_times)
+        assert sol.iterations == ref.iterations
+        assert sol.converged == ref.converged
+        assert sol.extras == ref.extras
+        assert sol.method == ref.method
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("solver", BATCHABLE_SOLVERS)
+    def test_window_grid_matches_serial(self, solver):
+        network = canadian_two_class(4.0, 4.0)
+        windows = [[a, b] for a in range(1, 9) for b in range(1, 9)]
+        _assert_bitwise(network, windows, solver)
+
+    @pytest.mark.parametrize("solver", BATCHABLE_SOLVERS)
+    def test_random_networks_match_serial(self, solver):
+        for seed in range(4):
+            network = random_network(
+                num_nodes=9, num_classes=3, extra_edges=4, seed=seed
+            )
+            rng = np.random.default_rng(seed)
+            windows = [
+                [int(x) for x in rng.integers(1, 7, size=network.num_chains)]
+                for _ in range(6)
+            ]
+            _assert_bitwise(network, windows, solver)
+
+    def test_compiled_backend_composes(self):
+        # Without numba the compiled tier delegates to the dense kernels
+        # verbatim, so the SoA pass under "compiled" is also bitwise.
+        network = canadian_two_class(6.0, 6.0)
+        windows = [[a, b] for a in (1, 3, 5) for b in (2, 4)]
+        via_compiled = solve_windows_batched(
+            network, windows, "mva-heuristic", backend="compiled"
+        )
+        via_vectorized = solve_windows_batched(
+            network, windows, "mva-heuristic", backend="vectorized"
+        )
+        for a, b in zip(via_compiled, via_vectorized):
+            assert np.array_equal(a.throughputs, b.throughputs)
+            assert a.iterations == b.iterations
+
+    def test_duplicate_windows_share_nothing_but_agree(self):
+        network = canadian_two_class(4.0, 4.0)
+        batched = solve_windows_batched(
+            network, [[2, 3], [2, 3], [2, 3]], "mva-heuristic"
+        )
+        for sol in batched[1:]:
+            assert np.array_equal(sol.throughputs, batched[0].throughputs)
+
+
+class TestHeterogeneousPack:
+    def test_padded_pack_within_parity_band(self):
+        networks = [
+            random_network(
+                num_nodes=6 + k, num_classes=2 + k % 3, extra_edges=3, seed=100 + k
+            ).with_populations([2 + k % 4] * (2 + k % 3))
+            for k in range(5)
+        ]
+        solutions = solve_packed(pack_networks(networks), "mva-heuristic")
+        for network, sol in zip(networks, solutions):
+            ref = solve_mva_heuristic(network, backend="vectorized")
+            np.testing.assert_allclose(sol.throughputs, ref.throughputs, rtol=1e-8)
+            np.testing.assert_allclose(
+                sol.queue_lengths, ref.queue_lengths, rtol=1e-8, atol=1e-12
+            )
+            # Solution dims are the network's own, padding dropped.
+            assert sol.throughputs.shape == (network.num_chains,)
+            assert sol.queue_lengths.shape == (
+                network.num_chains,
+                network.num_stations,
+            )
+
+    def test_pack_shapes(self):
+        networks = [
+            canadian_two_class(4.0, 4.0, windows=(2, 2)),
+            random_network(num_nodes=5, num_classes=3, seed=1).with_populations(
+                [1, 2, 3]
+            ),
+        ]
+        pack = pack_networks(networks)
+        assert not pack.shared
+        assert pack.batch == 2
+        assert pack.chains == 3
+        assert pack.demands.shape[0] == 2
+
+
+class TestChunking:
+    def test_chunked_solve_is_invisible(self, monkeypatch):
+        network = canadian_two_class(4.0, 4.0)
+        windows = [[a, b] for a in range(1, 7) for b in range(1, 7)]
+        whole = solve_windows_batched(network, windows, "mva-heuristic")
+        # Force a tiny element budget so the sweep splits into many chunks.
+        monkeypatch.setattr(
+            soa, "SOA_ELEMENT_BUDGET", network.num_chains * network.num_stations * 4
+        )
+        chunked = solve_windows_batched(network, windows, "mva-heuristic")
+        for a, b in zip(whole, chunked):
+            assert np.array_equal(a.throughputs, b.throughputs)
+            assert a.iterations == b.iterations
+
+
+class TestGates:
+    def test_unbatchable_solver_rejected(self):
+        pack = pack_windows(canadian_two_class(4.0, 4.0), [[1, 1]])
+        with pytest.raises(ModelError, match="no batched SoA kernel"):
+            solve_packed(pack, solver="linearizer")
+
+    def test_scalar_backend_rejected(self):
+        pack = pack_windows(canadian_two_class(4.0, 4.0), [[1, 1]])
+        with pytest.raises(ModelError, match="dense kernel backend"):
+            solve_packed(pack, backend="scalar")
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ModelError):
+            pack_windows(canadian_two_class(4.0, 4.0), [])
+
+    def test_empty_networks_rejected(self):
+        with pytest.raises(ModelError):
+            pack_networks([])
+
+
+class TestObjectiveIntegration:
+    def test_serial_batch_solve_uses_soa_and_matches_pointwise(self):
+        network = canadian_two_class(8.0, 8.0)
+        batched_obj = WindowObjective(network, "mva-heuristic")
+        assert batched_obj.soa_batchable
+        keys = [(a, b) for a in (1, 2, 3) for b in (1, 2, 4)]
+        batched_values = batched_obj.batch_solve(keys)
+
+        pointwise_obj = WindowObjective(network, "mva-heuristic")
+        pointwise_values = [pointwise_obj(k) for k in keys]
+        assert batched_values == pointwise_values
+        assert batched_obj.evaluations == len(keys)
+
+    def test_non_batchable_solver_falls_back(self):
+        network = canadian_two_class(8.0, 8.0)
+        objective = WindowObjective(network, "linearizer")
+        assert not objective.soa_batchable
+        values = objective.batch_solve([(1, 1), (2, 2)])
+        assert len(values) == 2
+
+    def test_large_network_not_auto_batched(self):
+        # Past SOA_DENSE_LIMIT elements per network, stacking B copies
+        # evicts the cache and loses to the per-network loop (measured
+        # 0.5x on the 120-chain fixture) — the automatic path must keep
+        # the serial loop.  Direct solve_windows_batched calls are still
+        # honoured at any size.
+        from repro.netmodel.generator import scale_fixture
+
+        network = scale_fixture("medium")
+        assert (
+            network.num_chains * network.num_stations > soa.SOA_DENSE_LIMIT
+        )
+        objective = WindowObjective(network, "mva-heuristic")
+        assert not objective.soa_batchable

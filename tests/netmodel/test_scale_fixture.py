@@ -1,0 +1,90 @@
+"""Properties of the internet-scale fixture family (1000 nodes, 500 chains).
+
+The scale benchmarks, the asymptotic-tier calibration and CI all refer to
+"the 1000-node network" by ``(preset, seed)`` name, so these tests pin
+what that name must keep meaning: connected routes, strictly positive
+demands on every visited station, same-seed reproducibility, and a
+cross-platform digest of the ``full`` fixture's route structure
+(``numpy.random.Generator``/PCG64 draws are platform-stable, so a digest
+drift means the generator's draw *sequence* changed — a silent
+invalidation of every recorded benchmark).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.netmodel.generator import (
+    SCALE_FIXTURE_SEED,
+    SCALE_PRESETS,
+    scale_fixture,
+)
+
+#: Route-structure digest of ``scale_fixture("full")`` — visit counts
+#: plus station names.  Recompute (and re-record the benchmarks) only on
+#: a deliberate generator change.
+FULL_ROUTE_DIGEST = (
+    "7626a8814ccd9ad29eae6fb26995691172ce47a1dd6d9595be06baaaf0c04ffc"
+)
+
+
+@pytest.fixture(scope="module")
+def full_fixture():
+    # ~1.3 s to build; share one instance across every test here.
+    return scale_fixture("full")
+
+
+class TestFullFixture:
+    def test_dimensions(self, full_fixture):
+        assert full_fixture.num_chains == 500
+        assert full_fixture.num_stations == 1673
+
+    def test_every_chain_routes_somewhere(self, full_fixture):
+        visited = (full_fixture.visit_counts > 0).sum(axis=1)
+        assert int(visited.min()) >= 2  # at least a channel + a node queue
+
+    def test_visited_demands_strictly_positive(self, full_fixture):
+        visit = full_fixture.visit_counts > 0
+        assert float(np.where(visit, full_fixture.demands, np.inf).min()) > 0
+        # And unvisited entries carry exactly zero demand.
+        assert float(np.abs(np.where(visit, 0.0, full_fixture.demands)).max()) == 0.0
+
+    def test_positive_populations(self, full_fixture):
+        assert int(full_fixture.populations.min()) >= 1
+
+    def test_route_digest_pinned(self, full_fixture):
+        digest = hashlib.sha256()
+        digest.update(full_fixture.visit_counts.astype(np.int64).tobytes())
+        digest.update("|".join(s.name for s in full_fixture.stations).encode())
+        assert digest.hexdigest() == FULL_ROUTE_DIGEST
+
+    def test_same_seed_reproduces(self, full_fixture):
+        again = scale_fixture("full", seed=SCALE_FIXTURE_SEED)
+        assert np.array_equal(again.visit_counts, full_fixture.visit_counts)
+        assert np.array_equal(again.demands, full_fixture.demands)
+        assert np.array_equal(again.populations, full_fixture.populations)
+
+
+class TestPresetFamily:
+    @pytest.mark.parametrize("preset", sorted(SCALE_PRESETS))
+    def test_preset_shapes(self, preset):
+        spec = SCALE_PRESETS[preset]
+        network = scale_fixture(preset)
+        assert network.num_chains == spec["num_classes"]
+        visit = network.visit_counts > 0
+        assert float(np.where(visit, network.demands, np.inf).min()) > 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ModelError, match="unknown scale preset"):
+            scale_fixture("galactic")
+
+    def test_different_seeds_differ(self):
+        a = scale_fixture("small", seed=1)
+        b = scale_fixture("small", seed=2)
+        assert not np.array_equal(a.visit_counts, b.visit_counts)
+
+    def test_windows_override(self):
+        network = scale_fixture("small", windows=[3] * 25)
+        assert set(network.populations.tolist()) == {3}

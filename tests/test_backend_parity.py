@@ -117,6 +117,57 @@ class TestFuzzParity:
         _assert_backend_parity(case.network, case.label)
 
 
+def _assert_compiled_parity(network, label: str) -> None:
+    """Compiled vs vectorized: bitwise without numba, 1e-8 with it.
+
+    Without numba the compiled tier *is* the vectorized kernels (verbatim
+    delegation), so any difference at all is a selection-path bug and the
+    comparison is exact.  With numba the JIT may fuse/reorder, so the
+    standard parity band applies.
+    """
+    from repro.backend import numba_available
+
+    bitwise = not numba_available()
+    for name, solve in _DUAL_KERNEL_SOLVERS.items():
+        if name == "mva-exact" and not _exact_applicable(network):
+            continue
+        vectorized = solve(network, backend="vectorized")
+        compiled = solve(network, backend="compiled")
+        for field in ("throughputs", "chain_delays", "queue_lengths"):
+            got = np.asarray(getattr(compiled, field), dtype=float)
+            want = np.asarray(getattr(vectorized, field), dtype=float)
+            if bitwise:
+                np.testing.assert_array_equal(
+                    got, want,
+                    err_msg=f"{label}: {name} {field} compiled != vectorized",
+                )
+            else:
+                np.testing.assert_allclose(
+                    got, want, rtol=PARITY_RTOL, atol=PARITY_ATOL,
+                    err_msg=f"{label}: {name} {field} compiled vs vectorized",
+                )
+        assert compiled.iterations == vectorized.iterations or not bitwise
+
+
+@pytest.mark.fast
+class TestCompiledGoldenParity:
+    """Compiled tier vs vectorized on every golden thesis fixture."""
+
+    @pytest.mark.parametrize("case", golden_cases(), ids=lambda c: c.name)
+    def test_golden_fixture_compiled_parity(self, case):
+        network = case.build().network
+        _assert_compiled_parity(network, case.name)
+
+
+class TestCompiledFuzzParity:
+    """Compiled tier vs vectorized on the seeded fuzz population."""
+
+    @pytest.mark.parametrize("name", FUZZ_NAMES)
+    def test_fuzz_case_compiled_parity(self, name):
+        case = generate_case(case_seed(FUZZ_SEED, name), name)
+        _assert_compiled_parity(case.network, case.label)
+
+
 class TestBackendFlagSemantics:
     """The flag itself: validation, env override, and default."""
 

@@ -27,6 +27,7 @@ EXPECTED_BACKENDS = {
     "schweitzer",
     "linearizer",
     "resilient",
+    "asymptotic",
     "simulation",
 }
 
