@@ -180,6 +180,43 @@ def check_scale(fresh: dict, baseline: dict) -> "list[str]":
         )
         if failure:
             failures.append(failure)
+        # Compiled-tier rows (absent from pre-full-sweep baselines).
+        if "compiled_batched" in stats and "compiled_batched" in fresh_stats:
+            failure = compare_metric(
+                f"scale[{cell}].compiled_batched.ms_per_solve",
+                fresh_stats["compiled_batched"]["ms_per_solve"],
+                stats["compiled_batched"]["ms_per_solve"],
+                WALL_TOLERANCE,
+                higher_is_better=False,
+            )
+            if failure:
+                failures.append(failure)
+    # The mixed-topology campaign-batching cell (top-level, not a sweep
+    # cell; absent from older baselines).
+    fresh_hetero = fresh.get("hetero")
+    base_hetero = baseline.get("hetero")
+    if isinstance(fresh_hetero, dict) and isinstance(base_hetero, dict):
+        for metric, higher in (
+            ("batched_speedup", True),
+        ):
+            failure = compare_metric(
+                f"scale[hetero].{metric}",
+                fresh_hetero[metric],
+                base_hetero[metric],
+                WALL_TOLERANCE,
+                higher_is_better=higher,
+            )
+            if failure:
+                failures.append(failure)
+        failure = compare_metric(
+            "scale[hetero].batched.ms_per_solve",
+            fresh_hetero["batched"]["ms_per_solve"],
+            base_hetero["batched"]["ms_per_solve"],
+            WALL_TOLERANCE,
+            higher_is_better=False,
+        )
+        if failure:
+            failures.append(failure)
     return failures
 
 

@@ -123,14 +123,21 @@ def parity_tier(backend: Optional[str]) -> str:
         same floating-point operations in the same order, so cached or
         persisted values computed under any of them are interchangeable
         to the last bit.
-    ``"jit"``
+    ``"jit-v<N>"``
         compiled *with* numba importable: the fused JIT loops reorder
         reductions, so values agree with the reference tier only to the
         parity wall's 1e-8 band — close enough for any search decision,
         but not bit-identical, so persistent stores keep the tiers apart
-        (see :func:`repro.search.store.model_fingerprint`).
+        (see :func:`repro.search.store.model_fingerprint`).  ``<N>`` is
+        :data:`repro.mva.compiled.JIT_KERNEL_VERSION`: whenever the
+        kernel set changes in a way that can move results within the
+        band (v1 = JIT inner increments only, v2 = full-sweep kernels),
+        the tier label changes with it, so a store written under one
+        kernel era is never silently served to another.
     """
     resolved = resolve_backend(backend)
     if resolved == "compiled" and numba_available():
-        return "jit"
+        from repro.mva.compiled import JIT_KERNEL_VERSION
+
+        return f"jit-v{JIT_KERNEL_VERSION}"
     return "reference"

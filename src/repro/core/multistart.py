@@ -155,9 +155,13 @@ def windim_multistart(
     )
     try:
         with plane:
-            if objective.parallel:
-                # Warm the shared cache with every seed in one parallel
-                # batch (trimmed to the evaluation cap, never raising).
+            if objective.parallel or objective.soa_batchable:
+                # Warm the shared cache with every seed in one batch
+                # (trimmed to the evaluation cap, never raising): fanned
+                # over the pool when parallel, or as one cross-network
+                # SoA pass when the serial objective is batchable — the
+                # SoA pass is bit-identical to per-key solves on the
+                # reference tiers, so trajectories are unchanged.
                 plane.submit_many(unique_starts)
             for start in dict.fromkeys(unique_starts):
                 run = pattern_search(

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 import numpy as np
 
-from repro.backend import is_dense, resolve_backend
+from repro.backend import resolve_backend
 from repro.core.power import inverse_power
 from repro.core.reuse import ReuseEngine
 from repro.errors import ModelError, PoolFailure, SolverError
@@ -557,31 +557,40 @@ class WindowObjective:
             self._bound_uppers[(chain, window)] = cached
         return cached
 
+    def soa_assessment(self, batch_size: int = 2) -> Tuple[bool, str]:
+        """The SoA engagement decision for a ``batch_size`` batch.
+
+        Delegates to :func:`repro.mva.autobatch.assess`: a named solver
+        with a batched fixed point, no reuse engine — warm starts are
+        inherently per-key (each solve seeds from its nearest already-
+        solved neighbour, which may be *in the same batch*), so the
+        reuse path keeps the serial loop — a dense kernel backend, and
+        a per-network tensor under the machine's calibrated crossover
+        (or the compiled tier with numba, where the pack kernel has no
+        crossover).  Returns ``(engage, reason)``; callers log declines
+        so caps are never silent.
+        """
+        from repro.mva import autobatch
+
+        return autobatch.assess(
+            self._solver_name,
+            self._engine is not None,
+            self._backend,
+            self._network.num_chains * self._network.num_stations,
+            batch_size,
+        )
+
     @property
     def soa_batchable(self) -> bool:
         """True when serial batches can run as one cross-network SoA pass.
 
-        Requires a named solver with a batched fixed point (see
-        :data:`repro.mva.soa.BATCHABLE_SOLVERS`), a dense kernel backend,
-        no reuse engine — warm starts are inherently per-key (each
-        solve seeds from its nearest already-solved neighbour, which may
-        be *in the same batch*), so the reuse path keeps the serial loop
-        — and a network small enough that batching actually wins
-        (:data:`repro.mva.soa.SOA_DENSE_LIMIT`; beyond it the stacked
-        tensors evict the cache and the per-network loop is faster).
-        The SoA pass performs the same floating-point operations in the
-        same order as per-key cold solves, so switching it on never
-        changes a search trajectory.
+        The engagement decision of :meth:`soa_assessment` for a minimal
+        (two-network) batch.  On the reference tiers the SoA pass
+        performs the same floating-point operations in the same order as
+        per-key cold solves, so switching it on never changes a search
+        trajectory.
         """
-        from repro.mva.soa import BATCHABLE_SOLVERS, SOA_DENSE_LIMIT
-
-        return (
-            self._solver_name in BATCHABLE_SOLVERS
-            and self._engine is None
-            and is_dense(resolve_backend(self._backend))
-            and self._network.num_chains * self._network.num_stations
-            <= SOA_DENSE_LIMIT
-        )
+        return self.soa_assessment()[0]
 
     def _batch_solve_soa(self, keys: List[Point]) -> List[float]:
         """Serial-mode fast path: one packed tensor pass for the batch."""
@@ -600,6 +609,64 @@ class WindowObjective:
             self._retain(key, solution)
             values[key] = inverse_power(solution)
         return [values[k] for k in keys]
+
+    def batch_solve_networks(
+        self, networks: Sequence[ClosedNetwork]
+    ) -> "List[Tuple[float, Optional[NetworkSolution]]]":
+        """Evaluate a batch of arbitrary (mixed-topology) networks.
+
+        The heterogeneous counterpart of :meth:`batch_solve`: the
+        networks need not share this objective's topology, so results
+        bypass the window-keyed solution cache and are returned directly
+        as ``(1/power, solution)`` pairs in input order (``(inf, None)``
+        where the solver failed).  When :func:`repro.mva.autobatch.
+        assess` engages, the whole batch runs as padded heterogeneous
+        SoA packs (:func:`repro.mva.soa.solve_networks_batched` — on the
+        compiled tier, one JIT pack kernel call per chunk), agreeing
+        with serial solves to the 1e-8 parity band; declined batches are
+        logged with the reason and solved serially.  ``evaluations``
+        grows by ``len(networks)`` either way.
+        """
+        from repro.mva import autobatch
+
+        networks = list(networks)
+        if not networks:
+            return []
+        per_network = max(n.num_chains * n.num_stations for n in networks)
+        engage, reason = autobatch.assess(
+            self._solver_name,
+            self._engine is not None,
+            self._backend,
+            per_network,
+            len(networks),
+        )
+        solutions: List[Optional[NetworkSolution]]
+        if engage:
+            from repro.mva.soa import solve_networks_batched
+
+            autobatch.record_engaged(len(networks))
+            solutions = list(
+                solve_networks_batched(
+                    networks, solver=self._solver_name, backend=self._backend
+                )
+            )
+        else:
+            autobatch.record_declined(reason, len(networks))
+            kwargs: Dict[str, object] = {}
+            if self._solver_name is not None:
+                kwargs["backend"] = self._backend
+            solutions = []
+            for network in networks:
+                try:
+                    solutions.append(self._solver(network, **kwargs))
+                except SolverError:
+                    solutions.append(None)
+        results: "List[Tuple[float, Optional[NetworkSolution]]]" = []
+        for solution in solutions:
+            self.evaluations += 1
+            value = inverse_power(solution) if solution is not None else float("inf")
+            results.append((value, solution))
+        return results
 
     def batch_solve(self, batch: Sequence[Sequence[int]]) -> List[float]:
         """Evaluate a whole batch of window vectors in one call.
@@ -622,8 +689,14 @@ class WindowObjective:
         if not keys:
             return []
         if not self.parallel:
-            if len(keys) >= 2 and self.soa_batchable:
-                return self._batch_solve_soa(keys)
+            if len(keys) >= 2:
+                from repro.mva import autobatch
+
+                engage, reason = self.soa_assessment(len(keys))
+                if engage:
+                    autobatch.record_engaged(len(keys))
+                    return self._batch_solve_soa(keys)
+                autobatch.record_declined(reason, len(keys))
             return [self(k) for k in keys]
 
         unique = list(dict.fromkeys(keys))

@@ -230,6 +230,51 @@ class EvaluationPlane:
                 break
         return results
 
+    def submit_networks(self, networks: Sequence[object]) -> List[EvalResult]:
+        """Evaluate a mixed-topology batch of networks (best-effort).
+
+        The heterogeneous counterpart of :meth:`submit_many`: the
+        networks need not share the plane objective's topology, so the
+        values bypass the window-keyed evaluation cache entirely — each
+        result is always ``fresh`` and carries its solution directly.
+        The engagement decision (padded SoA packs vs a serial loop, with
+        every declined batch logged) lives in
+        :meth:`~repro.core.objective.WindowObjective.
+        batch_solve_networks`; plain callables without that method are
+        rejected.  Caps are honoured quietly: a spent budget declines
+        the whole batch (empty list) rather than raising.
+        """
+        if self._closed:
+            raise SearchError(f"evaluation plane {self.name!r} is closed")
+        networks = list(networks)
+        if not networks or self._caps_spent():
+            return []
+        solve = getattr(self._objective, "batch_solve_networks", None)
+        if solve is None:
+            raise SearchError(
+                "submit_networks requires an objective with "
+                "batch_solve_networks (e.g. WindowObjective); "
+                f"{type(self._objective).__name__} has none"
+            )
+        results: List[EvalResult] = []
+        for network, (value, solution) in zip(networks, solve(networks)):
+            warm_seed = None
+            if solution is not None and getattr(solution, "converged", False):
+                warm_seed = solution.queue_lengths
+            results.append(
+                EvalResult(
+                    windows=tuple(int(p) for p in network.populations),
+                    value=value,
+                    fresh=True,
+                    source=self.name,
+                    solution=solution,
+                    warm_seed=warm_seed,
+                    bound=None,
+                    health=self._health_record(),
+                )
+            )
+        return results
+
     def _result(self, key: Point, value: float, fresh: bool) -> EvalResult:
         solution = None
         getter = getattr(self._objective, "cached_solution", None)

@@ -43,6 +43,15 @@ class SerialPlane(EvaluationPlane):
             hasattr(objective, "batch_solve")
             and getattr(objective, "soa_batchable", False)
         ):
+            # A declined batch must never be silent: log the engagement
+            # reason before falling back to the per-point loop.
+            assess = getattr(objective, "soa_assessment", None)
+            if assess is not None and len(batch) >= 2:
+                from repro.mva import autobatch
+
+                engaged, reason = assess(len(batch))
+                if not engaged:
+                    autobatch.record_declined(reason, len(batch))
             return super().submit_many(batch)
         keys = [self._key(w) for w in batch]
         seen = set()

@@ -82,14 +82,19 @@ def solve_asymptotic(
     """Solve the mean-field (CLT-limit) fixed point of a closed network.
 
     Parameters mirror :func:`repro.mva.heuristic.solve_mva_heuristic`.
-    ``backend`` is validated for consistency but the iteration is a
-    single dense fixed point either way (there is no per-population
-    recursion left to pick a kernel for).  Returns a solution with
-    ``method="asymptotic"``.
+    ``backend="scalar"`` and ``"vectorized"`` coincide (the iteration is
+    a single dense fixed point — no per-population recursion to pick a
+    kernel for); ``"compiled"`` runs the whole sweep as one JIT call
+    where numba is importable (see :func:`repro.mva.compiled.
+    asymptotic_full_sweep`) and falls back to the same dense loop
+    otherwise.  Returns a solution with ``method="asymptotic"``.
     """
     if control is None:
         control = IterationControl()
-    resolve_backend(backend)  # validate the flag even though all tiers coincide
+    # scalar and vectorized coincide (a single dense fixed point, no
+    # per-population recursion); "compiled" additionally runs the whole
+    # sweep as one JIT call where numba is importable (gated below).
+    resolved = resolve_backend(backend)
 
     demands = network.demands
     num_chains, _num_stations = demands.shape
@@ -120,6 +125,32 @@ def solve_asymptotic(
             stations = network.visited_stations(r)
             if populations[r] > 0 and stations.size > 0:
                 queue_lengths[r, stations] = populations[r] / stations.size
+
+    from repro.mva.compiled import asymptotic_full_sweep, full_sweep_engaged
+
+    if full_sweep_engaged(resolved, control, warm_start):
+        swept = asymptotic_full_sweep(
+            demands,
+            network.populations,
+            delay_row[0],
+            visit_mask,
+            queue_lengths,
+            control,
+        )
+        if swept is not None:
+            thr, queue, wait, sweep_iters, converged, residual = swept
+            if not converged:
+                control.on_exhausted("asymptotic", sweep_iters, residual)
+            return NetworkSolution(
+                network=network,
+                throughputs=thr,
+                queue_lengths=queue,
+                waiting_times=wait,
+                method="asymptotic",
+                iterations=sweep_iters,
+                converged=converged,
+                extras={"residual": residual},
+            )
 
     throughputs = np.zeros(num_chains)
     waiting = np.zeros_like(demands)

@@ -1,0 +1,317 @@
+"""Calibrated auto-engagement for cross-network SoA batching.
+
+PR 8 gated automatic batching (:attr:`repro.core.objective.
+WindowObjective.soa_batchable`) on a single hardcoded constant,
+``SOA_DENSE_LIMIT = 8192`` per-network elements — a number measured on
+one development machine.  The regime boundary it encodes is real
+(batching wins while a single network's per-iteration tensors are small
+enough that NumPy dispatch overhead dominates; once one network's state
+is itself cache-sized, stacking B of them only evicts the cache — the
+120-chain fixture ran at 0.5x batched), but its *location* is a property
+of the host: cache sizes, memory bandwidth and BLAS builds move it by an
+order of magnitude across machines.
+
+This module replaces the constant with an empirical crossover:
+
+* :func:`calibrate` times a representative batched fixed-point step
+  against the equivalent per-network loop over a ladder of per-network
+  tensor sizes and locates the size where batching stops winning.  It
+  runs once per machine (a few tens of milliseconds) and the result is
+  persisted through :mod:`repro.mva.kernelcache`, keyed by the same
+  machine fingerprint as the JIT kernels.
+* :func:`assess` is the single engagement decision every caller
+  consults — ``WindowObjective``, the evaluation planes, and the
+  campaign sweeps.  It returns ``(engage, reason)`` so a declined batch
+  is never silent: callers log the reason through
+  :func:`record_declined`, and :func:`batch_stats` exposes the running
+  engaged/declined counters for solver-mix reporting.
+* ``REPRO_SOA_CROSSOVER`` pins the crossover explicitly (an integer
+  element count), bypassing both the probe and the persisted value —
+  the reproducibility escape hatch for benchmarks and tests.
+
+On the ``"compiled"`` tier with numba importable the crossover is moot:
+the pack kernel advances each network *serially inside one JIT call*
+(see :func:`repro.mva.compiled.heuristic_pack_sweep`), so there is no
+cache-thrash regime and batching always engages.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "assess",
+    "crossover",
+    "calibrate",
+    "record_engaged",
+    "record_declined",
+    "batch_stats",
+    "reset_stats",
+    "reset_crossover",
+    "DEFAULT_CROSSOVER",
+    "CROSSOVER_ENV_VAR",
+]
+
+logger = logging.getLogger("repro.mva.autobatch")
+
+#: Environment variable pinning the crossover (per-network R*L elements).
+CROSSOVER_ENV_VAR = "REPRO_SOA_CROSSOVER"
+
+#: Fallback when neither a pin nor a probe result is available (the PR 8
+#: constant, kept only as the calibration-failure safety net).
+DEFAULT_CROSSOVER = 8_192
+
+#: Per-network element sizes probed by :func:`calibrate`, ascending.
+PROBE_LADDER = (64, 256, 1_024, 4_096, 16_384, 65_536)
+
+#: Networks per probe batch and fixed-point steps timed per measurement.
+PROBE_BATCH = 8
+PROBE_STEPS = 4
+
+#: Minimum batched speedup for a ladder size to count as a win — guards
+#: against declaring a crossover on timer noise.
+PROBE_MARGIN = 1.05
+
+#: Key under which the calibration persists in the kernel-cache manifest.
+CALIBRATION_KEY = "soa-crossover"
+
+#: Session-cached crossover (None until first consulted).
+_CROSSOVER: Optional[int] = None
+
+#: Running engagement counters (reset with :func:`reset_stats`).
+_STATS: Dict[str, object] = {
+    "engaged_batches": 0,
+    "engaged_networks": 0,
+    "declined_batches": 0,
+    "declined_networks": 0,
+    "declined_reasons": Counter(),
+}
+
+
+def _probe_step_batched(demands, delay, queue, populations):
+    """One representative SoA fixed-point step on ``(B, R, L)`` tensors."""
+    total = queue.sum(axis=1)
+    seen = total[:, None, :] - queue
+    waiting = np.where(delay[:, None, :], demands, demands * (1.0 + seen))
+    cycle = waiting.sum(axis=2)
+    throughput = populations / np.maximum(cycle, 1.0)
+    return throughput[:, :, None] * waiting
+
+
+def _probe_step_serial(demands, delay, queue, populations):
+    """The same step as a per-network Python loop (the serial dispatch)."""
+    out = np.empty_like(queue)
+    for b in range(queue.shape[0]):
+        total = queue[b].sum(axis=0)
+        seen = total[None, :] - queue[b]
+        waiting = np.where(delay[b][None, :], demands[b], demands[b] * (1.0 + seen))
+        cycle = waiting.sum(axis=1)
+        throughput = populations[b] / np.maximum(cycle, 1.0)
+        out[b] = throughput[:, None] * waiting
+    return out
+
+
+def _time_steps(step, demands, delay, queue, populations) -> float:
+    """Best-of-two wall time for :data:`PROBE_STEPS` iterations of ``step``."""
+    best = float("inf")
+    for _ in range(2):
+        state = queue
+        t0 = time.perf_counter()
+        for _ in range(PROBE_STEPS):
+            state = step(demands, delay, state, populations)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate(persist: bool = True) -> int:
+    """Locate the per-network element count where batching stops winning.
+
+    Walks :data:`PROBE_LADDER` timing the batched step against the
+    per-network loop; the crossover is the geometric midpoint between the
+    last winning and first losing rung (clamped to the ladder ends when
+    batching always or never wins).  The probe and its per-rung speedups
+    are persisted via :func:`repro.mva.kernelcache.record_calibration`
+    so later processes skip the measurement.
+    """
+    rng = np.random.default_rng(0)
+    speedups = []
+    last_win: Optional[int] = None
+    first_loss: Optional[int] = None
+    for elements in PROBE_LADDER:
+        stations = max(4, int(np.sqrt(elements / 4)))
+        chains = max(1, elements // stations)
+        demands = rng.uniform(0.01, 1.0, size=(PROBE_BATCH, chains, stations))
+        delay = np.zeros((PROBE_BATCH, stations), dtype=bool)
+        delay[:, 0] = True
+        populations = rng.integers(1, 9, size=(PROBE_BATCH, chains)).astype(float)
+        queue = rng.uniform(0.0, 1.0, size=(PROBE_BATCH, chains, stations))
+        batched = _time_steps(_probe_step_batched, demands, delay, queue, populations)
+        serial = _time_steps(_probe_step_serial, demands, delay, queue, populations)
+        speedup = serial / batched if batched > 0 else float("inf")
+        speedups.append({"elements": elements, "speedup": round(speedup, 3)})
+        if speedup >= PROBE_MARGIN:
+            last_win = elements
+        elif first_loss is None:
+            first_loss = elements
+            break  # the regime boundary is monotone; no need to probe on
+    if last_win is None:
+        chosen = PROBE_LADDER[0] // 2
+    elif first_loss is None:
+        chosen = PROBE_LADDER[-1] * 4
+    else:
+        chosen = int(np.sqrt(float(last_win) * float(first_loss)))
+    logger.info(
+        "SoA crossover calibrated at %d elements/network (probe: %s)",
+        chosen,
+        speedups,
+    )
+    if persist:
+        try:
+            from repro.mva import kernelcache
+
+            kernelcache.record_calibration(
+                CALIBRATION_KEY, {"crossover": chosen, "probe": speedups}
+            )
+        except Exception:  # pragma: no cover - unwritable cache is benign
+            pass
+    return chosen
+
+
+def crossover() -> int:
+    """The per-network element count below which batching auto-engages.
+
+    Resolution order: session cache, ``REPRO_SOA_CROSSOVER`` pin, the
+    persisted calibration, then a fresh :func:`calibrate` run (whose
+    result persists for later processes).  Falls back to
+    :data:`DEFAULT_CROSSOVER` if the probe itself fails.
+    """
+    global _CROSSOVER
+    if _CROSSOVER is not None:
+        return _CROSSOVER
+    pinned = os.environ.get(CROSSOVER_ENV_VAR, "").strip()
+    if pinned:
+        try:
+            _CROSSOVER = max(0, int(pinned))
+            return _CROSSOVER
+        except ValueError:
+            logger.warning(
+                "%s=%r is not an integer; ignoring the pin",
+                CROSSOVER_ENV_VAR,
+                pinned,
+            )
+    try:
+        from repro.mva import kernelcache
+
+        saved = kernelcache.load_calibration(CALIBRATION_KEY)
+    except Exception:  # pragma: no cover - unreadable cache is benign
+        saved = None
+    if saved is not None and isinstance(saved.get("crossover"), int):
+        _CROSSOVER = saved["crossover"]
+        return _CROSSOVER
+    try:
+        _CROSSOVER = calibrate()
+    except Exception:  # pragma: no cover - probe failure safety net
+        logger.warning(
+            "SoA crossover probe failed; using the default %d",
+            DEFAULT_CROSSOVER,
+        )
+        _CROSSOVER = DEFAULT_CROSSOVER
+    return _CROSSOVER
+
+
+def reset_crossover() -> None:
+    """Drop the session-cached crossover (tests re-pin via the env var)."""
+    global _CROSSOVER
+    _CROSSOVER = None
+
+
+def assess(
+    solver_name: Optional[str],
+    has_reuse: bool,
+    backend: Optional[str],
+    per_network_elements: int,
+    batch_size: int,
+) -> Tuple[bool, str]:
+    """The single SoA engagement decision: ``(engage, reason)``.
+
+    ``reason`` explains the decision either way; callers pass declines to
+    :func:`record_declined` so every batch that stays serial is logged.
+    """
+    from repro.backend import is_dense, numba_available, resolve_backend
+    from repro.mva.soa import BATCHABLE_SOLVERS
+
+    if solver_name not in BATCHABLE_SOLVERS:
+        return False, (
+            f"solver {solver_name!r} has no batched SoA kernel "
+            f"(batchable: {list(BATCHABLE_SOLVERS)})"
+        )
+    if has_reuse:
+        return False, (
+            "reuse engine active: warm starts are per-key (a solve may "
+            "seed from a neighbour in the same batch), so batches stay "
+            "serial"
+        )
+    resolved = resolve_backend(backend)
+    if not is_dense(resolved):
+        return False, f"backend {resolved!r} runs the scalar reference loops"
+    if batch_size < 2:
+        return False, "batch of one network: nothing to batch"
+    if resolved == "compiled" and numba_available():
+        # The JIT pack kernel advances networks serially inside one
+        # compiled call — per-network cache locality, no dispatch
+        # overhead — so the cache-thrash regime the crossover guards
+        # against does not exist on this tier.
+        return True, "jit pack kernel (no crossover on the compiled tier)"
+    limit = crossover()
+    if per_network_elements <= limit:
+        return True, (
+            f"{per_network_elements} elements/network <= calibrated "
+            f"crossover {limit}"
+        )
+    return False, (
+        f"{per_network_elements} elements/network > calibrated crossover "
+        f"{limit}: per-network tensors are compute-bound and stacking "
+        "them would evict the cache"
+    )
+
+
+def record_engaged(networks: int) -> None:
+    """Count one engaged batch of ``networks`` solves."""
+    _STATS["engaged_batches"] += 1
+    _STATS["engaged_networks"] += networks
+    logger.debug("SoA batching engaged for %d networks", networks)
+
+
+def record_declined(reason: str, networks: int) -> None:
+    """Count — and log — one declined batch of ``networks`` solves."""
+    _STATS["declined_batches"] += 1
+    _STATS["declined_networks"] += networks
+    _STATS["declined_reasons"][reason.split(":")[0]] += 1
+    logger.info("SoA batching declined for %d networks: %s", networks, reason)
+
+
+def batch_stats() -> Dict[str, object]:
+    """Running engagement counters (solver-mix observability)."""
+    return {
+        "engaged_batches": _STATS["engaged_batches"],
+        "engaged_networks": _STATS["engaged_networks"],
+        "declined_batches": _STATS["declined_batches"],
+        "declined_networks": _STATS["declined_networks"],
+        "declined_reasons": dict(_STATS["declined_reasons"]),
+        "crossover": _CROSSOVER,
+    }
+
+
+def reset_stats() -> None:
+    """Zero the engagement counters (benchmark/test isolation)."""
+    _STATS["engaged_batches"] = 0
+    _STATS["engaged_networks"] = 0
+    _STATS["declined_batches"] = 0
+    _STATS["declined_networks"] = 0
+    _STATS["declined_reasons"] = Counter()

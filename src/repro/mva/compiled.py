@@ -1,49 +1,81 @@
-"""The ``"compiled"`` kernel tier: numba-JIT inner recursion, NumPy fallback.
+"""The ``"compiled"`` kernel tier: full-sweep numba JIT, NumPy fallback.
 
-The heuristic's cost is dominated by :func:`repro.mva.heuristic.
-batched_increments` — the auxiliary single-chain population recursion
-advanced once per fixed-point sweep, ``O(R x L x max_pop)`` elementwise
-work split over ~6 NumPy calls per population step.  On internet-scale
-networks (hundreds of chains, thousands of stations) those calls are
-large enough that NumPy is already near memory bandwidth; on the small
-and mid-size networks a window search actually spends its time on, the
-per-call dispatch overhead is the bottleneck.  The compiled tier fuses
-the whole recursion into one JIT kernel.
+PR 8 JITted only the heuristic's inner increments recursion; every other
+step of the fixed point — the station totals, the arrival theorem,
+Little's law, damping, the residual — still paid a NumPy dispatch per
+operation per iteration.  This module now compiles the *entire* solve:
+
+* :func:`heuristic_full_sweep`, :func:`schweitzer_full_sweep` and
+  :func:`asymptotic_full_sweep` run a whole fixed point (initial state
+  to convergence or budget exhaustion) in one ``@njit`` call;
+* :func:`heuristic_pack_sweep` / :func:`schweitzer_pack_sweep` do the
+  same for a :class:`~repro.mva.soa.WindowPack`, advancing each network
+  serially *inside* the compiled call — per-network cache locality with
+  zero dispatch overhead, which is why the compiled tier has no SoA
+  crossover (see :mod:`repro.mva.autobatch`);
+* :func:`warmup` compiles (or cache-loads) every kernel on tiny inputs
+  and records the timings through :mod:`repro.mva.kernelcache`, whose
+  fingerprinted on-disk directory makes the second process's warmup a
+  machine-code *load* rather than a recompile.
 
 Availability is strictly optional:
 
-* **numba importable** — :func:`compiled_increments` routes through an
-  ``@njit`` kernel (compiled once per process, cached module-globally).
-  The fused loops accumulate the per-chain total wait sequentially, not
-  with NumPy's pairwise summation, so results agree with the vectorized
-  kernel to the parity wall's 1e-8 band rather than bit-for-bit.
+* **numba importable** — the full-sweep wrappers return results; the
+  fused loops use sequential reductions (not NumPy's pairwise
+  summation), so results agree with the vectorized kernels to the parity
+  wall's 1e-8 band rather than bit-for-bit.
 * **numba absent** (the supported baseline — it is *not* a dependency)
-  — :func:`compiled_increments` *is* ``batched_increments``: the same
-  NumPy operations in the same order, hence bit-identical to
+  — the full-sweep wrappers return ``None`` and every solver falls
+  through to its dense NumPy loop, while :func:`compiled_increments`
+  *is* :func:`~repro.mva.heuristic.batched_increments`: the same NumPy
+  operations in the same order, hence bit-identical to
   ``backend="vectorized"``.  :func:`repro.backend.parity_tier` reports
-  this distinction so persistent stores never mix the two regimes.
+  the distinction (versioned by :data:`JIT_KERNEL_VERSION`) so
+  persistent stores never mix the two regimes.
 
-Every other dense kernel (Schweitzer, Linearizer, exact MVA) treats
-``"compiled"`` as a synonym for ``"vectorized"`` — their inner loops have
-no recursion worth fusing — which keeps the backend flag a pure kernel
-choice: same algorithm, same convergence criteria, everywhere.
+All kernels are ``nopython`` with ``fastmath`` off: the only permitted
+divergence from the NumPy path is reduction *order*, never algebraic
+rewrites of the thesis recurrences.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
 from repro.backend import numba_available
+from repro.mva.convergence import IterationControl
 from repro.mva.heuristic import batched_increments, plan_increments
 
-__all__ = ["compiled_increments", "jit_ready"]
+__all__ = [
+    "JIT_KERNEL_VERSION",
+    "compiled_increments",
+    "jit_ready",
+    "full_sweep_engaged",
+    "heuristic_full_sweep",
+    "schweitzer_full_sweep",
+    "asymptotic_full_sweep",
+    "heuristic_pack_sweep",
+    "schweitzer_pack_sweep",
+    "warmup",
+]
 
-#: Lazily built ``(kernel, signature_compiled)`` slot; ``False`` marks
-#: "tried and unavailable" so a numba-less process probes exactly once.
+#: Version of the compiled kernel *set*.  Bumped whenever a kernel's
+#: floating-point behaviour can change (new kernels, changed reduction
+#: order), so :func:`repro.backend.parity_tier` — and through it every
+#: persistent-store fingerprint — separates eras: a store written by the
+#: PR 8 increments-only JIT is never silently replayed against the
+#: full-sweep kernels.  v1 = increments-only (PR 8); v2 = full-sweep.
+JIT_KERNEL_VERSION = 2
+
+#: Lazily built kernel slots; ``_PROBED`` marks "tried once" so a
+#: numba-less process never re-probes.
 _JIT_KERNEL = None
 _JIT_PROBED = False
+_FULL_KERNELS = None
+_FULL_PROBED = False
 
 
 def _build_kernel():
@@ -52,6 +84,9 @@ def _build_kernel():
         import numba
     except ImportError:  # pragma: no cover - exercised only without numba
         return None
+    from repro.mva.kernelcache import activate_numba_cache
+
+    activate_numba_cache()
 
     @numba.njit(cache=True, fastmath=False)
     def _increments(scaled, queueing, dead_offset, populations, max_pop):
@@ -92,7 +127,7 @@ def _kernel():
 
 
 def jit_ready() -> bool:
-    """True when the JIT kernel is importable (without compiling it yet)."""
+    """True when the JIT kernels are importable (without compiling yet)."""
     return numba_available()
 
 
@@ -133,3 +168,578 @@ def compiled_increments(
         capture,
         int(max_population),
     )
+
+
+# ----------------------------------------------------------------------
+# full-sweep kernels
+# ----------------------------------------------------------------------
+
+def _build_full_kernels():
+    """Define every full-sweep njit kernel (None when numba is absent).
+
+    Definition is cheap (compilation is lazy, per concrete signature, and
+    served from the fingerprinted on-disk cache when one exists); the
+    cache directory must be activated *before* the first definition so
+    numba's locator picks it up.
+    """
+    try:
+        import numba
+    except ImportError:  # pragma: no cover - exercised only without numba
+        return None
+    from repro.mva.kernelcache import activate_numba_cache
+
+    activate_numba_cache()
+    njit = numba.njit
+
+    @njit(cache=True, fastmath=False)
+    def _heuristic_solve(
+        demands, populations, capture, dead_offset, queueing, visit,
+        active, queue0, max_pop, tol, max_iter, damping,
+    ):
+        chains, stations = demands.shape
+        queue = queue0.copy()
+        throughputs = np.zeros(chains)
+        new_throughputs = np.zeros(chains)
+        waiting = np.zeros((chains, stations))
+        sigma = np.zeros((chains, stations))
+        aux_queue = np.zeros((chains, stations))
+        aux_wait = np.zeros((chains, stations))
+        scaled = np.zeros((chains, stations))
+        total = np.zeros(stations)
+        converged = False
+        residual = np.inf
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            # STEP 2 — own-chain increments from the isolated single-chain
+            # problem with inflated service times (the inner recursion).
+            for i in range(stations):
+                t = 0.0
+                for r in range(chains):
+                    t += queue[r, i]
+                total[i] = t
+            for r in range(chains):
+                for i in range(stations):
+                    if queueing[i]:
+                        scaled[r, i] = demands[r, i] * (
+                            1.0 + (total[i] - queue[r, i])
+                        )
+                    else:
+                        scaled[r, i] = demands[r, i]
+                    aux_queue[r, i] = 0.0
+                    sigma[r, i] = 0.0
+            for d in range(1, max_pop + 1):
+                for r in range(chains):
+                    t = 0.0
+                    for i in range(stations):
+                        if queueing[i]:
+                            w = scaled[r, i] * (1.0 + aux_queue[r, i])
+                        else:
+                            w = scaled[r, i]
+                        aux_wait[r, i] = w
+                        t += w
+                    rate = d / (t + dead_offset[r])
+                    if capture[r] == d:
+                        for i in range(stations):
+                            stepped = rate * aux_wait[r, i]
+                            sigma[r, i] = stepped - aux_queue[r, i]
+                            aux_queue[r, i] = stepped
+                    else:
+                        for i in range(stations):
+                            aux_queue[r, i] = rate * aux_wait[r, i]
+            # STEPS 3+4 — arrival theorem, then Little's law for chains.
+            for r in range(chains):
+                cycle = 0.0
+                for i in range(stations):
+                    if visit[r, i]:
+                        if queueing[i]:
+                            seen = total[i] - sigma[r, i]
+                            if seen < 0.0:
+                                seen = 0.0
+                            w = demands[r, i] * (1.0 + seen)
+                        else:
+                            w = demands[r, i]
+                    else:
+                        w = 0.0
+                    waiting[r, i] = w
+                    cycle += w
+                if active[r]:
+                    if cycle > 0.0:
+                        new_throughputs[r] = populations[r] / cycle
+                    else:
+                        new_throughputs[r] = populations[r]
+                else:
+                    new_throughputs[r] = 0.0
+                if damping < 1.0:
+                    new_throughputs[r] = (
+                        damping * new_throughputs[r]
+                        + (1.0 - damping) * throughputs[r]
+                    )
+            # STEPS 5+6 — Little's law for queues; throughput residual.
+            acc = 0.0
+            for r in range(chains):
+                diff = new_throughputs[r] - throughputs[r]
+                acc += diff * diff
+                throughputs[r] = new_throughputs[r]
+                for i in range(stations):
+                    queue[r, i] = throughputs[r] * waiting[r, i]
+            residual = np.sqrt(acc)
+            if residual < tol:
+                converged = True
+                break
+        return throughputs, queue, waiting, iterations, converged, residual
+
+    @njit(cache=True, fastmath=False)
+    def _schweitzer_solve(
+        demands, populations, shrink, inactive_offset, queueing, visit,
+        queue0, tol, max_iter, damping,
+    ):
+        chains, stations = demands.shape
+        queue = queue0.copy()
+        throughputs = np.zeros(chains)
+        new_throughputs = np.zeros(chains)
+        waiting = np.zeros((chains, stations))
+        total = np.zeros(stations)
+        converged = False
+        residual = np.inf
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            for i in range(stations):
+                t = 0.0
+                for r in range(chains):
+                    t += queue[r, i]
+                total[i] = t
+            for r in range(chains):
+                cycle = 0.0
+                for i in range(stations):
+                    if visit[r, i]:
+                        if queueing[i]:
+                            seen = total[i] - queue[r, i] * (1.0 - shrink[r])
+                            w = demands[r, i] * (1.0 + seen)
+                        else:
+                            w = demands[r, i]
+                    else:
+                        w = 0.0
+                    waiting[r, i] = w
+                    cycle += w
+                new_throughputs[r] = populations[r] / (
+                    cycle + inactive_offset[r]
+                )
+                if damping < 1.0:
+                    new_throughputs[r] = (
+                        damping * new_throughputs[r]
+                        + (1.0 - damping) * throughputs[r]
+                    )
+            acc = 0.0
+            for r in range(chains):
+                diff = new_throughputs[r] - throughputs[r]
+                acc += diff * diff
+                throughputs[r] = new_throughputs[r]
+                for i in range(stations):
+                    queue[r, i] = throughputs[r] * waiting[r, i]
+            residual = np.sqrt(acc)
+            if residual < tol:
+                converged = True
+                break
+        return throughputs, queue, waiting, iterations, converged, residual
+
+    @njit(cache=True, fastmath=False)
+    def _asymptotic_solve(
+        demands, populations, active, queueing, visit, queue0,
+        tol, max_iter, damping,
+    ):
+        chains, stations = demands.shape
+        queue = queue0.copy()
+        throughputs = np.zeros(chains)
+        new_throughputs = np.zeros(chains)
+        waiting = np.zeros((chains, stations))
+        total = np.zeros(stations)
+        converged = False
+        residual = np.inf
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            for i in range(stations):
+                t = 0.0
+                for r in range(chains):
+                    t += queue[r, i]
+                total[i] = t
+            for r in range(chains):
+                cycle = 0.0
+                for i in range(stations):
+                    if visit[r, i]:
+                        if queueing[i]:
+                            w = demands[r, i] * (1.0 + total[i])
+                        else:
+                            w = demands[r, i]
+                    else:
+                        w = 0.0
+                    waiting[r, i] = w
+                    cycle += w
+                if active[r]:
+                    if cycle > 0.0:
+                        new_throughputs[r] = populations[r] / cycle
+                    else:
+                        new_throughputs[r] = populations[r]
+                else:
+                    new_throughputs[r] = 0.0
+                if damping < 1.0:
+                    new_throughputs[r] = (
+                        damping * new_throughputs[r]
+                        + (1.0 - damping) * throughputs[r]
+                    )
+            acc = 0.0
+            for r in range(chains):
+                diff = new_throughputs[r] - throughputs[r]
+                acc += diff * diff
+                throughputs[r] = new_throughputs[r]
+                for i in range(stations):
+                    queue[r, i] = throughputs[r] * waiting[r, i]
+            residual = np.sqrt(acc)
+            if residual < tol:
+                converged = True
+                break
+        return throughputs, queue, waiting, iterations, converged, residual
+
+    @njit(cache=True, fastmath=False)
+    def _heuristic_solve_pack(
+        demands, populations, capture, dead_offset, queueing, visit,
+        active, queue0, max_pops, tol, max_iter, damping,
+        out_thr, out_queue, out_wait, out_iters, out_conv, out_res,
+    ):
+        for b in range(demands.shape[0]):
+            thr, queue, waiting, iters, conv, res = _heuristic_solve(
+                demands[b], populations[b], capture[b], dead_offset[b],
+                queueing[b], visit[b], active[b], queue0[b], max_pops[b],
+                tol, max_iter, damping,
+            )
+            out_thr[b] = thr
+            out_queue[b] = queue
+            out_wait[b] = waiting
+            out_iters[b] = iters
+            out_conv[b] = conv
+            out_res[b] = res
+
+    @njit(cache=True, fastmath=False)
+    def _schweitzer_solve_pack(
+        demands, populations, shrink, inactive_offset, queueing, visit,
+        queue0, tol, max_iter, damping,
+        out_thr, out_queue, out_wait, out_iters, out_conv, out_res,
+    ):
+        for b in range(demands.shape[0]):
+            thr, queue, waiting, iters, conv, res = _schweitzer_solve(
+                demands[b], populations[b], shrink[b], inactive_offset[b],
+                queueing[b], visit[b], queue0[b], tol, max_iter, damping,
+            )
+            out_thr[b] = thr
+            out_queue[b] = queue
+            out_wait[b] = waiting
+            out_iters[b] = iters
+            out_conv[b] = conv
+            out_res[b] = res
+
+    return {
+        "heuristic": _heuristic_solve,
+        "schweitzer": _schweitzer_solve,
+        "asymptotic": _asymptotic_solve,
+        "heuristic_pack": _heuristic_solve_pack,
+        "schweitzer_pack": _schweitzer_solve_pack,
+    }
+
+
+def _full_kernels():
+    global _FULL_KERNELS, _FULL_PROBED
+    if not _FULL_PROBED:
+        _FULL_KERNELS = _build_full_kernels() if numba_available() else None
+        _FULL_PROBED = True
+    return _FULL_KERNELS
+
+
+def full_sweep_engaged(
+    resolved: str,
+    control: IterationControl,
+    warm_start: Optional[np.ndarray] = None,
+) -> bool:
+    """True when a solve may run as one compiled full-sweep kernel call.
+
+    Requires the resolved ``"compiled"`` backend with numba importable, a
+    cold start (warm-started solves use the Aitken accelerator, a Python-
+    side state machine the kernel cannot host), and a *plain*
+    :class:`IterationControl` — subclasses may override ``residual`` /
+    ``apply_damping`` / ``on_exhausted``, which the kernel inlines, so
+    they keep the NumPy loop where those overrides are honoured.
+    """
+    return (
+        resolved == "compiled"
+        and warm_start is None
+        and type(control) is IterationControl
+        and numba_available()
+    )
+
+
+def _chain_masks(demands: np.ndarray, populations) -> tuple:
+    """(capture, dead_offset, active, pops_float) for the sweep kernels.
+
+    Mirrors :func:`~repro.mva.heuristic.plan_increments`: ``alive`` from
+    raw demand positivity; dead chains get a unit denominator offset and
+    an impossible capture step.  A zero-population chain keeps its true
+    capture step (0), which never matches ``d >= 1`` — exactly the NumPy
+    ``finish_at`` behaviour.
+    """
+    pops = np.asarray(populations, dtype=np.int64)
+    alive = demands.sum(axis=-1) > 0
+    dead_offset = np.where(alive, 0.0, 1.0)
+    capture = np.where(alive, pops, -1)
+    pops_float = pops.astype(np.float64)
+    active = np.ascontiguousarray(pops_float > 0)
+    return capture, dead_offset, active, pops_float
+
+
+def heuristic_full_sweep(
+    demands: np.ndarray,
+    populations,
+    delay_mask: np.ndarray,
+    visit_mask: np.ndarray,
+    queue0: np.ndarray,
+    control: IterationControl,
+) -> Optional[tuple]:
+    """Run the whole §4.2 heuristic fixed point in one compiled call.
+
+    Returns ``(throughputs, queue_lengths, waiting, iterations,
+    converged, residual)``, or ``None`` when numba is absent (callers
+    fall through to the NumPy loop).  The caller performs model
+    validation (zero-demand checks) and owns ``control.on_exhausted``.
+    """
+    kernels = _full_kernels()
+    if kernels is None:
+        return None
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    capture, dead_offset, active, pops_float = _chain_masks(demands, populations)
+    pops = np.asarray(populations, dtype=np.int64)
+    max_pop = int(pops.max()) if pops.size else 0
+    thr, queue, waiting, iterations, converged, residual = kernels["heuristic"](
+        demands,
+        pops_float,
+        capture,
+        dead_offset,
+        np.ascontiguousarray(~np.asarray(delay_mask, dtype=bool)),
+        np.ascontiguousarray(np.asarray(visit_mask, dtype=bool)),
+        active,
+        np.ascontiguousarray(queue0, dtype=np.float64),
+        max_pop,
+        control.tolerance,
+        control.max_iterations,
+        control.damping,
+    )
+    return thr, queue, waiting, int(iterations), bool(converged), float(residual)
+
+
+def schweitzer_full_sweep(
+    demands: np.ndarray,
+    populations,
+    delay_mask: np.ndarray,
+    visit_mask: np.ndarray,
+    queue0: np.ndarray,
+    control: IterationControl,
+) -> Optional[tuple]:
+    """Run the whole Schweitzer–Bard fixed point in one compiled call."""
+    kernels = _full_kernels()
+    if kernels is None:
+        return None
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    pops_float = np.asarray(populations, dtype=np.float64)
+    active = pops_float > 0
+    shrink = np.where(
+        active, (pops_float - 1.0) / np.where(active, pops_float, 1.0), 1.0
+    )
+    inactive_offset = np.where(active, 0.0, 1.0)
+    thr, queue, waiting, iterations, converged, residual = kernels["schweitzer"](
+        demands,
+        pops_float,
+        np.ascontiguousarray(shrink),
+        np.ascontiguousarray(inactive_offset),
+        np.ascontiguousarray(~np.asarray(delay_mask, dtype=bool)),
+        np.ascontiguousarray(np.asarray(visit_mask, dtype=bool)),
+        np.ascontiguousarray(queue0, dtype=np.float64),
+        control.tolerance,
+        control.max_iterations,
+        control.damping,
+    )
+    return thr, queue, waiting, int(iterations), bool(converged), float(residual)
+
+
+def asymptotic_full_sweep(
+    demands: np.ndarray,
+    populations,
+    delay_mask: np.ndarray,
+    visit_mask: np.ndarray,
+    queue0: np.ndarray,
+    control: IterationControl,
+) -> Optional[tuple]:
+    """Run the whole mean-field (CLT) fixed point in one compiled call."""
+    kernels = _full_kernels()
+    if kernels is None:
+        return None
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    pops_float = np.asarray(populations, dtype=np.float64)
+    thr, queue, waiting, iterations, converged, residual = kernels["asymptotic"](
+        demands,
+        pops_float,
+        np.ascontiguousarray(pops_float > 0),
+        np.ascontiguousarray(~np.asarray(delay_mask, dtype=bool)),
+        np.ascontiguousarray(np.asarray(visit_mask, dtype=bool)),
+        np.ascontiguousarray(queue0, dtype=np.float64),
+        control.tolerance,
+        control.max_iterations,
+        control.damping,
+    )
+    return thr, queue, waiting, int(iterations), bool(converged), float(residual)
+
+
+def _pack_outputs(batch: int, chains: int, stations: int) -> tuple:
+    return (
+        np.zeros((batch, chains)),
+        np.zeros((batch, chains, stations)),
+        np.zeros((batch, chains, stations)),
+        np.zeros(batch, dtype=np.int64),
+        np.zeros(batch, dtype=np.bool_),
+        np.zeros(batch),
+    )
+
+
+def heuristic_pack_sweep(
+    demands: np.ndarray,
+    populations: np.ndarray,
+    delay_mask: np.ndarray,
+    visit_mask: np.ndarray,
+    queue0: np.ndarray,
+    control: IterationControl,
+) -> Optional[tuple]:
+    """Solve B stacked networks with the compiled heuristic, one per slice.
+
+    ``demands``/``visit_mask`` are dense ``(B, R, L)``, ``delay_mask``
+    ``(B, L)``, ``populations`` ``(B, R)``, ``queue0`` ``(B, R, L)``.
+    Each network runs the per-network kernel to *its own* convergence —
+    serially inside one compiled call — so results equal B separate
+    :func:`heuristic_full_sweep` calls on the padded slices.  Returns
+    ``(throughputs, queues, waiting, iterations, converged, residuals)``
+    batched on axis 0, or ``None`` when numba is absent.
+    """
+    kernels = _full_kernels()
+    if kernels is None:
+        return None
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    batch, chains, stations = demands.shape
+    capture, dead_offset, active, pops_float = _chain_masks(demands, populations)
+    pops = np.asarray(populations, dtype=np.int64)
+    max_pops = (
+        pops.max(axis=1).astype(np.int64)
+        if pops.size
+        else np.zeros(batch, dtype=np.int64)
+    )
+    outputs = _pack_outputs(batch, chains, stations)
+    kernels["heuristic_pack"](
+        demands,
+        np.ascontiguousarray(pops_float),
+        np.ascontiguousarray(capture),
+        np.ascontiguousarray(dead_offset),
+        np.ascontiguousarray(~np.asarray(delay_mask, dtype=bool)),
+        np.ascontiguousarray(np.asarray(visit_mask, dtype=bool)),
+        active,
+        np.ascontiguousarray(queue0, dtype=np.float64),
+        max_pops,
+        control.tolerance,
+        control.max_iterations,
+        control.damping,
+        *outputs,
+    )
+    return outputs
+
+
+def schweitzer_pack_sweep(
+    demands: np.ndarray,
+    populations: np.ndarray,
+    delay_mask: np.ndarray,
+    visit_mask: np.ndarray,
+    queue0: np.ndarray,
+    control: IterationControl,
+) -> Optional[tuple]:
+    """Solve B stacked networks with the compiled Schweitzer–Bard kernel."""
+    kernels = _full_kernels()
+    if kernels is None:
+        return None
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    batch, chains, stations = demands.shape
+    pops_float = np.asarray(populations, dtype=np.float64)
+    active = pops_float > 0
+    shrink = np.where(
+        active, (pops_float - 1.0) / np.where(active, pops_float, 1.0), 1.0
+    )
+    inactive_offset = np.where(active, 0.0, 1.0)
+    outputs = _pack_outputs(batch, chains, stations)
+    kernels["schweitzer_pack"](
+        demands,
+        np.ascontiguousarray(pops_float),
+        np.ascontiguousarray(shrink),
+        np.ascontiguousarray(inactive_offset),
+        np.ascontiguousarray(~np.asarray(delay_mask, dtype=bool)),
+        np.ascontiguousarray(np.asarray(visit_mask, dtype=bool)),
+        np.ascontiguousarray(queue0, dtype=np.float64),
+        control.tolerance,
+        control.max_iterations,
+        control.damping,
+        *outputs,
+    )
+    return outputs
+
+
+def warmup() -> dict:
+    """Compile (or cache-load) every JIT kernel on tiny inputs.
+
+    Returns ``{kernel name: seconds}`` (empty without numba) and records
+    each timing in the kernel-cache manifest: the first process on a
+    machine pays real compilation, later processes load machine code from
+    the fingerprinted directory and their timings collapse — the ratio CI
+    checks and uploads (see :func:`repro.mva.kernelcache.warmup_stats`).
+    """
+    if not numba_available():
+        return {}
+    from repro.mva.kernelcache import record_warmup
+
+    control = IterationControl(max_iterations=50)
+    demands = np.asarray([[0.2, 0.1], [0.1, 0.3]])
+    populations = np.asarray([2, 1])
+    delay = np.asarray([True, False])
+    visit = np.ones((2, 2), dtype=bool)
+    queue0 = np.full((2, 2), 0.5)
+    timings = {}
+
+    t0 = time.perf_counter()
+    compiled_increments(demands, populations, delay)
+    timings["increments"] = time.perf_counter() - t0
+
+    for name, sweep in (
+        ("heuristic", heuristic_full_sweep),
+        ("schweitzer", schweitzer_full_sweep),
+        ("asymptotic", asymptotic_full_sweep),
+    ):
+        t0 = time.perf_counter()
+        sweep(demands, populations, delay, visit, queue0, control)
+        timings[name] = time.perf_counter() - t0
+
+    for name, sweep in (
+        ("heuristic_pack", heuristic_pack_sweep),
+        ("schweitzer_pack", schweitzer_pack_sweep),
+    ):
+        t0 = time.perf_counter()
+        sweep(
+            demands[None, :, :],
+            populations[None, :],
+            delay[None, :],
+            visit[None, :, :],
+            queue0[None, :, :],
+            control,
+        )
+        timings[name] = time.perf_counter() - t0
+
+    for name, seconds in timings.items():
+        record_warmup(name, seconds)
+    return timings

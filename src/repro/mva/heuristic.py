@@ -262,6 +262,40 @@ def solve_mva_heuristic(
         raise ModelError(
             f"chain {network.chains[bad].name!r} has zero total demand"
         )
+
+    if resolved == "compiled":
+        # With numba importable the *entire* fixed point — not just the
+        # increments recursion — runs as one JIT call (cold starts and
+        # plain controls only: warm starts carry the Python-side Aitken
+        # accelerator, and control subclasses may override the inlined
+        # residual/damping policy).  Model validation above and the
+        # on_exhausted contract below are unchanged.
+        from repro.mva.compiled import full_sweep_engaged, heuristic_full_sweep
+
+        if full_sweep_engaged(resolved, control, warm_start):
+            swept = heuristic_full_sweep(
+                demands,
+                network.populations,
+                delay_mask,
+                visit_mask,
+                queue_lengths,
+                control,
+            )
+            if swept is not None:
+                thr, queue, wait, sweep_iters, converged, residual = swept
+                if not converged:
+                    control.on_exhausted("mva-heuristic", sweep_iters, residual)
+                return NetworkSolution(
+                    network=network,
+                    throughputs=thr,
+                    queue_lengths=queue,
+                    waiting_times=wait,
+                    method="mva-heuristic",
+                    iterations=sweep_iters,
+                    converged=converged,
+                    extras={"residual": residual},
+                )
+
     delay_row = delay_mask[None, :]
     invisible = ~visit_mask
 

@@ -52,9 +52,10 @@ def solve_schweitzer(
     """
     if control is None:
         control = IterationControl()
-    # "compiled" shares the dense path: this solver has no inner
-    # recursion worth JIT-fusing (see repro.mva.compiled).
-    vectorized = is_dense(resolve_backend(backend))
+    # "compiled" shares the dense NumPy path when numba is absent; with
+    # numba the whole fixed point runs as one JIT call (gated below).
+    resolved = resolve_backend(backend)
+    vectorized = is_dense(resolved)
 
     demands = network.demands
     num_chains, num_stations = demands.shape
@@ -103,6 +104,33 @@ def solve_schweitzer(
                 f"chain {network.chains[bad].name!r} has zero total demand"
             )
         inactive_offset = np.where(active_mask, 0.0, 1.0)
+
+    if vectorized:
+        from repro.mva.compiled import full_sweep_engaged, schweitzer_full_sweep
+
+        if full_sweep_engaged(resolved, control, warm_start):
+            swept = schweitzer_full_sweep(
+                demands,
+                network.populations,
+                delay_mask,
+                visit_mask,
+                queue_lengths,
+                control,
+            )
+            if swept is not None:
+                thr, queue, wait, sweep_iters, converged, residual = swept
+                if not converged:
+                    control.on_exhausted("schweitzer", sweep_iters, residual)
+                return NetworkSolution(
+                    network=network,
+                    throughputs=thr,
+                    queue_lengths=queue,
+                    waiting_times=wait,
+                    method="schweitzer",
+                    iterations=sweep_iters,
+                    converged=converged,
+                    extras={"residual": residual},
+                )
 
     iterations = 0
     residual = float("inf")

@@ -33,9 +33,23 @@ heterogeneous pack** (:func:`pack_networks`) the padding changes pairwise
 summation block boundaries, so agreement is to the 1e-8 parity band
 instead.
 
-The ``"compiled"`` backend routes the flattened increments recursion
-through :func:`repro.mva.compiled.compiled_increments`, so the JIT tier
-and the SoA tier compose.
+The ``"compiled"`` backend composes with both pack shapes: with numba
+importable a whole pack is solved by one compiled pack kernel
+(:func:`repro.mva.compiled.heuristic_pack_sweep` — each network advanced
+serially *inside* the JIT call, so there is no cache-thrash regime and
+auto-engagement needs no crossover there; results match serial
+compiled-tier solves), and without numba the flattened increments
+recursion delegates through :func:`repro.mva.compiled.
+compiled_increments` verbatim, keeping the tier bit-identical to
+``"vectorized"``.
+
+:func:`solve_windows_batched` batches one topology under many windows;
+:func:`solve_networks_batched` batches *mixed* topologies through padded
+heterogeneous packs — the campaign-layer entry point used by
+:meth:`repro.core.objective.WindowObjective.batch_solve_networks` and
+:func:`repro.analysis.sweeps.power_curve`.  Automatic engagement of
+either path is decided by :mod:`repro.mva.autobatch` (a calibrated
+machine-specific crossover, not a constant).
 """
 
 from __future__ import annotations
@@ -57,6 +71,7 @@ __all__ = [
     "pack_networks",
     "solve_packed",
     "solve_windows_batched",
+    "solve_networks_batched",
     "BATCHABLE_SOLVERS",
 ]
 
@@ -72,19 +87,11 @@ BATCHABLE_SOLVERS = ("mva-heuristic", "schweitzer")
 #: network this still allows tens of thousands of windows per chunk.
 SOA_ELEMENT_BUDGET = 4_000_000
 
-#: Per-network ``R x L`` elements above which cross-network batching is
-#: counterproductive and :attr:`~repro.core.objective.WindowObjective.
-#: soa_batchable` stops engaging it.  Batching wins where a single
-#: network's per-iteration tensors are small enough that NumPy dispatch
-#: dominates (BENCH_scale sweep cell: ~9x at 36 elements, ~1.1x at
-#: 1 725); once one network's state is itself large, stacking B of them
-#: only evicts the cache — measured 0.5x at 48 960 elements (the
-#: 120-chain "medium" fixture).  Calling :func:`solve_windows_batched`
-#: directly is always honoured (the bench charts the whole ladder);
-#: this limit only gates the *automatic* engagement, and because the
-#: batched pass is bit-identical to the serial one, gating changes
-#: performance, never results.
-SOA_DENSE_LIMIT = 8_192
+# Automatic engagement of the batched pass (which per-network sizes
+# win, and when the compiled pack kernel applies) is decided by
+# repro.mva.autobatch — a crossover calibrated per machine, replacing
+# the PR 8 ``SOA_DENSE_LIMIT`` constant.  Calling the solve functions
+# below directly is always honoured regardless of that decision.
 
 
 @dataclass(frozen=True)
@@ -222,6 +229,42 @@ def solve_windows_batched(
     return solutions
 
 
+def solve_networks_batched(
+    networks: Sequence[ClosedNetwork],
+    solver: str = "mva-heuristic",
+    control: Optional[IterationControl] = None,
+    backend: Optional[str] = None,
+) -> List[NetworkSolution]:
+    """Solve B arbitrary (mixed-topology) networks in padded SoA chunks.
+
+    The heterogeneous counterpart of :func:`solve_windows_batched`: the
+    networks are zero-padded to a common ``(R, L)`` (see
+    :func:`pack_networks`) and advanced together, agreeing with serial
+    per-network solves to the 1e-8 parity band.  Batches whose padded
+    size would exceed :data:`SOA_ELEMENT_BUDGET` elements are solved in
+    chunks — networks in a pack never interact, so chunking changes only
+    peak memory, never results.
+    """
+    networks = list(networks)
+    if not networks:
+        return []
+    per_network = max(1, max(n.num_chains for n in networks)) * max(
+        1, max(n.num_stations for n in networks)
+    )
+    chunk = max(1, SOA_ELEMENT_BUDGET // per_network)
+    solutions: List[NetworkSolution] = []
+    for start in range(0, len(networks), chunk):
+        solutions.extend(
+            solve_packed(
+                pack_networks(networks[start : start + chunk]),
+                solver=solver,
+                control=control,
+                backend=backend,
+            )
+        )
+    return solutions
+
+
 def solve_packed(
     pack: WindowPack,
     solver: str = "mva-heuristic",
@@ -242,6 +285,10 @@ def solve_packed(
         )
     if control is None:
         control = IterationControl()
+    if resolved == "compiled":
+        compiled = _compiled_pack(pack, solver, control)
+        if compiled is not None:
+            return compiled
     if solver == "mva-heuristic":
         return _batched_heuristic(pack, control, resolved)
     return _batched_schweitzer(pack, control, resolved)
@@ -250,6 +297,60 @@ def solve_packed(
 # ----------------------------------------------------------------------
 # shared machinery
 # ----------------------------------------------------------------------
+
+def _compiled_pack(
+    pack: WindowPack, solver: str, control: IterationControl
+) -> Optional[List[NetworkSolution]]:
+    """Solve a whole pack through the JIT pack kernels (None = fall back).
+
+    Engaged only with numba importable, a cold pack (packs never carry
+    warm starts), and a plain :class:`IterationControl` — the same
+    gating as :func:`repro.mva.compiled.full_sweep_engaged` for serial
+    solves, so a batched compiled solve and B serial compiled solves run
+    the same kernel on the same padded slices.  Broadcast (shared-
+    topology) tensors are materialised per network: the pack kernel
+    wants dense contiguous ``(B, R, L)`` input and the copy is paid once
+    per solve, not per iteration.
+    """
+    from repro.mva import compiled
+
+    if not compiled.full_sweep_engaged("compiled", control, None):
+        return None
+    batch, chains, stations = pack.batch, pack.chains, pack.stations
+    populations = pack.populations.astype(float)
+    active = np.broadcast_to(populations > 0, (batch, chains)).copy()
+    _check_demands(pack, active)
+    demands = np.ascontiguousarray(
+        np.broadcast_to(pack.demands, (batch, chains, stations)), dtype=np.float64
+    )
+    visit = np.ascontiguousarray(
+        np.broadcast_to(pack.visit_mask, (batch, chains, stations))
+    )
+    delay = np.ascontiguousarray(
+        np.broadcast_to(pack.delay_mask, (batch, stations))
+    )
+    queue0 = np.ascontiguousarray(_balanced_start(pack, active))
+    sweep = (
+        compiled.heuristic_pack_sweep
+        if solver == "mva-heuristic"
+        else compiled.schweitzer_pack_sweep
+    )
+    swept = sweep(demands, pack.populations, delay, visit, queue0, control)
+    if swept is None:  # pragma: no cover - numba vanished mid-process
+        return None
+    throughputs, queue_lengths, waiting, iters, converged, residuals = swept
+    solutions: List[NetworkSolution] = []
+    for b in range(batch):
+        if not converged[b]:
+            control.on_exhausted(solver, int(iters[b]), float(residuals[b]))
+        solutions.append(
+            _snapshot(
+                pack, b, b, throughputs, queue_lengths, waiting,
+                solver, int(iters[b]), bool(converged[b]), float(residuals[b]),
+            )
+        )
+    return solutions
+
 
 def _check_demands(pack: WindowPack, active: np.ndarray) -> None:
     """Reject active chains with zero visited demand (per network)."""

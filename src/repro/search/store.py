@@ -105,10 +105,13 @@ def model_fingerprint(
     guarantees bit-identical values across that whole tier).
 
     ``backend_tier`` is the :func:`repro.backend.parity_tier` of the run
-    (``"reference"``/``"jit"``).  Only non-reference tiers are hashed —
-    the default keeps every existing store valid — so a numba-JIT
-    ``"compiled"`` run never silently replays reference-tier entries
-    whose values it could not have produced bit-for-bit, and vice versa.
+    (``"reference"``/``"jit-v<N>"``).  Only non-reference tiers are
+    hashed — the default keeps every existing store valid — so a
+    numba-JIT ``"compiled"`` run never silently replays reference-tier
+    entries whose values it could not have produced bit-for-bit, and
+    vice versa.  The jit tier label carries the kernel-set version
+    (:data:`repro.mva.compiled.JIT_KERNEL_VERSION`), so stores written
+    under an older kernel era are likewise kept apart from newer ones.
     """
     digest = hashlib.sha256()
     digest.update(b"windim-store-v1")

@@ -16,6 +16,29 @@ from repro.queueing.network import ClosedNetwork
 from repro.queueing.station import Station
 
 
+@pytest.fixture(autouse=True)
+def _pinned_autobatch(monkeypatch):
+    """Pin the SoA crossover and disable the on-disk kernel cache.
+
+    Auto-engagement calibration (:func:`repro.mva.autobatch.calibrate`)
+    is a timed micro-benchmark — machine-dependent and slow — so tests
+    pin the historical default through the env escape hatch to keep
+    gating decisions deterministic, and point the persistent kernel
+    cache at nothing so no test writes to the user's cache directory.
+    """
+    from repro.mva import autobatch, kernelcache
+
+    monkeypatch.setenv(
+        autobatch.CROSSOVER_ENV_VAR, str(autobatch.DEFAULT_CROSSOVER)
+    )
+    monkeypatch.setenv(kernelcache.CACHE_ENV_VAR, "off")
+    autobatch.reset_crossover()
+    autobatch.reset_stats()
+    yield
+    autobatch.reset_crossover()
+    autobatch.reset_stats()
+
+
 @pytest.fixture
 def two_class_net() -> ClosedNetwork:
     """The thesis 2-class network at moderate symmetric load."""

@@ -351,6 +351,93 @@ class TestWarmSeedsAndBounds:
         assert plane.closed
 
 
+class TestHeterogeneousBatches:
+    """submit_networks: mixed-shape batches through every backend."""
+
+    def _mixed_networks(self):
+        from repro.netmodel.examples import canadian_two_class
+        from repro.netmodel.generator import random_network
+
+        return [
+            canadian_two_class(12.0, 9.0, windows=(3, 2)),
+            canadian_two_class(18.0, 18.0, windows=(4, 4)),
+            random_network(
+                num_nodes=6, num_classes=3, extra_edges=2, seed=42
+            ).with_populations([2, 1, 3]),
+        ]
+
+    def test_mixed_shapes_match_serial_solves(self, plane_name, moderate_net):
+        from repro.core.power import power_report
+        from repro.core.objective import resolve_solver
+
+        networks = self._mixed_networks()
+        objective, plane = build_harness(plane_name, moderate_net)
+        solver = objective._solver_name or "mva-heuristic"
+        with plane:
+            results = plane.submit_networks(networks)
+        assert len(results) == len(networks)
+        solve = resolve_solver(solver)
+        for network, res in zip(networks, results):
+            assert res.fresh
+            assert res.source == plane_name
+            assert res.windows == tuple(int(p) for p in network.populations)
+            assert res.solution is not None
+            ref = solve(network, backend="vectorized")
+            expected = power_report(ref).power
+            assert res.value == pytest.approx(1.0 / expected, rel=1e-8)
+            if res.solution.converged:
+                np.testing.assert_array_equal(
+                    np.asarray(res.warm_seed),
+                    np.asarray(res.solution.queue_lengths),
+                )
+        # Hetero values never pollute the window-keyed cache: the batch
+        # bypasses it entirely (foreign topologies share window shapes).
+        assert plane.cache.evaluations == 0
+
+    def test_engagement_is_observable(self, moderate_net):
+        from repro.mva import autobatch
+
+        networks = self._mixed_networks()
+        _objective, plane = build_harness("serial", moderate_net)
+        autobatch.reset_stats()
+        with plane:
+            plane.submit_networks(networks)
+        stats = autobatch.batch_stats()
+        # The solver-mix evidence: the batch engaged (reference tier,
+        # small networks) or was declined with a counted reason — never
+        # silent either way.
+        assert (
+            stats["engaged_batches"] + stats["declined_batches"] == 1
+        )
+        assert stats["engaged_batches"] == 1  # tiny fixtures engage
+
+    def test_closed_plane_rejects_and_empty_is_empty(self, moderate_net):
+        _objective, plane = build_harness("serial", moderate_net)
+        with plane:
+            assert plane.submit_networks([]) == []
+        with pytest.raises(SearchError):
+            plane.submit_networks(self._mixed_networks())
+
+    def test_spent_cap_declines_quietly(self, moderate_net):
+        _objective, plane = build_harness(
+            "serial", moderate_net, max_evaluations=0
+        )
+        with plane:
+            assert plane.submit_networks(self._mixed_networks()) == []
+
+    def test_plain_callable_rejected(self, moderate_net):
+        from repro.evalplane.serial import SerialPlane
+        from repro.search.space import IntegerBox
+
+        plane = SerialPlane(
+            lambda point: float(sum(point)),
+            space=IntegerBox.windows(2, 8),
+        )
+        with plane:
+            with pytest.raises(SearchError, match="batch_solve_networks"):
+                plane.submit_networks(self._mixed_networks())
+
+
 class TestFaultInjection:
     """Faults must degrade to the serial answer, never corrupt it."""
 

@@ -1,0 +1,179 @@
+"""Calibrated SoA auto-engagement: assess paths, pins, probe, counters.
+
+The suite-wide conftest fixture pins ``REPRO_SOA_CROSSOVER`` to the
+default and disables the on-disk cache, so every decision here is
+deterministic; tests that need a different crossover re-pin and call
+:func:`repro.mva.autobatch.reset_crossover`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import numba_available
+from repro.mva import autobatch
+
+
+def _pin(monkeypatch, value):
+    monkeypatch.setenv(autobatch.CROSSOVER_ENV_VAR, str(value))
+    autobatch.reset_crossover()
+
+
+class TestAssess:
+    def test_unbatchable_solver_declines(self):
+        engage, reason = autobatch.assess("linearizer", False, None, 8, 4)
+        assert not engage
+        assert "no batched SoA kernel" in reason
+
+    def test_reuse_engine_declines(self):
+        engage, reason = autobatch.assess("mva-heuristic", True, None, 8, 4)
+        assert not engage
+        assert "reuse" in reason
+
+    def test_scalar_backend_declines(self):
+        engage, reason = autobatch.assess(
+            "mva-heuristic", False, "scalar", 8, 4
+        )
+        assert not engage
+        assert "scalar" in reason
+
+    def test_batch_of_one_declines(self):
+        engage, reason = autobatch.assess("mva-heuristic", False, None, 8, 1)
+        assert not engage
+        assert "nothing to batch" in reason
+
+    def test_small_network_engages(self):
+        engage, reason = autobatch.assess("mva-heuristic", False, None, 8, 4)
+        assert engage
+        assert "crossover" in reason
+
+    def test_large_network_declines_with_explanation(self, monkeypatch):
+        _pin(monkeypatch, 100)
+        engage, reason = autobatch.assess(
+            "mva-heuristic", False, None, 101, 4
+        )
+        assert not engage
+        assert "evict the cache" in reason
+
+    def test_boundary_is_inclusive(self, monkeypatch):
+        _pin(monkeypatch, 100)
+        engage, _ = autobatch.assess("mva-heuristic", False, None, 100, 4)
+        assert engage
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not importable")
+    def test_compiled_tier_always_engages(self, monkeypatch):
+        # The JIT pack kernel has no cache-thrash regime: even a network
+        # far past the crossover engages on the compiled tier.
+        _pin(monkeypatch, 100)
+        engage, reason = autobatch.assess(
+            "mva-heuristic", False, "compiled", 1_000_000, 4
+        )
+        assert engage
+        assert "jit pack kernel" in reason
+
+
+class TestCrossoverResolution:
+    def test_env_pin_wins(self, monkeypatch):
+        _pin(monkeypatch, 12345)
+        assert autobatch.crossover() == 12345
+
+    def test_session_cache_sticks_until_reset(self, monkeypatch):
+        _pin(monkeypatch, 11)
+        assert autobatch.crossover() == 11
+        monkeypatch.setenv(autobatch.CROSSOVER_ENV_VAR, "22")
+        assert autobatch.crossover() == 11  # cached
+        autobatch.reset_crossover()
+        assert autobatch.crossover() == 22
+
+    def test_invalid_pin_falls_through(self, monkeypatch):
+        monkeypatch.setenv(autobatch.CROSSOVER_ENV_VAR, "not-a-number")
+        autobatch.reset_crossover()
+        # Falls through the pin to calibration; stub the probe so the
+        # test is instant and deterministic.
+        monkeypatch.setattr(autobatch, "calibrate", lambda persist=True: 777)
+        assert autobatch.crossover() == 777
+
+    def test_probe_failure_uses_default(self, monkeypatch):
+        monkeypatch.delenv(autobatch.CROSSOVER_ENV_VAR, raising=False)
+        autobatch.reset_crossover()
+
+        def boom(persist=True):
+            raise RuntimeError("probe exploded")
+
+        monkeypatch.setattr(autobatch, "calibrate", boom)
+        assert autobatch.crossover() == autobatch.DEFAULT_CROSSOVER
+
+
+class TestCalibrate:
+    def test_crossover_is_geometric_midpoint(self, monkeypatch):
+        # Stub the timer so the batched step wins below 4096 elements and
+        # loses from there: crossover = sqrt(1024 * 4096) = 2048.
+        def fake_time(step, demands, delay, queue, populations):
+            elements = demands.shape[1] * demands.shape[2]
+            batched = step is autobatch._probe_step_batched
+            if elements < 4_096:
+                return 1.0 if batched else 2.0
+            return 2.0 if batched else 1.0
+
+        monkeypatch.setattr(autobatch, "_time_steps", fake_time)
+        assert autobatch.calibrate(persist=False) == 2048
+
+    def test_always_winning_clamps_high(self, monkeypatch):
+        monkeypatch.setattr(
+            autobatch,
+            "_time_steps",
+            lambda step, *a: 1.0
+            if step is autobatch._probe_step_batched
+            else 3.0,
+        )
+        assert autobatch.calibrate(persist=False) == (
+            autobatch.PROBE_LADDER[-1] * 4
+        )
+
+    def test_never_winning_clamps_low(self, monkeypatch):
+        monkeypatch.setattr(
+            autobatch,
+            "_time_steps",
+            lambda step, *a: 3.0
+            if step is autobatch._probe_step_batched
+            else 1.0,
+        )
+        assert autobatch.calibrate(persist=False) == (
+            autobatch.PROBE_LADDER[0] // 2
+        )
+
+    def test_probe_steps_agree(self):
+        # The two probe implementations must compute the same step, or
+        # the timing comparison is meaningless.
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        demands = rng.uniform(0.01, 1.0, size=(3, 4, 5))
+        delay = np.zeros((3, 5), dtype=bool)
+        delay[:, 0] = True
+        populations = rng.integers(1, 5, size=(3, 4)).astype(float)
+        queue = rng.uniform(0.0, 1.0, size=(3, 4, 5))
+        np.testing.assert_allclose(
+            autobatch._probe_step_batched(demands, delay, queue, populations),
+            autobatch._probe_step_serial(demands, delay, queue, populations),
+            rtol=1e-12,
+        )
+
+
+class TestCounters:
+    def test_engaged_and_declined_accumulate(self):
+        autobatch.reset_stats()
+        autobatch.record_engaged(5)
+        autobatch.record_engaged(3)
+        autobatch.record_declined("reason one: detail", 7)
+        autobatch.record_declined("reason one: other detail", 2)
+        autobatch.record_declined("reason two", 1)
+        stats = autobatch.batch_stats()
+        assert stats["engaged_batches"] == 2
+        assert stats["engaged_networks"] == 8
+        assert stats["declined_batches"] == 3
+        assert stats["declined_networks"] == 10
+        # Reasons are bucketed by their prefix before the colon.
+        assert stats["declined_reasons"] == {"reason one": 2, "reason two": 1}
+        autobatch.reset_stats()
+        assert autobatch.batch_stats()["declined_batches"] == 0

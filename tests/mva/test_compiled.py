@@ -1,0 +1,197 @@
+"""The compiled tier's full-sweep machinery: gating, masks, fallback.
+
+The numba-less baseline (this container) must behave as pure dispatch
+plumbing: every full-sweep wrapper returns ``None``, every solver falls
+through to the dense NumPy loop, and ``backend="compiled"`` stays
+bit-identical to ``"vectorized"`` (the broad wall for that lives in
+``tests/test_backend_parity.py``; here we pin the gate logic itself).
+With numba importable (the CI jit leg) the same tests exercise the real
+kernels through the solver entry points at the 1e-8 band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import numba_available, parity_tier
+from repro.mva import compiled
+from repro.mva.asymptotic import solve_asymptotic
+from repro.mva.compiled import (
+    JIT_KERNEL_VERSION,
+    asymptotic_full_sweep,
+    full_sweep_engaged,
+    heuristic_full_sweep,
+    heuristic_pack_sweep,
+    schweitzer_full_sweep,
+    schweitzer_pack_sweep,
+    warmup,
+)
+from repro.mva.convergence import IterationControl
+from repro.mva.heuristic import solve_mva_heuristic
+from repro.mva.schweitzer import solve_schweitzer
+from repro.netmodel.examples import canadian_two_class
+
+HAVE_NUMBA = numba_available()
+
+
+def _sweep_inputs(network):
+    demands = np.asarray(network.demands, dtype=float)
+    delay = np.asarray(network.delay_mask, dtype=bool)
+    visit = np.asarray(network.visit_counts, dtype=float) > 0
+    queue0 = np.where(visit, 0.5, 0.0)
+    return demands, delay, visit, queue0
+
+
+class TestFullSweepGate:
+    def test_requires_compiled_backend(self):
+        control = IterationControl()
+        assert not full_sweep_engaged("vectorized", control)
+        assert not full_sweep_engaged("scalar", control)
+
+    def test_requires_cold_start(self):
+        # Warm-started solves run the Aitken accelerator, a Python-side
+        # state machine the kernel cannot host.
+        control = IterationControl()
+        warm = np.zeros((2, 2))
+        assert not full_sweep_engaged("compiled", control, warm_start=warm)
+
+    def test_requires_plain_iteration_control(self):
+        # Subclasses may override residual/apply_damping/on_exhausted,
+        # which the kernel inlines — they must keep the NumPy loop.
+        class CustomControl(IterationControl):
+            pass
+
+        assert not full_sweep_engaged("compiled", CustomControl())
+
+    def test_tracks_numba_availability(self):
+        engaged = full_sweep_engaged("compiled", IterationControl())
+        assert engaged == HAVE_NUMBA
+
+
+class TestNumbaAbsentFallback:
+    """The supported baseline: no numba, wrappers are inert."""
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba importable")
+    def test_sweeps_return_none(self):
+        network = canadian_two_class(4.0, 4.0, windows=(2, 3))
+        demands, delay, visit, queue0 = _sweep_inputs(network)
+        pops = np.asarray(network.populations)
+        control = IterationControl()
+        for sweep in (
+            heuristic_full_sweep,
+            schweitzer_full_sweep,
+            asymptotic_full_sweep,
+        ):
+            assert sweep(demands, pops, delay, visit, queue0, control) is None
+        for sweep in (heuristic_pack_sweep, schweitzer_pack_sweep):
+            assert (
+                sweep(
+                    demands[None], pops[None], delay[None], visit[None],
+                    queue0[None], IterationControl(),
+                )
+                is None
+            )
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba importable")
+    def test_warmup_is_empty(self):
+        assert warmup() == {}
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba importable")
+    def test_parity_tier_is_reference(self):
+        assert parity_tier("compiled") == "reference"
+
+
+class TestChainMasks:
+    def test_dead_and_empty_chains(self):
+        demands = np.asarray([[0.2, 0.1], [0.0, 0.0], [0.3, 0.4]])
+        capture, dead_offset, active, pops = compiled._chain_masks(
+            demands, [2, 3, 0]
+        )
+        # Chain 1 has no demand: unit denominator offset, impossible
+        # capture step.  Chain 2 has zero population: capture step 0
+        # never matches d >= 1, and it is inactive.
+        np.testing.assert_array_equal(capture, [2, -1, 0])
+        np.testing.assert_array_equal(dead_offset, [0.0, 1.0, 0.0])
+        np.testing.assert_array_equal(active, [True, True, False])
+        np.testing.assert_array_equal(pops, [2.0, 3.0, 0.0])
+
+    def test_batched_shapes(self):
+        demands = np.ones((3, 2, 4))
+        capture, dead_offset, active, pops = compiled._chain_masks(
+            demands, np.full((3, 2), 2)
+        )
+        assert capture.shape == (3, 2)
+        assert dead_offset.shape == (3, 2)
+        assert active.shape == (3, 2)
+
+
+class TestKernelVersion:
+    def test_version_is_full_sweep_era(self):
+        assert JIT_KERNEL_VERSION == 2
+
+    def test_parity_tier_embeds_version(self, monkeypatch):
+        import repro.backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "numba_available", lambda: True)
+        assert backend_mod.parity_tier("compiled") == (
+            f"jit-v{JIT_KERNEL_VERSION}"
+        )
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not importable")
+class TestJitSweeps:
+    """Real-kernel checks; run only on the numba CI leg."""
+
+    RTOL = 1e-8
+
+    def test_full_sweeps_match_vectorized(self):
+        network = canadian_two_class(12.0, 9.0, windows=(3, 5))
+        for solve in (solve_mva_heuristic, solve_schweitzer, solve_asymptotic):
+            via_jit = solve(network, backend="compiled")
+            via_numpy = solve(network, backend="vectorized")
+            np.testing.assert_allclose(
+                via_jit.throughputs, via_numpy.throughputs, rtol=self.RTOL
+            )
+            np.testing.assert_allclose(
+                via_jit.queue_lengths,
+                via_numpy.queue_lengths,
+                rtol=self.RTOL,
+                atol=1e-12,
+            )
+            assert via_jit.converged == via_numpy.converged
+
+    def test_pack_sweep_matches_single_sweeps(self):
+        networks = [
+            canadian_two_class(4.0 + k, 6.0, windows=(1 + k, 2)) for k in range(4)
+        ]
+        control = IterationControl()
+        stacked = [_sweep_inputs(n) for n in networks]
+        demands = np.stack([s[0] for s in stacked])
+        delay = np.stack([s[1] for s in stacked])
+        visit = np.stack([s[2] for s in stacked])
+        queue0 = np.stack([s[3] for s in stacked])
+        pops = np.stack([np.asarray(n.populations) for n in networks])
+        thr, queue, _wait, iters, conv, _res = heuristic_pack_sweep(
+            demands, pops, delay, visit, queue0, control
+        )
+        for b, network in enumerate(networks):
+            single = heuristic_full_sweep(
+                demands[b], pops[b], delay[b], visit[b], queue0[b], control
+            )
+            np.testing.assert_array_equal(thr[b], single[0])
+            np.testing.assert_array_equal(queue[b], single[1])
+            assert iters[b] == single[3]
+            assert bool(conv[b]) == single[4]
+
+    def test_warmup_times_every_kernel(self):
+        timings = warmup()
+        assert set(timings) == {
+            "increments",
+            "heuristic",
+            "schweitzer",
+            "asymptotic",
+            "heuristic_pack",
+            "schweitzer_pack",
+        }
+        assert all(t >= 0.0 for t in timings.values())

@@ -1,0 +1,122 @@
+"""The persistent kernel/warmup cache: fingerprints, manifest, disabling.
+
+Everything here runs with the cache pointed at a pytest tmp directory
+(or disabled) — never the user's real ``~/.cache``.  The numba-specific
+half (``activate_numba_cache`` actually redirecting numba's locator) is
+exercised on the CI jit leg; the bookkeeping below is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.mva import kernelcache
+
+
+def _use_tmp_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv(kernelcache.CACHE_ENV_VAR, str(tmp_path / "kc"))
+
+
+class TestCacheRoot:
+    def test_disabled_values(self, monkeypatch):
+        for token in ("off", "0", "none", "disabled", "OFF"):
+            monkeypatch.setenv(kernelcache.CACHE_ENV_VAR, token)
+            assert kernelcache.cache_root() is None
+            assert kernelcache.kernel_dir() is None
+            assert kernelcache.activate_numba_cache() is None
+
+    def test_env_override_selects_directory(self, monkeypatch, tmp_path):
+        _use_tmp_cache(monkeypatch, tmp_path)
+        assert kernelcache.cache_root() == tmp_path / "kc"
+
+    def test_default_is_under_home(self, monkeypatch):
+        monkeypatch.delenv(kernelcache.CACHE_ENV_VAR, raising=False)
+        root = kernelcache.cache_root()
+        assert root is not None
+        assert root.name == "repro-windim"
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        assert (
+            kernelcache.machine_fingerprint()
+            == kernelcache.machine_fingerprint()
+        )
+        assert len(kernelcache.machine_fingerprint()) == 16
+
+    def test_kernel_dir_is_fingerprinted(self, monkeypatch, tmp_path):
+        _use_tmp_cache(monkeypatch, tmp_path)
+        path = kernelcache.kernel_dir()
+        assert path is not None
+        assert path.exists()
+        assert path.name == kernelcache.machine_fingerprint()
+        assert path.parent.name == "kernels"
+
+
+class TestWarmupManifest:
+    def test_first_warmup_preserved_across_records(self, monkeypatch, tmp_path):
+        _use_tmp_cache(monkeypatch, tmp_path)
+        kernelcache.record_warmup("heuristic", 2.5)
+        kernelcache.record_warmup("heuristic", 0.01)
+        stats = kernelcache.warmup_stats()
+        entry = stats["kernels"]["heuristic"]
+        # The first (compile) timing survives; the latest (cache-load)
+        # timing sits next to it — the ratio is the cache-hit evidence.
+        assert entry["first_warmup_s"] == 2.5
+        assert entry["last_warmup_s"] == 0.01
+        assert entry["warmups"] == 2
+        assert stats["persistent"] is True
+
+    def test_manifest_is_valid_json_on_disk(self, monkeypatch, tmp_path):
+        _use_tmp_cache(monkeypatch, tmp_path)
+        kernelcache.record_warmup("increments", 1.0)
+        manifest = json.loads(
+            (kernelcache.kernel_dir() / "warmup.json").read_text()
+        )
+        assert manifest["version"] == kernelcache.MANIFEST_VERSION
+        assert manifest["fingerprint"] == kernelcache.machine_fingerprint()
+        assert "increments" in manifest["kernels"]
+
+    def test_corrupt_manifest_resets(self, monkeypatch, tmp_path):
+        _use_tmp_cache(monkeypatch, tmp_path)
+        (kernelcache.kernel_dir() / "warmup.json").write_text("{not json")
+        kernelcache.record_warmup("heuristic", 1.0)
+        assert "heuristic" in kernelcache.warmup_stats()["kernels"]
+
+    def test_disabled_cache_still_reports(self, monkeypatch):
+        monkeypatch.setenv(kernelcache.CACHE_ENV_VAR, "off")
+        kernelcache.record_warmup("heuristic", 1.0)  # silently dropped
+        stats = kernelcache.warmup_stats()
+        assert stats["persistent"] is False
+        assert stats["kernels"] == {}
+
+
+class TestCalibrationStore:
+    def test_roundtrip(self, monkeypatch, tmp_path):
+        _use_tmp_cache(monkeypatch, tmp_path)
+        payload = {"crossover": 2048, "probe": [{"elements": 64}]}
+        kernelcache.record_calibration("soa-crossover", payload)
+        assert kernelcache.load_calibration("soa-crossover") == payload
+        assert kernelcache.load_calibration("missing") is None
+
+    def test_calibration_and_warmups_coexist(self, monkeypatch, tmp_path):
+        _use_tmp_cache(monkeypatch, tmp_path)
+        kernelcache.record_warmup("heuristic", 1.0)
+        kernelcache.record_calibration("soa-crossover", {"crossover": 64})
+        stats = kernelcache.warmup_stats()
+        assert "heuristic" in stats["kernels"]
+        assert stats["calibration"]["soa-crossover"]["crossover"] == 64
+
+    def test_autobatch_reads_persisted_crossover(self, monkeypatch, tmp_path):
+        from repro.mva import autobatch
+
+        _use_tmp_cache(monkeypatch, tmp_path)
+        monkeypatch.delenv(autobatch.CROSSOVER_ENV_VAR, raising=False)
+        autobatch.reset_crossover()
+        kernelcache.record_calibration(
+            autobatch.CALIBRATION_KEY, {"crossover": 4242}
+        )
+        try:
+            assert autobatch.crossover() == 4242
+        finally:
+            autobatch.reset_crossover()

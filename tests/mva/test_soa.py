@@ -122,6 +122,78 @@ class TestHeterogeneousPack:
         assert pack.chains == 3
         assert pack.demands.shape[0] == 2
 
+    @pytest.mark.parametrize("solver", BATCHABLE_SOLVERS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fuzz_mixed_topologies_match_serial(self, solver, seed):
+        # The hetero-pack fuzz wall: each batch mixes sizes, topologies
+        # and window vectors; every batched solution must agree with the
+        # corresponding serial dense solve to the 1e-8 parity band.
+        rng = np.random.default_rng(9000 + seed)
+        networks = []
+        for k in range(int(rng.integers(3, 7))):
+            classes = int(rng.integers(1, 4))
+            net = random_network(
+                num_nodes=int(rng.integers(4, 10)),
+                num_classes=classes,
+                extra_edges=int(rng.integers(0, 5)),
+                seed=int(rng.integers(0, 10_000)),
+            )
+            windows = [int(w) for w in rng.integers(1, 8, size=classes)]
+            networks.append(net.with_populations(windows))
+        batched = soa.solve_networks_batched(networks, solver=solver)
+        assert len(batched) == len(networks)
+        for network, sol in zip(networks, batched):
+            ref = SERIAL[solver](network, backend="vectorized")
+            np.testing.assert_allclose(
+                sol.throughputs, ref.throughputs, rtol=1e-8, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                sol.queue_lengths, ref.queue_lengths, rtol=1e-8, atol=1e-12
+            )
+            assert sol.converged == ref.converged
+            assert sol.method == ref.method
+
+    def test_hetero_chunking_stays_in_band(self, monkeypatch):
+        # Networks in a pack never interact, so chunking only re-pads:
+        # a chunk's padding is its own members' max (R, L), which can
+        # shift pairwise-summation block boundaries — results must stay
+        # within the hetero parity band, and same-shape batches (where
+        # padding cannot change) must not move at all.
+        networks = [
+            random_network(
+                num_nodes=5 + k % 3, num_classes=1 + k % 3, seed=500 + k
+            ).with_populations([2 + k % 3] * (1 + k % 3))
+            for k in range(9)
+        ]
+        whole = soa.solve_networks_batched(networks)
+        per_network = max(n.num_chains for n in networks) * max(
+            n.num_stations for n in networks
+        )
+        monkeypatch.setattr(soa, "SOA_ELEMENT_BUDGET", per_network * 2)
+        chunked = soa.solve_networks_batched(networks)
+        for a, b in zip(whole, chunked):
+            np.testing.assert_allclose(
+                a.throughputs, b.throughputs, rtol=1e-8, atol=1e-12
+            )
+
+    def test_same_shape_chunking_is_bitwise(self, monkeypatch):
+        # All networks share (R, L): every chunk pads identically, so a
+        # chunked solve is literally the same floating-point program.
+        networks = [
+            canadian_two_class(3.0 + k, 5.0, windows=(1 + k % 4, 2))
+            for k in range(8)
+        ]
+        whole = soa.solve_networks_batched(networks)
+        per_network = networks[0].num_chains * networks[0].num_stations
+        monkeypatch.setattr(soa, "SOA_ELEMENT_BUDGET", per_network * 3)
+        chunked = soa.solve_networks_batched(networks)
+        for a, b in zip(whole, chunked):
+            assert np.array_equal(a.throughputs, b.throughputs)
+            assert a.iterations == b.iterations
+
+    def test_empty_batch_is_empty(self):
+        assert soa.solve_networks_batched([]) == []
+
 
 class TestChunking:
     def test_chunked_solve_is_invisible(self, monkeypatch):
@@ -178,17 +250,111 @@ class TestObjectiveIntegration:
         values = objective.batch_solve([(1, 1), (2, 2)])
         assert len(values) == 2
 
-    def test_large_network_not_auto_batched(self):
-        # Past SOA_DENSE_LIMIT elements per network, stacking B copies
-        # evicts the cache and loses to the per-network loop (measured
-        # 0.5x on the 120-chain fixture) — the automatic path must keep
-        # the serial loop.  Direct solve_windows_batched calls are still
-        # honoured at any size.
+    def test_large_network_not_auto_batched(self, monkeypatch):
+        # Past the calibrated crossover, stacking B copies evicts the
+        # cache and loses to the per-network loop (measured 0.5x on the
+        # 120-chain fixture) — the automatic path must keep the serial
+        # loop.  Direct solve_windows_batched calls are still honoured
+        # at any size.  The crossover itself is machine-calibrated
+        # (repro.mva.autobatch), so pin it to keep the gate decision
+        # deterministic here.
+        from repro.mva import autobatch
         from repro.netmodel.generator import scale_fixture
 
         network = scale_fixture("medium")
-        assert (
-            network.num_chains * network.num_stations > soa.SOA_DENSE_LIMIT
+        monkeypatch.setenv(
+            autobatch.CROSSOVER_ENV_VAR,
+            str(network.num_chains * network.num_stations - 1),
         )
+        autobatch.reset_crossover()
         objective = WindowObjective(network, "mva-heuristic")
+        assert not objective.soa_batchable
+        engage, reason = objective.soa_assessment(batch_size=4)
+        assert not engage
+        assert "crossover" in reason
+
+    def test_batch_solve_networks_matches_serial(self):
+        from repro.core.power import power_report
+        from repro.mva import autobatch
+
+        autobatch.reset_stats()
+        networks = [
+            canadian_two_class(4.0 + k, 6.0, windows=(1 + k, 2))
+            for k in range(3)
+        ] + [
+            random_network(num_nodes=5, num_classes=3, seed=3).with_populations(
+                [2, 1, 3]
+            )
+        ]
+        objective = WindowObjective(
+            canadian_two_class(4.0, 4.0), "mva-heuristic"
+        )
+        results = objective.batch_solve_networks(networks)
+        assert len(results) == len(networks)
+        assert objective.evaluations == len(networks)
+        for network, (value, solution) in zip(networks, results):
+            ref = solve_mva_heuristic(network, backend="vectorized")
+            assert solution is not None
+            np.testing.assert_allclose(
+                solution.throughputs, ref.throughputs, rtol=1e-8, atol=1e-12
+            )
+            expected = power_report(ref).power
+            assert value == pytest.approx(
+                1.0 / expected if expected > 0 else float("inf"), rel=1e-8
+            )
+        stats = autobatch.batch_stats()
+        assert stats["engaged_batches"] == 1
+        assert stats["engaged_networks"] == len(networks)
+
+    def test_batch_solve_networks_decline_is_counted(self, monkeypatch):
+        from repro.mva import autobatch
+
+        monkeypatch.setenv(autobatch.CROSSOVER_ENV_VAR, "0")
+        autobatch.reset_crossover()
+        autobatch.reset_stats()
+        networks = [
+            canadian_two_class(4.0 + k, 6.0, windows=(2, 2)) for k in range(3)
+        ]
+        objective = WindowObjective(
+            canadian_two_class(4.0, 4.0), "mva-heuristic"
+        )
+        results = objective.batch_solve_networks(networks)
+        assert all(sol is not None for _, sol in results)
+        stats = autobatch.batch_stats()
+        assert stats["declined_batches"] == 1
+        assert stats["declined_networks"] == 3
+        assert stats["engaged_batches"] == 0
+
+    def test_power_curve_engages_hetero_batching(self, monkeypatch):
+        from repro.analysis.sweeps import power_curve
+        from repro.mva import autobatch
+        from repro.netmodel.examples import canadian_two_class as factory
+
+        autobatch.reset_stats()
+        rates = [(4.0, 4.0), (8.0, 8.0), (12.0, 12.0), (16.0, 16.0)]
+        curve = power_curve(factory, rates, windows=(3, 3))
+        assert autobatch.batch_stats()["engaged_batches"] == 1
+        # Pin the crossover to zero: the same sweep now declines and runs
+        # the serial loop — values must agree to the hetero parity band.
+        monkeypatch.setenv(autobatch.CROSSOVER_ENV_VAR, "0")
+        autobatch.reset_crossover()
+        autobatch.reset_stats()
+        serial_curve = power_curve(factory, rates, windows=(3, 3))
+        assert autobatch.batch_stats()["engaged_batches"] == 0
+        assert autobatch.batch_stats()["declined_batches"] == 1
+        for (label, power), (s_label, s_power) in zip(curve, serial_curve):
+            assert label == s_label
+            assert power == pytest.approx(s_power, rel=1e-8)
+
+    def test_small_network_auto_batched_with_reason(self, monkeypatch):
+        from repro.mva import autobatch
+
+        network = canadian_two_class(4.0, 4.0)
+        objective = WindowObjective(network, "mva-heuristic")
+        engage, reason = objective.soa_assessment(batch_size=4)
+        assert engage
+        assert "crossover" in reason
+        # A pinned crossover of zero declines even the tiny network.
+        monkeypatch.setenv(autobatch.CROSSOVER_ENV_VAR, "0")
+        autobatch.reset_crossover()
         assert not objective.soa_batchable

@@ -48,6 +48,44 @@ class TestModelFingerprint:
         b = canadian_two_class(18.0, 25.0)
         assert model_fingerprint(a, "x") != model_fingerprint(b, "x")
 
+    def test_reference_tier_is_the_default(self, network):
+        # Scalar/vectorized/compiled-without-numba are bit-identical, so
+        # the reference tier must hash exactly like an untiered store —
+        # every pre-existing store stays valid.
+        assert model_fingerprint(network, "x") == model_fingerprint(
+            network, "x", backend_tier="reference"
+        )
+
+    def test_jit_tier_keeps_stores_apart(self, network):
+        # A numba-JIT run only agrees with the reference tier to 1e-8,
+        # not bit-for-bit, so its stores must never be interchangeable.
+        reference = model_fingerprint(network, "x", backend_tier="reference")
+        jit = model_fingerprint(network, "x", backend_tier="jit-v2")
+        assert reference != jit
+
+    def test_jit_kernel_eras_keep_stores_apart(self, network):
+        # PR 8's increments-only kernels (v1) and the full-sweep kernel
+        # set (v2) can both move results within the 1e-8 band — a store
+        # written under one era must not silently serve the other.
+        v1 = model_fingerprint(network, "x", backend_tier="jit-v1")
+        v2 = model_fingerprint(network, "x", backend_tier="jit-v2")
+        assert v1 != v2
+
+    def test_parity_tier_carries_kernel_version(self, monkeypatch):
+        # Without numba every backend is reference; with numba the
+        # compiled tier's label must embed the kernel-set version so the
+        # fingerprint above changes whenever the kernels do.
+        import repro.backend as backend_mod
+        from repro.mva.compiled import JIT_KERNEL_VERSION
+
+        monkeypatch.setattr(backend_mod, "numba_available", lambda: False)
+        assert backend_mod.parity_tier("compiled") == "reference"
+        monkeypatch.setattr(backend_mod, "numba_available", lambda: True)
+        assert (
+            backend_mod.parity_tier("compiled") == f"jit-v{JIT_KERNEL_VERSION}"
+        )
+        assert backend_mod.parity_tier("vectorized") == "reference"
+
 
 class TestRoundTrip:
     def test_record_then_reload(self, tmp_path, fingerprint):
